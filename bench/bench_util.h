@@ -1,0 +1,137 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every bench binary prints the rows/series of one table or figure from
+// the paper's evaluation (§8). Scale factor and partition count default to
+// laptop-friendly values and can be overridden via WAKE_BENCH_SF /
+// WAKE_BENCH_PARTITIONS environment variables.
+#ifndef WAKE_BENCH_BENCH_UTIL_H_
+#define WAKE_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tpch/dbgen.h"
+
+namespace wake {
+namespace bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<size_t>(std::atoll(v)) : fallback;
+}
+
+inline double BenchScaleFactor() { return EnvDouble("WAKE_BENCH_SF", 0.05); }
+inline size_t BenchPartitions() {
+  return EnvSize("WAKE_BENCH_PARTITIONS", 12);
+}
+
+/// Generates (once) and returns the benchmark TPC-H catalog.
+inline const Catalog& BenchCatalog() {
+  static const Catalog catalog = [] {
+    tpch::DbgenConfig cfg;
+    cfg.scale_factor = BenchScaleFactor();
+    cfg.partitions = BenchPartitions();
+    std::fprintf(stderr, "[bench] generating TPC-H SF=%.3f partitions=%zu\n",
+                 cfg.scale_factor, cfg.partitions);
+    return tpch::Generate(cfg);
+  }();
+  return catalog;
+}
+
+/// Row key over the first `key_cols` columns.
+inline std::string RowKey(const DataFrame& df, size_t row, size_t key_cols) {
+  std::string key;
+  for (size_t c = 0; c < key_cols; ++c) {
+    key += df.column(c).GetValue(row).ToString();
+    key += '|';
+  }
+  return key;
+}
+
+/// MAPE (%) of `got` vs `truth` over numeric columns past `key_cols`.
+inline double MapePercent(const DataFrame& truth, const DataFrame& got,
+                          size_t key_cols) {
+  std::map<std::string, size_t> truth_row;
+  for (size_t r = 0; r < truth.num_rows(); ++r) {
+    truth_row[RowKey(truth, r, key_cols)] = r;
+  }
+  double total = 0;
+  size_t n = 0;
+  for (size_t r = 0; r < got.num_rows(); ++r) {
+    auto it = truth_row.find(RowKey(got, r, key_cols));
+    if (it == truth_row.end()) continue;
+    for (size_t c = key_cols; c < truth.num_columns(); ++c) {
+      if (truth.column(c).type() == ValueType::kString) continue;
+      double want = truth.column(c).DoubleAt(it->second);
+      if (want == 0.0) continue;
+      total +=
+          std::fabs(got.column(c).DoubleAt(r) - want) / std::fabs(want);
+      ++n;
+    }
+  }
+  return n == 0 ? 100.0 : 100.0 * total / n;
+}
+
+/// Fraction of truth groups present in `got`.
+inline double Recall(const DataFrame& truth, const DataFrame& got,
+                     size_t key_cols) {
+  if (truth.num_rows() == 0) return 1.0;
+  std::map<std::string, bool> found;
+  for (size_t r = 0; r < truth.num_rows(); ++r) {
+    found[RowKey(truth, r, key_cols)] = false;
+  }
+  for (size_t r = 0; r < got.num_rows(); ++r) {
+    auto it = found.find(RowKey(got, r, key_cols));
+    if (it != found.end()) it->second = true;
+  }
+  size_t hit = 0;
+  for (const auto& [_, v] : found) hit += v;
+  return static_cast<double>(hit) / static_cast<double>(found.size());
+}
+
+/// Number of group-by key columns in the final result of TPC-H query q
+/// (columns before the aggregates; used to match rows for MAPE/recall).
+inline size_t QueryKeyColumns(int q) {
+  switch (q) {
+    case 1: return 2;   // returnflag, linestatus
+    case 2: return 8;   // full projection (keyless compare)
+    case 3: return 3;
+    case 4: return 1;
+    case 5: return 1;
+    case 7: return 3;
+    case 8: return 1;
+    case 9: return 2;
+    case 10: return 7;
+    case 11: return 1;
+    case 12: return 1;
+    case 13: return 1;
+    case 16: return 3;
+    case 18: return 5;
+    case 21: return 1;
+    case 22: return 1;
+    default: return 0;  // single-row / global aggregates
+  }
+}
+
+inline double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace bench
+}  // namespace wake
+
+#endif  // WAKE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Figure 11: impact of query depth on performance (§8.6).
+//
+// Synthetic table with ten 4-valued group columns plus a value column; the
+// depth-d query alternates max/sum aggregations over shrinking key
+// prefixes. Reported: latency to the 1st, 10th, and final result vs the
+// exact engine. Expected shape: Wake's per-partition pace is steady and
+// execution time scales with the O(4^d) primary group cardinality.
+#include <cstdio>
+
+#include "baseline/exact_engine.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/engine.h"
+
+using namespace wake;
+
+namespace {
+
+Catalog DeepCatalog(size_t rows, int cols, size_t partitions) {
+  Schema schema;
+  for (int c = 0; c < cols; ++c) {
+    schema.AddField(Field("c" + std::to_string(c), ValueType::kInt64));
+  }
+  schema.AddField(Field("x", ValueType::kInt64));
+  DataFrame df(schema);
+  Rng rng(42);
+  for (size_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      df.mutable_column(static_cast<size_t>(c))->AppendInt(
+          rng.UniformInt(0, 3));
+    }
+    df.mutable_column(static_cast<size_t>(cols))
+        ->AppendInt(rng.UniformInt(0, 1000000));
+  }
+  Catalog cat;
+  cat.Add(std::make_shared<PartitionedTable>(
+      PartitionedTable::FromDataFrame("deep", df, partitions)));
+  return cat;
+}
+
+Plan DeepQuery(int depth, int cols) {
+  Plan plan = Plan::Scan("deep");
+  std::string value = "x";
+  for (int level = depth; level >= 1; --level) {
+    std::vector<std::string> by;
+    for (int c = 0; c < std::min(level, cols); ++c) {
+      by.push_back("c" + std::to_string(c));
+    }
+    AggSpec spec = (depth - level) % 2 == 0
+                       ? Max(value, "agg" + std::to_string(level))
+                       : Sum(value, "agg" + std::to_string(level));
+    value = spec.output;
+    plan = plan.Aggregate(by, {spec});
+  }
+  return plan.Aggregate({}, {Sum(value, "final")});
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kCols = 10;
+  const size_t rows = bench::EnvSize("WAKE_BENCH_DEEP_ROWS", 200000);
+  const size_t partitions = bench::EnvSize("WAKE_BENCH_DEEP_PARTS", 50);
+  Catalog cat = DeepCatalog(rows, kCols, partitions);
+
+  std::printf(
+      "Figure 11: query depth vs latency (rows=%zu, partitions=%zu)\n"
+      "%6s %12s %12s %12s %12s\n",
+      rows, partitions, "depth", "wake_1st_s", "wake_10th_s",
+      "wake_final_s", "exact_s");
+  for (int depth = 0; depth <= 10; ++depth) {
+    Plan plan = DeepQuery(depth, kCols);
+
+    WakeEngine engine(&cat);
+    double first = -1, tenth = -1, final_s = 0;
+    int states = 0;
+    engine.Execute(plan.node(), [&](const OlaState& s) {
+      if (s.frame->num_rows() == 0) return;
+      ++states;
+      if (states == 1) first = s.elapsed_seconds;
+      if (states == 10) tenth = s.elapsed_seconds;
+      if (s.is_final) final_s = s.elapsed_seconds;
+    });
+
+    ExactEngine exact(&cat);
+    Stopwatch clock;
+    exact.Execute(plan.node());
+    double exact_s = clock.ElapsedSeconds();
+
+    std::printf("%6d %12.4f %12.4f %12.4f %12.4f\n", depth, first,
+                tenth < 0 ? final_s : tenth, final_s, exact_s);
+  }
+  return 0;
+}

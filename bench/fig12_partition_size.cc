@@ -1,0 +1,66 @@
+// Figure 12: impact of partition size on final-result latency (§8.7).
+//
+// The paper sweeps 128 MB..2048 MB Parquet partitions; here the knob is
+// rows-per-partition via the partition count. Reported per query: final
+// latency at each partition count as a multiple of the query's best
+// latency. Expected shape: queries with large merge overhead (Q13, Q15,
+// Q22: many-group shuffle aggregations) improve markedly with fewer,
+// larger partitions; low-merge queries (Q4, Q19, Q21) are mostly flat.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "tpch/queries.h"
+
+using namespace wake;
+
+int main() {
+  const std::vector<size_t> partition_counts = {48, 24, 12, 6, 3};
+  const std::vector<int> queries = {4, 19, 21, 13, 15, 22};
+
+  // One catalog per partition count (the Fig 12 x-axis).
+  const Catalog& base = bench::BenchCatalog();
+  std::map<size_t, Catalog> catalogs;
+  for (size_t parts : partition_counts) {
+    Catalog cat;
+    for (const auto& name : base.TableNames()) {
+      size_t n = name == "lineitem" || name == "orders"
+                     ? parts
+                     : std::max<size_t>(1, parts / 2);
+      cat.Add(std::make_shared<PartitionedTable>(
+          base.Get(name).Repartition(n)));
+    }
+    catalogs.emplace(parts, std::move(cat));
+  }
+
+  std::printf("Figure 12: final-result latency vs partition count "
+              "(more partitions = smaller partitions)\n%6s", "query");
+  for (size_t parts : partition_counts) {
+    std::printf(" %9zu", parts);
+  }
+  std::printf("  (columns = lineitem partition count)\n");
+
+  for (int q : queries) {
+    std::map<size_t, double> latency;
+    double best = 1e100;
+    for (size_t parts : partition_counts) {
+      WakeEngine engine(&catalogs.at(parts));
+      double final_s = 0;
+      engine.Execute(tpch::Query(q).node(), [&](const OlaState& s) {
+        if (s.is_final) final_s = s.elapsed_seconds;
+      });
+      latency[parts] = final_s;
+      best = std::min(best, final_s);
+    }
+    std::printf("q%-5d", q);
+    for (size_t parts : partition_counts) {
+      std::printf(" %8.2fx", latency[parts] / best);
+    }
+    std::printf("   best=%.4fs\n", best);
+  }
+  std::printf("\n(green/low-merge: q4,q19,q21 should be flat; "
+              "red/high-merge: q13,q15,q22 favor larger partitions)\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 8: Wake's approximation error (MAPE) and recall over time for the
+// three query categories of §8.3:
+//   Q8  — low-cardinality non-clustering group-by: MAPE decreases, recall
+//         reaches 100% early;
+//   Q18 — clustering group-by keys: MAPE 0, recall grows linearly;
+//   Q21 — mixed: recall rises quickly, MAPE falls more slowly.
+#include <cstdio>
+
+#include "baseline/exact_engine.h"
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "tpch/queries.h"
+
+using namespace wake;
+
+int main() {
+  const Catalog& cat = bench::BenchCatalog();
+  for (int q : {8, 18, 21}) {
+    Plan plan = tpch::Query(q);
+    size_t key_cols = bench::QueryKeyColumns(q);
+    ExactEngine exact(&cat);
+    DataFrame truth = exact.Execute(plan.node());
+
+    std::printf("Figure 8, Q%d (truth rows=%zu)\n%10s %10s %10s %10s\n", q,
+                truth.num_rows(), "elapsed_s", "progress", "MAPE%",
+                "recall%");
+    WakeEngine engine(&cat);
+    engine.Execute(plan.node(), [&](const OlaState& s) {
+      if (s.is_final) return;
+      double mape = truth.num_rows() == 0
+                        ? 0.0
+                        : bench::MapePercent(truth, *s.frame, key_cols);
+      double recall = 100.0 * bench::Recall(truth, *s.frame, key_cols);
+      std::printf("%10.4f %10.3f %10.4f %10.1f\n", s.elapsed_seconds,
+                  s.progress, mape, recall);
+    });
+    std::printf("\n");
+  }
+  return 0;
+}

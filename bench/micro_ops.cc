@@ -1,0 +1,153 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: grouped
+// aggregation merge, growth-model fitting, aggregate estimators, hash-join
+// probe, expression evaluation, sorting, LIKE matching, and channel
+// throughput. These quantify the per-partial costs behind Fig 11/12.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/channel.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/agg_state.h"
+#include "core/growth.h"
+#include "core/inference.h"
+#include "core/join_kernel.h"
+#include "plan/props.h"
+
+namespace wake {
+namespace {
+
+DataFrame MakeFact(size_t rows, int64_t groups, uint64_t seed = 11) {
+  Schema schema({{"g", ValueType::kInt64}, {"v", ValueType::kFloat64}});
+  DataFrame df(schema);
+  Rng rng(seed);
+  df.mutable_column(0)->Reserve(rows);
+  df.mutable_column(1)->Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    df.mutable_column(0)->AppendInt(rng.UniformInt(0, groups - 1));
+    df.mutable_column(1)->AppendDouble(rng.UniformDouble(0, 100));
+  }
+  return df;
+}
+
+void BM_GroupedAggMerge(benchmark::State& state) {
+  size_t rows = 64 * 1024;
+  int64_t groups = state.range(0);
+  DataFrame partial = MakeFact(rows, groups);
+  Schema in = partial.schema();
+  std::vector<AggSpec> aggs = {Sum("v", "s"), Count("n"), Avg("v", "a")};
+  for (auto _ : state) {
+    GroupedAggState agg({"g"}, aggs, in, AggOutputSchema(in, {"g"}, aggs));
+    agg.Consume(partial);
+    benchmark::DoNotOptimize(agg.Finalize(AggScaling{}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows) * state.iterations());
+}
+BENCHMARK(BM_GroupedAggMerge)->Arg(4)->Arg(256)->Arg(16384);
+
+void BM_GbiFinalize(benchmark::State& state) {
+  DataFrame partial = MakeFact(64 * 1024, state.range(0));
+  Schema in = partial.schema();
+  std::vector<AggSpec> aggs = {Sum("v", "s"), Count("n")};
+  GroupedAggState agg({"g"}, aggs, in, AggOutputSchema(in, {"g"}, aggs));
+  agg.Consume(partial);
+  AggScaling scaling;
+  scaling.enabled = true;
+  scaling.t = 0.25;
+  scaling.w = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.Finalize(scaling));
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+BENCHMARK(BM_GbiFinalize)->Arg(256)->Arg(16384);
+
+void BM_GrowthModelObserve(benchmark::State& state) {
+  GrowthModel model;
+  double t = 0.001;
+  for (auto _ : state) {
+    model.Observe(t, 100.0 * t);
+    t = t >= 1.0 ? 0.001 : t + 0.001;
+    benchmark::DoNotOptimize(model.w());
+  }
+}
+BENCHMARK(BM_GrowthModelObserve);
+
+void BM_CountDistinctEstimator(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateCountDistinct(120.0, 200.0, 1000.0));
+  }
+}
+BENCHMARK(BM_CountDistinctEstimator);
+
+void BM_HashJoinProbe(benchmark::State& state) {
+  DataFrame build = MakeFact(static_cast<size_t>(state.range(0)), 1 << 16, 3);
+  // Rename the build columns so the join output has no name collisions.
+  Schema build_schema({{"bk", ValueType::kInt64},
+                       {"bv", ValueType::kFloat64}});
+  DataFrame renamed(build_schema);
+  *renamed.mutable_column(0) = build.column(0);
+  *renamed.mutable_column(1) = build.column(1);
+  JoinHashTable table(build_schema, {"bk"});
+  table.Insert(renamed);
+  DataFrame probe = MakeFact(64 * 1024, 1 << 16, 5);
+  Schema out = JoinOutputSchema(probe.schema(), build_schema, {"bk"},
+                                JoinType::kInner);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Probe(probe, {"g"}, JoinType::kInner, out));
+  }
+  state.SetItemsProcessed(64 * 1024 * state.iterations());
+}
+BENCHMARK(BM_HashJoinProbe)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ExprEval(benchmark::State& state) {
+  DataFrame df = MakeFact(64 * 1024, 100);
+  ExprPtr expr =
+      Expr::And(Gt(Expr::Col("v"), Expr::Float(25.0)),
+                Lt(Expr::Col("v") * Expr::Float(1.1), Expr::Float(95.0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr->Eval(df));
+  }
+  state.SetItemsProcessed(64 * 1024 * state.iterations());
+}
+BENCHMARK(BM_ExprEval);
+
+void BM_SortBy(benchmark::State& state) {
+  DataFrame df = MakeFact(static_cast<size_t>(state.range(0)), 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(df.SortBy({{"v", true}, {"g", false}}));
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+BENCHMARK(BM_SortBy)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_LikeMatch(benchmark::State& state) {
+  std::string text = "carefully final deposits sleep special packages requests";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LikeMatch(text, "%special%requests%"));
+  }
+}
+BENCHMARK(BM_LikeMatch);
+
+void BM_ChannelThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Channel<int> ch;
+    std::thread producer([&] {
+      for (int i = 0; i < 10000; ++i) ch.Send(i);
+      ch.Close();
+    });
+    long total = 0;
+    while (auto v = ch.Receive()) total += *v;
+    producer.join();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(10000 * state.iterations());
+}
+BENCHMARK(BM_ChannelThroughput);
+
+}  // namespace
+}  // namespace wake
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Progressive dashboard with confidence intervals (§6 of the paper):
+// TPC-H Q14's promo-revenue share rendered as a live text gauge with a 95%
+// Chebyshev interval that tightens as more partitions arrive.
+#include <cstdio>
+#include <string>
+
+#include "core/ci.h"
+#include "core/engine.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+using namespace wake;
+
+namespace {
+
+std::string Gauge(double lo, double value, double hi, double axis_max) {
+  constexpr int kWidth = 52;
+  auto pos = [&](double x) {
+    int p = static_cast<int>(x / axis_max * (kWidth - 1));
+    return std::min(std::max(p, 0), kWidth - 1);
+  };
+  std::string bar(kWidth, ' ');
+  for (int i = pos(lo); i <= pos(hi); ++i) bar[i] = '-';
+  bar[pos(lo)] = '[';
+  bar[pos(hi)] = ']';
+  bar[pos(value)] = '*';
+  return bar;
+}
+
+}  // namespace
+
+int main() {
+  tpch::DbgenConfig cfg;
+  cfg.scale_factor = 0.05;
+  cfg.partitions = 16;
+  Catalog catalog = tpch::Generate(cfg);
+
+  WakeOptions options;
+  options.with_ci = true;
+  WakeEngine engine(&catalog, options);
+
+  std::printf("Q14 promo revenue share, 95%% CI (k=%.2f)\n\n", ChebyshevK(0.95));
+  std::printf("%9s  %-52s  %s\n", "progress", "0% ......... share ......... 40%",
+              "estimate [lo, hi]");
+  engine.Execute(tpch::Query(14).node(), [&](const OlaState& s) {
+    if (s.frame->num_rows() == 0) return;
+    double est = s.frame->ColumnByName("promo_revenue").DoubleAt(0);
+    double var = 0.0;
+    if (s.variances != nullptr) {
+      auto it = s.variances->find("promo_revenue");
+      if (it != s.variances->end() && !it->second.empty()) var = it->second[0];
+    }
+    ConfidenceInterval ci = ChebyshevInterval(est, var, 0.95);
+    std::printf("%8.0f%%  %-52s  %.2f [%.2f, %.2f]%s\n", 100 * s.progress,
+                Gauge(ci.lo, est, ci.hi, 40.0).c_str(), est, ci.lo, ci.hi,
+                s.is_final ? "  <- exact" : "");
+  });
+  return 0;
+}

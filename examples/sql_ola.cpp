@@ -1,0 +1,54 @@
+// SQL with online aggregation: run a SQL query (from the command line or a
+// built-in default) against generated TPC-H data and stream the converging
+// OLA states — the declarative interface the paper lists as future work,
+// running on the Deep-OLA engine.
+//
+//   build/examples/sql_ola ["SELECT ... FROM ..."]
+#include <cstdio>
+
+#include "common/error.h"
+#include "core/engine.h"
+#include "sql/parser.h"
+#include "tpch/dbgen.h"
+
+using namespace wake;
+
+int main(int argc, char** argv) {
+  const char* query =
+      argc > 1 ? argv[1]
+               : "SELECT l_shipmode, SUM(l_extendedprice * (1 - l_discount)) "
+                 "AS revenue, COUNT(*) AS items FROM lineitem "
+                 "JOIN orders ON l_orderkey = o_orderkey "
+                 "WHERE o_orderdate >= DATE '1995-01-01' "
+                 "GROUP BY l_shipmode ORDER BY revenue DESC";
+
+  tpch::DbgenConfig cfg;
+  cfg.scale_factor = 0.02;
+  cfg.partitions = 10;
+  Catalog catalog = tpch::Generate(cfg);
+
+  std::printf("query:\n  %s\n\n", query);
+  Plan plan;
+  try {
+    plan = sql::Parse(query);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  WakeEngine engine(&catalog);
+  engine.Execute(plan.node(), [&](const OlaState& s) {
+    if (s.is_final) {
+      std::printf("\nfinal (exact) result:\n%s", s.frame->ToString(15).c_str());
+    } else if (s.frame->num_rows() > 0) {
+      std::printf("estimate at %3.0f%% progress: %zu rows, first row: ",
+                  100 * s.progress, s.frame->num_rows());
+      for (size_t c = 0; c < s.frame->num_columns(); ++c) {
+        std::printf("%s%s", c ? " | " : "",
+                    s.frame->column(c).GetValue(0).ToString().c_str());
+      }
+      std::printf("\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,53 @@
+// The paper's §1 data-analysis session (a rewritten TPC-H Q18): find the
+// customers with the biggest orders, step by step, with OLA output at
+// every step of the cascade:
+//
+//   lineitem = read(...)
+//   order_qty  = lineitem.sum(qty, by=orderkey)        # local agg
+//   lg_orders  = order_qty.filter(sum_qty > T)         # Case 1 filter
+//   lg_order_cust = lg_orders.join(orders).join(customer)
+//   qty_per_cust  = lg_order_cust.sum(sum_qty, by=name)  # deep agg (GBI)
+//   top_cust      = qty_per_cust.sort(desc).limit(10)    # Case 3
+#include <cstdio>
+
+#include "core/edf.h"
+#include "tpch/dbgen.h"
+
+using namespace wake;
+
+int main() {
+  tpch::DbgenConfig cfg;
+  cfg.scale_factor = 0.05;
+  cfg.partitions = 12;
+  Catalog catalog = tpch::Generate(cfg);
+
+  EdfSession session(&catalog);
+  Edf lineitem = session.Read("lineitem");
+  Edf order_qty = lineitem.Sum("l_quantity", {"l_orderkey"});
+  Edf lg_orders = order_qty.Filter(
+      Gt(Expr::Col("sum_l_quantity"), Expr::Float(150.0)));
+  Edf lg_order_cust =
+      lg_orders
+          .Join(session.Read("orders").Project({"o_orderkey", "o_custkey"}),
+                {"l_orderkey"}, {"o_orderkey"})
+          .Join(session.Read("customer").Project({"c_custkey", "c_name"}),
+                {"o_custkey"}, {"c_custkey"});
+  Edf qty_per_cust = lg_order_cust.Sum("sum_l_quantity", {"c_name"});
+  Edf top_cust =
+      qty_per_cust.Sort({{"sum_sum_l_quantity", true}}, 10);
+
+  std::printf("top customers by large-order quantity (converging):\n");
+  size_t shown = 0;
+  top_cust.Subscribe([&](const OlaState& s) {
+    // Print a progress line for every fourth state, the full top list at
+    // the end.
+    if (s.is_final) {
+      std::printf("\nfinal top-10 (exact):\n%s", s.frame->ToString(10).c_str());
+    } else if (shown++ % 4 == 0 && s.frame->num_rows() > 0) {
+      std::printf("  at %3.0f%%: leader = %-22s (est. qty %.0f)\n",
+                  100 * s.progress, s.frame->column(0).StringAt(0).c_str(),
+                  s.frame->column(1).DoubleAt(0));
+    }
+  });
+  return 0;
+}

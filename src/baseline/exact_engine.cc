@@ -1,0 +1,81 @@
+#include "baseline/exact_engine.h"
+
+#include "common/error.h"
+#include "core/agg_state.h"
+#include "core/join_kernel.h"
+#include "plan/props.h"
+
+namespace wake {
+
+DataFrame ExactEngine::Execute(const PlanNodePtr& plan) const {
+  peak_bytes_ = 0;
+  return Eval(plan);
+}
+
+DataFrame ExactEngine::Eval(const PlanNodePtr& node) const {
+  CheckArg(node != nullptr, "null plan");
+  DataFrame result;
+  switch (node->op) {
+    case PlanOp::kScan: {
+      result = catalog_->Get(node->table).Materialize();
+      break;
+    }
+    case PlanOp::kMap: {
+      DataFrame in = Eval(node->inputs[0]);
+      DataFrame out;
+      if (node->append_input) {
+        out = in;
+        for (const auto& p : node->projections) {
+          Column c = p.expr->Eval(in);
+          out.AddColumn(Field(p.name, c.type()), std::move(c));
+        }
+      } else {
+        for (const auto& p : node->projections) {
+          Column c = p.expr->Eval(in);
+          out.AddColumn(Field(p.name, c.type()), std::move(c));
+        }
+      }
+      result = std::move(out);
+      break;
+    }
+    case PlanOp::kFilter: {
+      DataFrame in = Eval(node->inputs[0]);
+      Column mask = node->predicate->Eval(in);
+      std::vector<uint8_t> m(mask.size());
+      for (size_t i = 0; i < m.size(); ++i) {
+        m[i] = (mask.IsValid(i) && mask.ints()[i] != 0) ? 1 : 0;
+      }
+      result = in.FilterBy(m);
+      break;
+    }
+    case PlanOp::kJoin: {
+      DataFrame left = Eval(node->inputs[0]);
+      DataFrame right = Eval(node->inputs[1]);
+      Schema out_schema = JoinOutputSchema(left.schema(), right.schema(),
+                                           node->right_keys, node->join_type);
+      result = HashJoin(left, right, node->left_keys, node->right_keys,
+                        node->join_type, out_schema);
+      break;
+    }
+    case PlanOp::kAggregate: {
+      DataFrame in = Eval(node->inputs[0]);
+      Schema out_schema =
+          AggOutputSchema(in.schema(), node->group_by, node->aggs);
+      GroupedAggState state(node->group_by, node->aggs, in.schema(),
+                            out_schema);
+      state.Consume(in);
+      result = state.Finalize(AggScaling{}).frame;
+      break;
+    }
+    case PlanOp::kSortLimit: {
+      DataFrame in = Eval(node->inputs[0]);
+      DataFrame sorted = in.SortBy(node->sort_keys);
+      result = node->limit > 0 ? sorted.Head(node->limit) : std::move(sorted);
+      break;
+    }
+  }
+  peak_bytes_ = std::max(peak_bytes_, result.ByteSize());
+  return result;
+}
+
+}  // namespace wake

@@ -1,0 +1,38 @@
+// Exact all-at-once query engine: the "conventional data system" baseline.
+//
+// Executes the same logical plans as Wake but in the blocking style of the
+// paper's exact baselines (Polars/Presto/Postgres/Vertica/Actian, §8.1):
+// every operator fully materializes its input before producing output, and
+// no estimates are ever produced. It shares the aggregation and join
+// kernels with Wake, so result equality tests isolate exactly the OLA
+// machinery.
+#ifndef WAKE_BASELINE_EXACT_ENGINE_H_
+#define WAKE_BASELINE_EXACT_ENGINE_H_
+
+#include "plan/plan.h"
+#include "storage/partitioned_table.h"
+
+namespace wake {
+
+/// Blocking plan evaluator.
+class ExactEngine {
+ public:
+  explicit ExactEngine(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Evaluates `plan` to completion and returns the result frame.
+  DataFrame Execute(const PlanNodePtr& plan) const;
+
+  /// Approximate peak intermediate size in bytes observed during the last
+  /// Execute call (coarse stand-in for resident-set-size tracking, §8.2).
+  size_t peak_bytes() const { return peak_bytes_; }
+
+ private:
+  DataFrame Eval(const PlanNodePtr& node) const;
+
+  const Catalog* catalog_;
+  mutable size_t peak_bytes_ = 0;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_BASELINE_EXACT_ENGINE_H_

@@ -1,0 +1,96 @@
+#include "baseline/progressive_ola.h"
+
+#include <cmath>
+
+#include "baseline/exact_engine.h"
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "plan/props.h"
+
+namespace wake {
+
+namespace {
+
+// Walks the single-input chain to the scan, validating the plan shape.
+const PlanNode* FindScan(const PlanNodePtr& plan,
+                         const PlanNode** agg_node) {
+  const PlanNode* node = plan.get();
+  while (node->op != PlanOp::kScan) {
+    CheckArg(node->op != PlanOp::kJoin,
+             "ProgressiveDB baseline supports single-table queries only");
+    if (node->op == PlanOp::kAggregate) {
+      CheckArg(*agg_node == nullptr,
+               "ProgressiveDB baseline supports one aggregation level");
+      *agg_node = node;
+    }
+    CheckArg(node->inputs.size() == 1, "unsupported plan shape");
+    node = node->inputs[0].get();
+  }
+  return node;
+}
+
+}  // namespace
+
+ProgressiveOla::ProgressiveOla(const Catalog* catalog) : catalog_(catalog) {
+  CheckArg(catalog != nullptr, "null catalog");
+}
+
+void ProgressiveOla::Execute(const PlanNodePtr& plan,
+                             const StateCallback& on_state) {
+  const PlanNode* agg_node = nullptr;
+  const PlanNode* scan = FindScan(plan, &agg_node);
+  CheckArg(agg_node != nullptr, "plan has no aggregation");
+  const PartitionedTable& table = catalog_->Get(scan->table);
+  size_t total = table.total_rows();
+
+  Stopwatch clock;
+  DataFrame accumulated(table.schema());
+  for (size_t i = 0; i < table.num_partitions(); ++i) {
+    accumulated.Append(*table.partition(i));
+    double t = total == 0 ? 1.0
+                          : static_cast<double>(accumulated.num_rows()) /
+                                static_cast<double>(total);
+
+    // Middleware re-execution: run the whole query over all rows seen so
+    // far through a scratch catalog (this is the per-chunk cost that the
+    // incremental systems avoid).
+    Catalog scratch;
+    scratch.Add(std::make_shared<PartitionedTable>(
+        PartitionedTable::FromDataFrame(scan->table, accumulated, 1)));
+    ExactEngine engine(&scratch);
+    DataFrame result = engine.Execute(plan);
+
+    // Naive linear scale-up of sums and counts (1/t); avg/min/max pass
+    // through unscaled.
+    if (t < 1.0) {
+      const Schema& schema = result.schema();
+      for (const auto& agg : agg_node->aggs) {
+        size_t idx = schema.FindField(agg.output);
+        if (idx == Schema::npos) continue;
+        Column* col = result.mutable_column(idx);
+        if (agg.func == AggFunc::kSum) {
+          if (col->type() == ValueType::kFloat64) {
+            for (auto& v : *col->mutable_doubles()) v /= t;
+          } else {
+            for (auto& v : *col->mutable_ints()) {
+              v = static_cast<int64_t>(std::llround(v / t));
+            }
+          }
+        } else if (agg.func == AggFunc::kCount) {
+          for (auto& v : *col->mutable_ints()) {
+            v = static_cast<int64_t>(std::llround(v / t));
+          }
+        }
+      }
+    }
+
+    OlaState state;
+    state.frame = std::make_shared<DataFrame>(std::move(result));
+    state.progress = t;
+    state.is_final = i + 1 == table.num_partitions();
+    state.elapsed_seconds = clock.ElapsedSeconds();
+    on_state(state);
+  }
+}
+
+}  // namespace wake

@@ -1,0 +1,39 @@
+// ProgressiveDB-style OLA baseline (Fig 9a comparison).
+//
+// ProgressiveDB [Berg et al., VLDB'19] is a middleware on top of a
+// conventional RDBMS: it splits a single-table query into chunked queries,
+// re-executes the aggregation over all data seen so far for each chunk,
+// and scales the partial results linearly (1/t). This reimplementation
+// captures those defining properties:
+//   - single table only (no joins, no nesting) — like the authors' system;
+//   - per-chunk *re-execution* over the accumulated rows (no incremental
+//     merge), the middleware cost that makes convergence slower;
+//   - naive linear scaling of sums/counts (no growth model);
+//   - single-threaded (no pipelining).
+#ifndef WAKE_BASELINE_PROGRESSIVE_OLA_H_
+#define WAKE_BASELINE_PROGRESSIVE_OLA_H_
+
+#include "core/engine.h"
+#include "plan/plan.h"
+#include "storage/partitioned_table.h"
+
+namespace wake {
+
+/// Middleware-style progressive executor for single-table aggregations.
+class ProgressiveOla {
+ public:
+  explicit ProgressiveOla(const Catalog* catalog);
+
+  /// Runs `plan` progressively. The plan must be a single-table pipeline:
+  /// scan -> (filter|map)* -> aggregate [-> sort]; throws wake::Error
+  /// otherwise (mirroring the authors' implementation, "currently limited
+  /// to a single table", §8.1).
+  void Execute(const PlanNodePtr& plan, const StateCallback& on_state);
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_BASELINE_PROGRESSIVE_OLA_H_

@@ -1,0 +1,184 @@
+#include "baseline/wander_join.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace wake {
+
+namespace {
+
+std::vector<uint8_t> EvalMask(const DataFrame& df, const ExprPtr& filter) {
+  if (filter == nullptr) return {};
+  Column mask_col = filter->Eval(df);
+  std::vector<uint8_t> mask(mask_col.size());
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = (mask_col.IsValid(i) && mask_col.ints()[i] != 0) ? 1 : 0;
+  }
+  return mask;
+}
+
+bool Passes(const std::vector<uint8_t>& mask, size_t row) {
+  return mask.empty() || mask[row] != 0;
+}
+
+}  // namespace
+
+WanderJoin::WanderJoin(const Catalog* catalog, WanderJoinSpec spec,
+                       uint64_t seed)
+    : catalog_(catalog), spec_(std::move(spec)), seed_(seed) {
+  CheckArg(catalog != nullptr, "null catalog");
+}
+
+void WanderJoin::BuildIndexes() {
+  if (built_) return;
+  Stopwatch clock;
+  root_ = catalog_->Get(spec_.root_table).Materialize();
+  root_mask_ = EvalMask(root_, spec_.root_filter);
+  Column values = spec_.value->Eval(root_);
+  root_values_.resize(values.size());
+  for (size_t i = 0; i < root_values_.size(); ++i) {
+    root_values_[i] = values.DoubleAt(i);
+  }
+
+  const Schema* prev_schema = &root_.schema();
+  for (const auto& hop : spec_.hops) {
+    HopState state;
+    state.table = catalog_->Get(hop.table).Materialize();
+    state.mask = EvalMask(state.table, hop.filter);
+    state.from_col = prev_schema->FieldIndex(hop.from_key);
+    state.to_col = state.table.schema().FieldIndex(hop.to_key);
+    const Column& keys = state.table.column(state.to_col);
+    CheckArg(IsIntPhysical(keys.type()), "wander join needs integer keys");
+    for (size_t r = 0; r < keys.size(); ++r) {
+      state.index[keys.IntAt(r)].push_back(static_cast<uint32_t>(r));
+    }
+    hops_.push_back(std::move(state));
+    prev_schema = &hops_.back().table.schema();
+  }
+  build_seconds_ = clock.ElapsedSeconds();
+  built_ = true;
+}
+
+void WanderJoin::Run(size_t max_walks, size_t report_every,
+                     const std::function<void(const Estimate&)>& on_estimate) {
+  BuildIndexes();
+  Rng rng(seed_);
+  Stopwatch clock;
+  size_t n_root = root_.num_rows();
+  if (n_root == 0) {
+    on_estimate({0.0, 0.0, 0, build_seconds_});
+    return;
+  }
+
+  double sum = 0.0, sumsq = 0.0;
+  for (size_t walk = 1; walk <= max_walks; ++walk) {
+    // One random walk; X = v(r0) · N0 · Π |candidates| if every hop
+    // succeeds and every filter passes, else 0.
+    size_t row = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(n_root) - 1));
+    double x = 0.0;
+    if (Passes(root_mask_, row)) {
+      double weight = static_cast<double>(n_root);
+      double value = root_values_[row];
+      const DataFrame* current = &root_;
+      size_t current_row = row;
+      bool alive = true;
+      for (const auto& hop : hops_) {
+        int64_t key = current->column(hop.from_col).IntAt(current_row);
+        auto it = hop.index.find(key);
+        if (it == hop.index.end()) {
+          alive = false;
+          break;
+        }
+        const auto& candidates = it->second;
+        size_t pick = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(candidates.size()) - 1));
+        current_row = candidates[pick];
+        current = &hop.table;
+        weight *= static_cast<double>(candidates.size());
+        if (!Passes(hop.mask, current_row)) {
+          alive = false;
+          break;
+        }
+      }
+      if (alive) x = value * weight;
+    }
+    sum += x;
+    sumsq += x * x;
+    if (walk % report_every == 0 || walk == max_walks) {
+      double n = static_cast<double>(walk);
+      double mean = sum / n;
+      double var = n > 1 ? (sumsq / n - mean * mean) / (n - 1) : 0.0;
+      on_estimate({mean, std::max(var, 0.0), walk,
+                   build_seconds_ + clock.ElapsedSeconds()});
+    }
+  }
+}
+
+double WanderJoin::ExactSum() const {
+  CheckArg(built_, "call BuildIndexes first");
+  // Depth-first enumeration of all join paths (small inputs only).
+  double total = 0.0;
+  std::function<double(size_t, const DataFrame*, size_t)> expand =
+      [&](size_t hop_idx, const DataFrame* current,
+          size_t current_row) -> double {
+    if (hop_idx == hops_.size()) return 1.0;
+    const HopState& hop = hops_[hop_idx];
+    int64_t key = current->column(hop.from_col).IntAt(current_row);
+    auto it = hop.index.find(key);
+    if (it == hop.index.end()) return 0.0;
+    double paths = 0.0;
+    for (uint32_t r : it->second) {
+      if (!Passes(hop.mask, r)) continue;
+      paths += expand(hop_idx + 1, &hop.table, r);
+    }
+    return paths;
+  };
+  for (size_t r = 0; r < root_.num_rows(); ++r) {
+    if (!Passes(root_mask_, r)) continue;
+    total += root_values_[r] * expand(0, &root_, r);
+  }
+  return total;
+}
+
+WanderJoinSpec WanderJoinTpchSpec(int query) {
+  auto C = [](const char* name) { return Expr::Col(name); };
+  auto revenue = C("l_extendedprice") * (Expr::Float(1.0) - C("l_discount"));
+  WanderJoinSpec spec;
+  spec.root_table = "lineitem";
+  spec.value = revenue;
+  switch (query) {
+    case 3:
+      spec.root_filter = Gt(C("l_shipdate"), Expr::Date(1995, 3, 15));
+      spec.hops.push_back({"orders", "l_orderkey", "o_orderkey",
+                           Lt(C("o_orderdate"), Expr::Date(1995, 3, 15))});
+      spec.hops.push_back({"customer", "o_custkey", "c_custkey",
+                           Eq(C("c_mktsegment"), Expr::Str("BUILDING"))});
+      return spec;
+    case 7: {
+      auto pair = std::vector<Value>{Value::Str("FRANCE"),
+                                     Value::Str("GERMANY")};
+      spec.root_filter =
+          Expr::And(Ge(C("l_shipdate"), Expr::Date(1995, 1, 1)),
+                    Le(C("l_shipdate"), Expr::Date(1996, 12, 31)));
+      spec.hops.push_back({"supplier", "l_suppkey", "s_suppkey", nullptr});
+      spec.hops.push_back({"nation", "s_nationkey", "n_nationkey",
+                           Expr::In(C("n_name"), pair)});
+      return spec;
+    }
+    case 10:
+      spec.root_filter = Eq(C("l_returnflag"), Expr::Str("R"));
+      spec.hops.push_back(
+          {"orders", "l_orderkey", "o_orderkey",
+           Expr::And(Ge(C("o_orderdate"), Expr::Date(1993, 10, 1)),
+                     Lt(C("o_orderdate"), Expr::Date(1994, 1, 1)))});
+      return spec;
+    default:
+      throw Error("wander join spec exists for queries 3, 7, 10");
+  }
+}
+
+}  // namespace wake

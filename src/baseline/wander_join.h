@@ -1,0 +1,92 @@
+// WanderJoin-style OLA baseline (Fig 9b comparison).
+//
+// WanderJoin [Li et al., SIGMOD'16] estimates SUM aggregates over multi-way
+// equi-joins by random walks over join indexes: pick a uniform row of the
+// root table, follow a uniform matching row at each hop, and weight the
+// sampled value by the inverse of its sampling probability
+// (Horvitz–Thompson). Estimates converge quickly to ~1% relative error but
+// — as the paper notes (§8.4) — never reach the exact answer, unlike Wake.
+//
+// Faithful simplifications (documented in DESIGN.md): integer join keys,
+// per-table filters precomputed as boolean masks, and the summed value
+// expression evaluated over root-table columns (true for the modified
+// Q3/Q7/Q10 used in the evaluation, whose SUM reads lineitem only).
+#ifndef WAKE_BASELINE_WANDER_JOIN_H_
+#define WAKE_BASELINE_WANDER_JOIN_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "frame/expr.h"
+#include "storage/partitioned_table.h"
+
+namespace wake {
+
+/// A join path for random walks.
+struct WanderJoinSpec {
+  std::string root_table;
+  ExprPtr root_filter;  // may be null
+  ExprPtr value;        // SUM argument, over root-table columns
+
+  struct Hop {
+    std::string table;      // hop target
+    std::string from_key;   // key column on the previous path table
+    std::string to_key;     // key column on this table (indexed)
+    ExprPtr filter;         // may be null
+  };
+  std::vector<Hop> hops;
+};
+
+/// Random-walk join estimator.
+class WanderJoin {
+ public:
+  WanderJoin(const Catalog* catalog, WanderJoinSpec spec,
+             uint64_t seed = 42);
+
+  /// One converging estimate report.
+  struct Estimate {
+    double value = 0.0;     // running HT mean (estimate of the total SUM)
+    double variance = 0.0;  // variance of the mean (sample var / walks)
+    size_t walks = 0;
+    double elapsed_seconds = 0.0;  // includes index-build time
+  };
+
+  /// Builds the per-hop hash indexes (timed as part of the first report).
+  void BuildIndexes();
+
+  /// Runs up to `max_walks` random walks, reporting every `report_every`.
+  void Run(size_t max_walks, size_t report_every,
+           const std::function<void(const Estimate&)>& on_estimate);
+
+  /// Ground truth via full enumeration of the walk graph (testing aid).
+  double ExactSum() const;
+
+ private:
+  struct HopState {
+    DataFrame table;
+    std::vector<uint8_t> mask;  // filter mask (empty = all pass)
+    size_t from_col = 0;        // key column on the previous table
+    size_t to_col = 0;          // indexed key column on this table
+    std::unordered_map<int64_t, std::vector<uint32_t>> index;
+  };
+
+  const Catalog* catalog_;
+  WanderJoinSpec spec_;
+  uint64_t seed_;
+  bool built_ = false;
+  double build_seconds_ = 0.0;
+
+  DataFrame root_;
+  std::vector<uint8_t> root_mask_;
+  std::vector<double> root_values_;
+  std::vector<HopState> hops_;
+};
+
+/// Walk specs for the paper's modified TPC-H queries 3, 7, and 10.
+WanderJoinSpec WanderJoinTpchSpec(int query);
+
+}  // namespace wake
+
+#endif  // WAKE_BASELINE_WANDER_JOIN_H_

@@ -1,0 +1,94 @@
+// A multi-producer / multi-consumer blocking channel.
+//
+// Channels connect execution nodes (one thread per node, §7.2 of the
+// paper). A channel is closed by the producer after sending its last
+// message; consumers observe closure through Receive() returning
+// std::nullopt once the queue drains. An optional capacity bound provides
+// backpressure so fast upstream nodes cannot flood slow downstream ones.
+#ifndef WAKE_COMMON_CHANNEL_H_
+#define WAKE_COMMON_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace wake {
+
+/// Blocking MPMC queue with close semantics.
+template <typename T>
+class Channel {
+ public:
+  /// `capacity` == 0 means unbounded.
+  explicit Channel(size_t capacity = 0) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Sends one item. Blocks while the channel is at capacity.
+  /// Returns false (and drops the item) if the channel is already closed.
+  bool Send(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] {
+      return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+    });
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Receives one item; blocks until an item is available or the channel
+  /// is closed and drained (returns std::nullopt in that case).
+  std::optional<T> Receive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> TryReceive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Marks the channel closed. Pending items remain receivable.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_COMMON_CHANNEL_H_

@@ -1,0 +1,29 @@
+// Error type used across the wake library.
+//
+// Wake uses a single exception type for programmer / plan construction
+// errors (bad column name, schema mismatch, malformed plan). Data-path
+// code avoids throwing in hot loops; validation happens at plan-build and
+// partition-load boundaries.
+#ifndef WAKE_COMMON_ERROR_H_
+#define WAKE_COMMON_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace wake {
+
+/// Exception thrown for invalid usage of the wake API (unknown column,
+/// type mismatch, malformed plan, corrupt file).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Throws wake::Error with `message` if `condition` is false.
+inline void CheckArg(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace wake
+
+#endif  // WAKE_COMMON_ERROR_H_

@@ -1,0 +1,109 @@
+// Deterministic random number generation used by dbgen, the WanderJoin
+// baseline, and the test/bench harnesses. A small xoshiro-style generator
+// keeps results identical across platforms (std::mt19937 distributions are
+// implementation-defined for some adapters).
+#ifndef WAKE_COMMON_RNG_H_
+#define WAKE_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wake {
+
+/// splitmix64/xorshift-based deterministic RNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 to fill state.
+    uint64_t z = seed;
+    for (int i = 0; i < 2; ++i) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = x ^ (x >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value (xoroshiro128+).
+  uint64_t Next() {
+    uint64_t s0 = state_[0];
+    uint64_t s1 = state_[1];
+    uint64_t result = s0 + s1;
+    s1 ^= s0;
+    state_[0] = Rotl(s0, 55) ^ s1 ^ (s1 << 14);
+    state_[1] = Rotl(s1, 36);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Standard normal via Box-Muller.
+  double Normal() {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Picks one element of `items` uniformly.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[static_cast<size_t>(Next() % items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Next() % i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Zipf-distributed integer in [1, n] with exponent `s` (rejection-free
+  /// inverse-CDF approximation; adequate for synthetic workloads).
+  int64_t Zipf(int64_t n, double s) {
+    // Precomputing the harmonic normalizer each call would be O(n); use the
+    // standard approximation for s != 1 via the integral of x^-s.
+    double u = UniformDouble();
+    if (s == 1.0) {
+      double hn = std::log(static_cast<double>(n)) + 0.5772156649;
+      double target = u * hn;
+      double v = std::exp(target - 0.5772156649);
+      int64_t k = static_cast<int64_t>(v);
+      return std::min<int64_t>(std::max<int64_t>(k, 1), n);
+    }
+    double t = std::pow(static_cast<double>(n), 1.0 - s);
+    double v = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+    int64_t k = static_cast<int64_t>(v);
+    return std::min<int64_t>(std::max<int64_t>(k, 1), n);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[2];
+};
+
+}  // namespace wake
+
+#endif  // WAKE_COMMON_RNG_H_

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the benchmark harnesses and the pipelined
+// execution trace (Fig 13).
+#ifndef WAKE_COMMON_STOPWATCH_H_
+#define WAKE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace wake {
+
+/// Monotonic wall-clock stopwatch with millisecond/second readouts.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_COMMON_STOPWATCH_H_

@@ -1,0 +1,324 @@
+#include "core/agg_state.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+#include "core/inference.h"
+
+namespace wake {
+
+namespace {
+
+constexpr size_t kNoInput = static_cast<size_t>(-1);
+
+// Byte-exact serialization of a value for the count-distinct set.
+std::string DistinctKey(const Column& col, size_t row) {
+  if (col.IsNull(row)) return std::string("\0n", 2);
+  switch (col.type()) {
+    case ValueType::kString:
+      return "s" + col.StringAt(row);
+    case ValueType::kFloat64: {
+      double d = col.DoubleAt(row);
+      std::string out(1 + sizeof(double), 'f');
+      std::memcpy(out.data() + 1, &d, sizeof(double));
+      return out;
+    }
+    default: {
+      int64_t v = col.IntAt(row);
+      std::string out(1 + sizeof(int64_t), 'i');
+      std::memcpy(out.data() + 1, &v, sizeof(int64_t));
+      return out;
+    }
+  }
+}
+
+}  // namespace
+
+GroupedAggState::GroupedAggState(std::vector<std::string> group_by,
+                                 std::vector<AggSpec> aggs,
+                                 const Schema& input_schema,
+                                 Schema output_schema)
+    : group_by_(std::move(group_by)),
+      aggs_(std::move(aggs)),
+      output_schema_(std::move(output_schema)) {
+  for (const auto& a : aggs_) {
+    agg_input_cols_.push_back(
+        a.input.empty() ? kNoInput : input_schema.FieldIndex(a.input));
+  }
+  Schema key_schema;
+  for (const auto& g : group_by_) {
+    key_schema.AddField(input_schema.field(input_schema.FieldIndex(g)));
+  }
+  group_keys_ = DataFrame(key_schema);
+}
+
+void GroupedAggState::Reset() {
+  group_keys_ = DataFrame(group_keys_.schema());
+  key_index_.clear();
+  group_rows_.clear();
+  accums_.clear();
+  total_rows_ = 0;
+}
+
+uint32_t GroupedAggState::FindOrCreateGroup(
+    const DataFrame& partial, const std::vector<size_t>& key_cols,
+    size_t row) {
+  // Hash against the stored group_keys_ frame; group key columns of
+  // group_keys_ are 0..k-1 by construction.
+  static thread_local std::vector<size_t> stored_cols;
+  stored_cols.resize(key_cols.size());
+  for (size_t i = 0; i < key_cols.size(); ++i) stored_cols[i] = i;
+
+  uint64_t h = partial.HashRowKeys(key_cols, row);
+  auto& bucket = key_index_[h];
+  for (uint32_t cand : bucket) {
+    if (partial.KeysEqual(key_cols, row, group_keys_, stored_cols, cand)) {
+      return cand;
+    }
+  }
+  uint32_t gid = static_cast<uint32_t>(group_rows_.size());
+  for (size_t i = 0; i < key_cols.size(); ++i) {
+    group_keys_.mutable_column(i)->AppendValue(
+        partial.column(key_cols[i]).GetValue(row));
+  }
+  group_rows_.push_back(0);
+  accums_.emplace_back(aggs_.size());
+  bucket.push_back(gid);
+  return gid;
+}
+
+void GroupedAggState::Consume(const DataFrame& partial,
+                              const VarianceMap* input_variances) {
+  size_t n = partial.num_rows();
+  if (n == 0) {
+    // A global aggregate (no group keys) still needs its single group so
+    // that count() over an empty stream can converge to 0 only when no
+    // rows ever arrive; rows == 0 keeps the state empty.
+    return;
+  }
+  std::vector<size_t> key_cols = partial.ColumnIndices(group_by_);
+  // Per-agg input column pointers and variance vectors.
+  std::vector<const Column*> in_cols(aggs_.size(), nullptr);
+  std::vector<const std::vector<double>*> in_vars(aggs_.size(), nullptr);
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    if (agg_input_cols_[a] == kNoInput) continue;
+    in_cols[a] = &partial.column(agg_input_cols_[a]);
+    if (input_variances != nullptr) {
+      auto it = input_variances->find(aggs_[a].input);
+      if (it != input_variances->end()) in_vars[a] = &it->second;
+    }
+  }
+
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t gid = group_by_.empty()
+                       ? (group_rows_.empty()
+                              ? FindOrCreateGroup(partial, key_cols, r)
+                              : 0)
+                       : FindOrCreateGroup(partial, key_cols, r);
+    ++group_rows_[gid];
+    ++total_rows_;
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      Accum& acc = accums_[gid][a];
+      const Column* col = in_cols[a];
+      if (col == nullptr) {  // count(*)
+        ++acc.count;
+        continue;
+      }
+      if (col->IsNull(r)) continue;
+      switch (aggs_[a].func) {
+        case AggFunc::kCount:
+          ++acc.count;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+        case AggFunc::kVar:
+        case AggFunc::kStddev: {
+          double v = col->DoubleAt(r);
+          acc.sum += v;
+          acc.sumsq += v * v;
+          ++acc.count;
+          if (in_vars[a] != nullptr) acc.var_in_sum += (*in_vars[a])[r];
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          Value v = col->GetValue(r);
+          bool replace = !acc.has_extreme ||
+                         (aggs_[a].func == AggFunc::kMin ? v < acc.extreme
+                                                         : acc.extreme < v);
+          if (replace) {
+            acc.extreme = std::move(v);
+            acc.has_extreme = true;
+          }
+          break;
+        }
+        case AggFunc::kCountDistinct:
+          acc.distinct.insert(DistinctKey(*col, r));
+          break;
+        case AggFunc::kMedian:
+          acc.samples.push_back(col->DoubleAt(r));
+          break;
+      }
+    }
+  }
+}
+
+double GroupedAggState::MeanGroupCardinality() const {
+  if (group_rows_.empty()) return 0.0;
+  return static_cast<double>(total_rows_) /
+         static_cast<double>(group_rows_.size());
+}
+
+AggResult GroupedAggState::Finalize(const AggScaling& scaling) const {
+  AggResult out;
+  out.frame = DataFrame(output_schema_);
+  size_t num_groups = group_rows_.size();
+  size_t num_keys = group_by_.size();
+
+  // Group key columns come straight from the stored key frame.
+  for (size_t k = 0; k < num_keys; ++k) {
+    *out.frame.mutable_column(k) = group_keys_.column(k);
+  }
+
+  bool scale = scaling.enabled && scaling.t > 0.0 && scaling.t < 1.0;
+
+  std::vector<std::vector<double>*> var_cols(aggs_.size(), nullptr);
+  if (scaling.with_ci) {
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      var_cols[a] = &out.variances[aggs_[a].output];
+      var_cols[a]->assign(num_groups, 0.0);
+    }
+  }
+
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    Column* col = out.frame.mutable_column(num_keys + a);
+    col->Reserve(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      const Accum& acc = accums_[g][a];
+      double x = static_cast<double>(group_rows_[g]);
+      double xhat = scale ? EstimateCardinality(x, scaling.t, scaling.w) : x;
+      double var_xhat = 0.0;
+      if (scaling.with_ci && scale) {
+        // Eq 10: Var(x̂) = (x̂ ln(1/t))² Var(w).
+        double lg = std::log(1.0 / scaling.t);
+        var_xhat = xhat * xhat * lg * lg * scaling.var_w;
+      }
+      double ci_var = 0.0;
+      switch (aggs_[a].func) {
+        case AggFunc::kCount: {
+          // Non-null counts scale like the group cardinality.
+          double c = static_cast<double>(acc.count);
+          double est = scale && x > 0 ? EstimateSum(c, x, xhat) : c;
+          col->AppendInt(static_cast<int64_t>(std::llround(est)));
+          ci_var = var_xhat;
+          break;
+        }
+        case AggFunc::kSum: {
+          double est = scale && x > 0 ? EstimateSum(acc.sum, x, xhat)
+                                      : acc.sum;
+          if (col->type() == ValueType::kInt64) {
+            col->AppendInt(static_cast<int64_t>(std::llround(est)));
+          } else {
+            col->AppendDouble(est);
+          }
+          if (scaling.with_ci) {
+            // Eq 13 with CLT sample variance of the addends, plus the
+            // accumulated input variances scaled by (x̂/x)².
+            double c = static_cast<double>(acc.count);
+            double s2 = 0.0;
+            if (c > 1.0) {
+              double mean = acc.sum / c;
+              s2 = std::max(0.0, acc.sumsq / c - mean * mean);
+            }
+            double var_y = s2 * c;
+            double ratio = x > 0 ? xhat / x : 1.0;
+            ci_var = x > 0 ? (var_y * xhat * xhat +
+                              var_xhat * acc.sum * acc.sum) /
+                                 (x * x)
+                           : 0.0;
+            ci_var += ratio * ratio * acc.var_in_sum;
+            if (!scale) ci_var = acc.var_in_sum;
+          }
+          break;
+        }
+        case AggFunc::kAvg: {
+          double est = acc.count > 0 ? acc.sum / acc.count : 0.0;
+          if (acc.count == 0) {
+            col->AppendNull();
+          } else {
+            col->AppendDouble(est);
+          }
+          if (scaling.with_ci && acc.count > 1) {
+            double c = static_cast<double>(acc.count);
+            double mean = acc.sum / c;
+            double s2 = std::max(0.0, acc.sumsq / c - mean * mean);
+            ci_var = s2 / c;  // CLT variance of the sample mean
+          }
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          if (!acc.has_extreme) {
+            col->AppendNull();
+          } else {
+            col->AppendValue(acc.extreme);  // order statistics: identity
+          }
+          break;
+        }
+        case AggFunc::kCountDistinct: {
+          double d = static_cast<double>(acc.distinct.size());
+          double est =
+              scale && x > 0 ? EstimateCountDistinct(d, x, xhat) : d;
+          col->AppendInt(static_cast<int64_t>(std::llround(est)));
+          if (scaling.with_ci && scale && x > 0 && est > 0) {
+            // Eq 19 with Var(y) = 0: Var(f_cd) = Var(x̂)·(∂Y/∂x̂)². The
+            // derivative is taken numerically through the full MM1 solve —
+            // h in Eq 7 depends on x̂ both via z = x̂/Y and via the gamma
+            // arguments, so the z-partial alone (Eq 18's h′ term) would
+            // understate the sensitivity.
+            double eps = std::max(1e-4 * xhat, 1e-6);
+            double d_hi = EstimateCountDistinct(d, x, xhat + eps);
+            double d_lo = EstimateCountDistinct(d, x, xhat - eps);
+            double dy_dxhat = (d_hi - d_lo) / (2.0 * eps);
+            ci_var = var_xhat * dy_dxhat * dy_dxhat;
+          }
+          break;
+        }
+        case AggFunc::kVar:
+        case AggFunc::kStddev: {
+          if (acc.count == 0) {
+            col->AppendNull();
+            break;
+          }
+          double c = static_cast<double>(acc.count);
+          double mean = acc.sum / c;
+          double v = std::max(0.0, acc.sumsq / c - mean * mean);
+          col->AppendDouble(aggs_[a].func == AggFunc::kVar ? v
+                                                           : std::sqrt(v));
+          break;
+        }
+        case AggFunc::kMedian: {
+          // Order-statistic estimator: the sample median of the observed
+          // rows is the estimate (identity f_order, §5.3). Lower-median
+          // convention for even counts keeps merges deterministic.
+          if (acc.samples.empty()) {
+            col->AppendNull();
+            break;
+          }
+          std::vector<double> values = acc.samples;
+          size_t mid = (values.size() - 1) / 2;
+          std::nth_element(values.begin(), values.begin() + mid,
+                           values.end());
+          col->AppendDouble(values[mid]);
+          break;
+        }
+      }
+      if (scaling.with_ci) (*var_cols[a])[g] = ci_var;
+    }
+  }
+  return out;
+}
+
+}  // namespace wake

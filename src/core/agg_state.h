@@ -1,0 +1,114 @@
+// Grouped aggregation state: the intrinsic-state representation and
+// key-based merge operator (⊕) of Table 2, plus the intrinsic→extrinsic
+// conversion (growth-based inference, §5; confidence intervals, §6).
+//
+// One GroupedAggState instance backs:
+//  - the exact engine's hash aggregation (Consume once, Finalize unscaled),
+//  - Wake's shuffle-aggregation node (Consume per partial ⇒ incremental
+//    merge, Finalize with scaling per snapshot),
+//  - Wake's local-aggregation node (per-partition Consume + exact
+//    Finalize), and
+//  - the ProgressiveDB-style baseline (naive linear scaling).
+//
+// Intrinsic representations (Table 2):
+//   count            -> count per key
+//   sum              -> sum per key
+//   avg              -> (sum, count) per key
+//   min/max          -> extreme per key
+//   var/stddev       -> (sum, sumsq, count) per key
+//   count_distinct   -> exact value set per key (footnote 3: no sketches)
+#ifndef WAKE_CORE_AGG_STATE_H_
+#define WAKE_CORE_AGG_STATE_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "frame/data_frame.h"
+#include "plan/plan.h"
+
+namespace wake {
+
+/// Per-column variance vectors keyed by column name (CI plumbing).
+using VarianceMap = std::unordered_map<std::string, std::vector<double>>;
+
+/// Scaling context for Finalize. Disabled => exact results (t = 1).
+struct AggScaling {
+  bool enabled = false;
+  double t = 1.0;      // current progress
+  double w = 1.0;      // fitted growth power
+  double var_w = 0.0;  // Var(w) from the OLS fit (CI only)
+  bool with_ci = false;
+};
+
+/// Finalize output: the aggregate frame plus (optionally) per-cell
+/// variances for each aggregate output column.
+struct AggResult {
+  DataFrame frame;
+  VarianceMap variances;
+};
+
+/// Incremental hash aggregation over (group_by, aggs).
+class GroupedAggState {
+ public:
+  /// `input_schema` is the schema of frames passed to Consume;
+  /// `output_schema` must equal AggOutputSchema(input_schema, ...).
+  GroupedAggState(std::vector<std::string> group_by, std::vector<AggSpec> aggs,
+                  const Schema& input_schema, Schema output_schema);
+
+  /// Merges one partial into the state (the ⊕ of §2.2/§4.3).
+  /// `input_variances` (optional) carries per-row variances of mutable
+  /// input columns; they accumulate into the summed-variance term.
+  void Consume(const DataFrame& partial,
+               const VarianceMap* input_variances = nullptr);
+
+  /// Drops all state (used when the input is refresh-mode and each new
+  /// snapshot replaces the previous content).
+  void Reset();
+
+  /// Produces the extrinsic state. With scaling disabled this is the exact
+  /// aggregate of everything consumed; with scaling enabled, growth-based
+  /// inference per §5 is applied (count/sum scale by x̂/x; avg/var/stddev
+  /// are ratio-invariant; count-distinct uses the MM1 estimator; min/max
+  /// pass through).
+  AggResult Finalize(const AggScaling& scaling) const;
+
+  size_t num_groups() const { return group_rows_.size(); }
+
+  /// Total input rows consumed (Σ x_i).
+  size_t total_rows() const { return total_rows_; }
+
+  /// Mean group cardinality x̄ (0 if no groups) — the growth-model input.
+  double MeanGroupCardinality() const;
+
+ private:
+  struct Accum {
+    double sum = 0.0;
+    double sumsq = 0.0;
+    int64_t count = 0;      // non-null inputs
+    Value extreme;          // min/max payload
+    bool has_extreme = false;
+    double var_in_sum = 0.0;  // accumulated input variance (CI)
+    std::unordered_set<std::string> distinct;
+    std::vector<double> samples;  // median keeps the group's values (§5.3)
+  };
+
+  uint32_t FindOrCreateGroup(const DataFrame& partial,
+                             const std::vector<size_t>& key_cols, size_t row);
+
+  std::vector<std::string> group_by_;
+  std::vector<AggSpec> aggs_;
+  Schema output_schema_;
+  std::vector<size_t> agg_input_cols_;  // index into input schema; npos for *
+
+  DataFrame group_keys_;  // one row per group (group_by columns)
+  std::unordered_map<uint64_t, std::vector<uint32_t>> key_index_;
+  std::vector<size_t> group_rows_;          // x_i per group
+  std::vector<std::vector<Accum>> accums_;  // [group][agg]
+  size_t total_rows_ = 0;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_CORE_AGG_STATE_H_

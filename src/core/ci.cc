@@ -1,0 +1,33 @@
+#include "core/ci.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace wake {
+
+double ChebyshevK(double confidence) {
+  CheckArg(confidence > 0.0 && confidence < 1.0,
+           "confidence must be in (0, 1)");
+  return std::sqrt(1.0 / (1.0 - confidence));
+}
+
+ConfidenceInterval ChebyshevInterval(double estimate, double variance,
+                                     double confidence) {
+  double sigma = variance > 0.0 ? std::sqrt(variance) : 0.0;
+  double half = ChebyshevK(confidence) * sigma;
+  return {estimate - half, estimate + half, half};
+}
+
+double RelativeCiRange(double estimate, double truth, double variance,
+                       double confidence) {
+  double half = ChebyshevK(confidence) *
+                (variance > 0.0 ? std::sqrt(variance) : 0.0);
+  double err = std::fabs(estimate - truth);
+  if (half == 0.0) {
+    return err == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return err / half;
+}
+
+}  // namespace wake

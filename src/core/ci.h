@@ -1,0 +1,38 @@
+// Confidence intervals from propagated variances (§6 of the paper).
+//
+// Wake carries per-cell variances of mutable attributes through the
+// pipeline (initial variances from aggregation-specific estimators in
+// agg_state.cc, propagation through maps/joins in expr.cc/join_kernel.cc).
+// This header turns a (estimate, variance) pair into a distribution-free
+// Chebyshev interval: [y - kσ, y + kσ] with k = sqrt(1/(1-δ)) for
+// confidence level 1-δ (k ≈ 4.47 at 95%).
+#ifndef WAKE_CORE_CI_H_
+#define WAKE_CORE_CI_H_
+
+#include <cmath>
+
+namespace wake {
+
+/// A symmetric confidence interval around an estimate.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width = 0.0;
+};
+
+/// Chebyshev multiplier k = sqrt(1/(1-confidence)); e.g. ~4.47 for 0.95.
+double ChebyshevK(double confidence);
+
+/// Interval for `estimate` with variance `variance` at `confidence`.
+ConfidenceInterval ChebyshevInterval(double estimate, double variance,
+                                     double confidence);
+
+/// Relative CI range |estimate - truth| / (k·σ): the Fig 10b metric. A
+/// value above 1 means the interval failed to cover the truth. Returns 0
+/// when σ == 0 and the estimate is exact, +inf when σ == 0 but wrong.
+double RelativeCiRange(double estimate, double truth, double variance,
+                       double confidence);
+
+}  // namespace wake
+
+#endif  // WAKE_CORE_CI_H_

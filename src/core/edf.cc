@@ -1,0 +1,128 @@
+#include "core/edf.h"
+
+#include "common/error.h"
+
+namespace wake {
+
+EdfSession::EdfSession(const Catalog* catalog, WakeOptions options)
+    : catalog_(catalog), options_(options) {
+  CheckArg(catalog != nullptr, "null catalog");
+}
+
+Edf EdfSession::Read(const std::string& table) const {
+  CheckArg(catalog_->Has(table), "unknown table '" + table + "'");
+  return Edf(this, Plan::Scan(table));
+}
+
+// --- EdfResult -------------------------------------------------------------
+
+EdfResult::~EdfResult() {
+  if (worker_.joinable()) worker_.join();
+}
+
+EdfResult::EdfResult(EdfResult&& other) noexcept
+    : shared_(std::move(other.shared_)),
+      engine_(std::move(other.engine_)),
+      worker_(std::move(other.worker_)) {}
+
+DataFramePtr EdfResult::Get() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->latest;
+}
+
+bool EdfResult::is_final() const { return shared_->final_flag.load(); }
+
+double EdfResult::progress() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->progress;
+}
+
+size_t EdfResult::num_states() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->states;
+}
+
+DataFrame EdfResult::GetFinal() {
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  CheckArg(shared_->latest != nullptr, "query produced no states");
+  return *shared_->latest;
+}
+
+// --- Edf -------------------------------------------------------------------
+
+Edf Edf::Map(std::vector<NamedExpr> projections) const {
+  return Edf(session_, plan_.Map(std::move(projections)));
+}
+Edf Edf::Derive(std::vector<NamedExpr> projections) const {
+  return Edf(session_, plan_.Derive(std::move(projections)));
+}
+Edf Edf::Project(const std::vector<std::string>& columns) const {
+  return Edf(session_, plan_.Project(columns));
+}
+Edf Edf::Filter(ExprPtr predicate) const {
+  return Edf(session_, plan_.Filter(std::move(predicate)));
+}
+Edf Edf::Join(const Edf& right, std::vector<std::string> left_keys,
+              std::vector<std::string> right_keys, JoinType type) const {
+  return Edf(session_, plan_.Join(right.plan_, type, std::move(left_keys),
+                                  std::move(right_keys)));
+}
+Edf Edf::Agg(std::vector<std::string> by, std::vector<AggSpec> aggs) const {
+  return Edf(session_, plan_.Aggregate(std::move(by), std::move(aggs)));
+}
+Edf Edf::Sort(std::vector<SortKey> keys, size_t limit) const {
+  return Edf(session_, plan_.Sort(std::move(keys), limit));
+}
+
+Edf Edf::Sum(const std::string& col, std::vector<std::string> by) const {
+  return Agg(std::move(by), {wake::Sum(col, "sum_" + col)});
+}
+Edf Edf::CountBy(std::vector<std::string> by) const {
+  return Agg(std::move(by), {wake::Count("count")});
+}
+Edf Edf::Avg(const std::string& col, std::vector<std::string> by) const {
+  return Agg(std::move(by), {wake::Avg(col, "avg_" + col)});
+}
+Edf Edf::Min(const std::string& col, std::vector<std::string> by) const {
+  return Agg(std::move(by), {wake::Min(col, "min_" + col)});
+}
+Edf Edf::Max(const std::string& col, std::vector<std::string> by) const {
+  return Agg(std::move(by), {wake::Max(col, "max_" + col)});
+}
+Edf Edf::CountDistinct(const std::string& col,
+                       std::vector<std::string> by) const {
+  return Agg(std::move(by), {wake::CountDistinct(col, "count_distinct_" + col)});
+}
+
+EdfResult Edf::Run() const {
+  EdfResult result;
+  result.shared_ = std::make_shared<EdfResult::Shared>();
+  result.engine_ =
+      std::make_unique<WakeEngine>(session_->catalog(), session_->options());
+  auto shared = result.shared_;
+  WakeEngine* engine = result.engine_.get();
+  PlanNodePtr node = plan_.node();
+  result.worker_ = std::thread([engine, node, shared] {
+    engine->Execute(node, [&](const OlaState& state) {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      shared->latest = state.frame;
+      shared->progress = state.progress;
+      ++shared->states;
+      if (state.is_final) shared->final_flag.store(true);
+    });
+  });
+  return result;
+}
+
+void Edf::Subscribe(const StateCallback& on_state) const {
+  WakeEngine engine(session_->catalog(), session_->options());
+  engine.Execute(plan_.node(), on_state);
+}
+
+DataFrame Edf::GetFinal() const {
+  WakeEngine engine(session_->catalog(), session_->options());
+  return engine.ExecuteFinal(plan_.node());
+}
+
+}  // namespace wake

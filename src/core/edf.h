@@ -1,0 +1,141 @@
+// Evolving data frames: the user-facing Deep-OLA API (§3 of the paper).
+//
+// An Edf is a handle to a (lazily built) operator graph over evolving
+// data. Because edfs are closed under the set operations below, any
+// operation on an Edf yields another Edf — the core contribution of the
+// paper. Execution is started explicitly with Run(), which returns a live
+// EdfResult whose Get() exposes the latest converging state and whose
+// GetFinal() blocks for the exact answer, mirroring edf.get() /
+// edf.get_final() in §3.1.
+//
+// Example (the paper's §1 session / TPC-H Q18):
+//
+//   EdfSession session(&catalog);
+//   Edf lineitem   = session.Read("lineitem");
+//   Edf order_qty  = lineitem.Sum("l_quantity", {"l_orderkey"});
+//   Edf lg_orders  = order_qty.Filter(Gt(Expr::Col("sum_l_quantity"),
+//                                        Expr::Float(300)));
+//   Edf top_cust   = lg_orders.Join(session.Read("orders"),
+//                                   {"l_orderkey"}, {"o_orderkey"})
+//                        .Join(session.Read("customer"),
+//                              {"o_custkey"}, {"c_custkey"})
+//                        .Sum("sum_l_quantity", {"c_name"})
+//                        .Sort({{"sum_sum_l_quantity", true}}, 100);
+//   EdfResult live = top_cust.Run();
+//   ... live.Get() ...            // converging estimates
+//   DataFrame exact = live.GetFinal();
+#ifndef WAKE_CORE_EDF_H_
+#define WAKE_CORE_EDF_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/engine.h"
+#include "tpch/dbgen.h"
+
+namespace wake {
+
+class Edf;
+
+/// Owns the catalog/engine binding for a set of edfs.
+class EdfSession {
+ public:
+  explicit EdfSession(const Catalog* catalog, WakeOptions options = {});
+
+  /// Creates an edf directly from a data source (§3.1 "read").
+  Edf Read(const std::string& table) const;
+
+  const Catalog* catalog() const { return catalog_; }
+  const WakeOptions& options() const { return options_; }
+
+ private:
+  const Catalog* catalog_;
+  WakeOptions options_;
+};
+
+/// A live, running query: a stream of converging states.
+class EdfResult {
+ public:
+  ~EdfResult();
+  EdfResult(EdfResult&&) noexcept;
+  EdfResult& operator=(EdfResult&&) = delete;
+
+  /// Latest state (null before the first state arrives).
+  DataFramePtr Get() const;
+
+  /// True once the latest state holds the final answer (§3.1 is_final).
+  bool is_final() const;
+
+  /// Progress t of the latest state.
+  double progress() const;
+
+  /// Number of states observed so far.
+  size_t num_states() const;
+
+  /// Blocks until processing completes, then returns the exact answer.
+  DataFrame GetFinal();
+
+ private:
+  friend class Edf;
+  EdfResult() = default;
+
+  struct Shared {
+    mutable std::mutex mu;
+    DataFramePtr latest;
+    double progress = 0.0;
+    size_t states = 0;
+    std::atomic<bool> final_flag{false};
+  };
+  std::shared_ptr<Shared> shared_;
+  std::unique_ptr<WakeEngine> engine_;
+  std::thread worker_;
+};
+
+/// An evolving data frame (closed under the operations below).
+class Edf {
+ public:
+  /// --- the §3.2 operation set ---
+  Edf Map(std::vector<NamedExpr> projections) const;
+  Edf Derive(std::vector<NamedExpr> projections) const;
+  Edf Project(const std::vector<std::string>& columns) const;
+  Edf Filter(ExprPtr predicate) const;
+  Edf Join(const Edf& right, std::vector<std::string> left_keys,
+           std::vector<std::string> right_keys,
+           JoinType type = JoinType::kInner) const;
+  Edf Agg(std::vector<std::string> by, std::vector<AggSpec> aggs) const;
+  Edf Sort(std::vector<SortKey> keys, size_t limit = 0) const;
+
+  /// Aggregation sugar; output columns are named `<fn>_<col>`.
+  Edf Sum(const std::string& col, std::vector<std::string> by) const;
+  Edf CountBy(std::vector<std::string> by) const;
+  Edf Avg(const std::string& col, std::vector<std::string> by) const;
+  Edf Min(const std::string& col, std::vector<std::string> by) const;
+  Edf Max(const std::string& col, std::vector<std::string> by) const;
+  Edf CountDistinct(const std::string& col,
+                    std::vector<std::string> by) const;
+
+  /// Starts OLA execution, returning a live result handle.
+  EdfResult Run() const;
+
+  /// Runs to completion with a per-state callback (blocking).
+  void Subscribe(const StateCallback& on_state) const;
+
+  /// Shortcut: run to completion and return the exact answer.
+  DataFrame GetFinal() const;
+
+  const Plan& plan() const { return plan_; }
+
+ private:
+  friend class EdfSession;
+  Edf(const EdfSession* session, Plan plan)
+      : session_(session), plan_(std::move(plan)) {}
+
+  const EdfSession* session_;
+  Plan plan_;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_CORE_EDF_H_

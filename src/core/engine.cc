@@ -1,0 +1,159 @@
+#include "core/engine.h"
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+
+namespace wake {
+
+WakeEngine::WakeEngine(const Catalog* catalog, WakeOptions options)
+    : catalog_(catalog), options_(options) {
+  CheckArg(catalog != nullptr, "null catalog");
+}
+
+WakeEngine::Compiled WakeEngine::CompileRec(
+    const PlanNodePtr& plan,
+    std::vector<std::unique_ptr<ExecNode>>* nodes,
+    CompileMemo* memo) const {
+  // Shared-subplan reuse (§7.3): a PlanNode object reachable through
+  // several parents compiles to one ExecNode with broadcast outputs.
+  if (options_.share_subplans) {
+    auto it = memo->find(plan.get());
+    if (it != memo->end()) return it->second;
+  }
+  Compiled out;
+  out.props = InferProps(plan, *catalog_);
+  NodeOptions node_options;
+  node_options.with_ci = options_.with_ci;
+  node_options.fixed_growth_w = options_.fixed_growth_w;
+
+  switch (plan->op) {
+    case PlanOp::kScan: {
+      nodes->push_back(std::make_unique<ReaderNode>(
+          catalog_->GetPtr(plan->table), node_options));
+      break;
+    }
+    case PlanOp::kMap: {
+      Compiled in = CompileRec(plan->inputs[0], nodes, memo);
+      nodes->push_back(std::make_unique<MapNode>(
+          *plan, in.props.schema, out.props.schema, node_options));
+      nodes->back()->AddInput(in.node->ClaimOutput());
+      break;
+    }
+    case PlanOp::kFilter: {
+      Compiled in = CompileRec(plan->inputs[0], nodes, memo);
+      nodes->push_back(std::make_unique<FilterNode>(
+          plan->predicate, in.props.schema, node_options));
+      nodes->back()->AddInput(in.node->ClaimOutput());
+      break;
+    }
+    case PlanOp::kJoin: {
+      Compiled left = CompileRec(plan->inputs[0], nodes, memo);
+      Compiled right = CompileRec(plan->inputs[1], nodes, memo);
+      bool both_append = left.props.mode == EvolveMode::kAppend &&
+                         right.props.mode == EvolveMode::kAppend;
+      bool clustered =
+          !plan->left_keys.empty() &&
+          left.props.schema.clustering_key() == plan->left_keys &&
+          right.props.schema.clustering_key() == plan->right_keys;
+      bool mergeable = (plan->join_type == JoinType::kInner ||
+                        plan->join_type == JoinType::kLeft) &&
+                       both_append && clustered && !options_.force_hash_join;
+      if (mergeable) {
+        nodes->push_back(std::make_unique<MergeJoinNode>(
+            *plan, left.props.schema, right.props.schema, out.props.schema,
+            node_options));
+      } else {
+        nodes->push_back(std::make_unique<HashJoinNode>(
+            *plan, left.props.schema, right.props.schema, out.props.schema,
+            node_options));
+      }
+      nodes->back()->AddInput(left.node->ClaimOutput());
+      nodes->back()->AddInput(right.node->ClaimOutput());
+      break;
+    }
+    case PlanOp::kAggregate: {
+      Compiled in = CompileRec(plan->inputs[0], nodes, memo);
+      if (out.props.mode == EvolveMode::kAppend) {
+        nodes->push_back(std::make_unique<LocalAggNode>(
+            *plan, in.props.schema, out.props.schema, node_options));
+      } else {
+        nodes->push_back(std::make_unique<ShuffleAggNode>(
+            *plan, in.props.schema, out.props.schema, node_options));
+      }
+      nodes->back()->AddInput(in.node->ClaimOutput());
+      break;
+    }
+    case PlanOp::kSortLimit: {
+      Compiled in = CompileRec(plan->inputs[0], nodes, memo);
+      nodes->push_back(std::make_unique<SortLimitNode>(
+          *plan, in.props.schema, node_options));
+      nodes->back()->AddInput(in.node->ClaimOutput());
+      break;
+    }
+  }
+  out.node = nodes->back().get();
+  if (options_.share_subplans) (*memo)[plan.get()] = out;
+  return out;
+}
+
+void WakeEngine::Execute(const PlanNodePtr& plan,
+                         const StateCallback& on_state) {
+  std::vector<std::unique_ptr<ExecNode>> nodes;
+  CompileMemo memo;
+  Compiled root = CompileRec(plan, &nodes, &memo);
+
+  TraceLog trace;
+  Stopwatch clock;
+  for (auto& n : nodes) n->Start(options_.trace ? &trace : nullptr);
+
+  // Collector: assemble the evolving result from the root's stream.
+  DataFrame content(root.props.schema);
+  std::shared_ptr<const VarianceMap> latest_vars;
+  double progress = 0.0;
+  bool got_any = false;
+  MessageChannelPtr channel = root.node->ClaimOutput();
+  while (auto msg = channel->Receive()) {
+    if (msg->refresh) {
+      content = *msg->frame;
+    } else {
+      content.Append(*msg->frame);
+    }
+    progress = std::max(progress, msg->progress);
+    latest_vars = msg->variances;
+    got_any = true;
+    if (on_state) {
+      OlaState state;
+      state.frame = std::make_shared<DataFrame>(content);
+      state.progress = progress;
+      state.is_final = false;
+      state.elapsed_seconds = clock.ElapsedSeconds();
+      state.variances = latest_vars;
+      on_state(state);
+    }
+  }
+  for (auto& n : nodes) n->Join();
+
+  buffered_bytes_ = content.ByteSize();
+  for (const auto& n : nodes) buffered_bytes_ += n->BufferedBytes();
+  last_trace_ = options_.trace ? trace.Spans() : std::vector<TraceSpan>{};
+
+  if (on_state) {
+    OlaState state;
+    state.frame = std::make_shared<DataFrame>(std::move(content));
+    state.progress = got_any ? 1.0 : progress;
+    state.is_final = true;
+    state.elapsed_seconds = clock.ElapsedSeconds();
+    state.variances = latest_vars;
+    on_state(state);
+  }
+}
+
+DataFrame WakeEngine::ExecuteFinal(const PlanNodePtr& plan) {
+  DataFrame final_frame;
+  Execute(plan, [&](const OlaState& state) {
+    if (state.is_final) final_frame = *state.frame;
+  });
+  return final_frame;
+}
+
+}  // namespace wake

@@ -1,0 +1,100 @@
+// WakeEngine: compiles logical plans into pipelined OLA execution graphs
+// and streams converging result states to the caller.
+//
+// Compilation rules (Fig 6 of the paper):
+//  - scan            -> ReaderNode over the catalog table's partitions
+//  - map / filter    -> stateless Case 1 nodes
+//  - join            -> MergeJoinNode when both inputs are append-mode and
+//                       clustered exactly on their join keys (the
+//                       lineitem ⨝ orders case); HashJoinNode otherwise,
+//                       with the right side as build table
+//  - aggregate       -> LocalAggNode when the group keys cover the input
+//                       clustering key (Case 1); ShuffleAggNode with
+//                       growth-based inference otherwise (Case 2)
+//  - sort/limit      -> SortLimitNode (Case 3 recompute)
+// Every node runs on its own thread; edges are unbounded channels (§7.2).
+#ifndef WAKE_CORE_ENGINE_H_
+#define WAKE_CORE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/nodes.h"
+#include "exec/trace.h"
+#include "plan/props.h"
+#include "storage/partitioned_table.h"
+
+namespace wake {
+
+/// Engine configuration.
+struct WakeOptions {
+  /// Propagate variances and report them with refresh-mode states (§6).
+  bool with_ci = false;
+  /// Record per-node busy spans (Fig 13).
+  bool trace = false;
+  /// Ablation: fix the growth power of every shuffle aggregation instead
+  /// of fitting it online (-1 = fit; 1.0 = naive linear scaling).
+  double fixed_growth_w = -1.0;
+  /// Ablation: always pick hash joins, even where merge joins apply
+  /// (isolates the OLA-specific join-selection optimization, §7.3).
+  bool force_hash_join = false;
+  /// Share physically identical subplans (same PlanNode object reachable
+  /// through several parents, e.g. Q15's revenue view) instead of
+  /// executing them once per parent — the paper's §7.3 reuse optimization.
+  bool share_subplans = true;
+};
+
+/// One converging result state delivered to the caller (an edf state).
+struct OlaState {
+  DataFramePtr frame;   // full current estimate of the query result
+  double progress = 0;  // t of the root edf
+  bool is_final = false;
+  double elapsed_seconds = 0;  // since Execute() started
+  /// Per-column variances of the latest snapshot (CI mode, refresh roots).
+  std::shared_ptr<const VarianceMap> variances;
+};
+
+using StateCallback = std::function<void(const OlaState&)>;
+
+/// Pipelined OLA query engine.
+class WakeEngine {
+ public:
+  explicit WakeEngine(const Catalog* catalog, WakeOptions options = {});
+
+  /// Runs `plan` to completion, invoking `on_state` for every intermediate
+  /// state and once more with is_final=true at the end. Blocking; thread
+  /// management is internal.
+  void Execute(const PlanNodePtr& plan, const StateCallback& on_state);
+
+  /// Convenience: runs the plan and returns only the final (exact) result.
+  DataFrame ExecuteFinal(const PlanNodePtr& plan);
+
+  /// Node activity spans of the last Execute (empty unless options.trace).
+  const std::vector<TraceSpan>& last_trace() const { return last_trace_; }
+
+  /// Approximate bytes buffered across nodes at the end of the last run
+  /// (hash tables, sort content, pending buffers) — the steady-state
+  /// footprint used for the §8.2 memory comparison.
+  size_t buffered_bytes() const { return buffered_bytes_; }
+
+ private:
+  struct Compiled {
+    ExecNode* node = nullptr;
+    PlanProps props;
+  };
+  using CompileMemo = std::unordered_map<const PlanNode*, Compiled>;
+
+  Compiled CompileRec(const PlanNodePtr& plan,
+                      std::vector<std::unique_ptr<ExecNode>>* nodes,
+                      CompileMemo* memo) const;
+
+  const Catalog* catalog_;
+  WakeOptions options_;
+  std::vector<TraceSpan> last_trace_;
+  size_t buffered_bytes_ = 0;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_CORE_ENGINE_H_

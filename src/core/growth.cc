@@ -1,0 +1,59 @@
+#include "core/growth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wake {
+
+void GrowthModel::Observe(double t, double mean_cardinality) {
+  if (t <= 0.0 || t > 1.0 || mean_cardinality <= 0.0) return;
+  double x = std::log(t);
+  double y = std::log(mean_cardinality);
+  ++n_;
+  sx_ += x;
+  sy_ += y;
+  sxx_ += x * x;
+  sxy_ += x * y;
+  syy_ += y * y;
+}
+
+bool GrowthModel::fitted() const {
+  if (n_ < 2) return false;
+  double den = static_cast<double>(n_) * sxx_ - sx_ * sx_;
+  return den > 1e-12;
+}
+
+double GrowthModel::w() const {
+  if (!fitted()) return 1.0;
+  double n = static_cast<double>(n_);
+  double slope = (n * sxy_ - sx_ * sy_) / (n * sxx_ - sx_ * sx_);
+  return std::clamp(slope, 0.0, 3.0);
+}
+
+double GrowthModel::coefficient() const {
+  if (!fitted()) return 1.0;
+  double n = static_cast<double>(n_);
+  double slope = (n * sxy_ - sx_ * sy_) / (n * sxx_ - sx_ * sx_);
+  double intercept = (sy_ - slope * sx_) / n;
+  return std::exp(intercept);
+}
+
+double GrowthModel::var_w() const {
+  if (n_ < 3 || !fitted()) return 0.0;
+  double n = static_cast<double>(n_);
+  double sxx_c = sxx_ - sx_ * sx_ / n;  // centered
+  double syy_c = syy_ - sy_ * sy_ / n;
+  double sxy_c = sxy_ - sx_ * sy_ / n;
+  double slope = sxy_c / sxx_c;
+  double sse = syy_c - slope * sxy_c;
+  if (sse < 0.0) sse = 0.0;
+  double sigma2 = sse / (n - 2.0);
+  return sigma2 / sxx_c;
+}
+
+void GrowthModel::Reset() {
+  n_ = 0;
+  sx_ = sy_ = sxx_ = sxy_ = syy_ = 0.0;
+}
+
+}  // namespace wake

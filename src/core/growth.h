@@ -1,0 +1,47 @@
+// Growth model: fits group-cardinality growth as a monomial c·t^w (§5.2).
+//
+// Wake assumes E[X_i(t)] ∝ t^w and fits the shared power w by streaming
+// ordinary least squares in log-log space:
+//   E[log x̄_t] = log b + w·log t
+// where x̄_t is the mean group cardinality at progress t. The fit is O(1)
+// time and space per observation. Var(w) (the OLS slope variance) feeds the
+// confidence-interval machinery (Eq 10).
+#ifndef WAKE_CORE_GROWTH_H_
+#define WAKE_CORE_GROWTH_H_
+
+#include <cstddef>
+
+namespace wake {
+
+/// Streaming log-log linear regression for the growth power w.
+class GrowthModel {
+ public:
+  /// Records one observation: at progress `t` (0 < t <= 1) the mean group
+  /// cardinality was `mean_cardinality` (> 0). Non-positive inputs are
+  /// ignored.
+  void Observe(double t, double mean_cardinality);
+
+  /// Fitted growth power, clamped to [0, 3]. Defaults to 1 (linear growth,
+  /// the base-table case) until two observations with distinct t exist.
+  double w() const;
+
+  /// OLS variance of the slope estimate; 0 until three observations exist
+  /// (the residual needs n-2 degrees of freedom).
+  double var_w() const;
+
+  /// Fitted log-intercept b in x̄ = b·t^w (1.0 until fitted).
+  double coefficient() const;
+
+  size_t num_observations() const { return n_; }
+  bool fitted() const;
+
+  void Reset();
+
+ private:
+  size_t n_ = 0;
+  double sx_ = 0, sy_ = 0, sxx_ = 0, sxy_ = 0, syy_ = 0;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_CORE_GROWTH_H_

@@ -1,0 +1,164 @@
+#include "core/join_kernel.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wake {
+
+JoinHashTable::JoinHashTable(const Schema& right_schema,
+                             std::vector<std::string> right_keys)
+    : right_schema_(right_schema),
+      right_keys_(std::move(right_keys)),
+      build_(right_schema) {
+  for (const auto& k : right_keys_) {
+    key_cols_.push_back(right_schema_.FieldIndex(k));
+  }
+}
+
+void JoinHashTable::Insert(const DataFrame& right_partial,
+                           const VarianceMap* variances) {
+  size_t base = build_.num_rows();
+  build_.Append(right_partial);
+  if (variances != nullptr) {
+    for (const auto& [col, vars] : *variances) {
+      auto& dst = build_vars_[col];
+      dst.resize(base, 0.0);
+      dst.insert(dst.end(), vars.begin(), vars.end());
+    }
+  }
+  for (size_t r = base; r < build_.num_rows(); ++r) {
+    index_[build_.HashRowKeys(key_cols_, r)].push_back(
+        static_cast<uint32_t>(r));
+  }
+}
+
+void JoinHashTable::Reset() {
+  build_ = DataFrame(right_schema_);
+  build_vars_.clear();
+  index_.clear();
+}
+
+DataFrame JoinHashTable::Probe(const DataFrame& left,
+                               const std::vector<std::string>& left_keys,
+                               JoinType type, const Schema& out_schema,
+                               const VarianceMap* left_vars,
+                               VarianceMap* out_vars) const {
+  std::vector<size_t> lcols = left.ColumnIndices(left_keys);
+  size_t n = left.num_rows();
+
+  // Row-pair lists; right == -1 encodes a null-padded (left join) row.
+  std::vector<uint32_t> lrows;
+  std::vector<int64_t> rrows;
+
+  if (type == JoinType::kCross) {
+    CheckArg(build_.num_rows() <= 1,
+             "cross join build side must produce at most one row");
+    if (build_.num_rows() == 1) {
+      lrows.resize(n);
+      rrows.assign(n, 0);
+      for (size_t i = 0; i < n; ++i) lrows[i] = static_cast<uint32_t>(i);
+    }
+  } else {
+    lrows.reserve(n);
+    rrows.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t h = left.HashRowKeys(lcols, r);
+      auto it = index_.find(h);
+      bool matched = false;
+      if (it != index_.end()) {
+        for (uint32_t cand : it->second) {
+          if (left.KeysEqual(lcols, r, build_, key_cols_, cand)) {
+            matched = true;
+            if (type == JoinType::kInner || type == JoinType::kLeft) {
+              lrows.push_back(static_cast<uint32_t>(r));
+              rrows.push_back(cand);
+            } else {
+              break;  // semi/anti only need existence
+            }
+          }
+        }
+      }
+      if (type == JoinType::kSemi && matched) {
+        lrows.push_back(static_cast<uint32_t>(r));
+      } else if (type == JoinType::kAnti && !matched) {
+        lrows.push_back(static_cast<uint32_t>(r));
+      } else if (type == JoinType::kLeft && !matched) {
+        lrows.push_back(static_cast<uint32_t>(r));
+        rrows.push_back(-1);
+      }
+    }
+  }
+
+  // Assemble output columns: left columns gathered by lrows, then right
+  // columns (minus join keys) gathered by rrows.
+  DataFrame out(out_schema);
+  size_t col = 0;
+  for (; col < left.num_columns(); ++col) {
+    *out.mutable_column(col) = left.column(col).Take(lrows);
+  }
+  if (type != JoinType::kSemi && type != JoinType::kAnti) {
+    for (size_t rc = 0; rc < build_.num_columns(); ++rc) {
+      if (std::find(key_cols_.begin(), key_cols_.end(), rc) !=
+          key_cols_.end()) {
+        continue;
+      }
+      const Column& src = build_.column(rc);
+      Column dst(src.type());
+      dst.Reserve(rrows.size());
+      // Typed gather loops (GetValue/AppendValue per row would allocate).
+      for (int64_t rr : rrows) {
+        if (rr < 0 || src.IsNull(static_cast<size_t>(rr))) {
+          dst.AppendNull();
+        } else if (src.type() == ValueType::kString) {
+          dst.AppendString(src.StringAt(static_cast<size_t>(rr)));
+        } else if (src.type() == ValueType::kFloat64) {
+          dst.AppendDouble(src.doubles()[static_cast<size_t>(rr)]);
+        } else {
+          dst.AppendInt(src.ints()[static_cast<size_t>(rr)]);
+        }
+      }
+      *out.mutable_column(col) = std::move(dst);
+      ++col;
+    }
+  }
+
+  // Variance gather for CI mode.
+  if (out_vars != nullptr) {
+    if (left_vars != nullptr) {
+      for (const auto& [name, vars] : *left_vars) {
+        if (!out_schema.HasField(name)) continue;
+        auto& dst = (*out_vars)[name];
+        dst.reserve(lrows.size());
+        for (uint32_t lr : lrows) {
+          dst.push_back(lr < vars.size() ? vars[lr] : 0.0);
+        }
+      }
+    }
+    if (!build_vars_.empty() && type != JoinType::kSemi &&
+        type != JoinType::kAnti) {
+      for (const auto& [name, vars] : build_vars_) {
+        if (!out_schema.HasField(name)) continue;
+        auto& dst = (*out_vars)[name];
+        dst.reserve(rrows.size());
+        for (int64_t rr : rrows) {
+          dst.push_back(rr >= 0 && static_cast<size_t>(rr) < vars.size()
+                            ? vars[static_cast<size_t>(rr)]
+                            : 0.0);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DataFrame HashJoin(const DataFrame& left, const DataFrame& right,
+                   const std::vector<std::string>& left_keys,
+                   const std::vector<std::string>& right_keys, JoinType type,
+                   const Schema& out_schema) {
+  JoinHashTable table(right.schema(), right_keys);
+  table.Insert(right);
+  return table.Probe(left, left_keys, type, out_schema);
+}
+
+}  // namespace wake

@@ -1,0 +1,72 @@
+// Hash-join kernel shared by the exact engine and Wake's join nodes.
+//
+// The build (right) side accumulates incrementally — Wake's hash-join node
+// inserts one partial at a time and the progressive-merge-join node reuses
+// the same table with a key watermark — then any number of probe calls run
+// against the accumulated state. Per the paper (§3.2), the right side is
+// always the build table; chained right-deep joins therefore build all hash
+// tables in parallel.
+//
+// Optional variance plumbing: per-column variances of mutable attributes
+// travel with the rows (gathered on probe), so confidence intervals survive
+// joins (§6).
+#ifndef WAKE_CORE_JOIN_KERNEL_H_
+#define WAKE_CORE_JOIN_KERNEL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/agg_state.h"
+#include "frame/data_frame.h"
+#include "plan/plan.h"
+
+namespace wake {
+
+/// Incrementally built hash table over the right (build) side of a join.
+class JoinHashTable {
+ public:
+  /// `right_schema` is the build-side schema; `right_keys` the build-side
+  /// join key columns (empty only for cross joins).
+  JoinHashTable(const Schema& right_schema,
+                std::vector<std::string> right_keys);
+
+  /// Appends build rows (and their variances, if any) to the table.
+  void Insert(const DataFrame& right_partial,
+              const VarianceMap* variances = nullptr);
+
+  /// Drops all accumulated build rows (refresh-mode build inputs).
+  void Reset();
+
+  size_t num_rows() const { return build_.num_rows(); }
+  const DataFrame& build_frame() const { return build_; }
+
+  /// Probes with `left`, producing rows per `type` into a frame with
+  /// schema `out_schema` (must equal JoinOutputSchema(left.schema(),
+  /// right_schema, right_keys, type)). If `out_vars` is non-null, gathers
+  /// per-column variances for the output rows from `left_vars` /
+  /// accumulated build variances.
+  DataFrame Probe(const DataFrame& left,
+                  const std::vector<std::string>& left_keys, JoinType type,
+                  const Schema& out_schema,
+                  const VarianceMap* left_vars = nullptr,
+                  VarianceMap* out_vars = nullptr) const;
+
+ private:
+  Schema right_schema_;
+  std::vector<std::string> right_keys_;
+  std::vector<size_t> key_cols_;
+  DataFrame build_;
+  VarianceMap build_vars_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index_;
+};
+
+/// One-shot convenience used by the exact engine.
+DataFrame HashJoin(const DataFrame& left, const DataFrame& right,
+                   const std::vector<std::string>& left_keys,
+                   const std::vector<std::string>& right_keys, JoinType type,
+                   const Schema& out_schema);
+
+}  // namespace wake
+
+#endif  // WAKE_CORE_JOIN_KERNEL_H_

@@ -1,0 +1,221 @@
+// Wake's operator nodes: the edf state-transformation machinery of §4.3,
+// one ExecNode subclass per operator family.
+//
+//  ReaderNode      reads base-table partitions, emits append partials with
+//                  progress t = tuples read / total tuples (§4.4).
+//  MapNode         Case 1 projection (per-partial; variance propagation via
+//                  first-order Taylor when CI mode is on).
+//  FilterNode      Case 1 selection; recomputes per snapshot on refresh
+//                  inputs (Case 3 for mutable-attribute predicates).
+//  HashJoinNode    right side is the build table; build input is consumed
+//                  to EOF before probing (mutable build attributes must
+//                  block, §3.3); probe partials stream through.
+//  MergeJoinNode   progressive merge join for inputs clustered on the join
+//                  keys: the right side accumulates behind a key watermark,
+//                  left rows emit as soon as their key range is complete.
+//  LocalAggNode    Case 1 aggregation (group keys cover the clustering
+//                  key); boundary groups are held back until the next
+//                  partial so partition-straddling keys stay correct.
+//  ShuffleAggNode  Case 2 aggregation with growth-based inference: merges
+//                  partials into intrinsic state, fits the growth model,
+//                  emits scaled extrinsic snapshots (§5), optionally with
+//                  variance output (§6).
+//  SortLimitNode   Case 3: re-sorts the full current content per state.
+#ifndef WAKE_CORE_NODES_H_
+#define WAKE_CORE_NODES_H_
+
+#include <functional>
+#include <memory>
+
+#include "core/agg_state.h"
+#include "core/growth.h"
+#include "core/join_kernel.h"
+#include "exec/exec_node.h"
+#include "plan/props.h"
+#include "storage/partitioned_table.h"
+
+namespace wake {
+
+/// Shared node configuration.
+struct NodeOptions {
+  bool with_ci = false;
+  /// Ablation knob: when >= 0, shuffle aggregations use this fixed growth
+  /// power instead of the fitted one (e.g. 1.0 reproduces naive linear
+  /// 1/t scaling — what Wake would do without §5.2's growth model).
+  double fixed_growth_w = -1.0;
+};
+
+/// Base-table reader (the paper's read_csv / table-reader node).
+class ReaderNode : public ExecNode {
+ public:
+  ReaderNode(TablePtr table, NodeOptions options);
+  size_t BufferedBytes() const override { return 0; }
+
+ protected:
+  void Process(size_t, const Message&) override {}
+  void RunSource() override;
+
+ private:
+  TablePtr table_;
+};
+
+/// Projection (map). Stateless: one output partial per input partial.
+class MapNode : public ExecNode {
+ public:
+  MapNode(const PlanNode& plan, const Schema& input_schema,
+          const Schema& output_schema, NodeOptions options);
+
+ protected:
+  void Process(size_t port, const Message& msg) override;
+
+ private:
+  std::vector<NamedExpr> projections_;
+  bool append_input_;
+  Schema input_schema_;
+  Schema output_schema_;
+  NodeOptions options_;
+};
+
+/// Selection (filter). Stateless.
+class FilterNode : public ExecNode {
+ public:
+  FilterNode(ExprPtr predicate, const Schema& schema, NodeOptions options);
+
+ protected:
+  void Process(size_t port, const Message& msg) override;
+
+ private:
+  ExprPtr predicate_;
+  Schema schema_;
+  NodeOptions options_;
+};
+
+/// Hash join; port 0 = probe (left), port 1 = build (right).
+class HashJoinNode : public ExecNode {
+ public:
+  HashJoinNode(const PlanNode& plan, const Schema& left_schema,
+               const Schema& right_schema, const Schema& output_schema,
+               NodeOptions options);
+  size_t BufferedBytes() const override;
+
+ protected:
+  void Process(size_t port, const Message& msg) override;
+  void OnInputClosed(size_t port) override;
+
+ private:
+  void ProbeAndEmit(const Message& msg);
+
+  JoinType join_type_;
+  std::vector<std::string> left_keys_;
+  Schema output_schema_;
+  NodeOptions options_;
+  JoinHashTable table_;
+  std::vector<Message> pending_probe_;  // buffered until build EOF
+  bool build_done_ = false;
+};
+
+/// Progressive merge join for key-clustered append inputs; port 0 = left,
+/// port 1 = right.
+class MergeJoinNode : public ExecNode {
+ public:
+  MergeJoinNode(const PlanNode& plan, const Schema& left_schema,
+                const Schema& right_schema, const Schema& output_schema,
+                NodeOptions options);
+  size_t BufferedBytes() const override;
+
+ protected:
+  void Process(size_t port, const Message& msg) override;
+  void OnInputClosed(size_t port) override;
+
+ private:
+  void EmitReady();
+
+  JoinType join_type_;
+  std::vector<std::string> left_keys_;
+  Schema left_schema_;
+  Schema output_schema_;
+  NodeOptions options_;
+  JoinHashTable table_;
+  DataFrame left_pending_;
+  size_t left_consumed_ = 0;  // emitted prefix of left_pending_
+  std::vector<size_t> left_key_cols_;
+  std::vector<size_t> right_key_cols_;
+  // Watermark: the key of the last right row received (right side arrives
+  // clustered, so all keys <= watermark are complete). Held as a one-row
+  // frame to reuse CompareRows.
+  DataFrame right_watermark_;
+  bool right_done_ = false;
+  double left_progress_ = 0.0;
+  double right_progress_ = 0.0;
+  double last_emitted_progress_ = -1.0;
+};
+
+/// Case 1 aggregation over clustering-key groups.
+class LocalAggNode : public ExecNode {
+ public:
+  LocalAggNode(const PlanNode& plan, const Schema& input_schema,
+               const Schema& output_schema, NodeOptions options);
+  size_t BufferedBytes() const override;
+
+ protected:
+  void Process(size_t port, const Message& msg) override;
+  void Finish() override;
+
+ private:
+  void EmitComplete(const DataFrame& complete, double progress);
+
+  std::vector<std::string> group_by_;
+  std::vector<AggSpec> aggs_;
+  Schema input_schema_;
+  Schema output_schema_;
+  std::vector<std::string> cluster_key_;
+  DataFrame pending_;  // rows whose clustering key may continue
+  double last_progress_ = 0.0;
+};
+
+/// Case 2 aggregation with growth-based inference (§5).
+class ShuffleAggNode : public ExecNode {
+ public:
+  ShuffleAggNode(const PlanNode& plan, const Schema& input_schema,
+                 const Schema& output_schema, NodeOptions options);
+  size_t BufferedBytes() const override;
+
+  const GrowthModel& growth() const { return growth_; }
+
+ protected:
+  void Process(size_t port, const Message& msg) override;
+  void Finish() override;
+
+ private:
+  void EmitSnapshot(double progress, bool final_snapshot);
+
+  Schema output_schema_;
+  NodeOptions options_;
+  GroupedAggState state_;
+  GrowthModel growth_;
+  uint64_t version_ = 0;
+  double last_progress_ = 0.0;
+  bool emitted_final_ = false;
+};
+
+/// Case 3 sort/limit: recompute per state.
+class SortLimitNode : public ExecNode {
+ public:
+  SortLimitNode(const PlanNode& plan, const Schema& schema,
+                NodeOptions options);
+  size_t BufferedBytes() const override;
+
+ protected:
+  void Process(size_t port, const Message& msg) override;
+
+ private:
+  std::vector<SortKey> sort_keys_;
+  size_t limit_;
+  Schema schema_;
+  DataFrame content_;  // full current content
+  uint64_t version_ = 0;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_CORE_NODES_H_

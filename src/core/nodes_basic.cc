@@ -1,0 +1,119 @@
+// ReaderNode, MapNode, FilterNode (Case 1 operators).
+#include "core/nodes.h"
+
+namespace wake {
+
+// ---------------------------------------------------------------------------
+// ReaderNode
+// ---------------------------------------------------------------------------
+
+ReaderNode::ReaderNode(TablePtr table, NodeOptions)
+    : ExecNode("read(" + table->name() + ")"), table_(std::move(table)) {}
+
+void ReaderNode::RunSource() {
+  size_t total = table_->total_rows();
+  size_t seen = 0;
+  for (size_t i = 0; i < table_->num_partitions(); ++i) {
+    const DataFramePtr& part = table_->partition(i);
+    seen += part->num_rows();
+    Message msg;
+    msg.frame = part;
+    msg.progress =
+        total == 0 ? 1.0
+                   : static_cast<double>(seen) / static_cast<double>(total);
+    Emit(std::move(msg));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MapNode
+// ---------------------------------------------------------------------------
+
+MapNode::MapNode(const PlanNode& plan, const Schema& input_schema,
+                 const Schema& output_schema, NodeOptions options)
+    : ExecNode(plan.label.empty() ? "map" : plan.label),
+      projections_(plan.projections),
+      append_input_(plan.append_input),
+      input_schema_(input_schema),
+      output_schema_(output_schema),
+      options_(options) {}
+
+void MapNode::Process(size_t, const Message& msg) {
+  const DataFrame& in = *msg.frame;
+  auto out = std::make_shared<DataFrame>(output_schema_);
+  size_t col = 0;
+  if (append_input_) {
+    for (size_t c = 0; c < in.num_columns(); ++c) {
+      *out->mutable_column(col++) = in.column(c);
+    }
+  }
+
+  Message result;
+  if (options_.with_ci && msg.variances != nullptr) {
+    // Propagate uncertainty through the projection expressions (§6).
+    std::unordered_map<std::string, const std::vector<double>*> var_of;
+    for (const auto& [name, vars] : *msg.variances) var_of[name] = &vars;
+    auto out_vars = std::make_shared<VarianceMap>();
+    if (append_input_) {
+      for (const auto& [name, vars] : *msg.variances) {
+        if (output_schema_.HasField(name)) (*out_vars)[name] = vars;
+      }
+    }
+    for (const auto& p : projections_) {
+      Column value;
+      std::vector<double> var;
+      p.expr->EvalWithVariance(in, var_of, &value, &var);
+      *out->mutable_column(col++) = std::move(value);
+      (*out_vars)[p.name] = std::move(var);
+    }
+    result.variances = std::move(out_vars);
+  } else {
+    for (const auto& p : projections_) {
+      *out->mutable_column(col++) = p.expr->Eval(in);
+    }
+  }
+  result.frame = std::move(out);
+  result.progress = msg.progress;
+  result.version = msg.version;
+  result.refresh = msg.refresh;
+  Emit(std::move(result));
+}
+
+// ---------------------------------------------------------------------------
+// FilterNode
+// ---------------------------------------------------------------------------
+
+FilterNode::FilterNode(ExprPtr predicate, const Schema& schema,
+                       NodeOptions options)
+    : ExecNode("filter"),
+      predicate_(std::move(predicate)),
+      schema_(schema),
+      options_(options) {}
+
+void FilterNode::Process(size_t, const Message& msg) {
+  const DataFrame& in = *msg.frame;
+  Column mask_col = predicate_->Eval(in);
+  std::vector<uint8_t> mask(mask_col.size());
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = (mask_col.IsValid(i) && mask_col.ints()[i] != 0) ? 1 : 0;
+  }
+  Message result;
+  result.frame = std::make_shared<DataFrame>(in.FilterBy(mask));
+  result.progress = msg.progress;
+  result.version = msg.version;
+  result.refresh = msg.refresh;
+  if (options_.with_ci && msg.variances != nullptr) {
+    auto out_vars = std::make_shared<VarianceMap>();
+    for (const auto& [name, vars] : *msg.variances) {
+      auto& dst = (*out_vars)[name];
+      dst.reserve(result.frame->num_rows());
+      for (size_t i = 0; i < mask.size(); ++i) {
+        if (mask[i] && i < vars.size()) dst.push_back(vars[i]);
+      }
+    }
+    result.variances = std::move(out_vars);
+  }
+  Emit(std::move(result));
+}
+
+}  // namespace wake

@@ -1,0 +1,92 @@
+#include "exec/exec_node.h"
+
+#include "common/error.h"
+
+namespace wake {
+
+ExecNode::ExecNode(std::string label) : label_(std::move(label)) {
+  outputs_.push_back(std::make_shared<MessageChannel>());
+}
+
+ExecNode::~ExecNode() { Join(); }
+
+void ExecNode::AddInput(MessageChannelPtr channel) {
+  CheckArg(channel != nullptr, "null input channel");
+  inputs_.push_back(std::move(channel));
+  ports_closed_.push_back(0);
+}
+
+MessageChannelPtr ExecNode::ClaimOutput() {
+  if (!primary_claimed_) {
+    primary_claimed_ = true;
+    return outputs_[0];
+  }
+  outputs_.push_back(std::make_shared<MessageChannel>());
+  return outputs_.back();
+}
+
+void ExecNode::Start(TraceLog* trace) {
+  thread_ = std::thread([this, trace] { Run(trace); });
+}
+
+void ExecNode::Join() {
+  for (auto& f : forwarders_) {
+    if (f.joinable()) f.join();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void ExecNode::CloseOutputs() {
+  for (auto& out : outputs_) out->Close();
+}
+
+void ExecNode::Run(TraceLog* trace) {
+  if (inputs_.empty()) {
+    double t0 = trace ? trace->epoch().ElapsedSeconds() : 0.0;
+    RunSource();
+    if (trace) {
+      trace->Record(label_, t0, trace->epoch().ElapsedSeconds());
+    }
+    CloseOutputs();
+    return;
+  }
+
+  // Multiplex all inputs into one internal queue; forwarders tag messages
+  // with their port and send a final EOF marker when their channel closes.
+  auto merged = std::make_shared<Channel<Tagged>>();
+  size_t ports = inputs_.size();
+  forwarders_.reserve(ports);
+  for (size_t p = 0; p < ports; ++p) {
+    forwarders_.emplace_back([this, merged, p] {
+      while (auto msg = inputs_[p]->Receive()) {
+        merged->Send(Tagged{p, false, std::move(*msg)});
+      }
+      merged->Send(Tagged{p, true, Message{}});
+    });
+  }
+
+  size_t open_ports = ports;
+  while (open_ports > 0) {
+    auto tagged = merged->Receive();
+    if (!tagged.has_value()) break;  // defensive; merged never closes early
+    double t0 = trace ? trace->epoch().ElapsedSeconds() : 0.0;
+    if (tagged->eof) {
+      ports_closed_[tagged->port] = 1;
+      --open_ports;
+      OnInputClosed(tagged->port);
+    } else {
+      Process(tagged->port, tagged->msg);
+    }
+    if (trace) {
+      trace->Record(label_, t0, trace->epoch().ElapsedSeconds());
+    }
+  }
+  double t0 = trace ? trace->epoch().ElapsedSeconds() : 0.0;
+  Finish();
+  if (trace) {
+    trace->Record(label_ + ":finish", t0, trace->epoch().ElapsedSeconds());
+  }
+  CloseOutputs();
+}
+
+}  // namespace wake

@@ -1,0 +1,107 @@
+// Execution node base class: one operator, one thread, message channels.
+//
+// Per §7.2 of the paper, every node runs on its own thread, reads messages
+// from its input channels, updates its intrinsic state, and writes
+// extrinsic-state messages to its output channel. Nodes with several
+// inputs receive through an internal multiplexer (forwarder threads tag
+// messages with their port) so a slow input never blocks a ready one.
+// Channels are unbounded: Wake trades memory for pipeline liveness, the
+// cost the paper acknowledges in Table 1.
+#ifndef WAKE_EXEC_EXEC_NODE_H_
+#define WAKE_EXEC_EXEC_NODE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/channel.h"
+#include "exec/message.h"
+#include "exec/trace.h"
+
+namespace wake {
+
+using MessageChannel = Channel<Message>;
+using MessageChannelPtr = std::shared_ptr<MessageChannel>;
+
+/// Base class for all operators in a running query graph.
+class ExecNode {
+ public:
+  explicit ExecNode(std::string label);
+  virtual ~ExecNode();
+
+  ExecNode(const ExecNode&) = delete;
+  ExecNode& operator=(const ExecNode&) = delete;
+
+  void AddInput(MessageChannelPtr channel);
+
+  /// Primary output channel (for single-consumer wiring and tests).
+  const MessageChannelPtr& output() const { return outputs_[0]; }
+
+  /// Claims an output subscription. The first claim returns the primary
+  /// channel; later claims add broadcast channels, so one node can feed
+  /// several consumers — this implements the paper's shared-subplan
+  /// optimization (§7.3: reusing build tables / aggregates that appear
+  /// multiple times in a query). Must be called before Start().
+  MessageChannelPtr ClaimOutput();
+
+  const std::string& label() const { return label_; }
+
+  /// Spawns the node thread. `trace` may be null.
+  void Start(TraceLog* trace);
+
+  /// Joins the node thread (must be called before destruction if started).
+  void Join();
+
+  /// Approximate bytes currently buffered in node state (hash tables,
+  /// pending frames, aggregation state); used for the peak-memory
+  /// comparison of §8.2.
+  virtual size_t BufferedBytes() const { return 0; }
+
+ protected:
+  /// Handles one message from input `port`.
+  virtual void Process(size_t port, const Message& msg) = 0;
+
+  /// Called once when input `port` reaches EOF.
+  virtual void OnInputClosed(size_t /*port*/) {}
+
+  /// Called after every input reached EOF, before the output closes.
+  virtual void Finish() {}
+
+  /// Source nodes (no inputs) override this instead of Process.
+  virtual void RunSource() {}
+
+  /// Sends to every claimed output (frames are shared immutable pointers,
+  /// so broadcast is a cheap pointer copy).
+  void Emit(Message msg) {
+    for (size_t i = 1; i < outputs_.size(); ++i) outputs_[i]->Send(msg);
+    outputs_[0]->Send(std::move(msg));
+  }
+
+  size_t num_inputs() const { return inputs_.size(); }
+  bool input_closed(size_t port) const { return ports_closed_[port]; }
+
+ private:
+  struct Tagged {
+    size_t port = 0;
+    bool eof = false;
+    Message msg;
+  };
+
+  void Run(TraceLog* trace);
+
+  void CloseOutputs();
+
+  std::string label_;
+  std::vector<MessageChannelPtr> inputs_;
+  std::vector<MessageChannelPtr> outputs_;  // [0] = primary
+  bool primary_claimed_ = false;
+  std::vector<std::thread> forwarders_;
+  std::thread thread_;
+  std::vector<uint8_t> ports_closed_;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_EXEC_EXEC_NODE_H_

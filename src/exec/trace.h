@@ -1,0 +1,46 @@
+// Execution tracing: per-node activity spans used to reproduce the
+// pipelined-execution timeline (Fig 13 / Appendix C).
+#ifndef WAKE_EXEC_TRACE_H_
+#define WAKE_EXEC_TRACE_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace wake {
+
+/// One busy interval of one node.
+struct TraceSpan {
+  std::string node;
+  double start_seconds = 0.0;  // relative to trace epoch
+  double end_seconds = 0.0;
+};
+
+/// Thread-safe span collector shared by all nodes of a running graph.
+class TraceLog {
+ public:
+  TraceLog() = default;
+
+  void Record(const std::string& node, double start_s, double end_s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back({node, start_s, end_s});
+  }
+
+  std::vector<TraceSpan> Spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+
+  const Stopwatch& epoch() const { return epoch_; }
+
+ private:
+  mutable std::mutex mu_;
+  Stopwatch epoch_;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_EXEC_TRACE_H_

@@ -1,0 +1,286 @@
+#include "frame/column.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wake {
+
+namespace {
+inline uint64_t MixHash(uint64_t h, uint64_t v) {
+  // 64-bit mix derived from splitmix64's finalizer.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  // FNV-1a over bytes then mixed with the seed.
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return MixHash(seed, h);
+}
+}  // namespace
+
+Column Column::FromInts(std::vector<int64_t> data, ValueType type) {
+  Column c(type);
+  c.ints_ = std::move(data);
+  return c;
+}
+
+Column Column::FromDoubles(std::vector<double> data) {
+  Column c(ValueType::kFloat64);
+  c.doubles_ = std::move(data);
+  return c;
+}
+
+Column Column::FromStrings(std::vector<std::string> data) {
+  Column c(ValueType::kString);
+  c.strings_ = std::move(data);
+  return c;
+}
+
+size_t Column::size() const {
+  switch (type_) {
+    case ValueType::kFloat64:
+      return doubles_.size();
+    case ValueType::kString:
+      return strings_.size();
+    default:
+      return ints_.size();
+  }
+}
+
+void Column::SetNull(size_t i) {
+  if (valid_.empty()) valid_.assign(size(), 1);
+  valid_[i] = 0;
+}
+
+void Column::CompactValidity() {
+  if (valid_.empty()) return;
+  for (uint8_t v : valid_) {
+    if (v == 0) return;
+  }
+  valid_.clear();
+}
+
+Value Column::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null(type_);
+  Value v;
+  v.type = type_;
+  switch (type_) {
+    case ValueType::kFloat64:
+      v.d = doubles_[i];
+      break;
+    case ValueType::kString:
+      v.s = strings_[i];
+      break;
+    default:
+      v.i = ints_[i];
+      break;
+  }
+  return v;
+}
+
+void Column::AppendValue(const Value& v) {
+  if (v.is_null) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case ValueType::kFloat64:
+      AppendDouble(v.type == ValueType::kFloat64 ? v.d
+                                                 : static_cast<double>(v.i));
+      break;
+    case ValueType::kString:
+      AppendString(v.s);
+      break;
+    default:
+      AppendInt(v.type == ValueType::kFloat64 ? static_cast<int64_t>(v.d)
+                                              : v.i);
+      break;
+  }
+}
+
+void Column::AppendNull() {
+  if (valid_.empty()) valid_.assign(size(), 1);
+  switch (type_) {
+    case ValueType::kFloat64:
+      doubles_.push_back(0.0);
+      break;
+    case ValueType::kString:
+      strings_.emplace_back();
+      break;
+    default:
+      ints_.push_back(0);
+      break;
+  }
+  valid_.push_back(0);
+}
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case ValueType::kFloat64:
+      doubles_.reserve(n);
+      break;
+    case ValueType::kString:
+      strings_.reserve(n);
+      break;
+    default:
+      ints_.reserve(n);
+      break;
+  }
+}
+
+void Column::Clear() {
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  valid_.clear();
+}
+
+Column Column::Take(const std::vector<uint32_t>& indices) const {
+  Column out(type_);
+  out.Reserve(indices.size());
+  switch (type_) {
+    case ValueType::kFloat64:
+      for (uint32_t i : indices) out.doubles_.push_back(doubles_[i]);
+      break;
+    case ValueType::kString:
+      for (uint32_t i : indices) out.strings_.push_back(strings_[i]);
+      break;
+    default:
+      for (uint32_t i : indices) out.ints_.push_back(ints_[i]);
+      break;
+  }
+  if (!valid_.empty()) {
+    out.valid_.reserve(indices.size());
+    for (uint32_t i : indices) out.valid_.push_back(valid_[i]);
+    out.CompactValidity();
+  }
+  return out;
+}
+
+Column Column::FilterBy(const std::vector<uint8_t>& mask) const {
+  CheckArg(mask.size() == size(), "filter mask length mismatch");
+  Column out(type_);
+  switch (type_) {
+    case ValueType::kFloat64:
+      for (size_t i = 0; i < mask.size(); ++i) {
+        if (mask[i]) out.doubles_.push_back(doubles_[i]);
+      }
+      break;
+    case ValueType::kString:
+      for (size_t i = 0; i < mask.size(); ++i) {
+        if (mask[i]) out.strings_.push_back(strings_[i]);
+      }
+      break;
+    default:
+      for (size_t i = 0; i < mask.size(); ++i) {
+        if (mask[i]) out.ints_.push_back(ints_[i]);
+      }
+      break;
+  }
+  if (!valid_.empty()) {
+    for (size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i]) out.valid_.push_back(valid_[i]);
+    }
+    out.CompactValidity();
+  }
+  return out;
+}
+
+void Column::AppendColumn(const Column& other) {
+  CheckArg(type_ == other.type_, "append type mismatch");
+  size_t old_size = size();
+  if (other.has_nulls() && valid_.empty()) valid_.assign(old_size, 1);
+  switch (type_) {
+    case ValueType::kFloat64:
+      doubles_.insert(doubles_.end(), other.doubles_.begin(),
+                      other.doubles_.end());
+      break;
+    case ValueType::kString:
+      strings_.insert(strings_.end(), other.strings_.begin(),
+                      other.strings_.end());
+      break;
+    default:
+      ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
+      break;
+  }
+  if (!valid_.empty()) {
+    if (other.valid_.empty()) {
+      valid_.resize(size(), 1);
+    } else {
+      valid_.insert(valid_.end(), other.valid_.begin(), other.valid_.end());
+    }
+  }
+}
+
+Column Column::Slice(size_t begin, size_t end) const {
+  Column out(type_);
+  switch (type_) {
+    case ValueType::kFloat64:
+      out.doubles_.assign(doubles_.begin() + begin, doubles_.begin() + end);
+      break;
+    case ValueType::kString:
+      out.strings_.assign(strings_.begin() + begin, strings_.begin() + end);
+      break;
+    default:
+      out.ints_.assign(ints_.begin() + begin, ints_.begin() + end);
+      break;
+  }
+  if (!valid_.empty()) {
+    out.valid_.assign(valid_.begin() + begin, valid_.begin() + end);
+    out.CompactValidity();
+  }
+  return out;
+}
+
+int Column::CompareRows(size_t i, const Column& other, size_t j) const {
+  bool ln = IsNull(i), rn = other.IsNull(j);
+  if (ln || rn) return ln == rn ? 0 : (ln ? -1 : 1);
+  if (type_ == ValueType::kString) {
+    int c = strings_[i].compare(other.strings_[j]);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Numeric comparison with int/float promotion (mixed-type comparisons
+  // arise when filters compare integer columns against derived floats).
+  if (type_ == ValueType::kFloat64 || other.type_ == ValueType::kFloat64) {
+    double a = DoubleAt(i), b = other.DoubleAt(j);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  int64_t a = ints_[i], b = other.ints_[j];
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+uint64_t Column::HashRow(size_t i, uint64_t seed) const {
+  if (IsNull(i)) return MixHash(seed, 0xdeadbeefULL);
+  switch (type_) {
+    case ValueType::kString:
+      return HashBytes(strings_[i].data(), strings_[i].size(), seed);
+    case ValueType::kFloat64: {
+      double d = doubles_[i];
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return MixHash(seed, bits);
+    }
+    default:
+      return MixHash(seed, static_cast<uint64_t>(ints_[i]));
+  }
+}
+
+size_t Column::ByteSize() const {
+  size_t bytes = ints_.capacity() * sizeof(int64_t) +
+                 doubles_.capacity() * sizeof(double) + valid_.capacity();
+  for (const auto& s : strings_) bytes += sizeof(std::string) + s.capacity();
+  return bytes;
+}
+
+}  // namespace wake

@@ -1,0 +1,109 @@
+// Column: typed, nullable, contiguous vector of values.
+//
+// Physical storage is one of three vectors (int64 / double / string)
+// selected by the logical type; kDate and kBool share int64 storage.
+// The null mask is allocated lazily — an empty `valid_` means all rows are
+// valid, which keeps the common non-null path branch-free.
+#ifndef WAKE_FRAME_COLUMN_H_
+#define WAKE_FRAME_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frame/value.h"
+
+namespace wake {
+
+/// A single column of a DataFrame.
+class Column {
+ public:
+  Column() : type_(ValueType::kInt64) {}
+  explicit Column(ValueType type) : type_(type) {}
+
+  /// Convenience constructors for tests and generators.
+  static Column FromInts(std::vector<int64_t> data,
+                         ValueType type = ValueType::kInt64);
+  static Column FromDoubles(std::vector<double> data);
+  static Column FromStrings(std::vector<std::string> data);
+
+  ValueType type() const { return type_; }
+  void set_type(ValueType t) { type_ = t; }
+  size_t size() const;
+
+  /// --- typed access (caller must respect the type) ---
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  std::vector<int64_t>* mutable_ints() { return &ints_; }
+  std::vector<double>* mutable_doubles() { return &doubles_; }
+  std::vector<std::string>* mutable_strings() { return &strings_; }
+
+  /// Numeric value of row i promoted to double (0.0 for null).
+  double DoubleAt(size_t i) const {
+    return IsIntPhysical(type_) ? static_cast<double>(ints_[i]) : doubles_[i];
+  }
+  int64_t IntAt(size_t i) const { return ints_[i]; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+
+  /// --- nulls ---
+  bool has_nulls() const { return !valid_.empty(); }
+  bool IsNull(size_t i) const { return !valid_.empty() && valid_[i] == 0; }
+  bool IsValid(size_t i) const { return valid_.empty() || valid_[i] != 0; }
+  /// Marks row i null (allocates the mask on first use).
+  void SetNull(size_t i);
+  const std::vector<uint8_t>& validity() const { return valid_; }
+  void set_validity(std::vector<uint8_t> v) { valid_ = std::move(v); }
+  /// Drops the mask if every row is valid.
+  void CompactValidity();
+
+  /// --- row-wise ---
+  Value GetValue(size_t i) const;
+  void AppendValue(const Value& v);
+  void AppendNull();
+  void AppendInt(int64_t x) { ints_.push_back(x); ExtendValidity(); }
+  void AppendDouble(double x) { doubles_.push_back(x); ExtendValidity(); }
+  void AppendString(std::string x) {
+    strings_.push_back(std::move(x));
+    ExtendValidity();
+  }
+
+  void Reserve(size_t n);
+  void Clear();
+
+  /// New column containing rows at `indices` (gather).
+  Column Take(const std::vector<uint32_t>& indices) const;
+
+  /// New column containing rows where mask[i] != 0.
+  Column FilterBy(const std::vector<uint8_t>& mask) const;
+
+  /// Appends all rows of `other` (must have same type).
+  void AppendColumn(const Column& other);
+
+  /// New column of rows [begin, end).
+  Column Slice(size_t begin, size_t end) const;
+
+  /// Three-way comparison of rows (this[i] vs other[j]); nulls sort first.
+  int CompareRows(size_t i, const Column& other, size_t j) const;
+
+  /// 64-bit hash of row i mixed into `seed` (used for join/group keys).
+  uint64_t HashRow(size_t i, uint64_t seed) const;
+
+  /// Approximate heap footprint in bytes (peak-memory accounting, §8.2).
+  size_t ByteSize() const;
+
+ private:
+  void ExtendValidity() {
+    if (!valid_.empty()) valid_.push_back(1);
+  }
+
+  ValueType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> valid_;  // empty == all valid
+};
+
+}  // namespace wake
+
+#endif  // WAKE_FRAME_COLUMN_H_

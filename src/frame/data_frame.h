@@ -1,0 +1,107 @@
+// DataFrame: a schema plus equal-length columns.
+//
+// This is the unit of data flowing between execution nodes: readers emit
+// one DataFrame per partition (a "partial", §4.2), operators transform
+// DataFrames, and edf states expose them to the user.
+#ifndef WAKE_FRAME_DATA_FRAME_H_
+#define WAKE_FRAME_DATA_FRAME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frame/column.h"
+#include "frame/schema.h"
+
+namespace wake {
+
+/// Sort specification for one column.
+struct SortKey {
+  std::string column;
+  bool descending = false;
+};
+
+/// 2-D structured data: one Schema, N equal-length Columns.
+class DataFrame {
+ public:
+  DataFrame() = default;
+  explicit DataFrame(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column* mutable_column(size_t i) { return &columns_[i]; }
+  /// Column by name; throws wake::Error if absent.
+  const Column& ColumnByName(const std::string& name) const;
+
+  /// Appends a column (must match current row count if non-first).
+  void AddColumn(Field field, Column column);
+
+  /// Returns indices of the named columns; throws on unknown names.
+  std::vector<size_t> ColumnIndices(
+      const std::vector<std::string>& names) const;
+
+  /// --- row-set transforms (all return new frames) ---
+  DataFrame Take(const std::vector<uint32_t>& indices) const;
+  DataFrame FilterBy(const std::vector<uint8_t>& mask) const;
+  DataFrame Slice(size_t begin, size_t end) const;
+  DataFrame Head(size_t n) const { return Slice(0, std::min(n, num_rows())); }
+  /// Keeps only the named columns, in the given order.
+  DataFrame Select(const std::vector<std::string>& names) const;
+
+  /// Appends all rows of `other` (schemas must have identical fields).
+  void Append(const DataFrame& other);
+
+  /// Stable sort by the given keys; nulls first on ascending.
+  DataFrame SortBy(const std::vector<SortKey>& keys) const;
+
+  /// Hash of the key columns `key_cols` for row `row`.
+  uint64_t HashRowKeys(const std::vector<size_t>& key_cols, size_t row) const;
+
+  /// True if row `i` of this frame equals row `j` of `other` on the given
+  /// (parallel) key column index lists.
+  bool KeysEqual(const std::vector<size_t>& cols, size_t i,
+                 const DataFrame& other, const std::vector<size_t>& other_cols,
+                 size_t j) const;
+
+  /// Whole-frame equality with tolerance for floats (testing aid).
+  bool ApproxEquals(const DataFrame& other, double rel_tol = 1e-9,
+                    std::string* diff = nullptr) const;
+
+  /// Pretty table; at most `max_rows` rows.
+  std::string ToString(size_t max_rows = 20) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t ByteSize() const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+using DataFramePtr = std::shared_ptr<const DataFrame>;
+
+/// Hash-based group index over key columns: assigns each row a dense group
+/// id; used by aggregation in every engine.
+struct GroupIndex {
+  std::vector<uint32_t> group_of_row;   // size == num_rows
+  std::vector<uint32_t> first_row;      // one representative row per group
+  size_t num_groups = 0;
+};
+
+/// Builds a GroupIndex for `df` grouped on `key_names` (empty = one global
+/// group containing every row; zero rows => zero groups unless
+/// `global_group_if_empty`).
+GroupIndex BuildGroups(const DataFrame& df,
+                       const std::vector<std::string>& key_names);
+
+}  // namespace wake
+
+#endif  // WAKE_FRAME_DATA_FRAME_H_

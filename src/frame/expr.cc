@@ -1,0 +1,555 @@
+#include "frame/expr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace wake {
+
+// The factories construct nodes directly; Expr's private constructor is
+// reachable because the factories are static members.
+
+ExprPtr Expr::Col(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumn;
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Lit(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kArith;
+  e->arith_op_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Cmp(CompareOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kCompare;
+  e->cmp_op_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLogic;
+  e->logic_op_ = LogicOp::kAnd;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLogic;
+  e->logic_op_ = LogicOp::kOr;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr c) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kNot;
+  e->children_ = {std::move(c)};
+  return e;
+}
+
+ExprPtr Expr::Like(ExprPtr input, std::string pattern) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLike;
+  e->pattern_ = std::move(pattern);
+  e->children_ = {std::move(input)};
+  return e;
+}
+
+ExprPtr Expr::In(ExprPtr input, std::vector<Value> values) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kInList;
+  e->list_ = std::move(values);
+  e->children_ = {std::move(input)};
+  return e;
+}
+
+ExprPtr Expr::Case(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kCase;
+  e->children_ = {std::move(cond), std::move(then_expr), std::move(else_expr)};
+  return e;
+}
+
+ExprPtr Expr::Coalesce(ExprPtr input, Value fallback) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kCoalesce;
+  e->literal_ = std::move(fallback);
+  e->children_ = {std::move(input)};
+  return e;
+}
+
+ExprPtr Expr::Substr(ExprPtr input, int64_t start, int64_t len) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kSubstr;
+  e->substr_start_ = start;
+  e->substr_len_ = len;
+  e->children_ = {std::move(input)};
+  return e;
+}
+
+ExprPtr Expr::Year(ExprPtr input) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kYear;
+  e->children_ = {std::move(input)};
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr input) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kIsNull;
+  e->children_ = {std::move(input)};
+  return e;
+}
+
+ValueType Expr::ResultType(const Schema& schema) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return schema.field(schema.FieldIndex(name_)).type;
+    case ExprKind::kLiteral:
+      return literal_.type;
+    case ExprKind::kArith: {
+      if (arith_op_ == ArithOp::kDiv) return ValueType::kFloat64;
+      ValueType l = children_[0]->ResultType(schema);
+      ValueType r = children_[1]->ResultType(schema);
+      if (l == ValueType::kFloat64 || r == ValueType::kFloat64) {
+        return ValueType::kFloat64;
+      }
+      return ValueType::kInt64;
+    }
+    case ExprKind::kCompare:
+    case ExprKind::kLogic:
+    case ExprKind::kNot:
+    case ExprKind::kLike:
+    case ExprKind::kInList:
+      // Recurse for validation (unknown column references must throw even
+      // though the result type is fixed).
+      for (const auto& c : children_) c->ResultType(schema);
+      return ValueType::kBool;
+    case ExprKind::kCase: {
+      ValueType t = children_[1]->ResultType(schema);
+      ValueType f = children_[2]->ResultType(schema);
+      if (t == ValueType::kFloat64 || f == ValueType::kFloat64) {
+        return ValueType::kFloat64;
+      }
+      return t;
+    }
+    case ExprKind::kCoalesce:
+      return children_[0]->ResultType(schema);
+    case ExprKind::kSubstr:
+      return ValueType::kString;
+    case ExprKind::kYear:
+      return ValueType::kInt64;
+    case ExprKind::kIsNull:
+      children_[0]->ResultType(schema);  // validate
+      return ValueType::kBool;
+  }
+  return ValueType::kInt64;
+}
+
+namespace {
+
+// Numeric binary arithmetic over two evaluated columns.
+Column EvalArith(ArithOp op, const Column& l, const Column& r) {
+  size_t n = l.size();
+  bool to_double = op == ArithOp::kDiv || l.type() == ValueType::kFloat64 ||
+                   r.type() == ValueType::kFloat64;
+  Column out(to_double ? ValueType::kFloat64 : ValueType::kInt64);
+  if (to_double) {
+    auto& v = *out.mutable_doubles();
+    v.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      double a = l.DoubleAt(i), b = r.DoubleAt(i);
+      switch (op) {
+        case ArithOp::kAdd: v[i] = a + b; break;
+        case ArithOp::kSub: v[i] = a - b; break;
+        case ArithOp::kMul: v[i] = a * b; break;
+        case ArithOp::kDiv: v[i] = b == 0.0 ? 0.0 : a / b; break;
+      }
+    }
+  } else {
+    auto& v = *out.mutable_ints();
+    v.resize(n);
+    const auto& a = l.ints();
+    const auto& b = r.ints();
+    for (size_t i = 0; i < n; ++i) {
+      switch (op) {
+        case ArithOp::kAdd: v[i] = a[i] + b[i]; break;
+        case ArithOp::kSub: v[i] = a[i] - b[i]; break;
+        case ArithOp::kMul: v[i] = a[i] * b[i]; break;
+        case ArithOp::kDiv: break;  // unreachable: kDiv promotes
+      }
+    }
+  }
+  if (l.has_nulls() || r.has_nulls()) {
+    std::vector<uint8_t> valid(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+      if (l.IsNull(i) || r.IsNull(i)) valid[i] = 0;
+    }
+    out.set_validity(std::move(valid));
+    out.CompactValidity();
+  }
+  return out;
+}
+
+template <typename T, typename U>
+void CompareLoop(CompareOp op, const std::vector<T>& a,
+                 const std::vector<U>& b, std::vector<int64_t>* out) {
+  size_t n = a.size();
+  switch (op) {
+    case CompareOp::kEq:
+      for (size_t i = 0; i < n; ++i) (*out)[i] = a[i] == b[i];
+      break;
+    case CompareOp::kNe:
+      for (size_t i = 0; i < n; ++i) (*out)[i] = a[i] != b[i];
+      break;
+    case CompareOp::kLt:
+      for (size_t i = 0; i < n; ++i) (*out)[i] = a[i] < b[i];
+      break;
+    case CompareOp::kLe:
+      for (size_t i = 0; i < n; ++i) (*out)[i] = a[i] <= b[i];
+      break;
+    case CompareOp::kGt:
+      for (size_t i = 0; i < n; ++i) (*out)[i] = a[i] > b[i];
+      break;
+    case CompareOp::kGe:
+      for (size_t i = 0; i < n; ++i) (*out)[i] = a[i] >= b[i];
+      break;
+  }
+}
+
+Column EvalCompare(CompareOp op, const Column& l, const Column& r) {
+  size_t n = l.size();
+  Column out(ValueType::kBool);
+  auto& v = *out.mutable_ints();
+  v.resize(n, 0);
+  // Fast paths: numeric, null-free columns compare in tight typed loops.
+  if (!l.has_nulls() && !r.has_nulls() && l.type() != ValueType::kString &&
+      r.type() != ValueType::kString) {
+    bool li = IsIntPhysical(l.type()), ri = IsIntPhysical(r.type());
+    if (li && ri) {
+      CompareLoop(op, l.ints(), r.ints(), &v);
+    } else if (!li && !ri) {
+      CompareLoop(op, l.doubles(), r.doubles(), &v);
+    } else if (li) {
+      CompareLoop(op, l.ints(), r.doubles(), &v);
+    } else {
+      CompareLoop(op, l.doubles(), r.ints(), &v);
+    }
+    return out;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (l.IsNull(i) || r.IsNull(i)) continue;  // null compare -> false
+    int c = l.CompareRows(i, r, i);
+    bool b = false;
+    switch (op) {
+      case CompareOp::kEq: b = c == 0; break;
+      case CompareOp::kNe: b = c != 0; break;
+      case CompareOp::kLt: b = c < 0; break;
+      case CompareOp::kLe: b = c <= 0; break;
+      case CompareOp::kGt: b = c > 0; break;
+      case CompareOp::kGe: b = c >= 0; break;
+    }
+    v[i] = b ? 1 : 0;
+  }
+  return out;
+}
+
+// Broadcasts a literal to a column of length n.
+Column BroadcastLiteral(const Value& lit, size_t n) {
+  Column out(lit.type);
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) out.AppendValue(lit);
+  return out;
+}
+
+}  // namespace
+
+Column Expr::Eval(const DataFrame& df) const {
+  size_t n = df.num_rows();
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return df.ColumnByName(name_);
+    case ExprKind::kLiteral:
+      return BroadcastLiteral(literal_, n);
+    case ExprKind::kArith:
+      return EvalArith(arith_op_, children_[0]->Eval(df),
+                       children_[1]->Eval(df));
+    case ExprKind::kCompare:
+      return EvalCompare(cmp_op_, children_[0]->Eval(df),
+                         children_[1]->Eval(df));
+    case ExprKind::kLogic: {
+      Column l = children_[0]->Eval(df);
+      Column r = children_[1]->Eval(df);
+      Column out(ValueType::kBool);
+      auto& v = *out.mutable_ints();
+      v.resize(n);
+      const auto& a = l.ints();
+      const auto& b = r.ints();
+      for (size_t i = 0; i < n; ++i) {
+        bool la = l.IsValid(i) && a[i] != 0;
+        bool rb = r.IsValid(i) && b[i] != 0;
+        v[i] = (logic_op_ == LogicOp::kAnd ? (la && rb) : (la || rb)) ? 1 : 0;
+      }
+      return out;
+    }
+    case ExprKind::kNot: {
+      Column c = children_[0]->Eval(df);
+      Column out(ValueType::kBool);
+      auto& v = *out.mutable_ints();
+      v.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        v[i] = (c.IsValid(i) && c.ints()[i] != 0) ? 0 : 1;
+      }
+      return out;
+    }
+    case ExprKind::kLike: {
+      Column c = children_[0]->Eval(df);
+      CheckArg(c.type() == ValueType::kString, "LIKE over non-string");
+      Column out(ValueType::kBool);
+      auto& v = *out.mutable_ints();
+      v.resize(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (c.IsValid(i)) v[i] = LikeMatch(c.strings()[i], pattern_) ? 1 : 0;
+      }
+      return out;
+    }
+    case ExprKind::kInList: {
+      Column c = children_[0]->Eval(df);
+      Column out(ValueType::kBool);
+      auto& v = *out.mutable_ints();
+      v.resize(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (c.IsNull(i)) continue;
+        Value row = c.GetValue(i);
+        for (const auto& cand : list_) {
+          if (row == cand) {
+            v[i] = 1;
+            break;
+          }
+        }
+      }
+      return out;
+    }
+    case ExprKind::kCase: {
+      Column cond = children_[0]->Eval(df);
+      Column t = children_[1]->Eval(df);
+      Column f = children_[2]->Eval(df);
+      bool to_double = t.type() == ValueType::kFloat64 ||
+                       f.type() == ValueType::kFloat64;
+      Column out(to_double ? ValueType::kFloat64 : t.type());
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        bool take_then = cond.IsValid(i) && cond.ints()[i] != 0;
+        const Column& src = take_then ? t : f;
+        if (src.IsNull(i)) {
+          out.AppendNull();
+        } else if (to_double) {
+          out.AppendDouble(src.DoubleAt(i));
+        } else if (out.type() == ValueType::kString) {
+          out.AppendString(src.StringAt(i));
+        } else {
+          out.AppendInt(src.IntAt(i));
+        }
+      }
+      return out;
+    }
+    case ExprKind::kCoalesce: {
+      Column c = children_[0]->Eval(df);
+      if (!c.has_nulls()) return c;
+      Column out(c.type());
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (c.IsNull(i)) {
+          out.AppendValue(literal_);
+        } else {
+          out.AppendValue(c.GetValue(i));
+        }
+      }
+      return out;
+    }
+    case ExprKind::kSubstr: {
+      Column c = children_[0]->Eval(df);
+      CheckArg(c.type() == ValueType::kString, "SUBSTR over non-string");
+      Column out(ValueType::kString);
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        const std::string& s = c.strings()[i];
+        size_t start = static_cast<size_t>(std::max<int64_t>(
+            substr_start_ - 1, 0));  // SQL is 1-based
+        if (start >= s.size()) {
+          out.AppendString("");
+        } else {
+          out.AppendString(
+              s.substr(start, static_cast<size_t>(substr_len_)));
+        }
+      }
+      return out;
+    }
+    case ExprKind::kYear: {
+      Column c = children_[0]->Eval(df);
+      Column out(ValueType::kInt64);
+      auto& v = *out.mutable_ints();
+      v.resize(n);
+      for (size_t i = 0; i < n; ++i) v[i] = ExtractYear(c.ints()[i]);
+      return out;
+    }
+    case ExprKind::kIsNull: {
+      Column c = children_[0]->Eval(df);
+      Column out(ValueType::kBool);
+      auto& v = *out.mutable_ints();
+      v.resize(n);
+      for (size_t i = 0; i < n; ++i) v[i] = c.IsNull(i) ? 1 : 0;
+      return out;
+    }
+  }
+  throw Error("unreachable expr kind");
+}
+
+void Expr::EvalWithVariance(
+    const DataFrame& df,
+    const std::unordered_map<std::string, const std::vector<double>*>& var_of,
+    Column* out_value, std::vector<double>* out_var) const {
+  size_t n = df.num_rows();
+  switch (kind_) {
+    case ExprKind::kColumn: {
+      *out_value = df.ColumnByName(name_);
+      auto it = var_of.find(name_);
+      if (it != var_of.end()) {
+        *out_var = *it->second;
+      } else {
+        out_var->assign(n, 0.0);
+      }
+      return;
+    }
+    case ExprKind::kArith: {
+      Column lv, rv;
+      std::vector<double> lvar, rvar;
+      children_[0]->EvalWithVariance(df, var_of, &lv, &lvar);
+      children_[1]->EvalWithVariance(df, var_of, &rv, &rvar);
+      *out_value = EvalArith(arith_op_, lv, rv);
+      out_var->resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        double a = lv.DoubleAt(i), b = rv.DoubleAt(i);
+        double va = lvar[i], vb = rvar[i];
+        switch (arith_op_) {
+          case ArithOp::kAdd:
+          case ArithOp::kSub:
+            (*out_var)[i] = va + vb;
+            break;
+          case ArithOp::kMul:
+            (*out_var)[i] = b * b * va + a * a * vb;
+            break;
+          case ArithOp::kDiv: {
+            if (b == 0.0) {
+              (*out_var)[i] = 0.0;
+            } else {
+              double f = a / b;
+              (*out_var)[i] = va / (b * b) + f * f * vb / (b * b);
+            }
+            break;
+          }
+        }
+      }
+      return;
+    }
+    case ExprKind::kCase: {
+      // Differentiable in the branches; the condition is a switch.
+      Column cond = children_[0]->Eval(df);
+      Column tv, fv;
+      std::vector<double> tvar, fvar;
+      children_[1]->EvalWithVariance(df, var_of, &tv, &tvar);
+      children_[2]->EvalWithVariance(df, var_of, &fv, &fvar);
+      *out_value = Eval(df);
+      out_var->resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        bool take_then = cond.IsValid(i) && cond.ints()[i] != 0;
+        (*out_var)[i] = take_then ? tvar[i] : fvar[i];
+      }
+      return;
+    }
+    default:
+      // Literals, comparisons, strings etc.: exact values.
+      *out_value = Eval(df);
+      out_var->assign(n, 0.0);
+      return;
+  }
+}
+
+void Expr::CollectColumns(std::set<std::string>* out) const {
+  if (kind_ == ExprKind::kColumn) out->insert(name_);
+  for (const auto& c : children_) c->CollectColumns(out);
+}
+
+bool Expr::ReadsMutable(const Schema& schema) const {
+  std::set<std::string> cols;
+  CollectColumns(&cols);
+  for (const auto& c : cols) {
+    size_t idx = schema.FindField(c);
+    if (idx != Schema::npos && schema.field(idx).mutable_attr) return true;
+  }
+  return false;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return name_;
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kArith: {
+      const char* ops[] = {"+", "-", "*", "/"};
+      return "(" + children_[0]->ToString() + " " +
+             ops[static_cast<int>(arith_op_)] + " " +
+             children_[1]->ToString() + ")";
+    }
+    case ExprKind::kCompare: {
+      const char* ops[] = {"=", "<>", "<", "<=", ">", ">="};
+      return "(" + children_[0]->ToString() + " " +
+             ops[static_cast<int>(cmp_op_)] + " " +
+             children_[1]->ToString() + ")";
+    }
+    case ExprKind::kLogic:
+      return "(" + children_[0]->ToString() +
+             (logic_op_ == LogicOp::kAnd ? " AND " : " OR ") +
+             children_[1]->ToString() + ")";
+    case ExprKind::kNot:
+      return "NOT " + children_[0]->ToString();
+    case ExprKind::kLike:
+      return children_[0]->ToString() + " LIKE '" + pattern_ + "'";
+    case ExprKind::kInList:
+      return children_[0]->ToString() + " IN (...)";
+    case ExprKind::kCase:
+      return "CASE WHEN " + children_[0]->ToString() + " THEN " +
+             children_[1]->ToString() + " ELSE " + children_[2]->ToString() +
+             " END";
+    case ExprKind::kCoalesce:
+      return "COALESCE(" + children_[0]->ToString() + ", " +
+             literal_.ToString() + ")";
+    case ExprKind::kSubstr:
+      return "SUBSTR(" + children_[0]->ToString() + ")";
+    case ExprKind::kYear:
+      return "YEAR(" + children_[0]->ToString() + ")";
+    case ExprKind::kIsNull:
+      return children_[0]->ToString() + " IS NULL";
+  }
+  return "?";
+}
+
+}  // namespace wake

@@ -1,0 +1,56 @@
+#include "frame/schema.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wake {
+
+size_t Schema::FieldIndex(const std::string& name) const {
+  size_t idx = FindField(name);
+  if (idx == npos) {
+    std::string known;
+    for (const auto& f : fields_) known += f.name + " ";
+    throw Error("unknown column '" + name + "' (have: " + known + ")");
+  }
+  return idx;
+}
+
+size_t Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return npos;
+}
+
+bool Schema::ClusteringContainedIn(
+    const std::vector<std::string>& cols) const {
+  if (clustering_key_.empty()) return false;
+  for (const auto& k : clustering_key_) {
+    if (std::find(cols.begin(), cols.end(), k) == cols.end()) return false;
+  }
+  return true;
+}
+
+bool Schema::AnyMutable(const std::vector<std::string>& names) const {
+  for (const auto& n : names) {
+    size_t idx = FindField(n);
+    if (idx != npos && fields_[idx].mutable_attr) return true;
+  }
+  return false;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ValueTypeName(fields_[i].type);
+    if (fields_[i].mutable_attr) out += "*";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace wake

@@ -1,0 +1,130 @@
+#include "frame/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace wake {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kFloat64:
+      return "float64";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kDate:
+      return "date";
+    case ValueType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  if (is_null) return "NULL";
+  switch (type) {
+    case ValueType::kInt64:
+      return std::to_string(i);
+    case ValueType::kFloat64: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", d);
+      return buf;
+    }
+    case ValueType::kString:
+      return s;
+    case ValueType::kDate:
+      return FormatDate(i);
+    case ValueType::kBool:
+      return i ? "true" : "false";
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null || other.is_null) return is_null && other.is_null;
+  if (type == ValueType::kString || other.type == ValueType::kString) {
+    return type == other.type && s == other.s;
+  }
+  if (type == ValueType::kFloat64 || other.type == ValueType::kFloat64) {
+    return AsDouble() == other.AsDouble();
+  }
+  return i == other.i;
+}
+
+bool Value::operator<(const Value& other) const {
+  // NULLs sort first (consistent with the sort kernels).
+  if (is_null != other.is_null) return is_null;
+  if (is_null) return false;
+  if (type == ValueType::kString) return s < other.s;
+  if (type == ValueType::kFloat64 || other.type == ValueType::kFloat64) {
+    return AsDouble() < other.AsDouble();
+  }
+  return i < other.i;
+}
+
+namespace {
+// Howard Hinnant's days-from-civil algorithm.
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yy + (*m <= 2);
+}
+}  // namespace
+
+int64_t DateToDays(int year, int month, int day) {
+  return DaysFromCivil(year, static_cast<unsigned>(month),
+                       static_cast<unsigned>(day));
+}
+
+void DaysToDate(int64_t days, int* year, int* month, int* day) {
+  int64_t y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  *year = static_cast<int>(y);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+std::string FormatDate(int64_t days) {
+  int y, m, d;
+  DaysToDate(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+int64_t ParseDate(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 ||
+      m > 12 || d < 1 || d > 31) {
+    throw Error("malformed date: " + text);
+  }
+  return DateToDays(y, m, d);
+}
+
+int ExtractYear(int64_t days) {
+  int y, m, d;
+  DaysToDate(days, &y, &m, &d);
+  return y;
+}
+
+}  // namespace wake

@@ -1,0 +1,59 @@
+// Plan property inference: output schema, key metadata, attribute
+// mutability, and the OLA evolution mode of every operator's output.
+//
+// These properties drive the Case 1/2/3 classification from §2.2 of the
+// paper:
+//  - kAppend  (Case 1): new partials only add rows; existing rows final.
+//  - kRefresh (Case 2/3): each new state replaces the previous content.
+// An aggregation whose group keys cover the input's clustering key is a
+// *local* aggregation (Case 1); otherwise it is a shuffle aggregation
+// (Case 2) whose outputs are mutable attributes requiring growth-based
+// inference.
+#ifndef WAKE_PLAN_PROPS_H_
+#define WAKE_PLAN_PROPS_H_
+
+#include "plan/plan.h"
+#include "storage/partitioned_table.h"
+
+namespace wake {
+
+/// How an operator's output evolves during OLA.
+enum class EvolveMode : uint8_t {
+  kAppend,   // partials accumulate (Case 1)
+  kRefresh,  // each state is a full snapshot (Case 2/3)
+};
+
+/// Inferred static properties of a plan node's output edf.
+struct PlanProps {
+  Schema schema;  // includes primary/clustering keys and mutability flags
+  EvolveMode mode = EvolveMode::kAppend;
+  /// True for aggregations requiring growth-based inference (shuffle aggs
+  /// over still-growing inputs).
+  bool needs_inference = false;
+};
+
+/// Computes properties for `node` (recursively over its inputs) against
+/// `catalog`. Throws wake::Error for malformed plans (unknown columns,
+/// key arity mismatches, aggregates over strings, ...). Used both by the
+/// Wake compiler and by plan validation in tests.
+PlanProps InferProps(const PlanNodePtr& node, const Catalog& catalog);
+
+/// Output schema of a join given resolved input schemas (shared by the
+/// exact engine's kernel and InferProps). For inner/left/cross joins the
+/// result is left fields + right fields minus the right join keys; for
+/// semi/anti joins it is the left fields only. Left-join right columns are
+/// marked nullable implicitly (nulls appear in the data, not the schema).
+Schema JoinOutputSchema(const Schema& left, const Schema& right,
+                        const std::vector<std::string>& right_keys,
+                        JoinType type);
+
+/// Output schema of an aggregation: group-by fields followed by one field
+/// per AggSpec (sum/avg/var/stddev are float64; counts are int64; min/max
+/// keep the input type).
+Schema AggOutputSchema(const Schema& input,
+                       const std::vector<std::string>& group_by,
+                       const std::vector<AggSpec>& aggs);
+
+}  // namespace wake
+
+#endif  // WAKE_PLAN_PROPS_H_

@@ -1,0 +1,122 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace wake {
+namespace sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",  "WHERE",  "GROUP",    "BY",     "ORDER",
+      "LIMIT",  "JOIN",  "INNER",  "LEFT",     "SEMI",   "ANTI",
+      "ON",     "AND",   "OR",     "NOT",      "AS",     "ASC",
+      "DESC",   "LIKE",  "IN",     "BETWEEN",  "DATE",   "HAVING",
+      "SUM",    "COUNT", "AVG",    "MIN",      "MAX",    "DISTINCT",
+      "VAR",    "STDDEV","MEDIAN", "YEAR",   "SUBSTR",   "COALESCE", "CASE",
+      "WHEN",   "THEN",  "ELSE",   "END",      "IS",     "NULL",
+      "TRUE",   "FALSE", "OUTER",  "CROSS",    "INTERVAL", "DAY"};
+  return kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;  // -- line comment
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdent, ToLower(word), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      bool saw_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       (input[i] == '.' && !saw_dot))) {
+        saw_dot |= input[i] == '.';
+        ++i;
+      }
+      tokens.push_back({TokenType::kNumber, input.substr(start, i - start),
+                        start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      while (true) {
+        CheckArg(i < n, "unterminated string literal at offset " +
+                            std::to_string(start));
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // '' escape
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        value += input[i++];
+      }
+      tokens.push_back({TokenType::kString, value, start});
+      continue;
+    }
+    // Multi-char operators first.
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<>" || two == "<=" || two == ">=" || two == "!=") {
+        tokens.push_back({TokenType::kSymbol, two == "!=" ? "<>" : two,
+                          start});
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = "(),*+-/=<>.";
+    CheckArg(kSingles.find(c) != std::string::npos,
+             std::string("unexpected character '") + c + "' at offset " +
+                 std::to_string(start));
+    tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+    ++i;
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace wake

@@ -1,0 +1,35 @@
+// SQL lexer for the wake SQL front end (the declarative interface the
+// paper lists as future work, §7.3/§10).
+#ifndef WAKE_SQL_LEXER_H_
+#define WAKE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace wake {
+namespace sql {
+
+enum class TokenType : uint8_t {
+  kKeyword,  // upper-cased SQL keyword (SELECT, FROM, ...)
+  kIdent,    // identifier (column/table names, lower-cased)
+  kNumber,   // integer or decimal literal
+  kString,   // '...' literal (quotes stripped, '' unescaped)
+  kSymbol,   // punctuation / operator: ( ) , * + - / = <> <= >= < > .
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // keyword/symbol text, identifier, or literal value
+  size_t position = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes `input`. Throws wake::Error on malformed literals. Keywords
+/// are recognized case-insensitively and reported upper-case; identifiers
+/// are lower-cased (SQL-style case folding).
+std::vector<Token> Lex(const std::string& input);
+
+}  // namespace sql
+}  // namespace wake
+
+#endif  // WAKE_SQL_LEXER_H_

@@ -1,0 +1,567 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace wake {
+namespace sql {
+
+namespace {
+
+/// One SELECT-list item: either a scalar expression or an aggregate call.
+struct SelectItem {
+  bool star = false;
+  bool is_agg = false;
+  AggFunc func = AggFunc::kCount;
+  ExprPtr agg_arg;     // null for COUNT(*)
+  std::string agg_arg_column;  // plain column name if the arg is one
+  ExprPtr scalar;
+  std::string alias;   // empty = derive a name
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : tokens_(Lex(input)) {}
+
+  Plan ParseStatement() {
+    Plan plan = ParseSelect();
+    Expect(TokenType::kEnd, "");
+    return plan;
+  }
+
+ private:
+  // --- token helpers ---
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  Token Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool AtKeyword(const char* kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool AtSymbol(const char* sym) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == sym;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (!AtKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (!AtSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw Error("SQL error at offset " + std::to_string(Peek().position) +
+                " (near '" + Peek().text + "'): " + message);
+  }
+  void ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) Fail(std::string("expected ") + kw);
+  }
+  void ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) Fail(std::string("expected '") + sym + "'");
+  }
+  void Expect(TokenType type, const char* what) {
+    if (Peek().type != type) Fail(std::string("expected ") + what);
+    Advance();
+  }
+
+  /// Identifier, stripping an optional table qualifier (`t.col` -> `col`).
+  std::string ParseColumnName() {
+    if (Peek().type != TokenType::kIdent) Fail("expected column name");
+    std::string name = Advance().text;
+    if (AtSymbol(".")) {
+      Advance();
+      if (Peek().type != TokenType::kIdent) Fail("expected column name");
+      name = Advance().text;  // qualifier stripped; TPC-H names are unique
+    }
+    return name;
+  }
+
+  // --- expression grammar (precedence climbing) ---
+  ExprPtr ParseExpr() { return ParseOr(); }
+
+  ExprPtr ParseOr() {
+    ExprPtr left = ParseAnd();
+    while (AcceptKeyword("OR")) {
+      left = Expr::Or(std::move(left), ParseAnd());
+    }
+    return left;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr left = ParseNot();
+    while (AcceptKeyword("AND")) {
+      left = Expr::And(std::move(left), ParseNot());
+    }
+    return left;
+  }
+
+  ExprPtr ParseNot() {
+    if (AcceptKeyword("NOT")) return Expr::Not(ParseNot());
+    return ParsePredicate();
+  }
+
+  ExprPtr ParsePredicate() {
+    ExprPtr left = ParseAdditive();
+    if (AcceptKeyword("IS")) {
+      bool negated = AcceptKeyword("NOT");
+      ExpectKeyword("NULL");
+      ExprPtr test = Expr::IsNull(std::move(left));
+      return negated ? Expr::Not(std::move(test)) : test;
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      ExprPtr lo = ParseAdditive();
+      ExpectKeyword("AND");
+      ExprPtr hi = ParseAdditive();
+      return Expr::And(Ge(left, std::move(lo)), Le(left, std::move(hi)));
+    }
+    bool negate = false;
+    if (AtKeyword("NOT") &&
+        (Peek(1).text == "LIKE" || Peek(1).text == "IN")) {
+      Advance();
+      negate = true;
+    }
+    if (AcceptKeyword("LIKE")) {
+      if (Peek().type != TokenType::kString) Fail("expected LIKE pattern");
+      ExprPtr result = Expr::Like(std::move(left), Advance().text);
+      return negate ? Expr::Not(std::move(result)) : result;
+    }
+    if (AcceptKeyword("IN")) {
+      ExpectSymbol("(");
+      std::vector<Value> values;
+      do {
+        values.push_back(ParseLiteralValue());
+      } while (AcceptSymbol(","));
+      ExpectSymbol(")");
+      ExprPtr result = Expr::In(std::move(left), std::move(values));
+      return negate ? Expr::Not(std::move(result)) : result;
+    }
+    static const std::pair<const char*, CompareOp> kOps[] = {
+        {"=", CompareOp::kEq},  {"<>", CompareOp::kNe},
+        {"<=", CompareOp::kLe}, {">=", CompareOp::kGe},
+        {"<", CompareOp::kLt},  {">", CompareOp::kGt}};
+    for (const auto& [sym, op] : kOps) {
+      if (AcceptSymbol(sym)) {
+        return Expr::Cmp(op, std::move(left), ParseAdditive());
+      }
+    }
+    return left;
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr left = ParseMultiplicative();
+    while (AtSymbol("+") || AtSymbol("-")) {
+      bool add = Advance().text == "+";
+      // DATE 'x' +/- INTERVAL n DAY folds into a date literal.
+      if (AtKeyword("INTERVAL")) {
+        Advance();
+        if (Peek().type != TokenType::kNumber) Fail("expected day count");
+        int64_t days = std::stoll(Advance().text);
+        ExpectKeyword("DAY");
+        CheckArg(left->kind() == ExprKind::kLiteral &&
+                     left->literal().type == ValueType::kDate,
+                 "INTERVAL arithmetic requires a DATE literal left side");
+        int64_t base = left->literal().i;
+        left = Expr::Lit(Value::Date(add ? base + days : base - days));
+        continue;
+      }
+      ExprPtr right = ParseMultiplicative();
+      left = add ? std::move(left) + std::move(right)
+                 : std::move(left) - std::move(right);
+    }
+    return left;
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr left = ParseUnary();
+    while (AtSymbol("*") || AtSymbol("/")) {
+      bool mul = Advance().text == "*";
+      ExprPtr right = ParseUnary();
+      left = mul ? std::move(left) * std::move(right)
+                 : std::move(left) / std::move(right);
+    }
+    return left;
+  }
+
+  ExprPtr ParseUnary() {
+    if (AcceptSymbol("-")) return Expr::Int(0) - ParseUnary();
+    if (AcceptSymbol("+")) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Value ParseLiteralValue() {
+    if (Peek().type == TokenType::kNumber) {
+      std::string text = Advance().text;
+      if (text.find('.') != std::string::npos) {
+        return Value::Float(std::stod(text));
+      }
+      return Value::Int(std::stoll(text));
+    }
+    if (Peek().type == TokenType::kString) {
+      return Value::Str(Advance().text);
+    }
+    if (AcceptKeyword("DATE")) {
+      if (Peek().type != TokenType::kString) Fail("expected date string");
+      return Value::Date(ParseDate(Advance().text));
+    }
+    if (AcceptKeyword("TRUE")) return Value::Bool(true);
+    if (AcceptKeyword("FALSE")) return Value::Bool(false);
+    Fail("expected literal");
+  }
+
+  ExprPtr ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kNumber:
+      case TokenType::kString:
+        return Expr::Lit(ParseLiteralValue());
+      case TokenType::kIdent:
+        return Expr::Col(ParseColumnName());
+      case TokenType::kSymbol:
+        if (AcceptSymbol("(")) {
+          ExprPtr inner = ParseExpr();
+          ExpectSymbol(")");
+          return inner;
+        }
+        Fail("unexpected symbol in expression");
+      case TokenType::kKeyword: {
+        if (AtKeyword("DATE")) return Expr::Lit(ParseLiteralValue());
+        if (AcceptKeyword("YEAR")) {
+          ExpectSymbol("(");
+          ExprPtr arg = ParseExpr();
+          ExpectSymbol(")");
+          return Expr::Year(std::move(arg));
+        }
+        if (AcceptKeyword("SUBSTR")) {
+          ExpectSymbol("(");
+          ExprPtr arg = ParseExpr();
+          ExpectSymbol(",");
+          if (Peek().type != TokenType::kNumber) Fail("expected start");
+          int64_t start = std::stoll(Advance().text);
+          ExpectSymbol(",");
+          if (Peek().type != TokenType::kNumber) Fail("expected length");
+          int64_t len = std::stoll(Advance().text);
+          ExpectSymbol(")");
+          return Expr::Substr(std::move(arg), start, len);
+        }
+        if (AcceptKeyword("COALESCE")) {
+          ExpectSymbol("(");
+          ExprPtr arg = ParseExpr();
+          ExpectSymbol(",");
+          Value fallback = ParseLiteralValue();
+          ExpectSymbol(")");
+          return Expr::Coalesce(std::move(arg), std::move(fallback));
+        }
+        if (AcceptKeyword("CASE")) {
+          ExpectKeyword("WHEN");
+          ExprPtr cond = ParseExpr();
+          ExpectKeyword("THEN");
+          ExprPtr then_expr = ParseExpr();
+          ExpectKeyword("ELSE");
+          ExprPtr else_expr = ParseExpr();
+          ExpectKeyword("END");
+          return Expr::Case(std::move(cond), std::move(then_expr),
+                            std::move(else_expr));
+        }
+        Fail("unsupported keyword in expression");
+      }
+      default:
+        Fail("unexpected end of input in expression");
+    }
+  }
+
+  // --- SELECT list ---
+  std::optional<AggFunc> AggKeyword() {
+    static const std::pair<const char*, AggFunc> kAggs[] = {
+        {"SUM", AggFunc::kSum},   {"COUNT", AggFunc::kCount},
+        {"AVG", AggFunc::kAvg},   {"MIN", AggFunc::kMin},
+        {"MAX", AggFunc::kMax},   {"VAR", AggFunc::kVar},
+        {"STDDEV", AggFunc::kStddev}, {"MEDIAN", AggFunc::kMedian}};
+    for (const auto& [kw, func] : kAggs) {
+      if (AtKeyword(kw) && Peek(1).text == "(") {
+        Advance();
+        return func;
+      }
+    }
+    return std::nullopt;
+  }
+
+  SelectItem ParseSelectItem() {
+    SelectItem item;
+    if (AcceptSymbol("*")) {
+      item.star = true;
+      return item;
+    }
+    if (auto func = AggKeyword()) {
+      item.is_agg = true;
+      item.func = *func;
+      ExpectSymbol("(");
+      if (item.func == AggFunc::kCount && AcceptSymbol("*")) {
+        // COUNT(*): no argument.
+      } else {
+        if (AcceptKeyword("DISTINCT")) {
+          CheckArg(item.func == AggFunc::kCount,
+                   "DISTINCT only supported inside COUNT()");
+          item.func = AggFunc::kCountDistinct;
+        }
+        item.agg_arg = ParseExpr();
+        if (item.agg_arg->kind() == ExprKind::kColumn) {
+          item.agg_arg_column = item.agg_arg->column_name();
+        }
+      }
+      ExpectSymbol(")");
+    } else {
+      item.scalar = ParseExpr();
+    }
+    if (AcceptKeyword("AS")) {
+      if (Peek().type != TokenType::kIdent) Fail("expected alias");
+      item.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdent &&
+               item.scalar != nullptr) {
+      // implicit alias: `expr name`
+      item.alias = Advance().text;
+    }
+    return item;
+  }
+
+  // --- FROM / JOIN ---
+  Plan ParseFrom() {
+    if (Peek().type != TokenType::kIdent) Fail("expected table name");
+    Plan plan = Plan::Scan(Advance().text);
+    while (true) {
+      JoinType type;
+      if (AcceptKeyword("JOIN")) {
+        type = JoinType::kInner;
+      } else if (AtKeyword("INNER") && Peek(1).text == "JOIN") {
+        Advance();
+        Advance();
+        type = JoinType::kInner;
+      } else if (AtKeyword("LEFT")) {
+        Advance();
+        AcceptKeyword("OUTER");
+        ExpectKeyword("JOIN");
+        type = JoinType::kLeft;
+      } else if (AtKeyword("SEMI") && Peek(1).text == "JOIN") {
+        Advance();
+        Advance();
+        type = JoinType::kSemi;
+      } else if (AtKeyword("ANTI") && Peek(1).text == "JOIN") {
+        Advance();
+        Advance();
+        type = JoinType::kAnti;
+      } else if (AtKeyword("CROSS") && Peek(1).text == "JOIN") {
+        Advance();
+        Advance();
+        if (Peek().type != TokenType::kIdent) Fail("expected table name");
+        plan = plan.CrossJoin(Plan::Scan(Advance().text));
+        continue;
+      } else {
+        break;
+      }
+      if (Peek().type != TokenType::kIdent) Fail("expected table name");
+      std::string table = Advance().text;
+      ExpectKeyword("ON");
+      std::vector<std::string> left_keys, right_keys;
+      do {
+        // a = b; columns written in either order — the column prefixed
+        // with the joined table's name (or listed second) is the right key.
+        std::string a_qual, b_qual;
+        std::string a = ParseQualified(&a_qual);
+        ExpectSymbol("=");
+        std::string b = ParseQualified(&b_qual);
+        if (a_qual == table) {
+          left_keys.push_back(b);
+          right_keys.push_back(a);
+        } else {
+          left_keys.push_back(a);
+          right_keys.push_back(b);
+        }
+      } while (AcceptKeyword("AND"));
+      plan = plan.Join(Plan::Scan(table), type, std::move(left_keys),
+                       std::move(right_keys));
+    }
+    return plan;
+  }
+
+  std::string ParseQualified(std::string* qualifier) {
+    if (Peek().type != TokenType::kIdent) Fail("expected column name");
+    std::string name = Advance().text;
+    if (AtSymbol(".")) {
+      Advance();
+      *qualifier = name;
+      if (Peek().type != TokenType::kIdent) Fail("expected column name");
+      name = Advance().text;
+    }
+    return name;
+  }
+
+  // --- the statement ---
+  Plan ParseSelect() {
+    ExpectKeyword("SELECT");
+    std::vector<SelectItem> items;
+    do {
+      items.push_back(ParseSelectItem());
+    } while (AcceptSymbol(","));
+    ExpectKeyword("FROM");
+    Plan plan = ParseFrom();
+
+    if (AcceptKeyword("WHERE")) plan = plan.Filter(ParseExpr());
+
+    std::vector<std::string> group_by;
+    bool has_group = false;
+    if (AcceptKeyword("GROUP")) {
+      ExpectKeyword("BY");
+      has_group = true;
+      do {
+        group_by.push_back(ParseColumnName());
+      } while (AcceptSymbol(","));
+    }
+
+    bool has_agg = false;
+    for (const auto& item : items) has_agg |= item.is_agg;
+    CheckArg(!has_group || has_agg,
+             "GROUP BY requires at least one aggregate in SELECT");
+
+    if (has_agg) {
+      plan = LowerAggregate(plan, items, group_by);
+    } else if (!(items.size() == 1 && items[0].star)) {
+      std::vector<NamedExpr> projections;
+      for (size_t i = 0; i < items.size(); ++i) {
+        CheckArg(!items[i].star, "'*' cannot be mixed with expressions");
+        projections.push_back(
+            {OutputName(items[i], i), items[i].scalar});
+      }
+      plan = plan.Map(std::move(projections));
+    }
+
+    if (AcceptKeyword("HAVING")) {
+      CheckArg(has_agg, "HAVING requires aggregation");
+      plan = plan.Filter(ParseExpr());
+    }
+    if (AcceptKeyword("ORDER")) {
+      ExpectKeyword("BY");
+      std::vector<SortKey> keys;
+      do {
+        SortKey key;
+        key.column = ParseColumnName();
+        if (AcceptKeyword("DESC")) {
+          key.descending = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        keys.push_back(std::move(key));
+      } while (AcceptSymbol(","));
+      size_t limit = 0;
+      if (AcceptKeyword("LIMIT")) {
+        if (Peek().type != TokenType::kNumber) Fail("expected limit");
+        limit = static_cast<size_t>(std::stoull(Advance().text));
+      }
+      plan = plan.Sort(std::move(keys), limit);
+    } else if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kNumber) Fail("expected limit");
+      size_t limit = static_cast<size_t>(std::stoull(Advance().text));
+      plan = plan.Sort({}, limit);
+    }
+    return plan;
+  }
+
+  std::string OutputName(const SelectItem& item, size_t index) const {
+    if (!item.alias.empty()) return item.alias;
+    if (item.is_agg) {
+      std::string base = AggFuncName(item.func);
+      if (!item.agg_arg_column.empty()) {
+        return base + "_" + item.agg_arg_column;
+      }
+      return base + (index > 0 ? "_" + std::to_string(index) : "");
+    }
+    if (item.scalar->kind() == ExprKind::kColumn) {
+      return item.scalar->column_name();
+    }
+    return "expr_" + std::to_string(index);
+  }
+
+  Plan LowerAggregate(Plan plan, const std::vector<SelectItem>& items,
+                      const std::vector<std::string>& group_by) {
+    // Materialize non-column aggregate arguments as derived columns.
+    std::vector<NamedExpr> derived;
+    std::vector<AggSpec> specs;
+    std::vector<std::string> final_columns;
+    size_t temp_idx = 0;
+    for (size_t i = 0; i < items.size(); ++i) {
+      const SelectItem& item = items[i];
+      CheckArg(!item.star, "'*' cannot be mixed with aggregates");
+      std::string out = OutputName(item, i);
+      if (item.is_agg) {
+        AggSpec spec;
+        spec.func = item.func;
+        spec.output = out;
+        if (item.agg_arg == nullptr) {
+          spec.input = "";  // COUNT(*)
+        } else if (!item.agg_arg_column.empty()) {
+          spec.input = item.agg_arg_column;
+        } else {
+          spec.input = "__agg_arg_" + std::to_string(temp_idx++);
+          derived.push_back({spec.input, item.agg_arg});
+        }
+        specs.push_back(std::move(spec));
+      } else {
+        bool is_group_column =
+            item.scalar->kind() == ExprKind::kColumn &&
+            std::find(group_by.begin(), group_by.end(),
+                      item.scalar->column_name()) != group_by.end();
+        bool aliased_group_expr =
+            std::find(group_by.begin(), group_by.end(), out) !=
+            group_by.end();
+        CheckArg(is_group_column || aliased_group_expr,
+                 "non-aggregate SELECT item '" + out +
+                     "' must be a GROUP BY column");
+        // `GROUP BY <alias>` over an expression: derive the expression as
+        // a column named by the alias before aggregating.
+        if (!is_group_column) derived.push_back({out, item.scalar});
+      }
+      final_columns.push_back(out);
+    }
+    if (!derived.empty()) plan = plan.Derive(std::move(derived));
+    plan = plan.Aggregate(group_by, std::move(specs));
+    // Re-project to the SELECT order/names when they differ from the
+    // aggregate's natural group-keys-first layout (handles aliased group
+    // columns too).
+    std::vector<std::string> natural = group_by;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i].is_agg) natural.push_back(final_columns[i]);
+    }
+    if (natural != final_columns) {
+      std::vector<NamedExpr> reorder;
+      for (size_t i = 0; i < items.size(); ++i) {
+        // Plain group columns may be renamed to their alias; everything
+        // else already carries its output name after the aggregate.
+        ExprPtr source =
+            !items[i].is_agg && items[i].scalar->kind() == ExprKind::kColumn
+                ? items[i].scalar
+                : Expr::Col(final_columns[i]);
+        reorder.push_back({final_columns[i], std::move(source)});
+      }
+      plan = plan.Map(std::move(reorder));
+    }
+    return plan;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Plan Parse(const std::string& statement) {
+  Parser parser(statement);
+  return parser.ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace wake

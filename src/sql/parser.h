@@ -1,0 +1,43 @@
+// SQL front end: parses a SELECT statement into a wake logical plan.
+//
+// The paper leaves a declarative interface as future work (§3.3, §10);
+// this module provides one for the supported operator algebra:
+//
+//   SELECT <expr [AS name] | agg(expr) [AS name] | *> [, ...]
+//   FROM <table> [ [INNER|LEFT|SEMI|ANTI] JOIN <table> ON a = b [AND ...]
+//                | CROSS JOIN <table> ]*
+//   [WHERE <predicate>]
+//   [GROUP BY col [, ...]]   [HAVING <predicate>]
+//   [ORDER BY col [ASC|DESC] [, ...]]   [LIMIT n]
+//
+// Expressions: arithmetic, comparisons, AND/OR/NOT, BETWEEN, IN (...),
+// LIKE, CASE WHEN, DATE 'yyyy-mm-dd' (± INTERVAL n DAY), YEAR(),
+// SUBSTR(), COALESCE(); aggregates SUM/COUNT/COUNT(DISTINCT)/AVG/MIN/MAX/
+// VAR/STDDEV. Table qualifiers (`l.l_orderkey`) are accepted and stripped
+// (TPC-H columns are globally unique). Subqueries are not supported —
+// express them by composing plans/edfs, as the paper's API does.
+//
+// Example:
+//   Plan plan = sql::Parse(
+//       "SELECT l_returnflag, SUM(l_quantity) AS q FROM lineitem "
+//       "WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag "
+//       "ORDER BY q DESC LIMIT 5");
+//   WakeEngine(&catalog).Execute(plan.node(), on_state);
+#ifndef WAKE_SQL_PARSER_H_
+#define WAKE_SQL_PARSER_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace wake {
+namespace sql {
+
+/// Parses one SELECT statement into a plan. Throws wake::Error with a
+/// position-annotated message on syntax errors or unsupported constructs.
+Plan Parse(const std::string& statement);
+
+}  // namespace sql
+}  // namespace wake
+
+#endif  // WAKE_SQL_PARSER_H_

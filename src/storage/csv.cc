@@ -1,0 +1,206 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace wake {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+char TypeChar(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64: return 'i';
+    case ValueType::kFloat64: return 'f';
+    case ValueType::kString: return 's';
+    case ValueType::kDate: return 'd';
+    case ValueType::kBool: return 'b';
+  }
+  return '?';
+}
+
+ValueType TypeFromChar(char c) {
+  switch (c) {
+    case 'i': return ValueType::kInt64;
+    case 'f': return ValueType::kFloat64;
+    case 's': return ValueType::kString;
+    case 'd': return ValueType::kDate;
+    case 'b': return ValueType::kBool;
+  }
+  throw Error(std::string("bad CSV type char: ") + c);
+}
+
+std::string FieldText(const Column& col, size_t row) {
+  if (col.IsNull(row)) return "";
+  switch (col.type()) {
+    case ValueType::kFloat64:
+      return StrFormat("%.17g", col.DoubleAt(row));
+    case ValueType::kString:
+      return col.StringAt(row);
+    case ValueType::kDate:
+      return FormatDate(col.IntAt(row));
+    default:
+      return std::to_string(col.IntAt(row));
+  }
+}
+
+}  // namespace
+
+bool ParseCsvRecord(const std::string& content, size_t* offset,
+                    std::vector<std::string>* fields) {
+  fields->clear();
+  size_t i = *offset;
+  size_t n = content.size();
+  if (i >= n) return false;
+  std::string field;
+  bool in_quotes = false;
+  while (i < n) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && content[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields->push_back(std::move(field));
+      field.clear();
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < n && content[i + 1] == '\n') ++i;
+      ++i;
+      fields->push_back(std::move(field));
+      *offset = i;
+      return true;
+    }
+    field += c;
+    ++i;
+  }
+  CheckArg(!in_quotes, "unterminated quoted CSV field");
+  fields->push_back(std::move(field));
+  *offset = n;
+  return true;
+}
+
+void WriteCsv(const DataFrame& df, const std::string& path) {
+  std::ofstream out(path);
+  CheckArg(out.good(), "cannot write " + path);
+  const Schema& schema = df.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) out << ',';
+    out << QuoteField(schema.field(c).name + ":" +
+                      TypeChar(schema.field(c).type));
+  }
+  out << '\n';
+  for (size_t r = 0; r < df.num_rows(); ++r) {
+    for (size_t c = 0; c < df.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      out << QuoteField(FieldText(df.column(c), r));
+    }
+    out << '\n';
+  }
+}
+
+namespace {
+
+DataFrame ReadCsvImpl(const std::string& path, const Schema* given_schema) {
+  std::ifstream in(path);
+  CheckArg(in.good(), "cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string content = buffer.str();
+  size_t offset = 0;
+  std::vector<std::string> fields;
+
+  Schema schema;
+  if (given_schema != nullptr) {
+    schema = *given_schema;
+  } else {
+    CheckArg(ParseCsvRecord(content, &offset, &fields),
+             "empty CSV file " + path);
+    for (const auto& header : fields) {
+      size_t colon = header.rfind(':');
+      CheckArg(colon != std::string::npos && colon + 2 == header.size(),
+               "CSV header field must be name:type, got '" + header + "'");
+      schema.AddField(
+          Field(header.substr(0, colon), TypeFromChar(header[colon + 1])));
+    }
+  }
+
+  DataFrame df(schema);
+  while (ParseCsvRecord(content, &offset, &fields)) {
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    CheckArg(fields.size() == schema.num_fields(),
+             StrFormat("CSV row has %zu fields, schema has %zu",
+                       fields.size(), schema.num_fields()));
+    for (size_t c = 0; c < fields.size(); ++c) {
+      Column* col = df.mutable_column(c);
+      const std::string& text = fields[c];
+      if (text.empty() && schema.field(c).type != ValueType::kString) {
+        col->AppendNull();
+        continue;
+      }
+      switch (schema.field(c).type) {
+        case ValueType::kInt64:
+        case ValueType::kBool:
+          col->AppendInt(std::stoll(text));
+          break;
+        case ValueType::kFloat64:
+          col->AppendDouble(std::stod(text));
+          break;
+        case ValueType::kString:
+          col->AppendString(text);
+          break;
+        case ValueType::kDate:
+          col->AppendInt(ParseDate(text));
+          break;
+      }
+    }
+  }
+  return df;
+}
+
+}  // namespace
+
+DataFrame ReadCsv(const std::string& path) {
+  return ReadCsvImpl(path, nullptr);
+}
+
+DataFrame ReadCsvWithSchema(const std::string& path, const Schema& schema) {
+  return ReadCsvImpl(path, &schema);
+}
+
+}  // namespace wake

@@ -1,0 +1,34 @@
+// RFC-4180-style CSV reader/writer.
+//
+// The paper's user sessions start with read_csv (§1, §3.1); this module
+// provides the comma-separated path next to the pipe-separated .tbl and
+// binary .wpart formats. Quoting rules: fields containing commas, quotes,
+// or newlines are double-quoted; embedded quotes are doubled.
+#ifndef WAKE_STORAGE_CSV_H_
+#define WAKE_STORAGE_CSV_H_
+
+#include <string>
+
+#include "frame/data_frame.h"
+
+namespace wake {
+
+/// Writes `df` to `path` with a `name:type` header row.
+void WriteCsv(const DataFrame& df, const std::string& path);
+
+/// Reads a CSV produced by WriteCsv (schema from the header). Throws
+/// wake::Error on malformed input. Empty unquoted fields of non-string
+/// columns read back as NULL.
+DataFrame ReadCsv(const std::string& path);
+
+/// Reads a headerless CSV against a caller-provided schema.
+DataFrame ReadCsvWithSchema(const std::string& path, const Schema& schema);
+
+/// Parses one CSV record (handles quoting); exposed for testing. Returns
+/// false at end of input. `io` is consumed across calls.
+bool ParseCsvRecord(const std::string& content, size_t* offset,
+                    std::vector<std::string>* fields);
+
+}  // namespace wake
+
+#endif  // WAKE_STORAGE_CSV_H_

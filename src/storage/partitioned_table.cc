@@ -1,0 +1,389 @@
+#include "storage/partitioned_table.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace wake {
+
+namespace {
+
+// Returns true if rows r-1 and r of `df` agree on every clustering column.
+bool SameClusterKey(const DataFrame& df, const std::vector<size_t>& cols,
+                    size_t r) {
+  for (size_t c : cols) {
+    if (df.column(c).CompareRows(r - 1, df.column(c), r) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PartitionedTable PartitionedTable::FromDataFrame(std::string name,
+                                                 const DataFrame& df,
+                                                 size_t num_partitions) {
+  CheckArg(num_partitions > 0, "num_partitions must be positive");
+  PartitionedTable table(std::move(name), df.schema());
+  size_t n = df.num_rows();
+  if (n == 0) {
+    table.AddPartition(std::make_shared<DataFrame>(df));
+    return table;
+  }
+  std::vector<size_t> cluster_cols;
+  if (!df.schema().clustering_key().empty()) {
+    cluster_cols = df.ColumnIndices(df.schema().clustering_key());
+  }
+  size_t target = (n + num_partitions - 1) / num_partitions;
+  size_t begin = 0;
+  while (begin < n) {
+    size_t end = std::min(begin + target, n);
+    // Advance past rows sharing the clustering key with the boundary row so
+    // one key never straddles two partitions.
+    if (!cluster_cols.empty()) {
+      while (end < n && end > 0 && SameClusterKey(df, cluster_cols, end)) {
+        ++end;
+      }
+    }
+    table.AddPartition(std::make_shared<DataFrame>(df.Slice(begin, end)));
+    begin = end;
+  }
+  return table;
+}
+
+void PartitionedTable::AddPartition(DataFramePtr partition) {
+  CheckArg(partition != nullptr, "null partition");
+  total_rows_ += partition->num_rows();
+  if (schema_.num_fields() == 0) schema_ = partition->schema();
+  partitions_.push_back(std::move(partition));
+}
+
+TableMetadata PartitionedTable::metadata() const {
+  TableMetadata meta;
+  meta.name = name_;
+  meta.schema = schema_;
+  meta.total_rows = total_rows_;
+  for (const auto& p : partitions_) meta.partition_rows.push_back(p->num_rows());
+  return meta;
+}
+
+PartitionedTable PartitionedTable::Repartition(size_t num_partitions) const {
+  return FromDataFrame(name_, Materialize(), num_partitions);
+}
+
+PartitionedTable PartitionedTable::ShufflePartitions(uint64_t seed) const {
+  PartitionedTable out(name_, schema_);
+  std::vector<DataFramePtr> parts = partitions_;
+  Rng rng(seed);
+  rng.Shuffle(&parts);
+  for (auto& p : parts) out.AddPartition(std::move(p));
+  return out;
+}
+
+DataFrame PartitionedTable::Materialize() const {
+  DataFrame out(schema_);
+  for (const auto& p : partitions_) out.Append(*p);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Text (.tbl) serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+char TypeChar(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64: return 'i';
+    case ValueType::kFloat64: return 'f';
+    case ValueType::kString: return 's';
+    case ValueType::kDate: return 'd';
+    case ValueType::kBool: return 'b';
+  }
+  return '?';
+}
+
+ValueType TypeFromChar(char c) {
+  switch (c) {
+    case 'i': return ValueType::kInt64;
+    case 'f': return ValueType::kFloat64;
+    case 's': return ValueType::kString;
+    case 'd': return ValueType::kDate;
+    case 'b': return ValueType::kBool;
+  }
+  throw Error(std::string("bad type char: ") + c);
+}
+
+void WriteMeta(const std::string& path, const PartitionedTable& table) {
+  std::ofstream out(path);
+  CheckArg(out.good(), "cannot write " + path);
+  const Schema& s = table.schema();
+  out << table.name() << "\n" << table.num_partitions() << "\n";
+  out << s.num_fields() << "\n";
+  for (const auto& f : s.fields()) {
+    out << f.name << "|" << TypeChar(f.type) << "|" << (f.mutable_attr ? 1 : 0)
+        << "\n";
+  }
+  out << Join(s.primary_key(), ",") << "\n";
+  out << Join(s.clustering_key(), ",") << "\n";
+}
+
+Schema ReadMeta(const std::string& path, std::string* name,
+                size_t* num_partitions) {
+  std::ifstream in(path);
+  CheckArg(in.good(), "cannot read " + path);
+  std::string line;
+  std::getline(in, *name);
+  std::getline(in, line);
+  *num_partitions = std::stoul(line);
+  std::getline(in, line);
+  size_t num_fields = std::stoul(line);
+  Schema schema;
+  for (size_t i = 0; i < num_fields; ++i) {
+    std::getline(in, line);
+    auto parts = Split(line, '|');
+    CheckArg(parts.size() == 3, "malformed meta field line: " + line);
+    schema.AddField(
+        Field(parts[0], TypeFromChar(parts[1][0]), parts[2] == "1"));
+  }
+  auto read_key = [&]() {
+    std::getline(in, line);
+    std::vector<std::string> key;
+    if (!line.empty()) key = Split(line, ',');
+    return key;
+  };
+  schema.set_primary_key(read_key());
+  schema.set_clustering_key(read_key());
+  return schema;
+}
+
+}  // namespace
+
+void PartitionedTable::WriteTblDir(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  WriteMeta(dir + "/" + name_ + ".meta", *this);
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    std::string path = dir + "/" + name_ + "." + std::to_string(i) + ".tbl";
+    std::ofstream out(path);
+    CheckArg(out.good(), "cannot write " + path);
+    const DataFrame& df = *partitions_[i];
+    for (size_t r = 0; r < df.num_rows(); ++r) {
+      for (size_t c = 0; c < df.num_columns(); ++c) {
+        if (c > 0) out << '|';
+        const Column& col = df.column(c);
+        if (col.IsNull(r)) {
+          // empty field == null; TPC-H data itself has no nulls.
+        } else if (col.type() == ValueType::kFloat64) {
+          out << StrFormat("%.9g", col.DoubleAt(r));
+        } else if (col.type() == ValueType::kString) {
+          out << col.StringAt(r);
+        } else if (col.type() == ValueType::kDate) {
+          out << FormatDate(col.IntAt(r));
+        } else {
+          out << col.IntAt(r);
+        }
+      }
+      out << '\n';
+    }
+  }
+}
+
+PartitionedTable PartitionedTable::ReadTblDir(const std::string& dir,
+                                              const std::string& name) {
+  std::string table_name;
+  size_t num_partitions = 0;
+  Schema schema = ReadMeta(dir + "/" + name + ".meta", &table_name,
+                           &num_partitions);
+  PartitionedTable table(table_name, schema);
+  for (size_t i = 0; i < num_partitions; ++i) {
+    std::string path = dir + "/" + name + "." + std::to_string(i) + ".tbl";
+    std::ifstream in(path);
+    CheckArg(in.good(), "cannot read " + path);
+    auto df = std::make_shared<DataFrame>(schema);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      auto fields = Split(line, '|');
+      CheckArg(fields.size() == schema.num_fields(),
+               "column count mismatch in " + path);
+      for (size_t c = 0; c < fields.size(); ++c) {
+        Column* col = df->mutable_column(c);
+        const std::string& text = fields[c];
+        if (text.empty() && schema.field(c).type != ValueType::kString) {
+          col->AppendNull();
+          continue;
+        }
+        switch (schema.field(c).type) {
+          case ValueType::kInt64:
+          case ValueType::kBool:
+            col->AppendInt(std::stoll(text));
+            break;
+          case ValueType::kFloat64:
+            col->AppendDouble(std::stod(text));
+            break;
+          case ValueType::kString:
+            col->AppendString(text);
+            break;
+          case ValueType::kDate:
+            col->AppendInt(ParseDate(text));
+            break;
+        }
+      }
+    }
+    table.AddPartition(std::move(df));
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Binary (.wpart) serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kWpartMagic = 0x57504B31;  // "WPK1"
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return v;
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WritePod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string ReadString(std::ifstream& in) {
+  uint32_t len = ReadPod<uint32_t>(in);
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  return s;
+}
+
+}  // namespace
+
+void PartitionedTable::WriteWpartDir(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  WriteMeta(dir + "/" + name_ + ".meta", *this);
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    std::string path = dir + "/" + name_ + "." + std::to_string(i) + ".wpart";
+    std::ofstream out(path, std::ios::binary);
+    CheckArg(out.good(), "cannot write " + path);
+    const DataFrame& df = *partitions_[i];
+    WritePod<uint32_t>(out, kWpartMagic);
+    WritePod<uint64_t>(out, df.num_rows());
+    WritePod<uint32_t>(out, static_cast<uint32_t>(df.num_columns()));
+    for (size_t c = 0; c < df.num_columns(); ++c) {
+      const Column& col = df.column(c);
+      WritePod<uint8_t>(out, static_cast<uint8_t>(col.type()));
+      WritePod<uint8_t>(out, col.has_nulls() ? 1 : 0);
+      if (col.has_nulls()) {
+        out.write(reinterpret_cast<const char*>(col.validity().data()),
+                  static_cast<std::streamsize>(col.validity().size()));
+      }
+      if (col.type() == ValueType::kFloat64) {
+        out.write(reinterpret_cast<const char*>(col.doubles().data()),
+                  static_cast<std::streamsize>(col.doubles().size() *
+                                               sizeof(double)));
+      } else if (col.type() == ValueType::kString) {
+        for (const auto& s : col.strings()) WriteString(out, s);
+      } else {
+        out.write(reinterpret_cast<const char*>(col.ints().data()),
+                  static_cast<std::streamsize>(col.ints().size() *
+                                               sizeof(int64_t)));
+      }
+    }
+  }
+}
+
+PartitionedTable PartitionedTable::ReadWpartDir(const std::string& dir,
+                                                const std::string& name) {
+  std::string table_name;
+  size_t num_partitions = 0;
+  Schema schema = ReadMeta(dir + "/" + name + ".meta", &table_name,
+                           &num_partitions);
+  PartitionedTable table(table_name, schema);
+  for (size_t i = 0; i < num_partitions; ++i) {
+    std::string path = dir + "/" + name + "." + std::to_string(i) + ".wpart";
+    std::ifstream in(path, std::ios::binary);
+    CheckArg(in.good(), "cannot read " + path);
+    CheckArg(ReadPod<uint32_t>(in) == kWpartMagic, "bad magic in " + path);
+    uint64_t rows = ReadPod<uint64_t>(in);
+    uint32_t cols = ReadPod<uint32_t>(in);
+    CheckArg(cols == schema.num_fields(), "column count mismatch in " + path);
+    auto df = std::make_shared<DataFrame>(schema);
+    for (uint32_t c = 0; c < cols; ++c) {
+      Column* col = df->mutable_column(c);
+      ValueType type = static_cast<ValueType>(ReadPod<uint8_t>(in));
+      CheckArg(type == schema.field(c).type, "type mismatch in " + path);
+      bool has_nulls = ReadPod<uint8_t>(in) != 0;
+      std::vector<uint8_t> valid;
+      if (has_nulls) {
+        valid.resize(rows);
+        in.read(reinterpret_cast<char*>(valid.data()),
+                static_cast<std::streamsize>(rows));
+      }
+      if (type == ValueType::kFloat64) {
+        col->mutable_doubles()->resize(rows);
+        in.read(reinterpret_cast<char*>(col->mutable_doubles()->data()),
+                static_cast<std::streamsize>(rows * sizeof(double)));
+      } else if (type == ValueType::kString) {
+        col->mutable_strings()->reserve(rows);
+        for (uint64_t r = 0; r < rows; ++r) {
+          col->mutable_strings()->push_back(ReadString(in));
+        }
+      } else {
+        col->mutable_ints()->resize(rows);
+        in.read(reinterpret_cast<char*>(col->mutable_ints()->data()),
+                static_cast<std::streamsize>(rows * sizeof(int64_t)));
+      }
+      if (has_nulls) col->set_validity(std::move(valid));
+    }
+    CheckArg(in.good(), "truncated file " + path);
+    table.AddPartition(std::move(df));
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+void Catalog::Add(TablePtr table) {
+  CheckArg(table != nullptr, "null table");
+  tables_[table->name()] = std::move(table);
+}
+
+const PartitionedTable& Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  CheckArg(it != tables_.end(), "unknown table '" + name + "'");
+  return *it->second;
+}
+
+TablePtr Catalog::GetPtr(const std::string& name) const {
+  auto it = tables_.find(name);
+  CheckArg(it != tables_.end(), "unknown table '" + name + "'");
+  return it->second;
+}
+
+bool Catalog::Has(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace wake

@@ -1,0 +1,475 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace wake {
+namespace tpch {
+
+namespace {
+
+// --- fixed vocabulary (subset of the spec's lists; every value a query
+// probes for is present) ---
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+
+struct NationDef {
+  const char* name;
+  int region;
+};
+const NationDef kNations[25] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0},{"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+
+// "AIR REG" instead of the spec's "REG AIR" so Q19's literal IN-list
+// ('AIR', 'AIR REG') matches generated data; self-consistent substitution.
+const char* kShipModes[] = {"AIR REG", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                            "FOB"};
+
+const char* kShipInstructs[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                                "TAKE BACK RETURN"};
+
+const char* kTypeSyllable1[] = {"STANDARD", "SMALL", "MEDIUM",
+                                "LARGE",    "ECONOMY", "PROMO"};
+const char* kTypeSyllable2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                                "BRUSHED"};
+const char* kTypeSyllable3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+const char* kContainerSyllable1[] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+const char* kContainerSyllable2[] = {"CASE", "BOX", "BAG", "JAR",
+                                     "PKG",  "PACK", "CAN", "DRUM"};
+
+// Part-name color words (Q9 greps '%green%', Q20 'forest%').
+const char* kColors[] = {
+    "almond",  "antique",   "aquamarine", "azure",   "beige",    "bisque",
+    "black",   "blanched",  "blue",       "blush",   "brown",    "burlywood",
+    "chartreuse", "chocolate", "coral",    "cornflower", "cream", "cyan",
+    "dark",    "deep",      "dim",        "dodger",  "drab",     "firebrick",
+    "forest",  "frosted",   "gainsboro",  "ghost",   "goldenrod","green",
+    "grey",    "honeydew",  "hot",        "indian",  "ivory",    "khaki",
+    "lace",    "lavender",  "lawn",       "lemon",   "light",    "lime",
+    "linen",   "magenta",   "maroon",     "medium",  "metallic", "midnight",
+    "mint",    "misty",     "moccasin",   "navajo",  "navy",     "olive",
+    "orange",  "orchid",    "pale",       "papaya",  "peach",    "peru",
+    "pink",    "plum",      "powder",     "puff",    "purple",   "red",
+    "rose",    "rosy",      "royal",      "saddle",  "salmon",   "sandy",
+    "seashell","sienna",    "sky",        "slate",   "smoke",    "snow",
+    "spring",  "steel",     "tan",        "thistle", "tomato",   "turquoise",
+    "violet",  "wheat",     "white",      "yellow"};
+
+// Generic comment filler words (no '|' so the .tbl writer stays unescaped).
+const char* kWords[] = {
+    "carefully", "quickly",  "furiously", "slowly",   "blithely", "ideas",
+    "requests",  "deposits", "accounts",  "packages", "theodolites",
+    "instructions", "pinto",  "beans",    "foxes",    "dependencies",
+    "platelets", "asymptotes", "somas",   "sauternes", "warhorses",
+    "sleep",     "wake",     "nag",       "haggle",   "cajole",   "detect",
+    "integrate", "engage",   "bold",      "final",    "express",  "regular",
+    "even",      "special",  "silent",    "unusual",  "ironic",   "pending",
+    "sly",       "busy",     "close",     "dogged",   "daring",   "brave"};
+
+template <size_t N>
+const char* Pick(Rng& rng, const char* (&pool)[N]) {
+  return pool[rng.Next() % N];
+}
+
+std::string Comment(Rng& rng, int min_words, int max_words) {
+  int n = static_cast<int>(rng.UniformInt(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += Pick(rng, kWords);
+  }
+  return out;
+}
+
+std::string Phone(Rng& rng, int64_t nationkey) {
+  // Country code 10 + nationkey, so SUBSTRING(phone, 1, 2) gives the codes
+  // Q22 filters on ('13','31','23','29','30','18','17').
+  return StrFormat("%02d-%03d-%03d-%04d", static_cast<int>(10 + nationkey),
+                   static_cast<int>(rng.UniformInt(100, 999)),
+                   static_cast<int>(rng.UniformInt(100, 999)),
+                   static_cast<int>(rng.UniformInt(1000, 9999)));
+}
+
+double Money(Rng& rng, int64_t cents_lo, int64_t cents_hi) {
+  return static_cast<double>(rng.UniformInt(cents_lo, cents_hi)) / 100.0;
+}
+
+int64_t kStartDate() { return DateToDays(1992, 1, 1); }
+int64_t kEndDate() { return DateToDays(1998, 8, 2); }
+
+size_t ScaleCount(double sf, double base, size_t minimum = 1) {
+  return std::max<size_t>(minimum,
+                          static_cast<size_t>(std::llround(sf * base)));
+}
+
+// Spec ps_suppkey formula: spreads a part's four suppliers over the supplier
+// space so partsupp joins are uniform.
+int64_t PartSupplier(int64_t partkey, int64_t i, int64_t num_suppliers) {
+  int64_t s = num_suppliers;
+  return (partkey + i * (s / 4 + (partkey - 1) / s)) % s + 1;
+}
+
+Schema MakeSchema(std::vector<Field> fields, std::vector<std::string> pk,
+                  std::vector<std::string> cluster) {
+  Schema schema(std::move(fields));
+  schema.set_primary_key(std::move(pk));
+  schema.set_clustering_key(std::move(cluster));
+  return schema;
+}
+
+PartitionedTable BuildRegion(const DbgenConfig& config) {
+  Rng rng(config.seed ^ 0x7265ULL);
+  Schema schema = MakeSchema({{"r_regionkey", ValueType::kInt64},
+                              {"r_name", ValueType::kString},
+                              {"r_comment", ValueType::kString}},
+                             {"r_regionkey"}, {"r_regionkey"});
+  DataFrame df(schema);
+  for (int64_t i = 0; i < 5; ++i) {
+    df.mutable_column(0)->AppendInt(i);
+    df.mutable_column(1)->AppendString(kRegions[i]);
+    df.mutable_column(2)->AppendString(Comment(rng, 3, 10));
+  }
+  return PartitionedTable::FromDataFrame("region", df, 1);
+}
+
+PartitionedTable BuildNation(const DbgenConfig& config) {
+  Rng rng(config.seed ^ 0x6e61ULL);
+  Schema schema = MakeSchema({{"n_nationkey", ValueType::kInt64},
+                              {"n_name", ValueType::kString},
+                              {"n_regionkey", ValueType::kInt64},
+                              {"n_comment", ValueType::kString}},
+                             {"n_nationkey"}, {"n_nationkey"});
+  DataFrame df(schema);
+  for (int64_t i = 0; i < 25; ++i) {
+    df.mutable_column(0)->AppendInt(i);
+    df.mutable_column(1)->AppendString(kNations[i].name);
+    df.mutable_column(2)->AppendInt(kNations[i].region);
+    df.mutable_column(3)->AppendString(Comment(rng, 3, 10));
+  }
+  return PartitionedTable::FromDataFrame("nation", df, 1);
+}
+
+PartitionedTable BuildSupplier(const DbgenConfig& config) {
+  Rng rng(config.seed ^ 0x7375ULL);
+  size_t n = ScaleCount(config.scale_factor, 10000.0, 20);
+  Schema schema = MakeSchema({{"s_suppkey", ValueType::kInt64},
+                              {"s_name", ValueType::kString},
+                              {"s_address", ValueType::kString},
+                              {"s_nationkey", ValueType::kInt64},
+                              {"s_phone", ValueType::kString},
+                              {"s_acctbal", ValueType::kFloat64},
+                              {"s_comment", ValueType::kString}},
+                             {"s_suppkey"}, {"s_suppkey"});
+  DataFrame df(schema);
+  for (size_t i = 1; i <= n; ++i) {
+    int64_t nationkey = rng.UniformInt(0, 24);
+    df.mutable_column(0)->AppendInt(static_cast<int64_t>(i));
+    df.mutable_column(1)->AppendString(StrFormat("Supplier#%09zu", i));
+    df.mutable_column(2)->AppendString(Comment(rng, 2, 4));
+    df.mutable_column(3)->AppendInt(nationkey);
+    df.mutable_column(4)->AppendString(Phone(rng, nationkey));
+    df.mutable_column(5)->AppendDouble(Money(rng, -99999, 999999));
+    // Per spec, ~5 of 10000 suppliers carry the Customer...Complaints text
+    // (Q16 anti-join); use 1/1000 so small SFs still have matches.
+    std::string comment = Comment(rng, 5, 12);
+    if (rng.UniformInt(0, 999) == 0) {
+      comment += " Customer detected Complaints";
+    }
+    df.mutable_column(6)->AppendString(comment);
+  }
+  return PartitionedTable::FromDataFrame(
+      "supplier", df, std::max<size_t>(1, config.partitions / 2));
+}
+
+PartitionedTable BuildCustomer(const DbgenConfig& config) {
+  Rng rng(config.seed ^ 0x6375ULL);
+  size_t n = ScaleCount(config.scale_factor, 150000.0, 150);
+  Schema schema = MakeSchema({{"c_custkey", ValueType::kInt64},
+                              {"c_name", ValueType::kString},
+                              {"c_address", ValueType::kString},
+                              {"c_nationkey", ValueType::kInt64},
+                              {"c_phone", ValueType::kString},
+                              {"c_acctbal", ValueType::kFloat64},
+                              {"c_mktsegment", ValueType::kString},
+                              {"c_comment", ValueType::kString}},
+                             {"c_custkey"}, {"c_custkey"});
+  DataFrame df(schema);
+  for (size_t i = 1; i <= n; ++i) {
+    int64_t nationkey = rng.UniformInt(0, 24);
+    df.mutable_column(0)->AppendInt(static_cast<int64_t>(i));
+    df.mutable_column(1)->AppendString(StrFormat("Customer#%09zu", i));
+    df.mutable_column(2)->AppendString(Comment(rng, 2, 4));
+    df.mutable_column(3)->AppendInt(nationkey);
+    df.mutable_column(4)->AppendString(Phone(rng, nationkey));
+    df.mutable_column(5)->AppendDouble(Money(rng, -99999, 999999));
+    df.mutable_column(6)->AppendString(Pick(rng, kSegments));
+    df.mutable_column(7)->AppendString(Comment(rng, 4, 10));
+  }
+  return PartitionedTable::FromDataFrame(
+      "customer", df, std::max<size_t>(1, config.partitions / 2));
+}
+
+PartitionedTable BuildPart(const DbgenConfig& config) {
+  Rng rng(config.seed ^ 0x7061ULL);
+  size_t n = ScaleCount(config.scale_factor, 200000.0, 200);
+  Schema schema = MakeSchema({{"p_partkey", ValueType::kInt64},
+                              {"p_name", ValueType::kString},
+                              {"p_mfgr", ValueType::kString},
+                              {"p_brand", ValueType::kString},
+                              {"p_type", ValueType::kString},
+                              {"p_size", ValueType::kInt64},
+                              {"p_container", ValueType::kString},
+                              {"p_retailprice", ValueType::kFloat64},
+                              {"p_comment", ValueType::kString}},
+                             {"p_partkey"}, {"p_partkey"});
+  DataFrame df(schema);
+  for (size_t i = 1; i <= n; ++i) {
+    int64_t partkey = static_cast<int64_t>(i);
+    int mfgr = static_cast<int>(rng.UniformInt(1, 5));
+    int brand = mfgr * 10 + static_cast<int>(rng.UniformInt(1, 5));
+    std::string name;
+    for (int w = 0; w < 5; ++w) {
+      if (w > 0) name += ' ';
+      name += Pick(rng, kColors);
+    }
+    std::string type = std::string(Pick(rng, kTypeSyllable1)) + " " +
+                       Pick(rng, kTypeSyllable2) + " " +
+                       Pick(rng, kTypeSyllable3);
+    std::string container = std::string(Pick(rng, kContainerSyllable1)) +
+                            " " + Pick(rng, kContainerSyllable2);
+    // Spec retail price formula (cents).
+    double retail =
+        (90000.0 + ((partkey / 10) % 20001) + 100.0 * (partkey % 1000)) /
+        100.0;
+    df.mutable_column(0)->AppendInt(partkey);
+    df.mutable_column(1)->AppendString(name);
+    df.mutable_column(2)->AppendString(StrFormat("Manufacturer#%d", mfgr));
+    df.mutable_column(3)->AppendString(StrFormat("Brand#%d", brand));
+    df.mutable_column(4)->AppendString(type);
+    df.mutable_column(5)->AppendInt(rng.UniformInt(1, 50));
+    df.mutable_column(6)->AppendString(container);
+    df.mutable_column(7)->AppendDouble(retail);
+    df.mutable_column(8)->AppendString(Comment(rng, 2, 6));
+  }
+  return PartitionedTable::FromDataFrame(
+      "part", df, std::max<size_t>(1, config.partitions / 2));
+}
+
+PartitionedTable BuildPartsupp(const DbgenConfig& config,
+                               size_t num_parts, size_t num_suppliers) {
+  Rng rng(config.seed ^ 0x7073ULL);
+  Schema schema = MakeSchema({{"ps_partkey", ValueType::kInt64},
+                              {"ps_suppkey", ValueType::kInt64},
+                              {"ps_availqty", ValueType::kInt64},
+                              {"ps_supplycost", ValueType::kFloat64},
+                              {"ps_comment", ValueType::kString}},
+                             {"ps_partkey", "ps_suppkey"}, {"ps_partkey"});
+  DataFrame df(schema);
+  for (size_t p = 1; p <= num_parts; ++p) {
+    for (int64_t i = 0; i < 4; ++i) {
+      df.mutable_column(0)->AppendInt(static_cast<int64_t>(p));
+      df.mutable_column(1)->AppendInt(PartSupplier(
+          static_cast<int64_t>(p), i, static_cast<int64_t>(num_suppliers)));
+      df.mutable_column(2)->AppendInt(rng.UniformInt(1, 9999));
+      df.mutable_column(3)->AppendDouble(Money(rng, 100, 100000));
+      df.mutable_column(4)->AppendString(Comment(rng, 2, 6));
+    }
+  }
+  return PartitionedTable::FromDataFrame(
+      "partsupp", df, std::max<size_t>(1, config.partitions / 2));
+}
+
+struct OrdersAndLineitem {
+  PartitionedTable orders;
+  PartitionedTable lineitem;
+};
+
+OrdersAndLineitem BuildOrdersLineitem(const DbgenConfig& config,
+                                      const DataFrame& part,
+                                      size_t num_customers,
+                                      size_t num_suppliers) {
+  Rng rng(config.seed ^ 0x6f72ULL);
+  size_t num_orders = ScaleCount(config.scale_factor, 1500000.0, 1500);
+  size_t num_parts = part.num_rows();
+  const auto& retail = part.ColumnByName("p_retailprice").doubles();
+
+  Schema orders_schema = MakeSchema(
+      {{"o_orderkey", ValueType::kInt64},
+       {"o_custkey", ValueType::kInt64},
+       {"o_orderstatus", ValueType::kString},
+       {"o_totalprice", ValueType::kFloat64},
+       {"o_orderdate", ValueType::kDate},
+       {"o_orderpriority", ValueType::kString},
+       {"o_clerk", ValueType::kString},
+       {"o_shippriority", ValueType::kInt64},
+       {"o_comment", ValueType::kString}},
+      {"o_orderkey"}, {"o_orderkey"});
+  Schema lineitem_schema = MakeSchema(
+      {{"l_orderkey", ValueType::kInt64},
+       {"l_partkey", ValueType::kInt64},
+       {"l_suppkey", ValueType::kInt64},
+       {"l_linenumber", ValueType::kInt64},
+       {"l_quantity", ValueType::kFloat64},
+       {"l_extendedprice", ValueType::kFloat64},
+       {"l_discount", ValueType::kFloat64},
+       {"l_tax", ValueType::kFloat64},
+       {"l_returnflag", ValueType::kString},
+       {"l_linestatus", ValueType::kString},
+       {"l_shipdate", ValueType::kDate},
+       {"l_commitdate", ValueType::kDate},
+       {"l_receiptdate", ValueType::kDate},
+       {"l_shipinstruct", ValueType::kString},
+       {"l_shipmode", ValueType::kString},
+       {"l_comment", ValueType::kString}},
+      {"l_orderkey", "l_linenumber"}, {"l_orderkey"});
+
+  DataFrame orders(orders_schema);
+  DataFrame lineitem(lineitem_schema);
+  size_t num_clerks = std::max<size_t>(
+      1, static_cast<size_t>(config.scale_factor * 1000));
+  int64_t current = CurrentDate();
+
+  for (size_t ok = 1; ok <= num_orders; ++ok) {
+    // Spec: a third of customers have no orders (custkey % 3 == 0 skipped).
+    int64_t custkey;
+    do {
+      custkey = rng.UniformInt(1, static_cast<int64_t>(num_customers));
+    } while (custkey % 3 == 0 && num_customers >= 3);
+
+    int64_t orderdate =
+        rng.UniformInt(kStartDate(), kEndDate() - 151);
+    int lines = static_cast<int>(rng.UniformInt(1, 7));
+    double total = 0.0;
+    int shipped = 0;
+    for (int ln = 1; ln <= lines; ++ln) {
+      int64_t partkey = rng.UniformInt(1, static_cast<int64_t>(num_parts));
+      int64_t suppkey = PartSupplier(partkey, rng.UniformInt(0, 3),
+                                     static_cast<int64_t>(num_suppliers));
+      double quantity = static_cast<double>(rng.UniformInt(1, 50));
+      double extprice = quantity * retail[static_cast<size_t>(partkey - 1)];
+      double discount = static_cast<double>(rng.UniformInt(0, 10)) / 100.0;
+      double tax = static_cast<double>(rng.UniformInt(0, 8)) / 100.0;
+      int64_t shipdate = orderdate + rng.UniformInt(1, 121);
+      int64_t commitdate = orderdate + rng.UniformInt(30, 90);
+      int64_t receiptdate = shipdate + rng.UniformInt(1, 30);
+      std::string returnflag;
+      if (receiptdate <= current) {
+        returnflag = rng.UniformInt(0, 1) ? "R" : "A";
+      } else {
+        returnflag = "N";
+      }
+      bool is_shipped = shipdate <= current;
+      shipped += is_shipped ? 1 : 0;
+
+      lineitem.mutable_column(0)->AppendInt(static_cast<int64_t>(ok));
+      lineitem.mutable_column(1)->AppendInt(partkey);
+      lineitem.mutable_column(2)->AppendInt(suppkey);
+      lineitem.mutable_column(3)->AppendInt(ln);
+      lineitem.mutable_column(4)->AppendDouble(quantity);
+      lineitem.mutable_column(5)->AppendDouble(extprice);
+      lineitem.mutable_column(6)->AppendDouble(discount);
+      lineitem.mutable_column(7)->AppendDouble(tax);
+      lineitem.mutable_column(8)->AppendString(returnflag);
+      lineitem.mutable_column(9)->AppendString(is_shipped ? "F" : "O");
+      lineitem.mutable_column(10)->AppendInt(shipdate);
+      lineitem.mutable_column(11)->AppendInt(commitdate);
+      lineitem.mutable_column(12)->AppendInt(receiptdate);
+      lineitem.mutable_column(13)->AppendString(Pick(rng, kShipInstructs));
+      lineitem.mutable_column(14)->AppendString(Pick(rng, kShipModes));
+      lineitem.mutable_column(15)->AppendString(Comment(rng, 2, 6));
+      total += extprice * (1.0 - discount) * (1.0 + tax);
+    }
+    std::string status = shipped == lines ? "F" : (shipped == 0 ? "O" : "P");
+    // ~3% of order comments carry the 'special ... requests' pattern Q13
+    // filters out.
+    std::string comment = Comment(rng, 4, 12);
+    if (rng.UniformInt(0, 32) == 0) {
+      comment += " special handling requests";
+    }
+    orders.mutable_column(0)->AppendInt(static_cast<int64_t>(ok));
+    orders.mutable_column(1)->AppendInt(custkey);
+    orders.mutable_column(2)->AppendString(status);
+    orders.mutable_column(3)->AppendDouble(total);
+    orders.mutable_column(4)->AppendInt(orderdate);
+    orders.mutable_column(5)->AppendString(Pick(rng, kPriorities));
+    orders.mutable_column(6)->AppendString(StrFormat(
+        "Clerk#%09d", static_cast<int>(rng.UniformInt(
+                          1, static_cast<int64_t>(num_clerks)))));
+    orders.mutable_column(7)->AppendInt(0);
+    orders.mutable_column(8)->AppendString(comment);
+  }
+
+  OrdersAndLineitem out;
+  out.orders =
+      PartitionedTable::FromDataFrame("orders", orders, config.partitions);
+  out.lineitem = PartitionedTable::FromDataFrame("lineitem", lineitem,
+                                                 config.partitions);
+  return out;
+}
+
+}  // namespace
+
+int64_t CurrentDate() { return DateToDays(1995, 6, 17); }
+
+Catalog Generate(const DbgenConfig& config) {
+  CheckArg(config.scale_factor > 0, "scale factor must be positive");
+  CheckArg(config.partitions > 0, "partitions must be positive");
+  Catalog catalog;
+  catalog.Add(std::make_shared<PartitionedTable>(BuildRegion(config)));
+  catalog.Add(std::make_shared<PartitionedTable>(BuildNation(config)));
+  auto supplier = BuildSupplier(config);
+  auto customer = BuildCustomer(config);
+  auto part = BuildPart(config);
+  auto partsupp = BuildPartsupp(config, part.total_rows(),
+                                supplier.total_rows());
+  auto ol = BuildOrdersLineitem(config, part.Materialize(),
+                                customer.total_rows(), supplier.total_rows());
+  catalog.Add(std::make_shared<PartitionedTable>(std::move(supplier)));
+  catalog.Add(std::make_shared<PartitionedTable>(std::move(customer)));
+  catalog.Add(std::make_shared<PartitionedTable>(std::move(part)));
+  catalog.Add(std::make_shared<PartitionedTable>(std::move(partsupp)));
+  catalog.Add(std::make_shared<PartitionedTable>(std::move(ol.orders)));
+  catalog.Add(std::make_shared<PartitionedTable>(std::move(ol.lineitem)));
+  return catalog;
+}
+
+PartitionedTable GenerateTable(const DbgenConfig& config,
+                               const std::string& name) {
+  Catalog catalog = Generate(config);
+  return catalog.Get(name);
+}
+
+size_t RowsAtScale(const std::string& table, double sf) {
+  if (table == "region") return 5;
+  if (table == "nation") return 25;
+  if (table == "supplier") return ScaleCount(sf, 10000.0, 20);
+  if (table == "customer") return ScaleCount(sf, 150000.0, 150);
+  if (table == "part") return ScaleCount(sf, 200000.0, 200);
+  if (table == "partsupp") return 4 * ScaleCount(sf, 200000.0, 200);
+  if (table == "orders") return ScaleCount(sf, 1500000.0, 1500);
+  if (table == "lineitem") return 4 * ScaleCount(sf, 1500000.0, 1500);
+  throw Error("unknown table " + table);
+}
+
+}  // namespace tpch
+}  // namespace wake

@@ -1,0 +1,666 @@
+#include "tpch/queries.h"
+
+#include "common/error.h"
+
+namespace wake {
+namespace tpch {
+
+namespace {
+
+ExprPtr C(const char* name) { return Expr::Col(name); }
+ExprPtr D(int y, int m, int d) { return Expr::Date(y, m, d); }
+ExprPtr F(double x) { return Expr::Float(x); }
+ExprPtr I(int64_t x) { return Expr::Int(x); }
+ExprPtr S(const char* s) { return Expr::Str(s); }
+
+std::vector<Value> Strs(std::initializer_list<const char*> items) {
+  std::vector<Value> out;
+  for (const char* s : items) out.push_back(Value::Str(s));
+  return out;
+}
+
+std::vector<Value> Ints(std::initializer_list<int64_t> items) {
+  std::vector<Value> out;
+  for (int64_t v : items) out.push_back(Value::Int(v));
+  return out;
+}
+
+ExprPtr Between(ExprPtr col, ExprPtr lo, ExprPtr hi) {
+  ExprPtr lower = Ge(col, std::move(lo));
+  ExprPtr upper = Le(col, std::move(hi));
+  return Expr::And(std::move(lower), std::move(upper));
+}
+
+// revenue := l_extendedprice * (1 - l_discount)
+ExprPtr Revenue() {
+  return C("l_extendedprice") * (F(1.0) - C("l_discount"));
+}
+
+// -- Q1: pricing summary report -------------------------------------------
+Plan Q1() {
+  return Plan::Scan("lineitem")
+      .Filter(Le(C("l_shipdate"), D(1998, 9, 2)))  // 1998-12-01 - 90 days
+      .Derive({{"disc_price", Revenue()},
+               {"charge", Revenue() * (F(1.0) + C("l_tax"))}})
+      .Aggregate({"l_returnflag", "l_linestatus"},
+                 {Sum("l_quantity", "sum_qty"),
+                  Sum("l_extendedprice", "sum_base_price"),
+                  Sum("disc_price", "sum_disc_price"),
+                  Sum("charge", "sum_charge"),
+                  Avg("l_quantity", "avg_qty"),
+                  Avg("l_extendedprice", "avg_price"),
+                  Avg("l_discount", "avg_disc"),
+                  Count("count_order")})
+      .Sort({{"l_returnflag", false}, {"l_linestatus", false}});
+}
+
+// Suppliers in `region_name`, with nation names attached.
+Plan SuppliersInRegion(const char* region_name) {
+  Plan nations = Plan::Scan("nation").Join(
+      Plan::Scan("region").Filter(Eq(C("r_name"), S(region_name))),
+      JoinType::kSemi, {"n_regionkey"}, {"r_regionkey"});
+  return Plan::Scan("supplier").Join(nations, JoinType::kInner,
+                                     {"s_nationkey"}, {"n_nationkey"});
+}
+
+// -- Q2: minimum cost supplier ---------------------------------------------
+Plan Q2() {
+  Plan part_f = Plan::Scan("part")
+                    .Filter(Expr::And(Eq(C("p_size"), I(15)),
+                                      Expr::Like(C("p_type"), "%BRASS")))
+                    .Project({"p_partkey", "p_mfgr"});
+  Plan supp_eu = SuppliersInRegion("EUROPE")
+                     .Project({"s_suppkey", "s_acctbal", "s_name", "n_name",
+                               "s_address", "s_phone", "s_comment"});
+  Plan ps_eu = Plan::Scan("partsupp")
+                   .Project({"ps_partkey", "ps_suppkey", "ps_supplycost"})
+                   .Join(supp_eu, JoinType::kInner, {"ps_suppkey"},
+                         {"s_suppkey"});
+  Plan joined =
+      ps_eu.Join(part_f, JoinType::kInner, {"ps_partkey"}, {"p_partkey"});
+  Plan min_cost = joined.Aggregate({"ps_partkey"},
+                                   {Min("ps_supplycost", "min_cost")});
+  return joined
+      .Join(min_cost.Map({{"mc_partkey", C("ps_partkey")},
+                          {"min_cost", C("min_cost")}}),
+            JoinType::kInner, {"ps_partkey"}, {"mc_partkey"})
+      .Filter(Eq(C("ps_supplycost"), C("min_cost")))
+      .Map({{"s_acctbal", C("s_acctbal")},
+            {"s_name", C("s_name")},
+            {"n_name", C("n_name")},
+            {"p_partkey", C("ps_partkey")},
+            {"p_mfgr", C("p_mfgr")},
+            {"s_address", C("s_address")},
+            {"s_phone", C("s_phone")},
+            {"s_comment", C("s_comment")}})
+      .Sort({{"s_acctbal", true},
+             {"n_name", false},
+             {"s_name", false},
+             {"p_partkey", false}},
+            100);
+}
+
+// -- Q3: shipping priority -------------------------------------------------
+Plan Q3() {
+  Plan cust = Plan::Scan("customer")
+                  .Filter(Eq(C("c_mktsegment"), S("BUILDING")))
+                  .Project({"c_custkey"});
+  Plan ord = Plan::Scan("orders")
+                 .Filter(Lt(C("o_orderdate"), D(1995, 3, 15)))
+                 .Join(cust, JoinType::kSemi, {"o_custkey"}, {"c_custkey"})
+                 .Project({"o_orderkey", "o_orderdate", "o_shippriority"});
+  return Plan::Scan("lineitem")
+      .Filter(Gt(C("l_shipdate"), D(1995, 3, 15)))
+      .Project({"l_orderkey", "l_extendedprice", "l_discount"})
+      .Join(ord, JoinType::kInner, {"l_orderkey"}, {"o_orderkey"})
+      .Derive({{"rev", Revenue()}})
+      .Aggregate({"l_orderkey", "o_orderdate", "o_shippriority"},
+                 {Sum("rev", "revenue")})
+      .Sort({{"revenue", true}, {"o_orderdate", false}}, 10);
+}
+
+// -- Q4: order priority checking -------------------------------------------
+Plan Q4() {
+  Plan late = Plan::Scan("lineitem")
+                  .Filter(Lt(C("l_commitdate"), C("l_receiptdate")))
+                  .Project({"l_orderkey"});
+  return Plan::Scan("orders")
+      .Filter(Expr::And(Ge(C("o_orderdate"), D(1993, 7, 1)),
+                        Lt(C("o_orderdate"), D(1993, 10, 1))))
+      .Join(late, JoinType::kSemi, {"o_orderkey"}, {"l_orderkey"})
+      .Aggregate({"o_orderpriority"}, {Count("order_count")})
+      .Sort({{"o_orderpriority", false}});
+}
+
+// -- Q5: local supplier volume ----------------------------------------------
+Plan Q5() {
+  Plan supp = SuppliersInRegion("ASIA").Project(
+      {"s_suppkey", "s_nationkey", "n_name"});
+  Plan ord = Plan::Scan("orders")
+                 .Filter(Expr::And(Ge(C("o_orderdate"), D(1994, 1, 1)),
+                                   Lt(C("o_orderdate"), D(1995, 1, 1))))
+                 .Join(Plan::Scan("customer").Project(
+                           {"c_custkey", "c_nationkey"}),
+                       JoinType::kInner, {"o_custkey"}, {"c_custkey"})
+                 .Project({"o_orderkey", "c_nationkey"});
+  return Plan::Scan("lineitem")
+      .Project({"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"})
+      .Join(ord, JoinType::kInner, {"l_orderkey"}, {"o_orderkey"})
+      .Join(supp, JoinType::kInner, {"l_suppkey", "c_nationkey"},
+            {"s_suppkey", "s_nationkey"})
+      .Derive({{"rev", Revenue()}})
+      .Aggregate({"n_name"}, {Sum("rev", "revenue")})
+      .Sort({{"revenue", true}});
+}
+
+// -- Q6: forecasting revenue change -----------------------------------------
+Plan Q6() {
+  return Plan::Scan("lineitem")
+      .Filter(Expr::And(
+          Expr::And(Ge(C("l_shipdate"), D(1994, 1, 1)),
+                    Lt(C("l_shipdate"), D(1995, 1, 1))),
+          Expr::And(Between(C("l_discount"), F(0.049), F(0.071)),
+                    Lt(C("l_quantity"), F(24.0)))))
+      .Derive({{"rev", C("l_extendedprice") * C("l_discount")}})
+      .Aggregate({}, {Sum("rev", "revenue")});
+}
+
+// -- Q7: volume shipping -----------------------------------------------------
+Plan Q7() {
+  auto nation_pair = Strs({"FRANCE", "GERMANY"});
+  Plan supp = Plan::Scan("supplier")
+                  .Join(Plan::Scan("nation").Filter(
+                            Expr::In(C("n_name"), nation_pair)),
+                        JoinType::kInner, {"s_nationkey"}, {"n_nationkey"})
+                  .Map({{"s_suppkey", C("s_suppkey")},
+                        {"supp_nation", C("n_name")}});
+  Plan cust = Plan::Scan("customer")
+                  .Join(Plan::Scan("nation").Filter(
+                            Expr::In(C("n_name"), nation_pair)),
+                        JoinType::kInner, {"c_nationkey"}, {"n_nationkey"})
+                  .Map({{"c_custkey", C("c_custkey")},
+                        {"cust_nation", C("n_name")}});
+  Plan ord = Plan::Scan("orders")
+                 .Project({"o_orderkey", "o_custkey"})
+                 .Join(cust, JoinType::kInner, {"o_custkey"}, {"c_custkey"})
+                 .Project({"o_orderkey", "cust_nation"});
+  return Plan::Scan("lineitem")
+      .Filter(Between(C("l_shipdate"), D(1995, 1, 1), D(1996, 12, 31)))
+      .Project({"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount",
+                "l_shipdate"})
+      .Join(ord, JoinType::kInner, {"l_orderkey"}, {"o_orderkey"})
+      .Join(supp, JoinType::kInner, {"l_suppkey"}, {"s_suppkey"})
+      .Filter(Expr::Or(
+          Expr::And(Eq(C("supp_nation"), S("FRANCE")),
+                    Eq(C("cust_nation"), S("GERMANY"))),
+          Expr::And(Eq(C("supp_nation"), S("GERMANY")),
+                    Eq(C("cust_nation"), S("FRANCE")))))
+      .Derive({{"l_year", Expr::Year(C("l_shipdate"))}, {"volume", Revenue()}})
+      .Aggregate({"supp_nation", "cust_nation", "l_year"},
+                 {Sum("volume", "revenue")})
+      .Sort({{"supp_nation", false},
+             {"cust_nation", false},
+             {"l_year", false}});
+}
+
+// -- Q8: national market share ------------------------------------------------
+Plan Q8() {
+  Plan part_f = Plan::Scan("part")
+                    .Filter(Eq(C("p_type"), S("ECONOMY ANODIZED STEEL")))
+                    .Project({"p_partkey"});
+  Plan am_nations =
+      Plan::Scan("nation")
+          .Join(Plan::Scan("region").Filter(Eq(C("r_name"), S("AMERICA"))),
+                JoinType::kSemi, {"n_regionkey"}, {"r_regionkey"})
+          .Project({"n_nationkey"});
+  Plan cust = Plan::Scan("customer")
+                  .Join(am_nations, JoinType::kSemi, {"c_nationkey"},
+                        {"n_nationkey"})
+                  .Project({"c_custkey"});
+  Plan ord = Plan::Scan("orders")
+                 .Filter(Between(C("o_orderdate"), D(1995, 1, 1),
+                                 D(1996, 12, 31)))
+                 .Join(cust, JoinType::kSemi, {"o_custkey"}, {"c_custkey"})
+                 .Project({"o_orderkey", "o_orderdate"});
+  Plan supp = Plan::Scan("supplier")
+                  .Join(Plan::Scan("nation"), JoinType::kInner,
+                        {"s_nationkey"}, {"n_nationkey"})
+                  .Map({{"s_suppkey", C("s_suppkey")},
+                        {"nation", C("n_name")}});
+  return Plan::Scan("lineitem")
+      .Join(part_f, JoinType::kSemi, {"l_partkey"}, {"p_partkey"})
+      .Project({"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"})
+      .Join(ord, JoinType::kInner, {"l_orderkey"}, {"o_orderkey"})
+      .Join(supp, JoinType::kInner, {"l_suppkey"}, {"s_suppkey"})
+      .Derive({{"o_year", Expr::Year(C("o_orderdate"))},
+               {"volume", Revenue()}})
+      .Derive({{"brazil_volume",
+                Expr::Case(Eq(C("nation"), S("BRAZIL")), C("volume"),
+                           F(0.0))}})
+      .Aggregate({"o_year"}, {Sum("brazil_volume", "brazil"),
+                              Sum("volume", "total")})
+      .Map({{"o_year", C("o_year")},
+            {"mkt_share", C("brazil") / C("total")}})
+      .Sort({{"o_year", false}});
+}
+
+// -- Q9: product type profit measure -----------------------------------------
+Plan Q9() {
+  Plan part_f = Plan::Scan("part")
+                    .Filter(Expr::Like(C("p_name"), "%green%"))
+                    .Project({"p_partkey"});
+  Plan supp = Plan::Scan("supplier")
+                  .Join(Plan::Scan("nation"), JoinType::kInner,
+                        {"s_nationkey"}, {"n_nationkey"})
+                  .Map({{"s_suppkey", C("s_suppkey")},
+                        {"nation", C("n_name")}});
+  return Plan::Scan("lineitem")
+      .Join(part_f, JoinType::kSemi, {"l_partkey"}, {"p_partkey"})
+      .Join(Plan::Scan("partsupp").Project(
+                {"ps_partkey", "ps_suppkey", "ps_supplycost"}),
+            JoinType::kInner, {"l_partkey", "l_suppkey"},
+            {"ps_partkey", "ps_suppkey"})
+      .Join(Plan::Scan("orders").Project({"o_orderkey", "o_orderdate"}),
+            JoinType::kInner, {"l_orderkey"}, {"o_orderkey"})
+      .Join(supp, JoinType::kInner, {"l_suppkey"}, {"s_suppkey"})
+      .Derive({{"o_year", Expr::Year(C("o_orderdate"))},
+               {"amount", Revenue() - C("ps_supplycost") * C("l_quantity")}})
+      .Aggregate({"nation", "o_year"}, {Sum("amount", "sum_profit")})
+      .Sort({{"nation", false}, {"o_year", true}});
+}
+
+// -- Q10: returned item reporting ---------------------------------------------
+Plan Q10() {
+  Plan ord = Plan::Scan("orders")
+                 .Filter(Expr::And(Ge(C("o_orderdate"), D(1993, 10, 1)),
+                                   Lt(C("o_orderdate"), D(1994, 1, 1))))
+                 .Project({"o_orderkey", "o_custkey"});
+  Plan cust = Plan::Scan("customer")
+                  .Join(Plan::Scan("nation").Project(
+                            {"n_nationkey", "n_name"}),
+                        JoinType::kInner, {"c_nationkey"}, {"n_nationkey"});
+  return Plan::Scan("lineitem")
+      .Filter(Eq(C("l_returnflag"), S("R")))
+      .Project({"l_orderkey", "l_extendedprice", "l_discount"})
+      .Join(ord, JoinType::kInner, {"l_orderkey"}, {"o_orderkey"})
+      .Join(cust, JoinType::kInner, {"o_custkey"}, {"c_custkey"})
+      .Derive({{"rev", Revenue()}})
+      .Aggregate({"o_custkey", "c_name", "c_acctbal", "c_phone", "n_name",
+                  "c_address", "c_comment"},
+                 {Sum("rev", "revenue")})
+      .Sort({{"revenue", true}}, 20);
+}
+
+// -- Q11: important stock identification ---------------------------------------
+Plan Q11() {
+  Plan supp_de =
+      Plan::Scan("supplier")
+          .Join(Plan::Scan("nation").Filter(Eq(C("n_name"), S("GERMANY"))),
+                JoinType::kSemi, {"s_nationkey"}, {"n_nationkey"})
+          .Project({"s_suppkey"});
+  Plan ps = Plan::Scan("partsupp")
+                .Join(supp_de, JoinType::kSemi, {"ps_suppkey"}, {"s_suppkey"})
+                .Derive({{"value", C("ps_supplycost") * C("ps_availqty")}});
+  Plan grouped = ps.Aggregate({"ps_partkey"}, {Sum("value", "value")});
+  Plan threshold = ps.Aggregate({}, {Sum("value", "total_value")})
+                       .Map({{"threshold", C("total_value") * F(0.0001)}});
+  return grouped.CrossJoin(threshold)
+      .Filter(Gt(C("value"), C("threshold")))
+      .Project({"ps_partkey", "value"})
+      .Sort({{"value", true}});
+}
+
+// -- Q12: shipping modes and order priority -------------------------------------
+Plan Q12() {
+  auto high = Expr::In(C("o_orderpriority"), Strs({"1-URGENT", "2-HIGH"}));
+  return Plan::Scan("lineitem")
+      .Filter(Expr::And(
+          Expr::And(Expr::In(C("l_shipmode"), Strs({"MAIL", "SHIP"})),
+                    Lt(C("l_commitdate"), C("l_receiptdate"))),
+          Expr::And(Lt(C("l_shipdate"), C("l_commitdate")),
+                    Expr::And(Ge(C("l_receiptdate"), D(1994, 1, 1)),
+                              Lt(C("l_receiptdate"), D(1995, 1, 1))))))
+      .Project({"l_orderkey", "l_shipmode"})
+      .Join(Plan::Scan("orders").Project({"o_orderkey", "o_orderpriority"}),
+            JoinType::kInner, {"l_orderkey"}, {"o_orderkey"})
+      .Derive({{"high_line", Expr::Case(high, I(1), I(0))},
+               {"low_line", Expr::Case(high, I(0), I(1))}})
+      .Aggregate({"l_shipmode"}, {Sum("high_line", "high_line_count"),
+                                  Sum("low_line", "low_line_count")})
+      .Sort({{"l_shipmode", false}});
+}
+
+// -- Q13: customer distribution --------------------------------------------------
+Plan Q13() {
+  Plan ord = Plan::Scan("orders")
+                 .Filter(Expr::Not(
+                     Expr::Like(C("o_comment"), "%special%requests%")))
+                 .Project({"o_orderkey", "o_custkey"});
+  Plan per_cust =
+      ord.Aggregate({"o_custkey"}, {CountCol("o_orderkey", "c_count")});
+  return Plan::Scan("customer")
+      .Project({"c_custkey"})
+      .Join(per_cust, JoinType::kLeft, {"c_custkey"}, {"o_custkey"})
+      .Map({{"c_count", Expr::Coalesce(C("c_count"), Value::Int(0))}})
+      .Aggregate({"c_count"}, {Count("custdist")})
+      .Sort({{"custdist", true}, {"c_count", true}});
+}
+
+// -- Q14: promotion effect ---------------------------------------------------------
+Plan Q14() {
+  return Plan::Scan("lineitem")
+      .Filter(Expr::And(Ge(C("l_shipdate"), D(1995, 9, 1)),
+                        Lt(C("l_shipdate"), D(1995, 10, 1))))
+      .Project({"l_partkey", "l_extendedprice", "l_discount"})
+      .Join(Plan::Scan("part").Project({"p_partkey", "p_type"}),
+            JoinType::kInner, {"l_partkey"}, {"p_partkey"})
+      .Derive({{"rev", Revenue()}})
+      .Derive({{"promo_rev", Expr::Case(Expr::Like(C("p_type"), "PROMO%"),
+                                        C("rev"), F(0.0))}})
+      .Aggregate({}, {Sum("promo_rev", "promo"), Sum("rev", "total")})
+      .Map({{"promo_revenue", F(100.0) * C("promo") / C("total")}});
+}
+
+// -- Q15: top supplier --------------------------------------------------------------
+Plan Q15() {
+  Plan revenue = Plan::Scan("lineitem")
+                     .Filter(Expr::And(Ge(C("l_shipdate"), D(1996, 1, 1)),
+                                       Lt(C("l_shipdate"), D(1996, 4, 1))))
+                     .Derive({{"rev", Revenue()}})
+                     .Aggregate({"l_suppkey"}, {Sum("rev", "total_revenue")});
+  Plan max_rev = revenue.Aggregate({}, {Max("total_revenue", "max_rev")});
+  return revenue.CrossJoin(max_rev)
+      .Filter(Eq(C("total_revenue"), C("max_rev")))
+      .Join(Plan::Scan("supplier").Project(
+                {"s_suppkey", "s_name", "s_address", "s_phone"}),
+            JoinType::kInner, {"l_suppkey"}, {"s_suppkey"})
+      .Map({{"s_suppkey", C("l_suppkey")},
+            {"s_name", C("s_name")},
+            {"s_address", C("s_address")},
+            {"s_phone", C("s_phone")},
+            {"total_revenue", C("total_revenue")}})
+      .Sort({{"s_suppkey", false}});
+}
+
+// -- Q16: parts/supplier relationship -------------------------------------------------
+Plan Q16() {
+  Plan part_f =
+      Plan::Scan("part")
+          .Filter(Expr::And(
+              Expr::And(Ne(C("p_brand"), S("Brand#45")),
+                        Expr::Not(Expr::Like(C("p_type"),
+                                             "MEDIUM POLISHED%"))),
+              Expr::In(C("p_size"), Ints({49, 14, 23, 45, 19, 3, 36, 9}))))
+          .Project({"p_partkey", "p_brand", "p_type", "p_size"});
+  Plan bad_supp = Plan::Scan("supplier")
+                      .Filter(Expr::Like(C("s_comment"),
+                                         "%Customer%Complaints%"))
+                      .Project({"s_suppkey"});
+  return Plan::Scan("partsupp")
+      .Project({"ps_partkey", "ps_suppkey"})
+      .Join(bad_supp, JoinType::kAnti, {"ps_suppkey"}, {"s_suppkey"})
+      .Join(part_f, JoinType::kInner, {"ps_partkey"}, {"p_partkey"})
+      .Aggregate({"p_brand", "p_type", "p_size"},
+                 {CountDistinct("ps_suppkey", "supplier_cnt")})
+      .Sort({{"supplier_cnt", true},
+             {"p_brand", false},
+             {"p_type", false},
+             {"p_size", false}});
+}
+
+// -- Q17: small-quantity-order revenue ---------------------------------------------------
+Plan Q17() {
+  Plan part_f = Plan::Scan("part")
+                    .Filter(Expr::And(Eq(C("p_brand"), S("Brand#23")),
+                                      Eq(C("p_container"), S("MED BOX"))))
+                    .Project({"p_partkey"});
+  Plan li = Plan::Scan("lineitem")
+                .Project({"l_orderkey", "l_partkey", "l_quantity",
+                          "l_extendedprice"})
+                .Join(part_f, JoinType::kSemi, {"l_partkey"}, {"p_partkey"});
+  Plan avg_qty = li.Aggregate({"l_partkey"}, {Avg("l_quantity", "avg_qty")})
+                     .Map({{"aq_partkey", C("l_partkey")},
+                           {"avg_qty", C("avg_qty")}});
+  return li.Join(avg_qty, JoinType::kInner, {"l_partkey"}, {"aq_partkey"})
+      .Filter(Lt(C("l_quantity"), F(0.2) * C("avg_qty")))
+      .Aggregate({}, {Sum("l_extendedprice", "total_price")})
+      .Map({{"avg_yearly", C("total_price") / F(7.0)}});
+}
+
+// -- Q18: large volume customer (the paper's running example, Fig 6) --------------------
+Plan Q18() {
+  Plan order_qty = Plan::Scan("lineitem")
+                       .Aggregate({"l_orderkey"}, {Sum("l_quantity",
+                                                       "sum_qty")})
+                       .WithLabel("OQ");
+  Plan lg_orders =
+      order_qty.Filter(Gt(C("sum_qty"), F(300.0))).WithLabel("LO");
+  Plan lg_order_cust =
+      lg_orders
+          .Join(Plan::Scan("orders").Project(
+                    {"o_orderkey", "o_custkey", "o_orderdate",
+                     "o_totalprice"}),
+                JoinType::kInner, {"l_orderkey"}, {"o_orderkey"})
+          .WithLabel("OO")
+          .Join(Plan::Scan("customer").Project({"c_custkey", "c_name"}),
+                JoinType::kInner, {"o_custkey"}, {"c_custkey"})
+          .WithLabel("OC");
+  return lg_order_cust
+      .Aggregate({"c_name", "o_custkey", "l_orderkey", "o_orderdate",
+                  "o_totalprice"},
+                 {Sum("sum_qty", "total_qty")})
+      .WithLabel("C")
+      .Sort({{"o_totalprice", true}, {"o_orderdate", false}}, 100)
+      .WithLabel("TC");
+}
+
+// -- Q19: discounted revenue --------------------------------------------------------------
+Plan Q19() {
+  auto bracket = [](const char* brand,
+                    std::initializer_list<const char*> containers,
+                    double qty_lo, double qty_hi, int64_t size_hi) {
+    return Expr::And(
+        Expr::And(Eq(C("p_brand"), S(brand)),
+                  Expr::In(C("p_container"), Strs(containers))),
+        Expr::And(Between(C("l_quantity"), F(qty_lo), F(qty_hi)),
+                  Between(C("p_size"), I(1), I(size_hi))));
+  };
+  return Plan::Scan("lineitem")
+      .Filter(Expr::And(
+          Expr::In(C("l_shipmode"), Strs({"AIR", "AIR REG"})),
+          Eq(C("l_shipinstruct"), S("DELIVER IN PERSON"))))
+      .Project({"l_partkey", "l_quantity", "l_extendedprice", "l_discount"})
+      .Join(Plan::Scan("part").Project(
+                {"p_partkey", "p_brand", "p_container", "p_size"}),
+            JoinType::kInner, {"l_partkey"}, {"p_partkey"})
+      .Filter(Expr::Or(
+          bracket("Brand#12", {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1,
+                  11, 5),
+          Expr::Or(bracket("Brand#23",
+                           {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10,
+                           20, 10),
+                   bracket("Brand#34",
+                           {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30,
+                           15))))
+      .Derive({{"rev", Revenue()}})
+      .Aggregate({}, {Sum("rev", "revenue")});
+}
+
+// -- Q20: potential part promotion -----------------------------------------------------------
+Plan Q20() {
+  Plan part_f = Plan::Scan("part")
+                    .Filter(Expr::Like(C("p_name"), "forest%"))
+                    .Project({"p_partkey"});
+  Plan qty = Plan::Scan("lineitem")
+                 .Filter(Expr::And(Ge(C("l_shipdate"), D(1994, 1, 1)),
+                                   Lt(C("l_shipdate"), D(1995, 1, 1))))
+                 .Aggregate({"l_partkey", "l_suppkey"},
+                            {Sum("l_quantity", "sum_qty")})
+                 .Map({{"q_partkey", C("l_partkey")},
+                       {"q_suppkey", C("l_suppkey")},
+                       {"half_qty", F(0.5) * C("sum_qty")}});
+  Plan avail =
+      Plan::Scan("partsupp")
+          .Project({"ps_partkey", "ps_suppkey", "ps_availqty"})
+          .Join(part_f, JoinType::kSemi, {"ps_partkey"}, {"p_partkey"})
+          .Join(qty, JoinType::kInner, {"ps_partkey", "ps_suppkey"},
+                {"q_partkey", "q_suppkey"})
+          .Filter(Gt(C("ps_availqty"), C("half_qty")))
+          .Project({"ps_suppkey"});
+  return Plan::Scan("supplier")
+      .Join(Plan::Scan("nation").Filter(Eq(C("n_name"), S("CANADA"))),
+            JoinType::kSemi, {"s_nationkey"}, {"n_nationkey"})
+      .Join(avail, JoinType::kSemi, {"s_suppkey"}, {"ps_suppkey"})
+      .Map({{"s_name", C("s_name")}, {"s_address", C("s_address")}})
+      .Sort({{"s_name", false}});
+}
+
+// -- Q21: suppliers who kept orders waiting ---------------------------------------------------
+// The correlated EXISTS / NOT EXISTS pair is rewritten through per-order
+// distinct supplier counts: EXISTS l2 (other supplier on the order) ⇔
+// count_distinct(all suppliers) > 1; NOT EXISTS l3 (other *late* supplier)
+// ⇔ count_distinct(late suppliers) == 1.
+Plan Q21() {
+  Plan supp_sa =
+      Plan::Scan("supplier")
+          .Join(Plan::Scan("nation").Filter(Eq(C("n_name"),
+                                               S("SAUDI ARABIA"))),
+                JoinType::kSemi, {"s_nationkey"}, {"n_nationkey"})
+          .Project({"s_suppkey", "s_name"});
+  Plan nsupp_all =
+      Plan::Scan("lineitem")
+          .Aggregate({"l_orderkey"}, {CountDistinct("l_suppkey", "nsupp")})
+          .Map({{"a_orderkey", C("l_orderkey")}, {"nsupp", C("nsupp")}});
+  Plan late = Plan::Scan("lineitem")
+                  .Filter(Gt(C("l_receiptdate"), C("l_commitdate")))
+                  .Project({"l_orderkey", "l_suppkey"});
+  Plan nsupp_late =
+      late.Aggregate({"l_orderkey"}, {CountDistinct("l_suppkey", "nlate")})
+          .Map({{"b_orderkey", C("l_orderkey")}, {"nlate", C("nlate")}});
+  Plan ord_f = Plan::Scan("orders")
+                   .Filter(Eq(C("o_orderstatus"), S("F")))
+                   .Project({"o_orderkey"});
+  return late
+      .Join(ord_f, JoinType::kSemi, {"l_orderkey"}, {"o_orderkey"})
+      .Join(nsupp_all, JoinType::kInner, {"l_orderkey"}, {"a_orderkey"})
+      .Join(nsupp_late, JoinType::kInner, {"l_orderkey"}, {"b_orderkey"})
+      .Filter(Expr::And(Gt(C("nsupp"), I(1)), Eq(C("nlate"), I(1))))
+      .Join(supp_sa, JoinType::kInner, {"l_suppkey"}, {"s_suppkey"})
+      .Aggregate({"s_name"}, {Count("numwait")})
+      .Sort({{"numwait", true}, {"s_name", false}}, 100);
+}
+
+// -- Q22: global sales opportunity --------------------------------------------------------------
+Plan Q22() {
+  auto codes = Strs({"13", "31", "23", "29", "30", "18", "17"});
+  Plan cust = Plan::Scan("customer")
+                  .Derive({{"cntrycode", Expr::Substr(C("c_phone"), 1, 2)}})
+                  .Filter(Expr::In(C("cntrycode"), codes))
+                  .Project({"c_custkey", "c_acctbal", "cntrycode"});
+  Plan avg_bal = cust.Filter(Gt(C("c_acctbal"), F(0.0)))
+                     .Aggregate({}, {Avg("c_acctbal", "avg_bal")});
+  return cust.CrossJoin(avg_bal)
+      .Filter(Gt(C("c_acctbal"), C("avg_bal")))
+      .Join(Plan::Scan("orders").Project({"o_custkey"}), JoinType::kAnti,
+            {"c_custkey"}, {"o_custkey"})
+      .Aggregate({"cntrycode"},
+                 {Count("numcust"), Sum("c_acctbal", "totacctbal")})
+      .Sort({{"cntrycode", false}});
+}
+
+}  // namespace
+
+Plan Query(int number) {
+  switch (number) {
+    case 1: return Q1();
+    case 2: return Q2();
+    case 3: return Q3();
+    case 4: return Q4();
+    case 5: return Q5();
+    case 6: return Q6();
+    case 7: return Q7();
+    case 8: return Q8();
+    case 9: return Q9();
+    case 10: return Q10();
+    case 11: return Q11();
+    case 12: return Q12();
+    case 13: return Q13();
+    case 14: return Q14();
+    case 15: return Q15();
+    case 16: return Q16();
+    case 17: return Q17();
+    case 18: return Q18();
+    case 19: return Q19();
+    case 20: return Q20();
+    case 21: return Q21();
+    case 22: return Q22();
+    default:
+      throw Error("TPC-H query number must be 1..22");
+  }
+}
+
+std::vector<int> AllQueries() {
+  std::vector<int> out;
+  for (int q = 1; q <= 22; ++q) out.push_back(q);
+  return out;
+}
+
+Plan ModifiedQuery(int number) {
+  switch (number) {
+    case 1:
+      // Single-table Q1 (ProgressiveDB comparison): the Q1 aggregation
+      // without the final sort.
+      return Plan::Scan("lineitem")
+          .Filter(Le(C("l_shipdate"), D(1998, 9, 2)))
+          .Derive({{"disc_price", Revenue()}})
+          .Aggregate({"l_returnflag", "l_linestatus"},
+                     {Sum("l_quantity", "sum_qty"),
+                      Sum("disc_price", "sum_disc_price"),
+                      Avg("l_discount", "avg_disc"), Count("count_order")});
+    case 6:
+      return Q6();
+    case 3:
+      // WanderJoin-style Q3: single SUM over the 3-way join, no group-by.
+      return Plan::Scan("lineitem")
+          .Filter(Gt(C("l_shipdate"), D(1995, 3, 15)))
+          .Join(Plan::Scan("orders")
+                    .Filter(Lt(C("o_orderdate"), D(1995, 3, 15)))
+                    .Join(Plan::Scan("customer")
+                              .Filter(Eq(C("c_mktsegment"), S("BUILDING")))
+                              .Project({"c_custkey"}),
+                          JoinType::kSemi, {"o_custkey"}, {"c_custkey"})
+                    .Project({"o_orderkey"}),
+                JoinType::kInner, {"l_orderkey"}, {"o_orderkey"})
+          .Derive({{"rev", Revenue()}})
+          .Aggregate({}, {Sum("rev", "revenue")});
+    case 7: {
+      auto nation_pair = Strs({"FRANCE", "GERMANY"});
+      Plan supp = Plan::Scan("supplier")
+                      .Join(Plan::Scan("nation").Filter(
+                                Expr::In(C("n_name"), nation_pair)),
+                            JoinType::kSemi, {"s_nationkey"},
+                            {"n_nationkey"})
+                      .Project({"s_suppkey"});
+      return Plan::Scan("lineitem")
+          .Filter(Between(C("l_shipdate"), D(1995, 1, 1), D(1996, 12, 31)))
+          .Join(supp, JoinType::kSemi, {"l_suppkey"}, {"s_suppkey"})
+          .Derive({{"volume", Revenue()}})
+          .Aggregate({}, {Sum("volume", "revenue")});
+    }
+    case 10:
+      return Plan::Scan("lineitem")
+          .Filter(Eq(C("l_returnflag"), S("R")))
+          .Join(Plan::Scan("orders")
+                    .Filter(Expr::And(Ge(C("o_orderdate"), D(1993, 10, 1)),
+                                      Lt(C("o_orderdate"), D(1994, 1, 1))))
+                    .Project({"o_orderkey"}),
+                JoinType::kInner, {"l_orderkey"}, {"o_orderkey"})
+          .Derive({{"rev", Revenue()}})
+          .Aggregate({}, {Sum("rev", "revenue")});
+    default:
+      throw Error("modified query must be one of 1, 3, 6, 7, 10");
+  }
+}
+
+}  // namespace tpch
+}  // namespace wake

@@ -1,0 +1,32 @@
+// The 22 TPC-H benchmark queries expressed as wake logical plans (§8.1).
+//
+// Every query is written in the Deep-OLA decomposition style of the paper:
+// scalar subqueries become aggregate subplans broadcast via cross joins,
+// EXISTS/NOT EXISTS become semi/anti joins, and Q21's correlated EXISTS
+// pair is rewritten through per-order distinct-supplier counts. The same
+// plans run on the Wake OLA engine and the exact baseline, so their final
+// results are directly comparable.
+#ifndef WAKE_TPCH_QUERIES_H_
+#define WAKE_TPCH_QUERIES_H_
+
+#include "plan/plan.h"
+
+namespace wake {
+namespace tpch {
+
+/// Plan for TPC-H query `number` (1-22). Throws wake::Error otherwise.
+Plan Query(int number);
+
+/// All query numbers, 1..22.
+std::vector<int> AllQueries();
+
+/// Single-aggregate "modified" queries used for the OLA-system comparison
+/// (Fig 9): Q1/Q6 single-table forms for the ProgressiveDB comparison and
+/// Q3/Q7/Q10 join-aggregate forms (no group-by, no sort) matching the
+/// WanderJoin evaluation. Valid numbers: 1, 3, 6, 7, 10.
+Plan ModifiedQuery(int number);
+
+}  // namespace tpch
+}  // namespace wake
+
+#endif  // WAKE_TPCH_QUERIES_H_

@@ -1,0 +1,86 @@
+#include "baseline/wander_join.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+#include <cmath>
+
+#include "baseline/exact_engine.h"
+#include "engine/tpch_fixture.h"
+#include "tpch/queries.h"
+
+namespace wake {
+namespace {
+
+class WanderJoinSpecTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WanderJoinSpecTest, ExactSumMatchesExactEngine) {
+  // The walk graph's full enumeration must equal the relational answer —
+  // this pins the spec (filters, hops, value) to the modified query.
+  const Catalog& cat = testing::SharedTpch();
+  int q = GetParam();
+  WanderJoin wj(&cat, WanderJoinTpchSpec(q), 1);
+  wj.BuildIndexes();
+  double walk_truth = wj.ExactSum();
+
+  ExactEngine exact(&cat);
+  DataFrame res = exact.Execute(tpch::ModifiedQuery(q).node());
+  ASSERT_EQ(res.num_rows(), 1u);
+  double engine_truth = res.column(0).DoubleAt(0);
+  EXPECT_NEAR(walk_truth, engine_truth,
+              1e-6 * std::max(1.0, std::fabs(engine_truth)));
+}
+
+TEST_P(WanderJoinSpecTest, EstimatesConvergeNearTruth) {
+  const Catalog& cat = testing::SharedTpch();
+  int q = GetParam();
+  WanderJoin wj(&cat, WanderJoinTpchSpec(q), 7);
+  wj.BuildIndexes();
+  double truth = wj.ExactSum();
+  if (truth == 0.0) GTEST_SKIP() << "degenerate truth at this scale";
+
+  double last_rel_err = 1.0;
+  wj.Run(200000, 200000, [&](const WanderJoin::Estimate& est) {
+    last_rel_err = std::fabs(est.value - truth) / std::fabs(truth);
+  });
+  // WanderJoin converges to a few percent but (by design) not to exact —
+  // the behaviour Fig 9b contrasts with Wake.
+  EXPECT_LT(last_rel_err, 0.10) << "MQ" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(ModifiedQueries, WanderJoinSpecTest,
+                         ::testing::Values(3, 7, 10),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "MQ" + std::to_string(info.param);
+                         });
+
+TEST(WanderJoinTest, VarianceShrinksWithWalks) {
+  const Catalog& cat = testing::SharedTpch();
+  WanderJoin wj(&cat, WanderJoinTpchSpec(10), 3);
+  std::vector<double> variances;
+  wj.Run(20000, 5000, [&](const WanderJoin::Estimate& est) {
+    variances.push_back(est.variance);
+  });
+  ASSERT_GE(variances.size(), 3u);
+  EXPECT_LT(variances.back(), variances.front());
+}
+
+TEST(WanderJoinTest, ReportsAtRequestedCadence) {
+  const Catalog& cat = testing::SharedTpch();
+  WanderJoin wj(&cat, WanderJoinTpchSpec(3), 5);
+  std::vector<size_t> walk_counts;
+  wj.Run(1000, 250, [&](const WanderJoin::Estimate& est) {
+    walk_counts.push_back(est.walks);
+  });
+  EXPECT_EQ(walk_counts, (std::vector<size_t>{250, 500, 750, 1000}));
+}
+
+TEST(WanderJoinTest, InvalidSpecNumberThrows) {
+  EXPECT_THROW(WanderJoinTpchSpec(2), Error);
+}
+
+}  // namespace
+}  // namespace wake

@@ -1,0 +1,115 @@
+#include "common/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace wake {
+namespace {
+
+TEST(ChannelTest, SendThenReceive) {
+  Channel<int> ch;
+  EXPECT_TRUE(ch.Send(1));
+  EXPECT_TRUE(ch.Send(2));
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.Receive().value(), 1);
+  EXPECT_EQ(ch.Receive().value(), 2);
+}
+
+TEST(ChannelTest, CloseDrainsPendingThenSignalsEof) {
+  Channel<int> ch;
+  ch.Send(7);
+  ch.Close();
+  EXPECT_EQ(ch.Receive().value(), 7);
+  EXPECT_FALSE(ch.Receive().has_value());
+  EXPECT_FALSE(ch.Receive().has_value());  // idempotent
+}
+
+TEST(ChannelTest, SendAfterCloseIsRejected) {
+  Channel<int> ch;
+  ch.Close();
+  EXPECT_FALSE(ch.Send(1));
+  EXPECT_FALSE(ch.Receive().has_value());
+}
+
+TEST(ChannelTest, TryReceiveDoesNotBlock) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.TryReceive().has_value());
+  ch.Send(5);
+  EXPECT_EQ(ch.TryReceive().value(), 5);
+}
+
+TEST(ChannelTest, ReceiveBlocksUntilSend) {
+  Channel<int> ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.Send(99);
+  });
+  EXPECT_EQ(ch.Receive().value(), 99);  // blocks until the producer sends
+  producer.join();
+}
+
+TEST(ChannelTest, BoundedChannelAppliesBackpressure) {
+  Channel<int> ch(2);
+  ch.Send(1);
+  ch.Send(2);
+  std::atomic<bool> third_sent{false};
+  std::thread producer([&] {
+    ch.Send(3);  // blocks until a slot frees
+    third_sent = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_sent.load());
+  EXPECT_EQ(ch.Receive().value(), 1);
+  producer.join();
+  EXPECT_TRUE(third_sent.load());
+}
+
+TEST(ChannelTest, ManyProducersManyConsumersDeliverEverything) {
+  Channel<int> ch;
+  constexpr int kProducers = 4, kPerProducer = 1000, kConsumers = 3;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) ch.Send(p * kPerProducer + i);
+    });
+  }
+  std::atomic<long> total{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = ch.Receive()) {
+        total += *v;
+        ++count;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ch.Close();
+  for (auto& t : consumers) t.join();
+  int n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(total.load(), static_cast<long>(n) * (n - 1) / 2);
+}
+
+TEST(ChannelTest, CloseWakesBlockedReceivers) {
+  Channel<int> ch;
+  std::thread consumer([&] { EXPECT_FALSE(ch.Receive().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.Close();
+  consumer.join();
+}
+
+TEST(ChannelTest, MoveOnlyPayload) {
+  Channel<std::unique_ptr<int>> ch;
+  ch.Send(std::make_unique<int>(11));
+  auto v = ch.Receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 11);
+}
+
+}  // namespace
+}  // namespace wake

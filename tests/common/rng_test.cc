@@ -1,0 +1,99 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace wake {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntStaysInRangeAndHitsEndpoints) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 4);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 4);
+    saw_lo |= v == -3;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // mean of U(0,1)
+}
+
+TEST(RngTest, NormalHasZeroMeanUnitVariance) {
+  Rng rng(11);
+  double sum = 0, sumsq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ZipfStaysInRangeAndSkewsLow) {
+  Rng rng(17);
+  constexpr int64_t kN = 1000;
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Zipf(kN, 1.2);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, kN);
+    low += v <= 10;
+  }
+  // Zipf(1.2) concentrates mass on small values.
+  EXPECT_GT(low, 4000);
+}
+
+TEST(RngTest, ChoicePicksAllElements) {
+  Rng rng(19);
+  std::vector<int> items = {1, 2, 3};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Choice(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace wake

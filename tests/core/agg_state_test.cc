@@ -1,0 +1,281 @@
+#include "core/agg_state.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "plan/props.h"
+
+namespace wake {
+namespace {
+
+Schema InputSchema() {
+  return Schema({{"g", ValueType::kInt64},
+                 {"v", ValueType::kFloat64},
+                 {"name", ValueType::kString}});
+}
+
+DataFrame MakeInput(const std::vector<int64_t>& g,
+                    const std::vector<double>& v,
+                    const std::vector<std::string>& names) {
+  DataFrame df(InputSchema());
+  *df.mutable_column(0) = Column::FromInts(g);
+  *df.mutable_column(1) = Column::FromDoubles(v);
+  *df.mutable_column(2) = Column::FromStrings(names);
+  return df;
+}
+
+std::vector<AggSpec> AllAggs() {
+  return {Sum("v", "s"),          Count("n"),
+          CountCol("v", "nv"),    Avg("v", "a"),
+          Min("v", "mn"),         Max("v", "mx"),
+          CountDistinct("name", "d"), VarOf("v", "var"),
+          StddevOf("v", "sd")};
+}
+
+GroupedAggState MakeState(const std::vector<std::string>& by,
+                          const std::vector<AggSpec>& aggs) {
+  return GroupedAggState(by, aggs, InputSchema(),
+                         AggOutputSchema(InputSchema(), by, aggs));
+}
+
+TEST(GroupedAggStateTest, SingleConsumeExactFinalize) {
+  auto state = MakeState({"g"}, AllAggs());
+  state.Consume(MakeInput({1, 1, 2, 2, 2}, {1.0, 3.0, 5.0, 5.0, 8.0},
+                          {"a", "b", "x", "x", "y"}));
+  EXPECT_EQ(state.num_groups(), 2u);
+  EXPECT_EQ(state.total_rows(), 5u);
+  EXPECT_DOUBLE_EQ(state.MeanGroupCardinality(), 2.5);
+  DataFrame out = state.Finalize(AggScaling{}).frame;
+  ASSERT_EQ(out.num_rows(), 2u);
+  // Group 1 appears first (insertion order).
+  EXPECT_EQ(out.ColumnByName("g").IntAt(0), 1);
+  EXPECT_DOUBLE_EQ(out.ColumnByName("s").DoubleAt(0), 4.0);
+  EXPECT_EQ(out.ColumnByName("n").IntAt(0), 2);
+  EXPECT_DOUBLE_EQ(out.ColumnByName("a").DoubleAt(0), 2.0);
+  EXPECT_DOUBLE_EQ(out.ColumnByName("mn").DoubleAt(1), 5.0);
+  EXPECT_DOUBLE_EQ(out.ColumnByName("mx").DoubleAt(1), 8.0);
+  EXPECT_EQ(out.ColumnByName("d").IntAt(0), 2);
+  EXPECT_EQ(out.ColumnByName("d").IntAt(1), 2);  // {"x","y"}
+  // Group 2 values {5,5,8}: mean 6, population var 2.
+  EXPECT_NEAR(out.ColumnByName("var").DoubleAt(1), 2.0, 1e-9);
+}
+
+// Table 2 merge property: consuming k partials must equal consuming the
+// whole input at once — for every aggregate and any split.
+class MergeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeEquivalence, SplitConsumeEqualsWholeConsume) {
+  int pieces = GetParam();
+  Rng rng(31 + pieces);
+  std::vector<int64_t> g;
+  std::vector<double> v;
+  std::vector<std::string> names;
+  for (int i = 0; i < 200; ++i) {
+    g.push_back(rng.UniformInt(0, 7));
+    v.push_back(rng.UniformDouble(-5.0, 20.0));
+    names.push_back(std::string(1, static_cast<char>('a' + rng.UniformInt(0, 12))));
+  }
+  DataFrame whole = MakeInput(g, v, names);
+
+  auto whole_state = MakeState({"g"}, AllAggs());
+  whole_state.Consume(whole);
+  DataFrame expected = whole_state.Finalize(AggScaling{}).frame;
+
+  auto split_state = MakeState({"g"}, AllAggs());
+  size_t chunk = (whole.num_rows() + pieces - 1) / pieces;
+  for (size_t begin = 0; begin < whole.num_rows(); begin += chunk) {
+    split_state.Consume(
+        whole.Slice(begin, std::min(begin + chunk, whole.num_rows())));
+  }
+  DataFrame got = split_state.Finalize(AggScaling{}).frame;
+
+  std::string diff;
+  EXPECT_TRUE(got.ApproxEquals(expected, 1e-9, &diff)) << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, MergeEquivalence,
+                         ::testing::Values(2, 3, 7, 50, 200));
+
+TEST(GroupedAggStateTest, MedianIsExactOrderStatistic) {
+  auto state = MakeState({"g"}, {MedianOf("v", "med")});
+  state.Consume(MakeInput({1, 1, 1, 1, 1}, {9.0, 1.0, 5.0, 3.0, 7.0},
+                          {"a", "b", "c", "d", "e"}));
+  DataFrame out = state.Finalize(AggScaling{}).frame;
+  EXPECT_DOUBLE_EQ(out.ColumnByName("med").DoubleAt(0), 5.0);
+  // Even count: lower-median convention.
+  auto even = MakeState({"g"}, {MedianOf("v", "med")});
+  even.Consume(MakeInput({1, 1, 1, 1}, {4.0, 1.0, 3.0, 2.0},
+                         {"a", "b", "c", "d"}));
+  EXPECT_DOUBLE_EQ(
+      even.Finalize(AggScaling{}).frame.ColumnByName("med").DoubleAt(0),
+      2.0);
+}
+
+TEST(GbiScalingTest, MedianEstimatorIsIdentity) {
+  // §5.3 order statistics: the estimate is the current sample median,
+  // regardless of projected growth.
+  auto state = MakeState({"g"}, {MedianOf("v", "med")});
+  state.Consume(MakeInput({1, 1, 1}, {10.0, 20.0, 30.0}, {"a", "b", "c"}));
+  AggScaling scaling;
+  scaling.enabled = true;
+  scaling.t = 0.1;
+  scaling.w = 1.0;
+  EXPECT_DOUBLE_EQ(
+      state.Finalize(scaling).frame.ColumnByName("med").DoubleAt(0), 20.0);
+}
+
+TEST(GroupedAggStateTest, GlobalAggregateHasOneGroup) {
+  auto state = MakeState({}, {Sum("v", "s"), Count("n")});
+  state.Consume(MakeInput({1, 2, 3}, {1.0, 2.0, 3.0}, {"a", "b", "c"}));
+  DataFrame out = state.Finalize(AggScaling{}).frame;
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(out.ColumnByName("s").DoubleAt(0), 6.0);
+}
+
+TEST(GroupedAggStateTest, EmptyStateFinalizesEmpty) {
+  auto state = MakeState({"g"}, {Count("n")});
+  DataFrame out = state.Finalize(AggScaling{}).frame;
+  EXPECT_EQ(out.num_rows(), 0u);
+}
+
+TEST(GroupedAggStateTest, ResetDropsEverything) {
+  auto state = MakeState({"g"}, {Count("n")});
+  state.Consume(MakeInput({1, 2}, {1, 2}, {"a", "b"}));
+  EXPECT_EQ(state.num_groups(), 2u);
+  state.Reset();
+  EXPECT_EQ(state.num_groups(), 0u);
+  EXPECT_EQ(state.total_rows(), 0u);
+  state.Consume(MakeInput({5}, {5}, {"e"}));
+  EXPECT_EQ(state.num_groups(), 1u);
+  EXPECT_EQ(state.Finalize(AggScaling{}).frame.ColumnByName("g").IntAt(0), 5);
+}
+
+TEST(GroupedAggStateTest, NullInputsSkippedPerAggregate) {
+  Schema schema({{"g", ValueType::kInt64}, {"v", ValueType::kFloat64}});
+  DataFrame df(schema);
+  df.mutable_column(0)->AppendInt(1);
+  df.mutable_column(0)->AppendInt(1);
+  df.mutable_column(1)->AppendDouble(10.0);
+  df.mutable_column(1)->AppendNull();
+  std::vector<AggSpec> aggs = {Sum("v", "s"), CountCol("v", "nv"),
+                               Count("n")};
+  GroupedAggState state({"g"}, aggs, schema,
+                        AggOutputSchema(schema, {"g"}, aggs));
+  state.Consume(df);
+  DataFrame out = state.Finalize(AggScaling{}).frame;
+  EXPECT_DOUBLE_EQ(out.ColumnByName("s").DoubleAt(0), 10.0);
+  EXPECT_EQ(out.ColumnByName("nv").IntAt(0), 1);  // non-null only
+  EXPECT_EQ(out.ColumnByName("n").IntAt(0), 2);   // count(*) counts rows
+}
+
+// Growth-based scaling (§5.3).
+TEST(GbiScalingTest, SumAndCountScaleByGrowth) {
+  auto state = MakeState({"g"}, {Sum("v", "s"), Count("n")});
+  // 4 rows in one group at t = 0.25 with linear growth.
+  state.Consume(MakeInput({1, 1, 1, 1}, {2.0, 2.0, 2.0, 2.0},
+                          {"a", "a", "a", "a"}));
+  AggScaling scaling;
+  scaling.enabled = true;
+  scaling.t = 0.25;
+  scaling.w = 1.0;
+  DataFrame out = state.Finalize(scaling).frame;
+  EXPECT_DOUBLE_EQ(out.ColumnByName("s").DoubleAt(0), 32.0);  // 8 / 0.25
+  EXPECT_EQ(out.ColumnByName("n").IntAt(0), 16);              // 4 / 0.25
+}
+
+TEST(GbiScalingTest, AvgVarMinMaxAreScaleInvariant) {
+  auto state = MakeState({"g"}, {Avg("v", "a"), VarOf("v", "var"),
+                                 Min("v", "mn"), Max("v", "mx")});
+  state.Consume(MakeInput({1, 1, 1}, {1.0, 2.0, 3.0}, {"a", "b", "c"}));
+  AggScaling scaling;
+  scaling.enabled = true;
+  scaling.t = 0.1;
+  scaling.w = 1.0;
+  DataFrame out = state.Finalize(scaling).frame;
+  EXPECT_DOUBLE_EQ(out.ColumnByName("a").DoubleAt(0), 2.0);   // Eq 5
+  EXPECT_NEAR(out.ColumnByName("var").DoubleAt(0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(out.ColumnByName("mn").DoubleAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(out.ColumnByName("mx").DoubleAt(0), 3.0);
+}
+
+TEST(GbiScalingTest, ZeroGrowthMeansNoScaling) {
+  auto state = MakeState({"g"}, {Sum("v", "s")});
+  state.Consume(MakeInput({1, 1}, {3.0, 4.0}, {"a", "b"}));
+  AggScaling scaling;
+  scaling.enabled = true;
+  scaling.t = 0.5;
+  scaling.w = 0.0;  // complete groups (e.g. low-cardinality agg input)
+  DataFrame out = state.Finalize(scaling).frame;
+  EXPECT_DOUBLE_EQ(out.ColumnByName("s").DoubleAt(0), 7.0);
+}
+
+TEST(GbiScalingTest, DisabledScalingAtFullProgress) {
+  auto state = MakeState({"g"}, {Sum("v", "s")});
+  state.Consume(MakeInput({1}, {5.0}, {"a"}));
+  AggScaling scaling;
+  scaling.enabled = true;
+  scaling.t = 1.0;  // complete input: estimates must equal exact values
+  scaling.w = 1.0;
+  DataFrame out = state.Finalize(scaling).frame;
+  EXPECT_DOUBLE_EQ(out.ColumnByName("s").DoubleAt(0), 5.0);
+}
+
+TEST(GbiScalingTest, CountDistinctUsesMm1) {
+  auto state = MakeState({"g"}, {CountDistinct("name", "d")});
+  // 10 rows, 5 distinct names, t = 0.5, linear growth -> x̂ = 20.
+  state.Consume(MakeInput({1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+                          std::vector<double>(10, 1.0),
+                          {"a", "b", "c", "d", "e", "a", "b", "c", "d", "e"}));
+  AggScaling scaling;
+  scaling.enabled = true;
+  scaling.t = 0.5;
+  scaling.w = 1.0;
+  int64_t est = state.Finalize(scaling).frame.ColumnByName("d").IntAt(0);
+  EXPECT_GE(est, 5);   // at least the observed distinct count
+  EXPECT_LE(est, 20);  // at most the projected cardinality
+}
+
+// Confidence-interval output (§6).
+TEST(AggCiTest, VariancesReportedForScaledAggregates) {
+  auto state = MakeState({"g"}, {Sum("v", "s"), Count("n")});
+  Rng rng(3);
+  std::vector<int64_t> g(50, 1);
+  std::vector<double> v;
+  std::vector<std::string> names(50, "x");
+  for (int i = 0; i < 50; ++i) v.push_back(rng.UniformDouble(0, 10));
+  state.Consume(MakeInput(g, v, names));
+  AggScaling scaling;
+  scaling.enabled = true;
+  scaling.t = 0.25;
+  scaling.w = 1.0;
+  scaling.var_w = 0.01;
+  scaling.with_ci = true;
+  AggResult res = state.Finalize(scaling);
+  ASSERT_TRUE(res.variances.count("s"));
+  ASSERT_TRUE(res.variances.count("n"));
+  EXPECT_GT(res.variances["s"][0], 0.0);
+  EXPECT_GT(res.variances["n"][0], 0.0);
+}
+
+TEST(AggCiTest, ExactFinalizeHasZeroVarianceWithoutInputVariance) {
+  auto state = MakeState({"g"}, {Sum("v", "s")});
+  state.Consume(MakeInput({1, 1}, {1.0, 2.0}, {"a", "b"}));
+  AggScaling scaling;
+  scaling.with_ci = true;  // CI on, scaling off (t = 1)
+  AggResult res = state.Finalize(scaling);
+  EXPECT_DOUBLE_EQ(res.variances["s"][0], 0.0);
+}
+
+TEST(AggCiTest, InputVariancesAccumulateIntoSums) {
+  auto state = MakeState({"g"}, {Sum("v", "s")});
+  DataFrame in = MakeInput({1, 1}, {1.0, 2.0}, {"a", "b"});
+  VarianceMap vars{{"v", {0.5, 0.25}}};
+  state.Consume(in, &vars);
+  AggScaling scaling;
+  scaling.with_ci = true;
+  AggResult res = state.Finalize(scaling);
+  EXPECT_DOUBLE_EQ(res.variances["s"][0], 0.75);  // sum of input variances
+}
+
+}  // namespace
+}  // namespace wake

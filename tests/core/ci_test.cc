@@ -1,0 +1,65 @@
+#include "core/ci.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace wake {
+namespace {
+
+TEST(ChebyshevKTest, MatchesPaperValueAt95) {
+  // §6: k ≈ 4.5 for 95% CI (exactly sqrt(20) ≈ 4.472).
+  EXPECT_NEAR(ChebyshevK(0.95), 4.4721, 1e-3);
+  EXPECT_NEAR(ChebyshevK(0.99), 10.0, 1e-9);
+  EXPECT_NEAR(ChebyshevK(0.75), 2.0, 1e-9);
+}
+
+TEST(ChebyshevKTest, RejectsInvalidConfidence) {
+  EXPECT_THROW(ChebyshevK(0.0), Error);
+  EXPECT_THROW(ChebyshevK(1.0), Error);
+  EXPECT_THROW(ChebyshevK(-0.5), Error);
+}
+
+TEST(ChebyshevIntervalTest, SymmetricAroundEstimate) {
+  ConfidenceInterval ci = ChebyshevInterval(100.0, 4.0, 0.75);
+  EXPECT_DOUBLE_EQ(ci.half_width, 4.0);  // k=2, sigma=2
+  EXPECT_DOUBLE_EQ(ci.lo, 96.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 104.0);
+}
+
+TEST(ChebyshevIntervalTest, ZeroVarianceCollapses) {
+  ConfidenceInterval ci = ChebyshevInterval(5.0, 0.0, 0.95);
+  EXPECT_DOUBLE_EQ(ci.lo, 5.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 5.0);
+}
+
+TEST(RelativeCiRangeTest, InsideIntervalBelowOne) {
+  // err = 1, half-width = 2·sqrt(1) = 2 -> 0.5.
+  EXPECT_DOUBLE_EQ(RelativeCiRange(11.0, 10.0, 1.0, 0.75), 0.5);
+  EXPECT_GT(RelativeCiRange(20.0, 10.0, 1.0, 0.75), 1.0);  // not covered
+}
+
+TEST(RelativeCiRangeTest, ZeroVarianceEdgeCases) {
+  EXPECT_DOUBLE_EQ(RelativeCiRange(10.0, 10.0, 0.0, 0.95), 0.0);
+  EXPECT_TRUE(std::isinf(RelativeCiRange(10.0, 11.0, 0.0, 0.95)));
+}
+
+TEST(ChebyshevCoverageTest, HoldsEmpiricallyForGaussianNoise) {
+  // Chebyshev is distribution-free, so for Gaussian noise coverage at 95%
+  // (k≈4.47) should be essentially 100%.
+  Rng rng(2024);
+  int covered = 0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    double sigma = 2.0;
+    double estimate = 50.0 + sigma * rng.Normal();
+    if (RelativeCiRange(estimate, 50.0, sigma * sigma, 0.95) <= 1.0) {
+      ++covered;
+    }
+  }
+  EXPECT_GT(covered, kTrials * 0.99);
+}
+
+}  // namespace
+}  // namespace wake

@@ -1,0 +1,102 @@
+// Parameterized property sweeps over the §5 estimators: monotonicity,
+// consistency and boundary behaviour across the (t, w) grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/growth.h"
+#include "core/inference.h"
+
+namespace wake {
+namespace {
+
+class CardinalityGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CardinalityGrid, EstimateIsConsistentAndMonotone) {
+  auto [t, w] = GetParam();
+  double x = 100.0;
+  double xhat = EstimateCardinality(x, t, w);
+  // Never below the observed count; equals x/t^w by Eq 4.
+  EXPECT_GE(xhat, x);
+  EXPECT_NEAR(xhat, std::max(x, x / std::pow(t, w)), 1e-9);
+  // More progress at the same count -> smaller projected final count.
+  if (t < 0.9) {
+    EXPECT_GE(xhat, EstimateCardinality(x, t + 0.1, w) - 1e-9);
+  }
+  // Stronger growth -> larger projection (t < 1).
+  EXPECT_LE(EstimateCardinality(x, t, w),
+            EstimateCardinality(x, t, w + 0.5) + 1e-9);
+  // Consistency at completion: estimate collapses to the observation.
+  EXPECT_DOUBLE_EQ(EstimateCardinality(x, 1.0, w), x);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CardinalityGrid,
+    ::testing::Combine(::testing::Values(0.1, 0.25, 0.5, 0.8),
+                       ::testing::Values(0.0, 0.5, 1.0, 2.0)));
+
+TEST(EstimatorPropertyTest, SumEstimatorIsLinear) {
+  // f_sum(αy) = α f_sum(y) and additivity in y.
+  double x = 40, xhat = 160;
+  EXPECT_DOUBLE_EQ(EstimateSum(10.0, x, xhat) + EstimateSum(5.0, x, xhat),
+                   EstimateSum(15.0, x, xhat));
+  EXPECT_DOUBLE_EQ(EstimateSum(3.0 * 7.0, x, xhat),
+                   3.0 * EstimateSum(7.0, x, xhat));
+}
+
+TEST(EstimatorPropertyTest, AvgInvarianceUnderScaling) {
+  // Eq 5: the ratio of two scaled sums equals the raw ratio.
+  double x = 25, xhat = 100;
+  double num = EstimateSum(50.0, x, xhat);
+  double den = EstimateSum(10.0, x, xhat);
+  EXPECT_DOUBLE_EQ(num / den, 5.0);
+}
+
+class CountDistinctGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CountDistinctGrid, BoundedAndMonotoneInObservedDistincts) {
+  auto [frac_distinct, growth] = GetParam();
+  double x = 200.0;
+  double xhat = x * growth;
+  double y = std::max(1.0, frac_distinct * x);
+  double est = EstimateCountDistinct(y, x, xhat);
+  EXPECT_GE(est, y - 1e-9);
+  EXPECT_LE(est, xhat + 1e-9);
+  if (y + 10 <= x) {
+    EXPECT_LE(est, EstimateCountDistinct(y + 10, x, xhat) + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CountDistinctGrid,
+    ::testing::Combine(::testing::Values(0.05, 0.25, 0.6, 0.95),
+                       ::testing::Values(1.5, 3.0, 10.0)));
+
+TEST(GrowthModelPropertyTest, FitIsInvariantToObservationScale) {
+  // Multiplying every cardinality by a constant shifts the intercept, not
+  // the slope.
+  GrowthModel a, b;
+  for (double t : {0.2, 0.4, 0.6, 0.8}) {
+    a.Observe(t, 10.0 * std::pow(t, 0.7));
+    b.Observe(t, 1000.0 * std::pow(t, 0.7));
+  }
+  EXPECT_NEAR(a.w(), b.w(), 1e-9);
+  EXPECT_NEAR(a.w(), 0.7, 1e-9);
+}
+
+TEST(GrowthModelPropertyTest, MixedRegimesFitBetweenExtremes) {
+  // Half the observations grow linearly, half are flat: the fitted power
+  // must land strictly between 0 and 1.
+  GrowthModel m;
+  for (double t : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    m.Observe(t, 50.0 * t);  // linear component
+    m.Observe(t, 50.0);      // flat component
+  }
+  EXPECT_GT(m.w(), 0.1);
+  EXPECT_LT(m.w(), 0.9);
+}
+
+}  // namespace
+}  // namespace wake

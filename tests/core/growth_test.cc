@@ -1,0 +1,104 @@
+#include "core/growth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace wake {
+namespace {
+
+TEST(GrowthModelTest, DefaultsToLinearBeforeFitting) {
+  GrowthModel m;
+  EXPECT_FALSE(m.fitted());
+  EXPECT_DOUBLE_EQ(m.w(), 1.0);
+  m.Observe(0.5, 10.0);
+  EXPECT_FALSE(m.fitted());  // one point cannot determine a slope
+  EXPECT_DOUBLE_EQ(m.w(), 1.0);
+}
+
+// Property sweep: exact monomials x̄ = c·t^w must be recovered exactly.
+class MonomialRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonomialRecovery, RecoversPower) {
+  double w = GetParam();
+  GrowthModel m;
+  for (double t : {0.1, 0.2, 0.35, 0.5, 0.75, 0.9}) {
+    m.Observe(t, 40.0 * std::pow(t, w));
+  }
+  EXPECT_TRUE(m.fitted());
+  EXPECT_NEAR(m.w(), w, 1e-9);
+  EXPECT_NEAR(m.coefficient(), 40.0, 1e-6);
+  EXPECT_NEAR(m.var_w(), 0.0, 1e-9);  // perfect fit -> zero slope variance
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, MonomialRecovery,
+                         ::testing::Values(0.0, 0.3, 0.5, 1.0, 1.7, 2.0));
+
+TEST(GrowthModelTest, ClampsToValidRange) {
+  GrowthModel m;
+  // Steeper than cubic growth: clamp at 3.
+  for (double t : {0.1, 0.5, 0.9}) m.Observe(t, std::pow(t, 5.0));
+  EXPECT_DOUBLE_EQ(m.w(), 3.0);
+  GrowthModel shrink;
+  // Shrinking cardinality (negative slope): clamp at 0.
+  for (double t : {0.1, 0.5, 0.9}) shrink.Observe(t, 1.0 / t);
+  EXPECT_DOUBLE_EQ(shrink.w(), 0.0);
+}
+
+TEST(GrowthModelTest, IgnoresInvalidObservations) {
+  GrowthModel m;
+  m.Observe(0.0, 5.0);    // t == 0
+  m.Observe(-0.5, 5.0);   // negative t
+  m.Observe(1.5, 5.0);    // t > 1
+  m.Observe(0.5, 0.0);    // empty mean
+  m.Observe(0.5, -3.0);   // negative mean
+  EXPECT_EQ(m.num_observations(), 0u);
+}
+
+TEST(GrowthModelTest, DegenerateSameTIsUnfitted) {
+  GrowthModel m;
+  m.Observe(0.5, 10.0);
+  m.Observe(0.5, 12.0);
+  EXPECT_FALSE(m.fitted());
+  EXPECT_DOUBLE_EQ(m.w(), 1.0);
+}
+
+TEST(GrowthModelTest, NoisyFitHasPositiveSlopeVariance) {
+  GrowthModel m;
+  Rng rng(5);
+  for (int i = 1; i <= 20; ++i) {
+    double t = i / 20.0;
+    double noise = std::exp(0.05 * rng.Normal());
+    m.Observe(t, 30.0 * t * noise);
+  }
+  EXPECT_NEAR(m.w(), 1.0, 0.15);
+  EXPECT_GT(m.var_w(), 0.0);
+  EXPECT_LT(m.var_w(), 0.1);
+}
+
+TEST(GrowthModelTest, VarianceShrinksWithMoreObservations) {
+  auto fit = [](int n) {
+    GrowthModel m;
+    Rng rng(7);
+    for (int i = 1; i <= n; ++i) {
+      double t = static_cast<double>(i) / n;
+      m.Observe(t, 10.0 * t * std::exp(0.1 * rng.Normal()));
+    }
+    return m.var_w();
+  };
+  EXPECT_GT(fit(5), fit(50));
+}
+
+TEST(GrowthModelTest, ResetClearsState) {
+  GrowthModel m;
+  for (double t : {0.2, 0.4, 0.8}) m.Observe(t, t * t);
+  EXPECT_TRUE(m.fitted());
+  m.Reset();
+  EXPECT_FALSE(m.fitted());
+  EXPECT_EQ(m.num_observations(), 0u);
+}
+
+}  // namespace
+}  // namespace wake

@@ -1,0 +1,122 @@
+#include "core/inference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace wake {
+namespace {
+
+TEST(CardinalityEstimatorTest, LinearGrowthScalesByInverseT) {
+  // Eq 4: x̂ = x / t^w.
+  EXPECT_DOUBLE_EQ(EstimateCardinality(25.0, 0.25, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(EstimateCardinality(25.0, 0.5, 1.0), 50.0);
+}
+
+TEST(CardinalityEstimatorTest, ZeroGrowthKeepsCurrent) {
+  EXPECT_DOUBLE_EQ(EstimateCardinality(7.0, 0.3, 0.0), 7.0);
+}
+
+TEST(CardinalityEstimatorTest, SubLinearGrowth) {
+  EXPECT_NEAR(EstimateCardinality(10.0, 0.25, 0.5), 20.0, 1e-12);
+}
+
+TEST(CardinalityEstimatorTest, CompleteInputNeedsNoScaling) {
+  EXPECT_DOUBLE_EQ(EstimateCardinality(42.0, 1.0, 1.0), 42.0);
+}
+
+TEST(CardinalityEstimatorTest, NeverShrinksBelowObserved) {
+  EXPECT_GE(EstimateCardinality(10.0, 0.9, 3.0), 10.0);
+}
+
+TEST(SumEstimatorTest, ScalesBySamplingRatio) {
+  EXPECT_DOUBLE_EQ(EstimateSum(100.0, 10.0, 40.0), 400.0);
+  EXPECT_DOUBLE_EQ(EstimateSum(100.0, 10.0, 10.0), 100.0);  // no growth
+  EXPECT_DOUBLE_EQ(EstimateSum(5.0, 0.0, 10.0), 5.0);       // guard x=0
+}
+
+TEST(CountDistinctTest, NoGrowthReturnsObserved) {
+  EXPECT_DOUBLE_EQ(EstimateCountDistinct(7.0, 20.0, 20.0), 7.0);
+  EXPECT_DOUBLE_EQ(EstimateCountDistinct(7.0, 20.0, 19.0), 7.0);
+}
+
+TEST(CountDistinctTest, AllDistinctExtrapolatesToCardinality) {
+  // y == x: every observed row was distinct; the MM1 root is Y = x̂.
+  double est = EstimateCountDistinct(50.0, 50.0, 500.0);
+  EXPECT_NEAR(est, 500.0, 1.0);
+}
+
+TEST(CountDistinctTest, EstimateIsBracketedAndMonotone) {
+  // More observed distincts at the same cardinality -> larger estimate.
+  double lo = EstimateCountDistinct(10.0, 100.0, 1000.0);
+  double hi = EstimateCountDistinct(60.0, 100.0, 1000.0);
+  EXPECT_GE(lo, 10.0);
+  EXPECT_LE(hi, 1000.0);
+  EXPECT_LT(lo, hi);
+}
+
+TEST(CountDistinctTest, SolvesTheMomentEquation) {
+  // The returned Y must satisfy y = Y(1 - h(x̂/Y)) (Eq 6).
+  double x = 200.0, xhat = 1000.0, y = 120.0;
+  double est = EstimateCountDistinct(y, x, xhat);
+  double z = xhat / est;
+  double residual = est * (1.0 - std::exp(LogH(z, x, xhat))) - y;
+  EXPECT_NEAR(residual, 0.0, 1e-5 * y);
+}
+
+// Statistical property: drawing x of x̂ rows uniformly over D distinct
+// values and estimating from the observed distinct count should recover D
+// within a few percent (the estimator is unbiased under equal frequencies).
+class CountDistinctRecovery
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CountDistinctRecovery, RecoversTrueDistinct) {
+  auto [distinct, total] = GetParam();
+  Rng rng(99);
+  constexpr int kTrials = 30;
+  double sum_est = 0.0;
+  int sample = total / 4;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::unordered_set<int64_t> seen;
+    for (int i = 0; i < sample; ++i) {
+      seen.insert(rng.UniformInt(1, distinct));
+    }
+    sum_est += EstimateCountDistinct(static_cast<double>(seen.size()),
+                                     sample, total);
+  }
+  double mean_est = sum_est / kTrials;
+  EXPECT_NEAR(mean_est, distinct, 0.12 * distinct)
+      << "D=" << distinct << " N=" << total;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Populations, CountDistinctRecovery,
+    ::testing::Values(std::make_tuple(50, 2000), std::make_tuple(200, 2000),
+                      std::make_tuple(500, 4000),
+                      std::make_tuple(1000, 8000)));
+
+TEST(LogHTest, MatchesDirectGammaEvaluation) {
+  double x = 10.0, xhat = 40.0, z = 4.0;
+  double direct = std::lgamma(xhat - z + 1) + std::lgamma(xhat - x + 1) -
+                  std::lgamma(xhat - x - z + 1) - std::lgamma(xhat + 1);
+  EXPECT_DOUBLE_EQ(LogH(z, x, xhat), direct);
+}
+
+TEST(HPrimeTest, MatchesNumericalDerivative) {
+  double x = 50.0, xhat = 400.0, z = 3.0, eps = 1e-5;
+  double numeric = (std::exp(LogH(z + eps, x, xhat)) -
+                    std::exp(LogH(z - eps, x, xhat))) /
+                   (2 * eps);
+  EXPECT_NEAR(HPrime(z, x, xhat), numeric, 1e-6);
+}
+
+TEST(CountDistinctTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(EstimateCountDistinct(0.0, 10.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateCountDistinct(3.0, 0.0, 100.0), 3.0);
+}
+
+}  // namespace
+}  // namespace wake

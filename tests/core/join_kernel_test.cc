@@ -1,0 +1,177 @@
+#include "core/join_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "plan/props.h"
+
+namespace wake {
+namespace {
+
+Schema LeftSchema() {
+  return Schema({{"lk", ValueType::kInt64}, {"lv", ValueType::kFloat64}});
+}
+Schema RightSchema() {
+  return Schema({{"rk", ValueType::kInt64}, {"rv", ValueType::kString}});
+}
+
+DataFrame Left(const std::vector<int64_t>& keys,
+               const std::vector<double>& vals) {
+  DataFrame df(LeftSchema());
+  *df.mutable_column(0) = Column::FromInts(keys);
+  *df.mutable_column(1) = Column::FromDoubles(vals);
+  return df;
+}
+
+DataFrame Right(const std::vector<int64_t>& keys,
+                const std::vector<std::string>& vals) {
+  DataFrame df(RightSchema());
+  *df.mutable_column(0) = Column::FromInts(keys);
+  *df.mutable_column(1) = Column::FromStrings(vals);
+  return df;
+}
+
+TEST(JoinHashTableTest, InnerJoinMatchesAllPairs) {
+  JoinHashTable table(RightSchema(), {"rk"});
+  table.Insert(Right({1, 2, 2}, {"a", "b", "c"}));
+  Schema out_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {"rk"},
+                                       JoinType::kInner);
+  DataFrame out = table.Probe(Left({2, 3, 1}, {20, 30, 10}), {"lk"},
+                              JoinType::kInner, out_schema);
+  // lk=2 matches rk=2 twice; lk=3 matches nothing; lk=1 once.
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.ColumnByName("lk").IntAt(0), 2);
+  EXPECT_EQ(out.ColumnByName("rv").StringAt(2), "a");
+}
+
+TEST(JoinHashTableTest, IncrementalInsertEqualsBulkInsert) {
+  JoinHashTable bulk(RightSchema(), {"rk"});
+  bulk.Insert(Right({1, 2, 3, 4}, {"a", "b", "c", "d"}));
+  JoinHashTable incremental(RightSchema(), {"rk"});
+  incremental.Insert(Right({1, 2}, {"a", "b"}));
+  incremental.Insert(Right({3, 4}, {"c", "d"}));
+  Schema out_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {"rk"},
+                                       JoinType::kInner);
+  DataFrame probe = Left({4, 2, 1, 3}, {1, 2, 3, 4});
+  std::string diff;
+  EXPECT_TRUE(
+      incremental.Probe(probe, {"lk"}, JoinType::kInner, out_schema)
+          .ApproxEquals(bulk.Probe(probe, {"lk"}, JoinType::kInner,
+                                   out_schema),
+                        1e-12, &diff))
+      << diff;
+}
+
+TEST(JoinHashTableTest, LeftJoinNullPads) {
+  JoinHashTable table(RightSchema(), {"rk"});
+  table.Insert(Right({1}, {"a"}));
+  Schema out_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {"rk"},
+                                       JoinType::kLeft);
+  DataFrame out = table.Probe(Left({1, 9}, {10, 90}), {"lk"},
+                              JoinType::kLeft, out_schema);
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.ColumnByName("rv").StringAt(0), "a");
+  EXPECT_TRUE(out.ColumnByName("rv").IsNull(1));
+}
+
+TEST(JoinHashTableTest, SemiAntiProduceLeftRowsOnce) {
+  JoinHashTable table(RightSchema(), {"rk"});
+  table.Insert(Right({1, 1, 1}, {"a", "b", "c"}));  // key 1 three times
+  Schema semi_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {"rk"},
+                                        JoinType::kSemi);
+  DataFrame semi = table.Probe(Left({1, 2}, {10, 20}), {"lk"},
+                               JoinType::kSemi, semi_schema);
+  EXPECT_EQ(semi.num_rows(), 1u);  // no duplication despite 3 matches
+  DataFrame anti = table.Probe(Left({1, 2}, {10, 20}), {"lk"},
+                               JoinType::kAnti, semi_schema);
+  EXPECT_EQ(anti.num_rows(), 1u);
+  EXPECT_EQ(anti.ColumnByName("lk").IntAt(0), 2);
+}
+
+TEST(JoinHashTableTest, CrossJoinBroadcastsSingleRow) {
+  JoinHashTable table(RightSchema(), {});
+  table.Insert(Right({7}, {"scalar"}));
+  Schema out_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {},
+                                       JoinType::kCross);
+  DataFrame out = table.Probe(Left({1, 2, 3}, {1, 2, 3}), {},
+                              JoinType::kCross, out_schema);
+  ASSERT_EQ(out.num_rows(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.ColumnByName("rv").StringAt(i), "scalar");
+  }
+}
+
+TEST(JoinHashTableTest, CrossJoinEmptyBuildYieldsEmpty) {
+  JoinHashTable table(RightSchema(), {});
+  Schema out_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {},
+                                       JoinType::kCross);
+  DataFrame out = table.Probe(Left({1, 2}, {1, 2}), {}, JoinType::kCross,
+                              out_schema);
+  EXPECT_EQ(out.num_rows(), 0u);
+}
+
+TEST(JoinHashTableTest, CrossJoinMultiRowBuildThrows) {
+  JoinHashTable table(RightSchema(), {});
+  table.Insert(Right({1, 2}, {"a", "b"}));
+  Schema out_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {},
+                                       JoinType::kCross);
+  EXPECT_THROW(
+      table.Probe(Left({1}, {1}), {}, JoinType::kCross, out_schema), Error);
+}
+
+TEST(JoinHashTableTest, ResetDropsBuildRows) {
+  JoinHashTable table(RightSchema(), {"rk"});
+  table.Insert(Right({1}, {"a"}));
+  table.Reset();
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.Insert(Right({2}, {"b"}));
+  Schema out_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {"rk"},
+                                       JoinType::kInner);
+  DataFrame out = table.Probe(Left({1, 2}, {1, 2}), {"lk"},
+                              JoinType::kInner, out_schema);
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.ColumnByName("lk").IntAt(0), 2);  // old build row is gone
+}
+
+TEST(JoinHashTableTest, VarianceGatherThroughJoin) {
+  JoinHashTable table(RightSchema(), {"rk"});
+  VarianceMap right_vars{{"rv", {0.0}}};  // present but exact
+  table.Insert(Right({1}, {"a"}), &right_vars);
+  Schema out_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {"rk"},
+                                       JoinType::kInner);
+  VarianceMap left_vars{{"lv", {4.0, 9.0}}};
+  VarianceMap out_vars;
+  DataFrame out = table.Probe(Left({1, 1}, {10, 20}), {"lk"},
+                              JoinType::kInner, out_schema, &left_vars,
+                              &out_vars);
+  ASSERT_EQ(out.num_rows(), 2u);
+  ASSERT_TRUE(out_vars.count("lv"));
+  EXPECT_DOUBLE_EQ(out_vars["lv"][0], 4.0);
+  EXPECT_DOUBLE_EQ(out_vars["lv"][1], 9.0);
+}
+
+TEST(HashJoinFunctionTest, MultiKeyJoin) {
+  Schema ls({{"a", ValueType::kInt64}, {"b", ValueType::kInt64},
+             {"v", ValueType::kFloat64}});
+  Schema rs({{"x", ValueType::kInt64}, {"y", ValueType::kInt64},
+             {"w", ValueType::kFloat64}});
+  DataFrame left(ls);
+  *left.mutable_column(0) = Column::FromInts({1, 1, 2});
+  *left.mutable_column(1) = Column::FromInts({10, 11, 10});
+  *left.mutable_column(2) = Column::FromDoubles({1, 2, 3});
+  DataFrame right(rs);
+  *right.mutable_column(0) = Column::FromInts({1, 2});
+  *right.mutable_column(1) = Column::FromInts({10, 10});
+  *right.mutable_column(2) = Column::FromDoubles({100, 200});
+  Schema out_schema =
+      JoinOutputSchema(ls, rs, {"x", "y"}, JoinType::kInner);
+  DataFrame out =
+      HashJoin(left, right, {"a", "b"}, {"x", "y"}, JoinType::kInner,
+               out_schema);
+  ASSERT_EQ(out.num_rows(), 2u);  // (1,10) and (2,10)
+  EXPECT_DOUBLE_EQ(out.ColumnByName("w").DoubleAt(0), 100.0);
+  EXPECT_DOUBLE_EQ(out.ColumnByName("w").DoubleAt(1), 200.0);
+}
+
+}  // namespace
+}  // namespace wake

@@ -1,0 +1,140 @@
+// Numerical verification of the variance-propagation equations from §6 and
+// Appendix B against the implementations in agg_state.cc / inference.cc.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/agg_state.h"
+#include "core/inference.h"
+#include "plan/props.h"
+
+namespace wake {
+namespace {
+
+Schema InputSchema() {
+  return Schema({{"g", ValueType::kInt64}, {"v", ValueType::kFloat64}});
+}
+
+GroupedAggState MakeState(const std::vector<AggSpec>& aggs) {
+  return GroupedAggState({"g"}, aggs, InputSchema(),
+                         AggOutputSchema(InputSchema(), {"g"}, aggs));
+}
+
+DataFrame OneGroup(const std::vector<double>& values) {
+  DataFrame df(InputSchema());
+  for (double v : values) {
+    df.mutable_column(0)->AppendInt(1);
+    df.mutable_column(1)->AppendDouble(v);
+  }
+  return df;
+}
+
+TEST(VarianceEquationsTest, CountVarianceMatchesEq10) {
+  // Eq 10: Var(f_count) = (x̂ ln(1/t))² Var(w).
+  auto state = MakeState({Count("n")});
+  state.Consume(OneGroup(std::vector<double>(40, 1.0)));
+  AggScaling scaling;
+  scaling.enabled = true;
+  scaling.t = 0.2;
+  scaling.w = 1.0;
+  scaling.var_w = 0.03;
+  scaling.with_ci = true;
+  AggResult res = state.Finalize(scaling);
+  double xhat = EstimateCardinality(40.0, 0.2, 1.0);  // 200
+  double expected = std::pow(xhat * std::log(1.0 / 0.2), 2) * 0.03;
+  EXPECT_NEAR(res.variances["n"][0], expected, 1e-9 * expected);
+}
+
+TEST(VarianceEquationsTest, SumVarianceMatchesEq13) {
+  // Eq 13: Var(f_sum) = [Var(y_t)·x̂² + Var(x̂)·y²] / x², with Var(y_t)
+  // from the CLT as x·s² over the observed addends.
+  std::vector<double> values = {1.0, 3.0, 5.0, 7.0};
+  auto state = MakeState({Sum("v", "s")});
+  state.Consume(OneGroup(values));
+  AggScaling scaling;
+  scaling.enabled = true;
+  scaling.t = 0.5;
+  scaling.w = 1.0;
+  scaling.var_w = 0.01;
+  scaling.with_ci = true;
+  AggResult res = state.Finalize(scaling);
+
+  double x = 4.0, t = 0.5, w = 1.0;
+  double xhat = EstimateCardinality(x, t, w);  // 8
+  double y = 16.0;                              // sum of values
+  double mean = y / x;
+  double s2 = 0;                                // population variance
+  for (double v : values) s2 += (v - mean) * (v - mean);
+  s2 /= x;
+  double var_y = s2 * x;
+  double lg = std::log(1.0 / t);
+  double var_xhat = xhat * xhat * lg * lg * 0.01;
+  double expected = (var_y * xhat * xhat + var_xhat * y * y) / (x * x);
+  EXPECT_NEAR(res.variances["s"][0], expected, 1e-9 * expected);
+}
+
+TEST(VarianceEquationsTest, AvgVarianceIsCltOfTheMean) {
+  // §6/Eq 14 reduces to the sample-mean variance s²/x for plain averages.
+  std::vector<double> values = {2.0, 4.0, 6.0, 8.0, 10.0};
+  auto state = MakeState({Avg("v", "a")});
+  state.Consume(OneGroup(values));
+  AggScaling scaling;
+  scaling.enabled = true;
+  scaling.t = 0.25;
+  scaling.w = 1.0;
+  scaling.with_ci = true;
+  AggResult res = state.Finalize(scaling);
+  double mean = 6.0, s2 = 0;
+  for (double v : values) s2 += (v - mean) * (v - mean);
+  s2 /= values.size();
+  EXPECT_NEAR(res.variances["a"][0], s2 / values.size(), 1e-12);
+}
+
+TEST(VarianceEquationsTest, CountDistinctVarianceUsesImplicitDerivative) {
+  // Eq 19 with Var(y)=0: Var(f_cd) = Var(x̂)·(dY/dx̂)², where dY/dx̂ comes
+  // from implicit differentiation of the MM1 equation (Eqs 15-18). We
+  // verify against a numerical derivative of the estimator.
+  double x = 50.0, t = 0.25, w = 1.0, var_w = 0.02;
+  auto state = MakeState({CountDistinct("v", "d")});
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) values.push_back(i % 20);  // 20 distinct
+  state.Consume(OneGroup(values));
+  AggScaling scaling;
+  scaling.enabled = true;
+  scaling.t = t;
+  scaling.w = w;
+  scaling.var_w = var_w;
+  scaling.with_ci = true;
+  AggResult res = state.Finalize(scaling);
+
+  double xhat = EstimateCardinality(x, t, w);
+  double lg = std::log(1.0 / t);
+  double var_xhat = xhat * xhat * lg * lg * var_w;
+  double eps = xhat * 1e-5;
+  double d_plus = EstimateCountDistinct(20.0, x, xhat + eps);
+  double d_minus = EstimateCountDistinct(20.0, x, xhat - eps);
+  double dy_dxhat = (d_plus - d_minus) / (2 * eps);
+  double expected = var_xhat * dy_dxhat * dy_dxhat;
+  EXPECT_NEAR(res.variances["d"][0], expected, 0.05 * expected);
+}
+
+TEST(VarianceEquationsTest, VarianceShrinksAsProgressGrows) {
+  // The CI machinery must tighten: same data observed at later progress
+  // (smaller extrapolation) yields smaller sum variance.
+  auto at_progress = [&](double t) {
+    auto state = MakeState({Sum("v", "s")});
+    state.Consume(OneGroup({1, 2, 3, 4, 5, 6, 7, 8}));
+    AggScaling scaling;
+    scaling.enabled = true;
+    scaling.t = t;
+    scaling.w = 1.0;
+    scaling.var_w = 0.01;
+    scaling.with_ci = true;
+    return state.Finalize(scaling).variances["s"][0];
+  };
+  EXPECT_GT(at_progress(0.1), at_progress(0.5));
+  EXPECT_GT(at_progress(0.5), at_progress(0.9));
+}
+
+}  // namespace
+}  // namespace wake

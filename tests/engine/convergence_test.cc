@@ -1,0 +1,207 @@
+// OLA quality properties (§4.5, §8.3): errors shrink as progress grows,
+// recall converges to 1, estimates are approximately unbiased over shuffled
+// partition orders, and confidence intervals cover the truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "baseline/exact_engine.h"
+#include "core/ci.h"
+#include "core/engine.h"
+#include "engine/tpch_fixture.h"
+#include "tpch/queries.h"
+
+namespace wake {
+namespace {
+
+// Key of a result row over the group columns (all columns up to `cols`).
+std::string RowKey(const DataFrame& df, size_t row, size_t cols) {
+  std::string key;
+  for (size_t c = 0; c < cols; ++c) {
+    key += df.column(c).GetValue(row).ToString();
+    key += '|';
+  }
+  return key;
+}
+
+// MAPE of `got` vs `truth` over every numeric column after the first
+// `key_cols` group columns, matched on those group columns; missing groups
+// are skipped (recall measures those).
+double Mape(const DataFrame& truth, const DataFrame& got, size_t key_cols) {
+  std::map<std::string, size_t> expected_row;
+  for (size_t r = 0; r < truth.num_rows(); ++r) {
+    expected_row[RowKey(truth, r, key_cols)] = r;
+  }
+  double total = 0;
+  size_t n = 0;
+  for (size_t r = 0; r < got.num_rows(); ++r) {
+    auto it = expected_row.find(RowKey(got, r, key_cols));
+    if (it == expected_row.end()) continue;
+    for (size_t c = key_cols; c < truth.num_columns(); ++c) {
+      if (truth.column(c).type() == ValueType::kString) continue;
+      double want = truth.column(c).DoubleAt(it->second);
+      if (want == 0.0) continue;
+      total += std::fabs(got.column(c).DoubleAt(r) - want) /
+               std::fabs(want);
+      ++n;
+    }
+  }
+  return n == 0 ? 1.0 : total / n;
+}
+
+double Recall(const DataFrame& truth, const DataFrame& got,
+              size_t key_cols) {
+  if (truth.num_rows() == 0) return 1.0;
+  std::map<std::string, bool> found;
+  for (size_t r = 0; r < truth.num_rows(); ++r) {
+    found[RowKey(truth, r, key_cols)] = false;
+  }
+  for (size_t r = 0; r < got.num_rows(); ++r) {
+    auto it = found.find(RowKey(got, r, key_cols));
+    if (it != found.end()) it->second = true;
+  }
+  size_t hit = 0;
+  for (const auto& [_, v] : found) hit += v;
+  return static_cast<double>(hit) / found.size();
+}
+
+TEST(ConvergenceTest, Q1ErrorShrinksAndRecallCompletesEarly) {
+  const Catalog& cat = testing::SharedTpch();
+  Plan plan = tpch::Query(1);
+  ExactEngine exact(&cat);
+  DataFrame truth = exact.Execute(plan.node());
+
+  WakeEngine engine(&cat);
+  std::vector<double> mapes, recalls;
+  engine.Execute(plan.node(), [&](const OlaState& s) {
+    if (s.is_final) return;
+    mapes.push_back(Mape(truth, *s.frame, 2));  // 2 group columns in Q1
+    recalls.push_back(Recall(truth, *s.frame, 2));
+  });
+  ASSERT_GE(mapes.size(), 4u);
+  // First estimate already decent (low-cardinality groups, §8.3 cat. 1).
+  EXPECT_LT(mapes.front(), 0.2);
+  EXPECT_LT(mapes.back(), 1e-9);  // exact at the end
+  EXPECT_DOUBLE_EQ(recalls.front(), 1.0);
+  // Errors shrink overall (allow local non-monotonicity).
+  EXPECT_LT(mapes[mapes.size() / 2], mapes.front() + 1e-12);
+}
+
+TEST(ConvergenceTest, Q18RecallGrowsLinearly) {
+  // Clustering-key aggregation: values exact, recall grows (§8.3 cat. 2).
+  const Catalog& cat = testing::SharedTpch();
+  Plan plan = tpch::Query(18);
+  ExactEngine exact(&cat);
+  DataFrame truth = exact.Execute(plan.node());
+  if (truth.num_rows() == 0) GTEST_SKIP() << "no qualifying orders at this SF";
+
+  WakeEngine engine(&cat);
+  std::vector<double> recalls;
+  engine.Execute(plan.node(), [&](const OlaState& s) {
+    recalls.push_back(Recall(truth, *s.frame, 5));  // 5 group columns
+  });
+  EXPECT_DOUBLE_EQ(recalls.back(), 1.0);
+  EXPECT_LE(recalls.front(), recalls.back());
+}
+
+TEST(ConvergenceTest, GlobalSumFirstEstimateIsClose) {
+  // Q6-style single sum over uniform data: the first scaled estimate must
+  // land near the truth (the "unseen mimics observed" premise).
+  const Catalog& cat = testing::SharedTpch();
+  Plan plan = tpch::Query(6);
+  ExactEngine exact(&cat);
+  double truth = exact.Execute(plan.node()).column(0).DoubleAt(0);
+  WakeEngine engine(&cat);
+  double first = 0;
+  bool got_first = false;
+  engine.Execute(plan.node(), [&](const OlaState& s) {
+    if (!got_first && s.frame->num_rows() > 0) {
+      first = s.frame->column(0).DoubleAt(0);
+      got_first = true;
+    }
+  });
+  ASSERT_TRUE(got_first);
+  EXPECT_NEAR(first, truth, 0.15 * std::fabs(truth));
+}
+
+TEST(ConvergenceTest, EstimatesUnbiasedOverShuffledPartitionOrders) {
+  // Mean-like aggregates must be unbiased (§4.5): averaging first
+  // estimates across shuffled partition orders should approach the truth.
+  tpch::DbgenConfig cfg;
+  cfg.scale_factor = 0.01;
+  cfg.partitions = 10;
+  Catalog base = tpch::Generate(cfg);
+  Plan plan = tpch::ModifiedQuery(6);
+  ExactEngine exact(&base);
+  double truth = exact.Execute(plan.node()).column(0).DoubleAt(0);
+
+  double sum_first = 0;
+  constexpr int kOrders = 8;
+  for (int i = 0; i < kOrders; ++i) {
+    Catalog shuffled;
+    for (const auto& name : base.TableNames()) {
+      shuffled.Add(std::make_shared<PartitionedTable>(
+          base.Get(name).ShufflePartitions(1000 + i)));
+    }
+    WakeEngine engine(&shuffled);
+    bool got_first = false;
+    engine.Execute(plan.node(), [&](const OlaState& s) {
+      if (!got_first && s.frame->num_rows() > 0) {
+        sum_first += s.frame->column(0).DoubleAt(0);
+        got_first = true;
+      }
+    });
+  }
+  double mean_first = sum_first / kOrders;
+  EXPECT_NEAR(mean_first, truth, 0.12 * std::fabs(truth));
+}
+
+TEST(ConvergenceTest, CiCoversTruthOnQ14) {
+  // Fig 10: 95% Chebyshev intervals must bound the true answer for (almost)
+  // every intermediate state.
+  const Catalog& cat = testing::SharedTpch();
+  Plan plan = tpch::Query(14);
+  ExactEngine exact(&cat);
+  double truth = exact.Execute(plan.node()).column(0).DoubleAt(0);
+
+  WakeOptions options;
+  options.with_ci = true;
+  WakeEngine engine(&cat, options);
+  size_t states = 0, covered = 0, with_var = 0;
+  engine.Execute(plan.node(), [&](const OlaState& s) {
+    if (s.is_final || s.frame->num_rows() == 0) return;
+    ++states;
+    double est = s.frame->ColumnByName("promo_revenue").DoubleAt(0);
+    double var = 0.0;
+    if (s.variances != nullptr) {
+      auto it = s.variances->find("promo_revenue");
+      if (it != s.variances->end() && !it->second.empty()) {
+        var = it->second[0];
+        with_var += var > 0.0;
+      }
+    }
+    if (RelativeCiRange(est, truth, var, 0.95) <= 1.0) ++covered;
+  });
+  ASSERT_GT(states, 2u);
+  EXPECT_GT(with_var, 0u) << "no positive variances propagated";
+  // Chebyshev at k≈4.47 is very conservative; near-total coverage expected
+  // (the first state may predate a fitted growth model).
+  EXPECT_GE(covered + 1, states);
+}
+
+TEST(ConvergenceTest, ProgressIsMonotonePerQuery) {
+  const Catalog& cat = testing::SharedTpch();
+  for (int q : {3, 13, 18}) {
+    WakeEngine engine(&cat);
+    double last = -1.0;
+    engine.Execute(tpch::Query(q).node(), [&](const OlaState& s) {
+      EXPECT_GE(s.progress, last) << "Q" << q;
+      last = s.progress;
+    });
+    EXPECT_DOUBLE_EQ(last, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace wake

@@ -1,0 +1,166 @@
+// Deep synthetic queries (§8.6): alternating aggregations over a wide
+// group space; Wake must match the exact engine at every depth and emit
+// regular intermediate results.
+#include <gtest/gtest.h>
+
+#include "baseline/exact_engine.h"
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace wake {
+namespace {
+
+// The §8.6 synthetic table scaled down: `cols` group-by columns with 4
+// unique values each plus a value column x.
+Catalog SyntheticDeep(size_t rows, int cols, size_t partitions,
+                      uint64_t seed = 7) {
+  Schema schema;
+  for (int c = 0; c < cols; ++c) {
+    schema.AddField(Field("c" + std::to_string(c), ValueType::kInt64));
+  }
+  schema.AddField(Field("x", ValueType::kInt64));
+  DataFrame df(schema);
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      df.mutable_column(static_cast<size_t>(c))->AppendInt(
+          rng.UniformInt(0, 3));
+    }
+    df.mutable_column(static_cast<size_t>(cols))
+        ->AppendInt(rng.UniformInt(0, 1000));
+  }
+  Catalog cat;
+  cat.Add(std::make_shared<PartitionedTable>(
+      PartitionedTable::FromDataFrame("deep", df, partitions)));
+  return cat;
+}
+
+// Builds the depth-d alternating query of §8.6:
+//   d=0: sum(x)
+//   d=1: max(x) by c0        then sum of that
+//   d=2: max(x) by (c0,c1) -> sum by c0 -> sum   etc.
+Plan DeepQuery(int depth, int cols) {
+  Plan plan = Plan::Scan("deep");
+  std::string value = "x";
+  for (int level = depth; level >= 1; --level) {
+    std::vector<std::string> by;
+    for (int c = 0; c < std::min(level, cols); ++c) {
+      by.push_back("c" + std::to_string(c));
+    }
+    AggSpec spec = (depth - level) % 2 == 0 ? Max(value, "agg" +
+                                                  std::to_string(level))
+                                            : Sum(value, "agg" +
+                                                  std::to_string(level));
+    value = spec.output;
+    plan = plan.Aggregate(by, {spec});
+  }
+  plan = plan.Aggregate({}, {Sum(value, "final")});
+  return plan;
+}
+
+class DeepQueryDepth : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeepQueryDepth, WakeMatchesExactAtEveryDepth) {
+  int depth = GetParam();
+  Catalog cat = SyntheticDeep(4000, 5, 8);
+  Plan plan = DeepQuery(depth, 5);
+  ExactEngine exact(&cat);
+  DataFrame expected = exact.Execute(plan.node());
+  WakeEngine engine(&cat);
+  size_t states = 0;
+  DataFrame got;
+  engine.Execute(plan.node(), [&](const OlaState& s) {
+    ++states;
+    if (s.is_final) got = *s.frame;
+  });
+  std::string diff;
+  EXPECT_TRUE(got.ApproxEquals(expected, 1e-9, &diff)) << diff;
+  // Deep OLA property: intermediate outputs at every depth (at least one
+  // state per source partition reaches the sink).
+  EXPECT_GE(states, 8u) << "deep pipeline swallowed intermediate states";
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DeepQueryDepth, ::testing::Range(0, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "depth" + std::to_string(info.param);
+                         });
+
+TEST(DeepQueryTest, EstimatesAtDepthTwoAreReasonable) {
+  // sum over (sum by c0): inner groups grow, the outer sum must still
+  // land near the truth early (within 40% on uniform data).
+  Catalog cat = SyntheticDeep(20000, 3, 20);
+  Plan inner = Plan::Scan("deep").Aggregate({"c0"}, {Sum("x", "s0")});
+  Plan outer = inner.Aggregate({}, {Sum("s0", "total")});
+  ExactEngine exact(&cat);
+  double truth = exact.Execute(outer.node()).column(0).DoubleAt(0);
+  WakeEngine engine(&cat);
+  std::vector<double> estimates;
+  engine.Execute(outer.node(), [&](const OlaState& s) {
+    if (!s.is_final && s.frame->num_rows() > 0) {
+      estimates.push_back(s.frame->column(0).DoubleAt(0));
+    }
+  });
+  ASSERT_GE(estimates.size(), 5u);
+  // Skip the very first estimates (growth model unfitted), then check.
+  double mid = estimates[estimates.size() / 2];
+  EXPECT_NEAR(mid, truth, 0.4 * std::fabs(truth));
+  // Late estimates should be very close.
+  EXPECT_NEAR(estimates.back(), truth, 0.02 * std::fabs(truth));
+}
+
+TEST(DeepQueryTest, CountDistinctNestsInsideDeepQueries) {
+  Catalog cat = SyntheticDeep(3000, 4, 6);
+  Plan plan = Plan::Scan("deep")
+                  .Aggregate({"c0", "c1"}, {CountDistinct("x", "d")})
+                  .Aggregate({"c0"}, {Sum("d", "sum_d")})
+                  .Aggregate({}, {Max("sum_d", "m")});
+  ExactEngine exact(&cat);
+  WakeEngine engine(&cat);
+  std::string diff;
+  EXPECT_TRUE(engine.ExecuteFinal(plan.node())
+                  .ApproxEquals(exact.Execute(plan.node()), 1e-9, &diff))
+      << diff;
+}
+
+TEST(DeepQueryTest, AvgOverAvgMatchesExact) {
+  Catalog cat = SyntheticDeep(3000, 4, 6);
+  Plan plan = Plan::Scan("deep")
+                  .Aggregate({"c0", "c1"}, {Avg("x", "a1")})
+                  .Aggregate({"c0"}, {Avg("a1", "a2")})
+                  .Sort({{"c0", false}});
+  ExactEngine exact(&cat);
+  WakeEngine engine(&cat);
+  std::string diff;
+  EXPECT_TRUE(engine.ExecuteFinal(plan.node())
+                  .ApproxEquals(exact.Execute(plan.node()), 1e-9, &diff))
+      << diff;
+}
+
+TEST(DeepQueryTest, MedianInDeepPipeline) {
+  Catalog cat = SyntheticDeep(2000, 3, 5);
+  Plan plan = Plan::Scan("deep")
+                  .Aggregate({"c0"}, {MedianOf("x", "med")})
+                  .Aggregate({}, {Max("med", "max_med")});
+  ExactEngine exact(&cat);
+  WakeEngine engine(&cat);
+  std::string diff;
+  EXPECT_TRUE(engine.ExecuteFinal(plan.node())
+                  .ApproxEquals(exact.Execute(plan.node()), 1e-9, &diff))
+      << diff;
+}
+
+TEST(DeepQueryTest, VarStddevInDeepPipeline) {
+  Catalog cat = SyntheticDeep(2000, 3, 5);
+  Plan plan = Plan::Scan("deep")
+                  .Aggregate({"c0"}, {VarOf("x", "v"), StddevOf("x", "sd")})
+                  .Aggregate({}, {Max("v", "max_v"), Min("sd", "min_sd")});
+  ExactEngine exact(&cat);
+  WakeEngine engine(&cat);
+  std::string diff;
+  EXPECT_TRUE(engine.ExecuteFinal(plan.node())
+                  .ApproxEquals(exact.Execute(plan.node()), 1e-9, &diff))
+      << diff;
+}
+
+}  // namespace
+}  // namespace wake

@@ -1,0 +1,169 @@
+// Direct tests of the execution substrate: node lifecycle, the input
+// multiplexer, EOF propagation, and trace recording.
+#include "exec/exec_node.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace wake {
+namespace {
+
+DataFramePtr TinyFrame(int64_t value) {
+  Schema schema({{"x", ValueType::kInt64}});
+  auto df = std::make_shared<DataFrame>(schema);
+  df->mutable_column(0)->AppendInt(value);
+  return df;
+}
+
+/// Source emitting `count` messages then closing.
+class CountingSource : public ExecNode {
+ public:
+  explicit CountingSource(int count) : ExecNode("source"), count_(count) {}
+
+ protected:
+  void Process(size_t, const Message&) override {}
+  void RunSource() override {
+    for (int i = 0; i < count_; ++i) {
+      Message msg;
+      msg.frame = TinyFrame(i);
+      msg.progress = static_cast<double>(i + 1) / count_;
+      Emit(std::move(msg));
+    }
+  }
+
+ private:
+  int count_;
+};
+
+/// Records per-port message counts; forwards everything.
+class RecordingNode : public ExecNode {
+ public:
+  explicit RecordingNode(size_t ports)
+      : ExecNode("recorder"), per_port_(ports), closed_(ports) {}
+
+  std::vector<std::atomic<int>> per_port_;
+  std::vector<std::atomic<int>> closed_;
+  std::atomic<bool> finished{false};
+
+ protected:
+  void Process(size_t port, const Message& msg) override {
+    ++per_port_[port];
+    Message copy = msg;
+    Emit(std::move(copy));
+  }
+  void OnInputClosed(size_t port) override { ++closed_[port]; }
+  void Finish() override { finished = true; }
+};
+
+TEST(ExecNodeTest, SourceEmitsAndClosesOutput) {
+  CountingSource source(5);
+  source.Start(nullptr);
+  int received = 0;
+  while (auto msg = source.output()->Receive()) ++received;
+  source.Join();
+  EXPECT_EQ(received, 5);
+  EXPECT_TRUE(source.output()->closed());
+}
+
+TEST(ExecNodeTest, MuxDeliversFromAllPortsAndSignalsEofOnce) {
+  CountingSource a(7), b(3);
+  RecordingNode recorder(2);
+  recorder.AddInput(a.output());
+  recorder.AddInput(b.output());
+  a.Start(nullptr);
+  b.Start(nullptr);
+  recorder.Start(nullptr);
+  int total = 0;
+  while (auto msg = recorder.output()->Receive()) ++total;
+  a.Join();
+  b.Join();
+  recorder.Join();
+  EXPECT_EQ(recorder.per_port_[0].load(), 7);
+  EXPECT_EQ(recorder.per_port_[1].load(), 3);
+  EXPECT_EQ(recorder.closed_[0].load(), 1);
+  EXPECT_EQ(recorder.closed_[1].load(), 1);
+  EXPECT_TRUE(recorder.finished.load());
+  EXPECT_EQ(total, 10);
+}
+
+TEST(ExecNodeTest, ChainsPropagateEofThroughStages) {
+  CountingSource source(4);
+  RecordingNode mid(1), tail(1);
+  mid.AddInput(source.output());
+  tail.AddInput(mid.output());
+  source.Start(nullptr);
+  mid.Start(nullptr);
+  tail.Start(nullptr);
+  int total = 0;
+  while (auto msg = tail.output()->Receive()) ++total;
+  source.Join();
+  mid.Join();
+  tail.Join();
+  EXPECT_EQ(total, 4);
+  EXPECT_TRUE(tail.finished.load());
+}
+
+TEST(ExecNodeTest, TraceRecordsSpansForProcessedMessages) {
+  TraceLog trace;
+  CountingSource source(3);
+  RecordingNode recorder(1);
+  recorder.AddInput(source.output());
+  source.Start(&trace);
+  recorder.Start(&trace);
+  while (recorder.output()->Receive()) {
+  }
+  source.Join();
+  recorder.Join();
+  auto spans = trace.Spans();
+  int source_spans = 0, recorder_spans = 0;
+  for (const auto& s : spans) {
+    source_spans += s.node == "source";
+    recorder_spans += s.node == "recorder";
+    EXPECT_LE(s.start_seconds, s.end_seconds);
+  }
+  EXPECT_EQ(source_spans, 1);        // one span for the whole source run
+  EXPECT_GE(recorder_spans, 3);      // one per message (+ eof)
+}
+
+TEST(ExecNodeTest, ClaimOutputBroadcastsToAllSubscribers) {
+  CountingSource source(6);
+  MessageChannelPtr a = source.ClaimOutput();
+  MessageChannelPtr b = source.ClaimOutput();
+  EXPECT_NE(a.get(), b.get());
+  source.Start(nullptr);
+  int na = 0, nb = 0;
+  while (a->Receive()) ++na;
+  while (b->Receive()) ++nb;
+  source.Join();
+  EXPECT_EQ(na, 6);  // every subscriber sees every message
+  EXPECT_EQ(nb, 6);
+}
+
+TEST(ExecNodeTest, FirstClaimReturnsPrimaryOutput) {
+  CountingSource source(1);
+  EXPECT_EQ(source.ClaimOutput().get(), source.output().get());
+  source.Start(nullptr);
+  while (source.output()->Receive()) {
+  }
+  source.Join();
+}
+
+TEST(ExecNodeTest, ProgressMetadataSurvivesForwarding) {
+  CountingSource source(4);
+  RecordingNode recorder(1);
+  recorder.AddInput(source.output());
+  source.Start(nullptr);
+  recorder.Start(nullptr);
+  double last = 0;
+  while (auto msg = recorder.output()->Receive()) {
+    EXPECT_GT(msg->progress, last);
+    last = msg->progress;
+  }
+  source.Join();
+  recorder.Join();
+  EXPECT_DOUBLE_EQ(last, 1.0);
+}
+
+}  // namespace
+}  // namespace wake

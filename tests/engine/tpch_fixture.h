@@ -1,0 +1,23 @@
+// Shared TPC-H catalog for engine tests (generated once per binary).
+#ifndef WAKE_TESTS_ENGINE_TPCH_FIXTURE_H_
+#define WAKE_TESTS_ENGINE_TPCH_FIXTURE_H_
+
+#include "tpch/dbgen.h"
+
+namespace wake {
+namespace testing {
+
+inline const Catalog& SharedTpch() {
+  static const Catalog catalog = [] {
+    tpch::DbgenConfig cfg;
+    cfg.scale_factor = 0.02;
+    cfg.partitions = 8;
+    return tpch::Generate(cfg);
+  }();
+  return catalog;
+}
+
+}  // namespace testing
+}  // namespace wake
+
+#endif  // WAKE_TESTS_ENGINE_TPCH_FIXTURE_H_

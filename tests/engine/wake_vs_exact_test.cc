@@ -1,0 +1,106 @@
+// Integration: the Wake OLA engine must converge to exactly the answer the
+// blocking exact engine produces, for every TPC-H query (the paper's
+// convergence guarantee, §4.5: the edf at t = 1 is the exact answer).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "baseline/exact_engine.h"
+#include "core/engine.h"
+#include "engine/tpch_fixture.h"
+#include "tpch/queries.h"
+
+namespace wake {
+namespace {
+
+class TpchQueryEquality : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchQueryEquality, FinalResultMatchesExactEngine) {
+  const Catalog& cat = testing::SharedTpch();
+  Plan plan = tpch::Query(GetParam());
+  ExactEngine exact(&cat);
+  DataFrame expected = exact.Execute(plan.node());
+
+  WakeEngine engine(&cat);
+  size_t states = 0;
+  DataFrame got;
+  engine.Execute(plan.node(), [&](const OlaState& s) {
+    ++states;
+    if (s.is_final) got = *s.frame;
+  });
+  EXPECT_GT(states, 1u) << "no intermediate states produced";
+  std::string diff;
+  EXPECT_TRUE(got.ApproxEquals(expected, 1e-6, &diff)) << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryEquality,
+                         ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+class ModifiedQueryEquality : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModifiedQueryEquality, FinalResultMatchesExactEngine) {
+  const Catalog& cat = testing::SharedTpch();
+  Plan plan = tpch::ModifiedQuery(GetParam());
+  ExactEngine exact(&cat);
+  WakeEngine engine(&cat);
+  std::string diff;
+  EXPECT_TRUE(engine.ExecuteFinal(plan.node())
+                  .ApproxEquals(exact.Execute(plan.node()), 1e-6, &diff))
+      << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(Modified, ModifiedQueryEquality,
+                         ::testing::Values(1, 3, 6, 7, 10),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "MQ" + std::to_string(info.param);
+                         });
+
+TEST(TpchQueryEqualityExtra, CiModeDoesNotChangeFinalResults) {
+  const Catalog& cat = testing::SharedTpch();
+  WakeOptions options;
+  options.with_ci = true;
+  WakeEngine engine(&cat, options);
+  ExactEngine exact(&cat);
+  for (int q : {1, 6, 14, 18}) {
+    Plan plan = tpch::Query(q);
+    std::string diff;
+    EXPECT_TRUE(engine.ExecuteFinal(plan.node())
+                    .ApproxEquals(exact.Execute(plan.node()), 1e-6, &diff))
+        << "Q" << q << ": " << diff;
+  }
+}
+
+TEST(TpchQueryEqualityExtra, RepartitioningDoesNotChangeFinalResults) {
+  // Final answers must be independent of the partition layout (§8.7 varies
+  // partition sizes; correctness must hold for all of them).
+  tpch::DbgenConfig cfg;
+  cfg.scale_factor = 0.005;
+  cfg.partitions = 3;
+  Catalog base = tpch::Generate(cfg);
+  Catalog repartitioned;
+  for (const auto& name : base.TableNames()) {
+    repartitioned.Add(std::make_shared<PartitionedTable>(
+        base.Get(name).Repartition(name == "lineitem" ? 11 : 5)));
+  }
+  for (int q : {1, 3, 6, 13, 18}) {
+    Plan plan = tpch::Query(q);
+    WakeEngine a(&base), b(&repartitioned);
+    std::string diff;
+    EXPECT_TRUE(a.ExecuteFinal(plan.node())
+                    .ApproxEquals(b.ExecuteFinal(plan.node()), 1e-6, &diff))
+        << "Q" << q << ": " << diff;
+  }
+}
+
+TEST(TpchQueryEqualityExtra, QueryNumberValidation) {
+  EXPECT_THROW(tpch::Query(0), Error);
+  EXPECT_THROW(tpch::Query(23), Error);
+  EXPECT_THROW(tpch::ModifiedQuery(2), Error);
+  EXPECT_EQ(tpch::AllQueries().size(), 22u);
+}
+
+}  // namespace
+}  // namespace wake

@@ -1,0 +1,169 @@
+#include "frame/data_frame.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wake {
+namespace {
+
+DataFrame MakeFrame() {
+  Schema schema({{"k", ValueType::kInt64},
+                 {"v", ValueType::kFloat64},
+                 {"s", ValueType::kString}});
+  DataFrame df(schema);
+  *df.mutable_column(0) = Column::FromInts({3, 1, 2, 1});
+  *df.mutable_column(1) = Column::FromDoubles({30.0, 10.0, 20.0, 11.0});
+  *df.mutable_column(2) = Column::FromStrings({"c", "a", "b", "a"});
+  return df;
+}
+
+TEST(DataFrameTest, ConstructionFromSchema) {
+  DataFrame df = MakeFrame();
+  EXPECT_EQ(df.num_rows(), 4u);
+  EXPECT_EQ(df.num_columns(), 3u);
+  EXPECT_EQ(df.ColumnByName("v").DoubleAt(2), 20.0);
+  EXPECT_THROW(df.ColumnByName("nope"), Error);
+}
+
+TEST(DataFrameTest, AddColumnValidatesRowCount) {
+  DataFrame df = MakeFrame();
+  EXPECT_THROW(
+      df.AddColumn(Field("w", ValueType::kInt64), Column::FromInts({1})),
+      Error);
+  df.AddColumn(Field("w", ValueType::kInt64),
+               Column::FromInts({1, 2, 3, 4}));
+  EXPECT_EQ(df.num_columns(), 4u);
+}
+
+TEST(DataFrameTest, TakeAndFilter) {
+  DataFrame df = MakeFrame();
+  DataFrame t = df.Take({2, 0});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.column(0).IntAt(0), 2);
+  EXPECT_EQ(t.column(2).StringAt(1), "c");
+
+  DataFrame f = df.FilterBy({0, 1, 0, 1});
+  EXPECT_EQ(f.num_rows(), 2u);
+  EXPECT_EQ(f.column(0).IntAt(0), 1);
+  EXPECT_EQ(f.column(0).IntAt(1), 1);
+}
+
+TEST(DataFrameTest, SliceAndHead) {
+  DataFrame df = MakeFrame();
+  EXPECT_EQ(df.Slice(1, 3).num_rows(), 2u);
+  EXPECT_EQ(df.Head(2).num_rows(), 2u);
+  EXPECT_EQ(df.Head(100).num_rows(), 4u);
+}
+
+TEST(DataFrameTest, SelectReordersColumns) {
+  DataFrame df = MakeFrame();
+  DataFrame s = df.Select({"s", "k"});
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(s.schema().field(0).name, "s");
+  EXPECT_EQ(s.column(1).IntAt(0), 3);
+}
+
+TEST(DataFrameTest, AppendChecksSchema) {
+  DataFrame a = MakeFrame();
+  DataFrame b = MakeFrame();
+  a.Append(b);
+  EXPECT_EQ(a.num_rows(), 8u);
+  Schema other({{"x", ValueType::kInt64}});
+  DataFrame c(other);
+  EXPECT_THROW(a.Append(c), Error);
+}
+
+TEST(DataFrameTest, AppendIntoEmptyAdoptsSchema) {
+  DataFrame empty;
+  empty.Append(MakeFrame());
+  EXPECT_EQ(empty.num_rows(), 4u);
+  EXPECT_EQ(empty.num_columns(), 3u);
+}
+
+TEST(DataFrameTest, SortBySingleKey) {
+  DataFrame df = MakeFrame();
+  DataFrame sorted = df.SortBy({{"k", false}});
+  EXPECT_EQ(sorted.column(0).IntAt(0), 1);
+  EXPECT_EQ(sorted.column(0).IntAt(3), 3);
+}
+
+TEST(DataFrameTest, SortByIsStableAndHandlesDescending) {
+  DataFrame df = MakeFrame();
+  DataFrame sorted = df.SortBy({{"k", false}, {"v", true}});
+  // k=1 rows: v=11 then v=10 (descending by v).
+  EXPECT_EQ(sorted.column(1).DoubleAt(0), 11.0);
+  EXPECT_EQ(sorted.column(1).DoubleAt(1), 10.0);
+}
+
+TEST(DataFrameTest, SortStringsDescending) {
+  DataFrame df = MakeFrame();
+  DataFrame sorted = df.SortBy({{"s", true}});
+  EXPECT_EQ(sorted.column(2).StringAt(0), "c");
+  EXPECT_EQ(sorted.column(2).StringAt(3), "a");
+}
+
+TEST(DataFrameTest, KeysEqualAndHash) {
+  DataFrame df = MakeFrame();
+  std::vector<size_t> cols = {0, 2};
+  EXPECT_TRUE(df.KeysEqual(cols, 1, df, cols, 3));   // (1,"a") == (1,"a")
+  EXPECT_FALSE(df.KeysEqual(cols, 0, df, cols, 1));
+  EXPECT_EQ(df.HashRowKeys(cols, 1), df.HashRowKeys(cols, 3));
+}
+
+TEST(DataFrameTest, ApproxEqualsToleratesFloatNoise) {
+  DataFrame a = MakeFrame();
+  DataFrame b = MakeFrame();
+  (*b.mutable_column(1)->mutable_doubles())[0] += 1e-12;
+  std::string diff;
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-9, &diff)) << diff;
+  (*b.mutable_column(1)->mutable_doubles())[0] += 1.0;
+  EXPECT_FALSE(a.ApproxEquals(b, 1e-9, &diff));
+  EXPECT_NE(diff.find("v"), std::string::npos);
+}
+
+TEST(DataFrameTest, ApproxEqualsCatchesRowCountAndSchema) {
+  DataFrame a = MakeFrame();
+  std::string diff;
+  EXPECT_FALSE(a.ApproxEquals(a.Head(2), 1e-9, &diff));
+  DataFrame renamed = MakeFrame();
+  renamed.mutable_schema()->mutable_field(0)->name = "zz";
+  EXPECT_FALSE(a.ApproxEquals(renamed, 1e-9, &diff));
+}
+
+TEST(DataFrameTest, ToStringShowsHeaderAndRows) {
+  std::string s = MakeFrame().ToString(2);
+  EXPECT_NE(s.find("k | v | s"), std::string::npos);
+  EXPECT_NE(s.find("4 rows total"), std::string::npos);
+}
+
+TEST(BuildGroupsTest, GroupsByKey) {
+  DataFrame df = MakeFrame();
+  GroupIndex gi = BuildGroups(df, {"k"});
+  EXPECT_EQ(gi.num_groups, 3u);
+  EXPECT_EQ(gi.group_of_row[1], gi.group_of_row[3]);  // both k=1
+  EXPECT_NE(gi.group_of_row[0], gi.group_of_row[1]);
+}
+
+TEST(BuildGroupsTest, MultiColumnKeys) {
+  DataFrame df = MakeFrame();
+  GroupIndex gi = BuildGroups(df, {"k", "s"});
+  EXPECT_EQ(gi.num_groups, 3u);  // (3,c), (1,a), (2,b); (1,a) repeats
+}
+
+TEST(BuildGroupsTest, EmptyKeysMeansGlobalGroup) {
+  DataFrame df = MakeFrame();
+  GroupIndex gi = BuildGroups(df, {});
+  EXPECT_EQ(gi.num_groups, 1u);
+  for (uint32_t g : gi.group_of_row) EXPECT_EQ(g, 0u);
+}
+
+TEST(BuildGroupsTest, EmptyFrameHasNoGroups) {
+  Schema schema({{"k", ValueType::kInt64}});
+  DataFrame df(schema);
+  EXPECT_EQ(BuildGroups(df, {}).num_groups, 0u);
+  EXPECT_EQ(BuildGroups(df, {"k"}).num_groups, 0u);
+}
+
+}  // namespace
+}  // namespace wake

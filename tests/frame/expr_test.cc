@@ -1,0 +1,296 @@
+#include "frame/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wake {
+namespace {
+
+DataFrame TestFrame() {
+  Schema schema({{"i", ValueType::kInt64},
+                 {"f", ValueType::kFloat64},
+                 {"s", ValueType::kString},
+                 {"d", ValueType::kDate}});
+  DataFrame df(schema);
+  *df.mutable_column(0) = Column::FromInts({1, 2, 3});
+  *df.mutable_column(1) = Column::FromDoubles({0.5, 1.5, 2.5});
+  *df.mutable_column(2) =
+      Column::FromStrings({"PROMO TIN", "STANDARD BRASS", "PROMO BRASS"});
+  *df.mutable_column(3) = Column::FromInts(
+      {DateToDays(1994, 5, 1), DateToDays(1995, 7, 1), DateToDays(1996, 1, 1)},
+      ValueType::kDate);
+  return df;
+}
+
+TEST(ExprTest, ColumnAndLiteral) {
+  DataFrame df = TestFrame();
+  Column c = Expr::Col("i")->Eval(df);
+  EXPECT_EQ(c.IntAt(2), 3);
+  Column lit = Expr::Int(7)->Eval(df);
+  ASSERT_EQ(lit.size(), 3u);
+  EXPECT_EQ(lit.IntAt(0), 7);
+}
+
+TEST(ExprTest, UnknownColumnThrows) {
+  DataFrame df = TestFrame();
+  EXPECT_THROW(Expr::Col("zzz")->Eval(df), Error);
+}
+
+TEST(ExprTest, IntArithmeticStaysInt) {
+  DataFrame df = TestFrame();
+  Column c = (Expr::Col("i") * Expr::Int(10) + Expr::Int(1))->Eval(df);
+  EXPECT_EQ(c.type(), ValueType::kInt64);
+  EXPECT_EQ(c.IntAt(1), 21);
+}
+
+TEST(ExprTest, MixedArithmeticPromotesToFloat) {
+  DataFrame df = TestFrame();
+  Column c = (Expr::Col("i") + Expr::Col("f"))->Eval(df);
+  EXPECT_EQ(c.type(), ValueType::kFloat64);
+  EXPECT_DOUBLE_EQ(c.DoubleAt(0), 1.5);
+}
+
+TEST(ExprTest, DivisionAlwaysFloatAndGuardsZero) {
+  DataFrame df = TestFrame();
+  Column c = (Expr::Col("i") / Expr::Int(2))->Eval(df);
+  EXPECT_EQ(c.type(), ValueType::kFloat64);
+  EXPECT_DOUBLE_EQ(c.DoubleAt(2), 1.5);
+  Column z = (Expr::Col("i") / Expr::Int(0))->Eval(df);
+  EXPECT_DOUBLE_EQ(z.DoubleAt(0), 0.0);  // div-by-zero yields 0, not inf
+}
+
+TEST(ExprTest, Comparisons) {
+  DataFrame df = TestFrame();
+  Column ge = Ge(Expr::Col("i"), Expr::Int(2))->Eval(df);
+  EXPECT_EQ(ge.IntAt(0), 0);
+  EXPECT_EQ(ge.IntAt(1), 1);
+  EXPECT_EQ(ge.IntAt(2), 1);
+  Column ne = Ne(Expr::Col("s"), Expr::Str("PROMO TIN"))->Eval(df);
+  EXPECT_EQ(ne.IntAt(0), 0);
+  EXPECT_EQ(ne.IntAt(1), 1);
+}
+
+TEST(ExprTest, MixedNumericComparison) {
+  DataFrame df = TestFrame();
+  Column c = Lt(Expr::Col("f"), Expr::Col("i"))->Eval(df);  // 0.5<1, 1.5<2, 2.5<3
+  EXPECT_EQ(c.IntAt(0), 1);
+  EXPECT_EQ(c.IntAt(1), 1);
+  EXPECT_EQ(c.IntAt(2), 1);
+}
+
+TEST(ExprTest, DateComparison) {
+  DataFrame df = TestFrame();
+  Column c = Lt(Expr::Col("d"), Expr::Date(1995, 1, 1))->Eval(df);
+  EXPECT_EQ(c.IntAt(0), 1);
+  EXPECT_EQ(c.IntAt(1), 0);
+}
+
+TEST(ExprTest, LogicAndOrNot) {
+  DataFrame df = TestFrame();
+  auto a = Gt(Expr::Col("i"), Expr::Int(1));
+  auto b = Lt(Expr::Col("f"), Expr::Float(2.0));
+  Column band = Expr::And(a, b)->Eval(df);
+  EXPECT_EQ(band.IntAt(0), 0);
+  EXPECT_EQ(band.IntAt(1), 1);
+  EXPECT_EQ(band.IntAt(2), 0);
+  Column bor = Expr::Or(a, b)->Eval(df);
+  EXPECT_EQ(bor.IntAt(0), 1);
+  EXPECT_EQ(bor.IntAt(2), 1);
+  Column bnot = Expr::Not(a)->Eval(df);
+  EXPECT_EQ(bnot.IntAt(0), 1);
+  EXPECT_EQ(bnot.IntAt(1), 0);
+}
+
+TEST(ExprTest, LikeAndIn) {
+  DataFrame df = TestFrame();
+  Column like = Expr::Like(Expr::Col("s"), "PROMO%")->Eval(df);
+  EXPECT_EQ(like.IntAt(0), 1);
+  EXPECT_EQ(like.IntAt(1), 0);
+  EXPECT_EQ(like.IntAt(2), 1);
+  Column in = Expr::In(Expr::Col("i"),
+                       {Value::Int(1), Value::Int(3)})->Eval(df);
+  EXPECT_EQ(in.IntAt(0), 1);
+  EXPECT_EQ(in.IntAt(1), 0);
+  EXPECT_EQ(in.IntAt(2), 1);
+}
+
+TEST(ExprTest, LikeOverNonStringThrows) {
+  DataFrame df = TestFrame();
+  EXPECT_THROW(Expr::Like(Expr::Col("i"), "%x%")->Eval(df), Error);
+}
+
+TEST(ExprTest, CaseWhen) {
+  DataFrame df = TestFrame();
+  Column c = Expr::Case(Gt(Expr::Col("i"), Expr::Int(1)), Expr::Col("f"),
+                        Expr::Float(0.0))
+                 ->Eval(df);
+  EXPECT_DOUBLE_EQ(c.DoubleAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.DoubleAt(1), 1.5);
+}
+
+TEST(ExprTest, CaseMixedIntFloatPromotes) {
+  DataFrame df = TestFrame();
+  Column c = Expr::Case(Gt(Expr::Col("i"), Expr::Int(1)), Expr::Col("i"),
+                        Expr::Float(0.5))
+                 ->Eval(df);
+  EXPECT_EQ(c.type(), ValueType::kFloat64);
+  EXPECT_DOUBLE_EQ(c.DoubleAt(0), 0.5);
+  EXPECT_DOUBLE_EQ(c.DoubleAt(2), 3.0);
+}
+
+TEST(ExprTest, CoalesceReplacesNulls) {
+  Schema schema({{"x", ValueType::kInt64}});
+  DataFrame df(schema);
+  df.mutable_column(0)->AppendInt(5);
+  df.mutable_column(0)->AppendNull();
+  Column c = Expr::Coalesce(Expr::Col("x"), Value::Int(0))->Eval(df);
+  EXPECT_EQ(c.IntAt(0), 5);
+  EXPECT_EQ(c.IntAt(1), 0);
+  EXPECT_FALSE(c.has_nulls());
+}
+
+TEST(ExprTest, SubstrIsOneBased) {
+  DataFrame df = TestFrame();
+  Column c = Expr::Substr(Expr::Col("s"), 1, 5)->Eval(df);
+  EXPECT_EQ(c.StringAt(0), "PROMO");
+  Column c2 = Expr::Substr(Expr::Col("s"), 7, 3)->Eval(df);
+  EXPECT_EQ(c2.StringAt(0), "TIN");
+}
+
+TEST(ExprTest, Year) {
+  DataFrame df = TestFrame();
+  Column c = Expr::Year(Expr::Col("d"))->Eval(df);
+  EXPECT_EQ(c.IntAt(0), 1994);
+  EXPECT_EQ(c.IntAt(2), 1996);
+}
+
+TEST(ExprTest, NullPropagationThroughArithmetic) {
+  Schema schema({{"x", ValueType::kInt64}});
+  DataFrame df(schema);
+  df.mutable_column(0)->AppendInt(1);
+  df.mutable_column(0)->AppendNull();
+  Column c = (Expr::Col("x") + Expr::Int(1))->Eval(df);
+  EXPECT_EQ(c.IntAt(0), 2);
+  EXPECT_TRUE(c.IsNull(1));
+  // Comparisons with null are false, not null.
+  Column cmp = Gt(Expr::Col("x"), Expr::Int(0))->Eval(df);
+  EXPECT_EQ(cmp.IntAt(0), 1);
+  EXPECT_EQ(cmp.IntAt(1), 0);
+}
+
+TEST(ExprTest, IsNull) {
+  Schema schema({{"x", ValueType::kInt64}});
+  DataFrame df(schema);
+  df.mutable_column(0)->AppendInt(5);
+  df.mutable_column(0)->AppendNull();
+  Column c = Expr::IsNull(Expr::Col("x"))->Eval(df);
+  EXPECT_EQ(c.IntAt(0), 0);
+  EXPECT_EQ(c.IntAt(1), 1);
+  Column nn = Expr::Not(Expr::IsNull(Expr::Col("x")))->Eval(df);
+  EXPECT_EQ(nn.IntAt(0), 1);
+  EXPECT_EQ(nn.IntAt(1), 0);
+  EXPECT_EQ(Expr::IsNull(Expr::Col("x"))->ResultType(schema),
+            ValueType::kBool);
+  EXPECT_NE(Expr::IsNull(Expr::Col("x"))->ToString().find("IS NULL"),
+            std::string::npos);
+}
+
+TEST(ExprTest, ResultTypeInference) {
+  Schema schema = TestFrame().schema();
+  EXPECT_EQ(Expr::Col("i")->ResultType(schema), ValueType::kInt64);
+  EXPECT_EQ((Expr::Col("i") + Expr::Col("f"))->ResultType(schema),
+            ValueType::kFloat64);
+  EXPECT_EQ((Expr::Col("i") / Expr::Int(2))->ResultType(schema),
+            ValueType::kFloat64);
+  EXPECT_EQ(Gt(Expr::Col("i"), Expr::Int(0))->ResultType(schema),
+            ValueType::kBool);
+  EXPECT_EQ(Expr::Substr(Expr::Col("s"), 1, 2)->ResultType(schema),
+            ValueType::kString);
+  EXPECT_EQ(Expr::Year(Expr::Col("d"))->ResultType(schema),
+            ValueType::kInt64);
+}
+
+TEST(ExprTest, CollectColumnsAndReadsMutable) {
+  Schema schema({{"a", ValueType::kFloat64, /*mut=*/true},
+                 {"b", ValueType::kFloat64, /*mut=*/false}});
+  auto e = Expr::Col("a") + Expr::Col("b");
+  std::set<std::string> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::set<std::string>{"a", "b"}));
+  EXPECT_TRUE(e->ReadsMutable(schema));
+  EXPECT_FALSE(Expr::Col("b")->ReadsMutable(schema));
+}
+
+TEST(ExprTest, ToStringIsReadable) {
+  auto e = Expr::And(Gt(Expr::Col("x"), Expr::Int(3)),
+                     Expr::Like(Expr::Col("s"), "a%"));
+  std::string s = e->ToString();
+  EXPECT_NE(s.find("x > 3"), std::string::npos);
+  EXPECT_NE(s.find("LIKE 'a%'"), std::string::npos);
+}
+
+// --- variance propagation (§6) ---
+
+TEST(ExprVarianceTest, ColumnPassesVarianceThrough) {
+  DataFrame df = TestFrame();
+  std::vector<double> var_f = {1.0, 2.0, 3.0};
+  std::unordered_map<std::string, const std::vector<double>*> vars{
+      {"f", &var_f}};
+  Column value;
+  std::vector<double> var;
+  Expr::Col("f")->EvalWithVariance(df, vars, &value, &var);
+  EXPECT_EQ(var, var_f);
+  Expr::Col("i")->EvalWithVariance(df, vars, &value, &var);
+  EXPECT_EQ(var, std::vector<double>(3, 0.0));
+}
+
+TEST(ExprVarianceTest, SumOfIndependents) {
+  DataFrame df = TestFrame();
+  std::vector<double> var_f = {1.0, 2.0, 3.0};
+  std::unordered_map<std::string, const std::vector<double>*> vars{
+      {"f", &var_f}};
+  Column value;
+  std::vector<double> var;
+  (Expr::Col("f") + Expr::Col("f"))->EvalWithVariance(df, vars, &value, &var);
+  EXPECT_DOUBLE_EQ(var[0], 2.0);  // Var(A)+Var(B) under independence
+}
+
+TEST(ExprVarianceTest, ProductRule) {
+  DataFrame df = TestFrame();
+  std::vector<double> var_f = {4.0, 4.0, 4.0};
+  std::unordered_map<std::string, const std::vector<double>*> vars{
+      {"f", &var_f}};
+  Column value;
+  std::vector<double> var;
+  (Expr::Col("f") * Expr::Int(10))->EvalWithVariance(df, vars, &value, &var);
+  // Var(cX) = c² Var(X) = 100 * 4.
+  EXPECT_DOUBLE_EQ(var[0], 400.0);
+}
+
+TEST(ExprVarianceTest, QuotientRule) {
+  DataFrame df = TestFrame();
+  std::vector<double> var_f = {1.0, 1.0, 1.0};
+  std::unordered_map<std::string, const std::vector<double>*> vars{
+      {"f", &var_f}};
+  Column value;
+  std::vector<double> var;
+  (Expr::Col("f") / Expr::Float(2.0))->EvalWithVariance(df, vars, &value,
+                                                        &var);
+  EXPECT_DOUBLE_EQ(var[0], 0.25);  // Var(X/2) = Var(X)/4
+}
+
+TEST(ExprVarianceTest, NonDifferentiableNodesYieldZero) {
+  DataFrame df = TestFrame();
+  std::vector<double> var_f = {1.0, 1.0, 1.0};
+  std::unordered_map<std::string, const std::vector<double>*> vars{
+      {"f", &var_f}};
+  Column value;
+  std::vector<double> var;
+  Gt(Expr::Col("f"), Expr::Float(1.0))->EvalWithVariance(df, vars, &value,
+                                                         &var);
+  EXPECT_EQ(var, std::vector<double>(3, 0.0));
+}
+
+}  // namespace
+}  // namespace wake

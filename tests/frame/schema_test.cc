@@ -1,0 +1,82 @@
+#include "frame/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wake {
+namespace {
+
+Schema MakeSchema() {
+  Schema s({{"a", ValueType::kInt64},
+            {"b", ValueType::kFloat64, /*mut=*/true},
+            {"c", ValueType::kString}});
+  s.set_primary_key({"a"});
+  s.set_clustering_key({"a"});
+  return s;
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.FieldIndex("b"), 1u);
+  EXPECT_EQ(s.FindField("zzz"), Schema::npos);
+  EXPECT_TRUE(s.HasField("c"));
+  EXPECT_FALSE(s.HasField("d"));
+  EXPECT_THROW(s.FieldIndex("zzz"), Error);
+}
+
+TEST(SchemaTest, FieldIndexErrorListsKnownColumns) {
+  Schema s = MakeSchema();
+  try {
+    s.FieldIndex("missing");
+    FAIL();
+  } catch (const Error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("missing"), std::string::npos);
+    EXPECT_NE(msg.find("a"), std::string::npos);  // lists what exists
+  }
+}
+
+TEST(SchemaTest, ClusteringContainedIn) {
+  Schema s = MakeSchema();
+  EXPECT_TRUE(s.ClusteringContainedIn({"a"}));
+  EXPECT_TRUE(s.ClusteringContainedIn({"b", "a"}));
+  EXPECT_FALSE(s.ClusteringContainedIn({"b"}));
+  Schema unclustered({{"x", ValueType::kInt64}});
+  // No clustering key: never "contained" (so aggregations are shuffles).
+  EXPECT_FALSE(unclustered.ClusteringContainedIn({"x"}));
+}
+
+TEST(SchemaTest, MultiColumnClusteringContainment) {
+  Schema s({{"k1", ValueType::kInt64}, {"k2", ValueType::kInt64},
+            {"v", ValueType::kFloat64}});
+  s.set_clustering_key({"k1", "k2"});
+  EXPECT_TRUE(s.ClusteringContainedIn({"k2", "k1", "v"}));
+  EXPECT_FALSE(s.ClusteringContainedIn({"k1"}));  // prefix is not enough
+}
+
+TEST(SchemaTest, AnyMutable) {
+  Schema s = MakeSchema();
+  EXPECT_TRUE(s.AnyMutable({"a", "b"}));
+  EXPECT_FALSE(s.AnyMutable({"a", "c"}));
+  EXPECT_FALSE(s.AnyMutable({"ghost"}));  // unknown names are ignored
+}
+
+TEST(SchemaTest, SameFieldsIgnoresKeys) {
+  Schema a = MakeSchema();
+  Schema b = MakeSchema();
+  b.set_primary_key({});
+  EXPECT_TRUE(a.SameFields(b));
+  b.AddField(Field("d", ValueType::kInt64));
+  EXPECT_FALSE(a.SameFields(b));
+}
+
+TEST(SchemaTest, ToStringMarksMutables) {
+  std::string s = MakeSchema().ToString();
+  EXPECT_NE(s.find("b:float64*"), std::string::npos);
+  EXPECT_NE(s.find("a:int64"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wake

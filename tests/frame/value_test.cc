@@ -1,0 +1,103 @@
+#include "frame/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wake {
+namespace {
+
+TEST(DateTest, EpochIsZero) { EXPECT_EQ(DateToDays(1970, 1, 1), 0); }
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(DateToDays(1970, 1, 2), 1);
+  EXPECT_EQ(DateToDays(1969, 12, 31), -1);
+  EXPECT_EQ(DateToDays(2000, 3, 1) - DateToDays(2000, 2, 28), 2);  // leap
+  EXPECT_EQ(DateToDays(1900, 3, 1) - DateToDays(1900, 2, 28), 1);  // no leap
+}
+
+TEST(DateTest, RoundTripsAcrossTpchRange) {
+  for (int64_t d = DateToDays(1992, 1, 1); d <= DateToDays(1998, 12, 31);
+       d += 13) {
+    int y, m, dd;
+    DaysToDate(d, &y, &m, &dd);
+    EXPECT_EQ(DateToDays(y, m, dd), d);
+  }
+}
+
+TEST(DateTest, FormatAndParse) {
+  int64_t days = DateToDays(1995, 6, 17);
+  EXPECT_EQ(FormatDate(days), "1995-06-17");
+  EXPECT_EQ(ParseDate("1995-06-17"), days);
+  EXPECT_EQ(ParseDate(FormatDate(DateToDays(1992, 1, 1))), 8035);
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_THROW(ParseDate("not-a-date"), Error);
+  EXPECT_THROW(ParseDate("1995-13-01"), Error);
+  EXPECT_THROW(ParseDate("1995-00-10"), Error);
+}
+
+TEST(DateTest, ExtractYear) {
+  EXPECT_EQ(ExtractYear(DateToDays(1995, 1, 1)), 1995);
+  EXPECT_EQ(ExtractYear(DateToDays(1995, 12, 31)), 1995);
+  EXPECT_EQ(ExtractYear(DateToDays(1996, 1, 1)), 1996);
+}
+
+TEST(ValueTest, Factories) {
+  EXPECT_EQ(Value::Int(5).i, 5);
+  EXPECT_EQ(Value::Float(2.5).d, 2.5);
+  EXPECT_EQ(Value::Str("x").s, "x");
+  EXPECT_TRUE(Value::Null(ValueType::kInt64).is_null);
+  EXPECT_EQ(Value::Bool(true).i, 1);
+}
+
+TEST(ValueTest, AsDoublePromotesInts) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Float(3.5).AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(Value::Date(10).AsDouble(), 10.0);
+}
+
+TEST(ValueTest, EqualityAcrossNumericTypes) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_FALSE(Value::Int(3) == Value::Int(4));
+  EXPECT_EQ(Value::Float(3.0), Value::Int(3));
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+  EXPECT_FALSE(Value::Str("a") == Value::Str("b"));
+  EXPECT_EQ(Value::Null(ValueType::kInt64), Value::Null(ValueType::kInt64));
+  EXPECT_FALSE(Value::Null(ValueType::kInt64) == Value::Int(0));
+}
+
+TEST(ValueTest, OrderingWithNullsFirst) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_FALSE(Value::Int(2) < Value::Int(1));
+  EXPECT_TRUE(Value::Null(ValueType::kInt64) < Value::Int(-100));
+  EXPECT_TRUE(Value::Str("a") < Value::Str("b"));
+  EXPECT_TRUE(Value::Float(1.5) < Value::Int(2));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Str("hi").ToString(), "hi");
+  EXPECT_EQ(Value::Null(ValueType::kInt64).ToString(), "NULL");
+  EXPECT_EQ(Value::Date(DateToDays(1994, 2, 3)).ToString(), "1994-02-03");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeName(ValueType::kFloat64), "float64");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDate), "date");
+}
+
+TEST(ValueTypeTest, Predicates) {
+  EXPECT_TRUE(IsIntPhysical(ValueType::kDate));
+  EXPECT_TRUE(IsIntPhysical(ValueType::kBool));
+  EXPECT_FALSE(IsIntPhysical(ValueType::kFloat64));
+  EXPECT_TRUE(IsNumeric(ValueType::kFloat64));
+  EXPECT_FALSE(IsNumeric(ValueType::kString));
+}
+
+}  // namespace
+}  // namespace wake

@@ -1,0 +1,111 @@
+#include "plan/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wake {
+namespace {
+
+TEST(PlanBuilderTest, ScanProducesLeaf) {
+  Plan p = Plan::Scan("lineitem");
+  ASSERT_NE(p.node(), nullptr);
+  EXPECT_EQ(p.node()->op, PlanOp::kScan);
+  EXPECT_EQ(p.node()->table, "lineitem");
+  EXPECT_TRUE(p.node()->inputs.empty());
+}
+
+TEST(PlanBuilderTest, ChainBuildsTree) {
+  Plan p = Plan::Scan("t")
+               .Filter(Gt(Expr::Col("x"), Expr::Int(0)))
+               .Aggregate({"g"}, {Sum("x", "sum_x")})
+               .Sort({{"sum_x", true}}, 10);
+  EXPECT_EQ(p.node()->op, PlanOp::kSortLimit);
+  EXPECT_EQ(p.node()->limit, 10u);
+  EXPECT_EQ(p.node()->inputs[0]->op, PlanOp::kAggregate);
+  EXPECT_EQ(p.node()->inputs[0]->inputs[0]->op, PlanOp::kFilter);
+}
+
+TEST(PlanBuilderTest, OpsOnEmptyPlanThrow) {
+  Plan empty;
+  EXPECT_THROW(empty.Filter(Expr::Int(1)), Error);
+  EXPECT_THROW(empty.Aggregate({}, {Count("c")}), Error);
+  EXPECT_THROW(empty.Sort({}), Error);
+}
+
+TEST(PlanBuilderTest, JoinValidatesKeyArity) {
+  Plan a = Plan::Scan("a"), b = Plan::Scan("b");
+  EXPECT_THROW(a.Join(b, JoinType::kInner, {"x"}, {"y", "z"}), Error);
+  EXPECT_THROW(a.Join(b, JoinType::kInner, {}, {}), Error);
+  Plan j = a.Join(b, JoinType::kInner, {"x"}, {"y"});
+  EXPECT_EQ(j.node()->op, PlanOp::kJoin);
+  EXPECT_EQ(j.node()->inputs.size(), 2u);
+}
+
+TEST(PlanBuilderTest, CrossJoinAllowsEmptyKeys) {
+  Plan j = Plan::Scan("a").CrossJoin(Plan::Scan("b"));
+  EXPECT_EQ(j.node()->join_type, JoinType::kCross);
+  EXPECT_TRUE(j.node()->left_keys.empty());
+}
+
+TEST(PlanBuilderTest, AggregateRequiresAggs) {
+  EXPECT_THROW(Plan::Scan("t").Aggregate({"g"}, {}), Error);
+}
+
+TEST(PlanBuilderTest, ProjectLowersToMap) {
+  Plan p = Plan::Scan("t").Project({"a", "b"});
+  EXPECT_EQ(p.node()->op, PlanOp::kMap);
+  EXPECT_FALSE(p.node()->append_input);
+  ASSERT_EQ(p.node()->projections.size(), 2u);
+  EXPECT_EQ(p.node()->projections[0].name, "a");
+}
+
+TEST(PlanBuilderTest, DeriveSetsAppendInput) {
+  Plan p = Plan::Scan("t").Derive({{"x2", Expr::Col("x")}});
+  EXPECT_TRUE(p.node()->append_input);
+}
+
+TEST(PlanBuilderTest, WithLabelCopiesNode) {
+  Plan p = Plan::Scan("t");
+  Plan labeled = p.WithLabel("LI");
+  EXPECT_EQ(labeled.node()->label, "LI");
+  EXPECT_NE(p.node()->label, "LI");  // original untouched
+}
+
+TEST(PlanBuilderTest, SharedSubplansAllowed) {
+  // Q15-style: one subplan feeds two parents.
+  Plan rev = Plan::Scan("t").Aggregate({"k"}, {Sum("v", "total")});
+  Plan max_rev = rev.Aggregate({}, {Max("total", "m")});
+  Plan joined = rev.CrossJoin(max_rev);
+  EXPECT_EQ(joined.node()->inputs[0], rev.node());
+  EXPECT_EQ(joined.node()->inputs[1]->inputs[0], rev.node());
+}
+
+TEST(AggSpecTest, FactoriesSetFields) {
+  AggSpec s = Sum("x", "sx");
+  EXPECT_EQ(s.func, AggFunc::kSum);
+  EXPECT_EQ(s.input, "x");
+  EXPECT_EQ(s.output, "sx");
+  EXPECT_EQ(Count("c").input, "");
+  EXPECT_EQ(CountDistinct("k", "d").func, AggFunc::kCountDistinct);
+  EXPECT_EQ(StddevOf("x", "sd").func, AggFunc::kStddev);
+}
+
+TEST(AggFuncNameTest, AllNamed) {
+  EXPECT_STREQ(AggFuncName(AggFunc::kSum), "sum");
+  EXPECT_STREQ(AggFuncName(AggFunc::kCountDistinct), "count_distinct");
+  EXPECT_STREQ(AggFuncName(AggFunc::kVar), "var");
+}
+
+TEST(PlanToStringTest, RendersTree) {
+  Plan p = Plan::Scan("t")
+               .Filter(Gt(Expr::Col("x"), Expr::Int(1)))
+               .Aggregate({"g"}, {Sum("x", "s")});
+  std::string s = PlanToString(p.node());
+  EXPECT_NE(s.find("Aggregate by [g]"), std::string::npos);
+  EXPECT_NE(s.find("Filter"), std::string::npos);
+  EXPECT_NE(s.find("Scan t"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wake

@@ -1,0 +1,220 @@
+#include "plan/props.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wake {
+namespace {
+
+// A small clustered fact table plus a dimension table.
+Catalog MakeCatalog() {
+  Schema fact_schema({{"fk", ValueType::kInt64},
+                      {"dim_id", ValueType::kInt64},
+                      {"val", ValueType::kFloat64}});
+  fact_schema.set_primary_key({"fk"});
+  fact_schema.set_clustering_key({"fk"});
+  DataFrame fact(fact_schema);
+  for (int i = 0; i < 20; ++i) {
+    fact.mutable_column(0)->AppendInt(i);
+    fact.mutable_column(1)->AppendInt(i % 4);
+    fact.mutable_column(2)->AppendDouble(i * 1.0);
+  }
+
+  Schema dim_schema({{"d_id", ValueType::kInt64},
+                     {"d_name", ValueType::kString}});
+  dim_schema.set_primary_key({"d_id"});
+  dim_schema.set_clustering_key({"d_id"});
+  DataFrame dim(dim_schema);
+  for (int i = 0; i < 4; ++i) {
+    dim.mutable_column(0)->AppendInt(i);
+    dim.mutable_column(1)->AppendString("d" + std::to_string(i));
+  }
+
+  Catalog cat;
+  cat.Add(std::make_shared<PartitionedTable>(
+      PartitionedTable::FromDataFrame("fact", fact, 4)));
+  cat.Add(std::make_shared<PartitionedTable>(
+      PartitionedTable::FromDataFrame("dim", dim, 1)));
+  return cat;
+}
+
+class PropsTest : public ::testing::Test {
+ protected:
+  Catalog cat_ = MakeCatalog();
+};
+
+TEST_F(PropsTest, ScanIsAppendWithTableSchema) {
+  PlanProps p = InferProps(Plan::Scan("fact").node(), cat_);
+  EXPECT_EQ(p.mode, EvolveMode::kAppend);
+  EXPECT_EQ(p.schema.num_fields(), 3u);
+  EXPECT_EQ(p.schema.clustering_key(), std::vector<std::string>{"fk"});
+  EXPECT_FALSE(p.needs_inference);
+}
+
+TEST_F(PropsTest, MapKeepsKeysWhenColumnsSurvive) {
+  Plan p = Plan::Scan("fact").Project({"fk", "val"});
+  PlanProps props = InferProps(p.node(), cat_);
+  EXPECT_EQ(props.schema.clustering_key(), std::vector<std::string>{"fk"});
+  Plan dropped = Plan::Scan("fact").Project({"val"});
+  EXPECT_TRUE(InferProps(dropped.node(), cat_).schema.clustering_key().empty());
+}
+
+TEST_F(PropsTest, DeriveAppendsFields) {
+  Plan p = Plan::Scan("fact").Derive(
+      {{"v2", Expr::Col("val") * Expr::Float(2.0)}});
+  PlanProps props = InferProps(p.node(), cat_);
+  EXPECT_EQ(props.schema.num_fields(), 4u);
+  EXPECT_EQ(props.schema.field(3).name, "v2");
+  EXPECT_EQ(props.schema.field(3).type, ValueType::kFloat64);
+  EXPECT_FALSE(props.schema.field(3).mutable_attr);
+}
+
+TEST_F(PropsTest, DuplicateMapNameThrows) {
+  Plan p = Plan::Scan("fact").Derive({{"val", Expr::Col("val")}});
+  EXPECT_THROW(InferProps(p.node(), cat_), Error);
+}
+
+TEST_F(PropsTest, LocalAggIsAppendAndConstant) {
+  // Group keys cover the clustering key -> Case 1 local aggregation.
+  Plan p = Plan::Scan("fact").Aggregate({"fk"}, {Sum("val", "sum_val")});
+  PlanProps props = InferProps(p.node(), cat_);
+  EXPECT_EQ(props.mode, EvolveMode::kAppend);
+  EXPECT_FALSE(props.needs_inference);
+  EXPECT_FALSE(
+      props.schema.field(props.schema.FieldIndex("sum_val")).mutable_attr);
+  EXPECT_EQ(props.schema.clustering_key(), std::vector<std::string>{"fk"});
+}
+
+TEST_F(PropsTest, ShuffleAggIsRefreshAndMutable) {
+  Plan p = Plan::Scan("fact").Aggregate({"dim_id"}, {Sum("val", "sum_val")});
+  PlanProps props = InferProps(p.node(), cat_);
+  EXPECT_EQ(props.mode, EvolveMode::kRefresh);
+  EXPECT_TRUE(props.needs_inference);
+  EXPECT_TRUE(
+      props.schema.field(props.schema.FieldIndex("sum_val")).mutable_attr);
+  EXPECT_FALSE(
+      props.schema.field(props.schema.FieldIndex("dim_id")).mutable_attr);
+  EXPECT_EQ(props.schema.primary_key(), std::vector<std::string>{"dim_id"});
+}
+
+TEST_F(PropsTest, GlobalAggIsShuffle) {
+  Plan p = Plan::Scan("fact").Aggregate({}, {Sum("val", "s")});
+  PlanProps props = InferProps(p.node(), cat_);
+  EXPECT_EQ(props.mode, EvolveMode::kRefresh);
+  EXPECT_TRUE(props.needs_inference);
+}
+
+TEST_F(PropsTest, AggOverAggIsRefresh) {
+  Plan inner = Plan::Scan("fact").Aggregate({"dim_id"}, {Count("c")});
+  Plan outer = inner.Aggregate({"c"}, {Count("dist")});
+  PlanProps props = InferProps(outer.node(), cat_);
+  EXPECT_EQ(props.mode, EvolveMode::kRefresh);
+  EXPECT_TRUE(props.needs_inference);
+}
+
+TEST_F(PropsTest, JoinSchemaDropsRightKeys) {
+  Plan p = Plan::Scan("fact").Join(Plan::Scan("dim"), JoinType::kInner,
+                                   {"dim_id"}, {"d_id"});
+  PlanProps props = InferProps(p.node(), cat_);
+  EXPECT_EQ(props.schema.num_fields(), 4u);  // fk, dim_id, val, d_name
+  EXPECT_FALSE(props.schema.HasField("d_id"));
+  EXPECT_TRUE(props.schema.HasField("d_name"));
+  // Probe-side clustering survives a hash join.
+  EXPECT_EQ(props.schema.clustering_key(), std::vector<std::string>{"fk"});
+  EXPECT_EQ(props.mode, EvolveMode::kAppend);
+}
+
+TEST_F(PropsTest, SemiAntiJoinKeepLeftSchemaOnly) {
+  for (JoinType type : {JoinType::kSemi, JoinType::kAnti}) {
+    Plan p = Plan::Scan("fact").Join(Plan::Scan("dim"), type, {"dim_id"},
+                                     {"d_id"});
+    PlanProps props = InferProps(p.node(), cat_);
+    EXPECT_EQ(props.schema.num_fields(), 3u);
+    EXPECT_FALSE(props.schema.HasField("d_name"));
+  }
+}
+
+TEST_F(PropsTest, JoinWithRefreshInputIsRefresh) {
+  Plan agg = Plan::Scan("fact").Aggregate({"dim_id"}, {Sum("val", "sv")});
+  Plan p = Plan::Scan("fact").Join(
+      agg.Map({{"j_id", Expr::Col("dim_id")}, {"sv", Expr::Col("sv")}}),
+      JoinType::kInner, {"dim_id"}, {"j_id"});
+  PlanProps props = InferProps(p.node(), cat_);
+  EXPECT_EQ(props.mode, EvolveMode::kRefresh);
+  EXPECT_TRUE(props.schema.field(props.schema.FieldIndex("sv")).mutable_attr);
+}
+
+TEST_F(PropsTest, FilterOnMutableOverAppendThrows) {
+  // Manufacture the invalid combination by hand: filters over mutable
+  // attributes are only legal on refresh-mode inputs.
+  Plan agg = Plan::Scan("fact").Aggregate({"dim_id"}, {Sum("val", "sv")});
+  // This one is legal (refresh mode):
+  EXPECT_NO_THROW(InferProps(
+      agg.Filter(Gt(Expr::Col("sv"), Expr::Float(1.0))).node(), cat_));
+}
+
+TEST_F(PropsTest, SortIsRefreshAndReclusters) {
+  Plan p = Plan::Scan("fact").Sort({{"val", true}}, 5);
+  PlanProps props = InferProps(p.node(), cat_);
+  EXPECT_EQ(props.mode, EvolveMode::kRefresh);
+  EXPECT_EQ(props.schema.clustering_key(), std::vector<std::string>{"val"});
+}
+
+TEST_F(PropsTest, UnknownColumnsThrow) {
+  EXPECT_THROW(
+      InferProps(Plan::Scan("fact").Project({"nope"}).node(), cat_), Error);
+  EXPECT_THROW(InferProps(Plan::Scan("fact")
+                              .Filter(Gt(Expr::Col("nope"), Expr::Int(0)))
+                              .node(),
+                          cat_),
+               Error);
+  EXPECT_THROW(InferProps(Plan::Scan("fact")
+                              .Join(Plan::Scan("dim"), JoinType::kInner,
+                                    {"nope"}, {"d_id"})
+                              .node(),
+                          cat_),
+               Error);
+  EXPECT_THROW(
+      InferProps(Plan::Scan("fact").Sort({{"nope", false}}).node(), cat_),
+      Error);
+}
+
+TEST_F(PropsTest, AggOverStringThrowsForNumericFuncs) {
+  Plan p = Plan::Scan("dim").Aggregate({}, {Sum("d_name", "s")});
+  EXPECT_THROW(InferProps(p.node(), cat_), Error);
+  // min/max/count_distinct over strings are fine.
+  EXPECT_NO_THROW(InferProps(
+      Plan::Scan("dim").Aggregate({}, {Min("d_name", "m")}).node(), cat_));
+}
+
+TEST(AggOutputSchemaTest, TypesPerFunction) {
+  Schema in({{"g", ValueType::kString},
+             {"i", ValueType::kInt64},
+             {"f", ValueType::kFloat64}});
+  Schema out = AggOutputSchema(
+      in, {"g"},
+      {Sum("i", "si"), Sum("f", "sf"), Count("c"), Avg("i", "a"),
+       Min("i", "mn"), Max("f", "mx"), CountDistinct("g", "cd"),
+       VarOf("f", "v"), StddevOf("f", "sd")});
+  EXPECT_EQ(out.field(out.FieldIndex("si")).type, ValueType::kInt64);
+  EXPECT_EQ(out.field(out.FieldIndex("sf")).type, ValueType::kFloat64);
+  EXPECT_EQ(out.field(out.FieldIndex("c")).type, ValueType::kInt64);
+  EXPECT_EQ(out.field(out.FieldIndex("a")).type, ValueType::kFloat64);
+  EXPECT_EQ(out.field(out.FieldIndex("mn")).type, ValueType::kInt64);
+  EXPECT_EQ(out.field(out.FieldIndex("mx")).type, ValueType::kFloat64);
+  EXPECT_EQ(out.field(out.FieldIndex("cd")).type, ValueType::kInt64);
+  EXPECT_EQ(out.field(out.FieldIndex("v")).type, ValueType::kFloat64);
+  EXPECT_EQ(out.primary_key(), std::vector<std::string>{"g"});
+}
+
+TEST(JoinOutputSchemaTest, CollisionThrows) {
+  Schema left({{"x", ValueType::kInt64}, {"shared", ValueType::kInt64}});
+  Schema right({{"k", ValueType::kInt64}, {"shared", ValueType::kInt64}});
+  EXPECT_THROW(JoinOutputSchema(left, right, {"k"}, JoinType::kInner), Error);
+  // Semi joins never collide (left only).
+  EXPECT_NO_THROW(JoinOutputSchema(left, right, {"k"}, JoinType::kSemi));
+}
+
+}  // namespace
+}  // namespace wake

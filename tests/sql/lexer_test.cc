@@ -1,0 +1,82 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wake {
+namespace sql {
+namespace {
+
+std::vector<std::string> Texts(const std::string& input) {
+  std::vector<std::string> out;
+  for (const auto& t : Lex(input)) {
+    if (t.type != TokenType::kEnd) out.push_back(t.text);
+  }
+  return out;
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndUppercased) {
+  auto tokens = Lex("select FROM wHeRe");
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "FROM");
+  EXPECT_EQ(tokens[2].text, "WHERE");
+}
+
+TEST(LexerTest, IdentifiersAreLowercased) {
+  auto tokens = Lex("LineItem L_OrderKey");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[0].text, "lineitem");
+  EXPECT_EQ(tokens[1].text, "l_orderkey");
+}
+
+TEST(LexerTest, NumbersIntAndDecimal) {
+  auto tokens = Lex("42 3.14 .5");
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].text, "3.14");
+  EXPECT_EQ(tokens[2].text, ".5");
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(tokens[i].type, TokenType::kNumber);
+}
+
+TEST(LexerTest, StringsWithEscapedQuotes) {
+  auto tokens = Lex("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringThrows) {
+  EXPECT_THROW(Lex("'oops"), Error);
+}
+
+TEST(LexerTest, OperatorsIncludingTwoChar) {
+  EXPECT_EQ(Texts("a <= b <> c >= d != e"),
+            (std::vector<std::string>{"a", "<=", "b", "<>", "c", ">=", "d",
+                                      "<>", "e"}));
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  EXPECT_EQ(Texts("a -- comment here\n b"),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = Lex("ab  cd");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 4u);
+}
+
+TEST(LexerTest, UnexpectedCharacterThrows) {
+  EXPECT_THROW(Lex("a ; b"), Error);
+}
+
+TEST(LexerTest, EndTokenAlwaysPresent) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace wake

@@ -1,0 +1,252 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_engine.h"
+#include "common/error.h"
+#include "core/engine.h"
+#include "engine/tpch_fixture.h"
+#include "tpch/queries.h"
+
+namespace wake {
+namespace sql {
+namespace {
+
+DataFrame RunExact(const std::string& query) {
+  ExactEngine engine(&testing::SharedTpch());
+  return engine.Execute(Parse(query).node());
+}
+
+TEST(SqlParserTest, SelectStarScan) {
+  DataFrame out = RunExact("SELECT * FROM nation");
+  EXPECT_EQ(out.num_rows(), 25u);
+  EXPECT_TRUE(out.schema().HasField("n_name"));
+}
+
+TEST(SqlParserTest, ProjectionWithAliasAndArithmetic) {
+  DataFrame out = RunExact(
+      "SELECT n_nationkey AS k, n_nationkey * 2 + 1 AS odd FROM nation");
+  EXPECT_EQ(out.num_columns(), 2u);
+  EXPECT_EQ(out.ColumnByName("odd").IntAt(3),
+            out.ColumnByName("k").IntAt(3) * 2 + 1);
+}
+
+TEST(SqlParserTest, WhereWithDateLiteralAndInterval) {
+  DataFrame a = RunExact(
+      "SELECT COUNT(*) AS n FROM lineitem "
+      "WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL 90 DAY");
+  DataFrame b = RunExact(
+      "SELECT COUNT(*) AS n FROM lineitem "
+      "WHERE l_shipdate <= DATE '1998-09-02'");
+  EXPECT_EQ(a.column(0).IntAt(0), b.column(0).IntAt(0));
+}
+
+TEST(SqlParserTest, Q1EquivalentToHandBuiltPlan) {
+  DataFrame got = RunExact(
+      "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, "
+      "SUM(l_extendedprice) AS sum_base_price, "
+      "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+      "SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, "
+      "AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, "
+      "AVG(l_discount) AS avg_disc, COUNT(*) AS count_order "
+      "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' "
+      "GROUP BY l_returnflag, l_linestatus "
+      "ORDER BY l_returnflag, l_linestatus");
+  ExactEngine engine(&testing::SharedTpch());
+  DataFrame expected = engine.Execute(tpch::Query(1).node());
+  std::string diff;
+  EXPECT_TRUE(got.ApproxEquals(expected, 1e-9, &diff)) << diff;
+}
+
+TEST(SqlParserTest, Q6EquivalentToHandBuiltPlan) {
+  DataFrame got = RunExact(
+      "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+      "WHERE l_shipdate >= DATE '1994-01-01' "
+      "AND l_shipdate < DATE '1995-01-01' "
+      "AND l_discount BETWEEN 0.049 AND 0.071 AND l_quantity < 24");
+  ExactEngine engine(&testing::SharedTpch());
+  DataFrame expected = engine.Execute(tpch::Query(6).node());
+  std::string diff;
+  EXPECT_TRUE(got.ApproxEquals(expected, 1e-9, &diff)) << diff;
+}
+
+TEST(SqlParserTest, JoinWithQualifiedOnCondition) {
+  DataFrame got = RunExact(
+      "SELECT n_name, COUNT(*) AS suppliers FROM supplier "
+      "JOIN nation ON supplier.s_nationkey = nation.n_nationkey "
+      "GROUP BY n_name ORDER BY suppliers DESC, n_name");
+  EXPECT_GT(got.num_rows(), 0u);
+  EXPECT_EQ(got.schema().field(0).name, "n_name");
+  // Counts are descending.
+  const Column& counts = got.ColumnByName("suppliers");
+  for (size_t i = 1; i < got.num_rows(); ++i) {
+    EXPECT_GE(counts.IntAt(i - 1), counts.IntAt(i));
+  }
+}
+
+TEST(SqlParserTest, OnConditionOrderIsNormalized) {
+  // `nation.n_nationkey = supplier-side key` written backwards must work.
+  DataFrame a = RunExact(
+      "SELECT COUNT(*) AS n FROM supplier "
+      "JOIN nation ON nation.n_nationkey = supplier.s_nationkey");
+  DataFrame b = RunExact(
+      "SELECT COUNT(*) AS n FROM supplier "
+      "JOIN nation ON supplier.s_nationkey = nation.n_nationkey");
+  EXPECT_EQ(a.column(0).IntAt(0), b.column(0).IntAt(0));
+}
+
+TEST(SqlParserTest, SemiAndAntiJoins) {
+  DataFrame semi = RunExact(
+      "SELECT COUNT(*) AS n FROM customer "
+      "SEMI JOIN orders ON customer.c_custkey = orders.o_custkey");
+  DataFrame anti = RunExact(
+      "SELECT COUNT(*) AS n FROM customer "
+      "ANTI JOIN orders ON customer.c_custkey = orders.o_custkey");
+  int64_t total =
+      static_cast<int64_t>(testing::SharedTpch().Get("customer").total_rows());
+  EXPECT_EQ(semi.column(0).IntAt(0) + anti.column(0).IntAt(0), total);
+  EXPECT_GT(anti.column(0).IntAt(0), 0);  // a third of customers order nothing
+}
+
+TEST(SqlParserTest, CountDistinctAndHaving) {
+  DataFrame got = RunExact(
+      "SELECT l_shipmode, COUNT(DISTINCT l_suppkey) AS supps "
+      "FROM lineitem GROUP BY l_shipmode HAVING supps > 0 "
+      "ORDER BY l_shipmode");
+  EXPECT_EQ(got.num_rows(), 7u);  // all 7 ship modes
+}
+
+TEST(SqlParserTest, CaseWhenAndLike) {
+  DataFrame got = RunExact(
+      "SELECT SUM(CASE WHEN p_type LIKE 'PROMO%' THEN 1 ELSE 0 END) AS promo,"
+      " COUNT(*) AS total FROM part");
+  EXPECT_GT(got.ColumnByName("promo").IntAt(0), 0);
+  EXPECT_LT(got.ColumnByName("promo").IntAt(0),
+            got.ColumnByName("total").IntAt(0));
+}
+
+TEST(SqlParserTest, InListAndNotLike) {
+  DataFrame got = RunExact(
+      "SELECT COUNT(*) AS n FROM orders "
+      "WHERE o_orderpriority IN ('1-URGENT', '2-HIGH') "
+      "AND o_comment NOT LIKE '%special%requests%'");
+  EXPECT_GT(got.column(0).IntAt(0), 0);
+}
+
+TEST(SqlParserTest, SubstrYearCoalesce) {
+  DataFrame got = RunExact(
+      "SELECT SUBSTR(c_phone, 1, 2) AS code, COUNT(*) AS n "
+      "FROM customer GROUP BY code ORDER BY code LIMIT 5");
+  EXPECT_LE(got.num_rows(), 5u);
+  EXPECT_EQ(got.ColumnByName("code").StringAt(0).size(), 2u);
+  DataFrame years = RunExact(
+      "SELECT YEAR(o_orderdate) AS y, COUNT(*) AS n FROM orders "
+      "GROUP BY y ORDER BY y");
+  EXPECT_EQ(years.num_rows(), 7u);  // 1992..1998
+}
+
+TEST(SqlParserTest, SelectOrderDiffersFromGroupOrder) {
+  DataFrame got = RunExact(
+      "SELECT COUNT(*) AS n, l_returnflag FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY l_returnflag");
+  EXPECT_EQ(got.schema().field(0).name, "n");
+  EXPECT_EQ(got.schema().field(1).name, "l_returnflag");
+  EXPECT_EQ(got.num_rows(), 3u);
+}
+
+TEST(SqlParserTest, SqlPlanRunsOnWakeEngineWithOla) {
+  WakeEngine engine(&testing::SharedTpch());
+  Plan plan = Parse(
+      "SELECT l_returnflag, SUM(l_quantity) AS q FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY q DESC");
+  size_t states = 0;
+  DataFrame final_frame;
+  engine.Execute(plan.node(), [&](const OlaState& s) {
+    ++states;
+    if (s.is_final) final_frame = *s.frame;
+  });
+  EXPECT_GT(states, 2u);  // OLA states stream from a SQL query
+  ExactEngine exact(&testing::SharedTpch());
+  std::string diff;
+  EXPECT_TRUE(final_frame.ApproxEquals(exact.Execute(plan.node()), 1e-9,
+                                       &diff))
+      << diff;
+}
+
+TEST(SqlParserTest, ErrorsArePositionAnnotated) {
+  try {
+    Parse("SELECT FROM lineitem");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(SqlParserTest, RejectsUnsupportedConstructs) {
+  EXPECT_THROW(Parse("SELECT a FROM t GROUP BY a"), Error);  // no aggregate
+  EXPECT_THROW(Parse("SELECT a, SUM(b) FROM t GROUP BY c"), Error);
+  EXPECT_THROW(Parse("SELECT SUM(DISTINCT x) FROM t"), Error);
+  EXPECT_THROW(Parse("SELECT * FROM t WHERE x = "), Error);
+  EXPECT_THROW(Parse("SELECT * FROM t extra garbage"), Error);
+  EXPECT_THROW(
+      Parse("SELECT * FROM t WHERE l_shipdate + INTERVAL 3 DAY > x"),
+      Error);  // interval on non-literal
+}
+
+TEST(SqlParserTest, MedianAggregate) {
+  DataFrame got = RunExact(
+      "SELECT l_returnflag, MEDIAN(l_quantity) AS med FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY l_returnflag");
+  ASSERT_EQ(got.num_rows(), 3u);
+  for (size_t r = 0; r < got.num_rows(); ++r) {
+    double med = got.ColumnByName("med").DoubleAt(r);
+    EXPECT_GE(med, 1.0);
+    EXPECT_LE(med, 50.0);
+  }
+}
+
+TEST(SqlParserTest, Q3StyleThreeTableJoin) {
+  // The full Q3 shape in SQL (sans the semi-join rewrite): three tables,
+  // filters on each, grouped revenue, top-10.
+  DataFrame got = RunExact(
+      "SELECT l_orderkey, o_orderdate, o_shippriority, "
+      "SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+      "FROM lineitem "
+      "JOIN orders ON l_orderkey = o_orderkey "
+      "JOIN customer ON o_custkey = c_custkey "
+      "WHERE c_mktsegment = 'BUILDING' "
+      "AND o_orderdate < DATE '1995-03-15' "
+      "AND l_shipdate > DATE '1995-03-15' "
+      "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+      "ORDER BY revenue DESC, o_orderdate LIMIT 10");
+  ExactEngine engine(&testing::SharedTpch());
+  DataFrame expected = engine.Execute(tpch::Query(3).node());
+  std::string diff;
+  EXPECT_TRUE(got.ApproxEquals(expected, 1e-6, &diff)) << diff;
+}
+
+TEST(SqlParserTest, IsNullOverLeftJoin) {
+  // Customers without orders: LEFT JOIN + IS NULL (the classic pattern).
+  DataFrame via_null = RunExact(
+      "SELECT COUNT(*) AS n FROM customer "
+      "LEFT JOIN orders ON customer.c_custkey = orders.o_custkey "
+      "WHERE o_orderkey IS NULL");
+  DataFrame via_anti = RunExact(
+      "SELECT COUNT(*) AS n FROM customer "
+      "ANTI JOIN orders ON customer.c_custkey = orders.o_custkey");
+  EXPECT_EQ(via_null.column(0).IntAt(0), via_anti.column(0).IntAt(0));
+  DataFrame not_null = RunExact(
+      "SELECT COUNT(*) AS n FROM customer "
+      "LEFT JOIN orders ON customer.c_custkey = orders.o_custkey "
+      "WHERE o_orderkey IS NOT NULL");
+  EXPECT_GT(not_null.column(0).IntAt(0), 0);
+}
+
+TEST(SqlParserTest, BareLimitWithoutOrder) {
+  DataFrame got = RunExact("SELECT * FROM nation LIMIT 3");
+  EXPECT_EQ(got.num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace wake

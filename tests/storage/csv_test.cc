@@ -1,0 +1,123 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace wake {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("wake_csv_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+DataFrame SampleFrame() {
+  Schema schema({{"id", ValueType::kInt64},
+                 {"price", ValueType::kFloat64},
+                 {"note", ValueType::kString},
+                 {"day", ValueType::kDate}});
+  DataFrame df(schema);
+  df.mutable_column(0)->AppendInt(1);
+  df.mutable_column(0)->AppendInt(2);
+  df.mutable_column(1)->AppendDouble(3.25);
+  df.mutable_column(1)->AppendDouble(-0.5);
+  df.mutable_column(2)->AppendString("plain");
+  df.mutable_column(2)->AppendString("has, comma and \"quote\"\nnewline");
+  df.mutable_column(3)->AppendInt(DateToDays(1995, 6, 17));
+  df.mutable_column(3)->AppendInt(DateToDays(1992, 1, 1));
+  return df;
+}
+
+TEST_F(CsvTest, RoundTripWithQuoting) {
+  DataFrame df = SampleFrame();
+  WriteCsv(df, path_);
+  DataFrame back = ReadCsv(path_);
+  std::string diff;
+  EXPECT_TRUE(back.ApproxEquals(df, 1e-12, &diff)) << diff;
+  EXPECT_EQ(back.column(2).StringAt(1),
+            "has, comma and \"quote\"\nnewline");
+}
+
+TEST_F(CsvTest, NullsRoundTripAsEmptyFields) {
+  Schema schema({{"x", ValueType::kInt64}, {"s", ValueType::kString}});
+  DataFrame df(schema);
+  df.mutable_column(0)->AppendInt(7);
+  df.mutable_column(0)->AppendNull();
+  df.mutable_column(1)->AppendString("a");
+  df.mutable_column(1)->AppendString("");
+  WriteCsv(df, path_);
+  DataFrame back = ReadCsv(path_);
+  EXPECT_EQ(back.column(0).IntAt(0), 7);
+  EXPECT_TRUE(back.column(0).IsNull(1));
+  EXPECT_EQ(back.column(1).StringAt(1), "");  // empty string, not null
+}
+
+TEST_F(CsvTest, ReadWithProvidedSchemaSkipsHeader) {
+  Schema schema({{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  {
+    std::ofstream out(path_);
+    out << "1,x\n2,y\n";
+  }
+  DataFrame df = ReadCsvWithSchema(path_, schema);
+  EXPECT_EQ(df.num_rows(), 2u);
+  EXPECT_EQ(df.column(1).StringAt(1), "y");
+}
+
+TEST_F(CsvTest, MalformedInputsThrow) {
+  {
+    std::ofstream out(path_);
+    out << "a:i,b:s\n1,x,extra\n";
+  }
+  EXPECT_THROW(ReadCsv(path_), Error);
+  {
+    std::ofstream out(path_);
+    out << "no_type_header\n";
+  }
+  EXPECT_THROW(ReadCsv(path_), Error);
+  EXPECT_THROW(ReadCsv("/nonexistent/file.csv"), Error);
+}
+
+TEST_F(CsvTest, UnterminatedQuoteThrows) {
+  {
+    std::ofstream out(path_);
+    out << "a:s\n\"unterminated\n";
+  }
+  EXPECT_THROW(ReadCsv(path_), Error);
+}
+
+TEST(ParseCsvRecordTest, HandlesQuotingStates) {
+  std::string content = "a,\"b,c\",\"d\"\"e\"\nnext";
+  size_t offset = 0;
+  std::vector<std::string> fields;
+  ASSERT_TRUE(ParseCsvRecord(content, &offset, &fields));
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+  ASSERT_TRUE(ParseCsvRecord(content, &offset, &fields));
+  EXPECT_EQ(fields[0], "next");
+  EXPECT_FALSE(ParseCsvRecord(content, &offset, &fields));
+}
+
+TEST(ParseCsvRecordTest, CrLfLineEndings) {
+  std::string content = "a,b\r\nc,d\r\n";
+  size_t offset = 0;
+  std::vector<std::string> fields;
+  ASSERT_TRUE(ParseCsvRecord(content, &offset, &fields));
+  EXPECT_EQ(fields[1], "b");
+  ASSERT_TRUE(ParseCsvRecord(content, &offset, &fields));
+  EXPECT_EQ(fields[0], "c");
+}
+
+}  // namespace
+}  // namespace wake
