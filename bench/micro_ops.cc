@@ -4,6 +4,11 @@
 // throughput. These quantify the per-partial costs behind Fig 11/12.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
 #include <thread>
 
 #include "common/channel.h"
@@ -102,6 +107,22 @@ void BM_HashJoinProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_HashJoinProbe)->Arg(1 << 12)->Arg(1 << 16);
 
+void BM_HashJoinBuild(benchmark::State& state) {
+  Schema build_schema({{"bk", ValueType::kInt64},
+                       {"bv", ValueType::kFloat64}});
+  DataFrame fact = MakeFact(static_cast<size_t>(state.range(0)), 1 << 16, 3);
+  DataFrame build(build_schema);
+  *build.mutable_column(0) = fact.column(0);
+  *build.mutable_column(1) = fact.column(1);
+  for (auto _ : state) {
+    JoinHashTable table(build_schema, {"bk"});
+    table.Insert(build);
+    benchmark::DoNotOptimize(table.num_rows());
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+BENCHMARK(BM_HashJoinBuild)->Arg(1 << 12)->Arg(1 << 16);
+
 void BM_ExprEval(benchmark::State& state) {
   DataFrame df = MakeFact(64 * 1024, 100);
   ExprPtr expr =
@@ -148,6 +169,83 @@ void BM_ChannelThroughput(benchmark::State& state) {
 BENCHMARK(BM_ChannelThroughput);
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// One-line JSON mode (`micro_ops --json`): times the three hot kernels —
+// join_build, join_probe, group_by — on a fixed workload and prints a single
+// JSON object (the BENCH_micro.json format) so the perf trajectory of these
+// kernels can be tracked across PRs.
+// ---------------------------------------------------------------------------
+
+double BestMrowsPerSec(size_t rows_per_run, const std::function<void()>& fn) {
+  // Warm up once, then take the best of 5 timed runs (min wall time).
+  fn();
+  double best_sec = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best_sec = std::min(best_sec, elapsed.count());
+  }
+  return static_cast<double>(rows_per_run) / best_sec / 1e6;
+}
+
+int RunMicroJson() {
+  constexpr size_t kRows = 1 << 18;     // 256k rows per kernel invocation
+  constexpr int64_t kJoinKeys = 1 << 16;
+  constexpr int64_t kGroups = 1 << 14;
+
+  Schema build_schema({{"bk", ValueType::kInt64},
+                       {"bv", ValueType::kFloat64}});
+  DataFrame fact = MakeFact(kRows, kJoinKeys, 3);
+  DataFrame build(build_schema);
+  *build.mutable_column(0) = fact.column(0);
+  *build.mutable_column(1) = fact.column(1);
+  DataFrame probe = MakeFact(kRows, kJoinKeys, 5);
+
+  double build_mrows = BestMrowsPerSec(kRows, [&] {
+    JoinHashTable table(build_schema, {"bk"});
+    table.Insert(build);
+  });
+
+  JoinHashTable table(build_schema, {"bk"});
+  // Quarter-size build keeps the probe output (~4 matches/key) bounded.
+  table.Insert(build.Slice(0, kRows / 4));
+  Schema out_schema = JoinOutputSchema(probe.schema(), build_schema, {"bk"},
+                                       JoinType::kInner);
+  double probe_mrows = BestMrowsPerSec(kRows, [&] {
+    DataFrame out = table.Probe(probe, {"g"}, JoinType::kInner, out_schema);
+    if (out.num_rows() == 0) std::abort();
+  });
+
+  DataFrame agg_in = MakeFact(kRows, kGroups, 7);
+  Schema in = agg_in.schema();
+  std::vector<AggSpec> aggs = {Sum("v", "s"), Count("n"), Avg("v", "a")};
+  Schema agg_out = AggOutputSchema(in, {"g"}, aggs);
+  double group_mrows = BestMrowsPerSec(kRows, [&] {
+    GroupedAggState agg({"g"}, aggs, in, agg_out);
+    agg.Consume(agg_in);
+    if (agg.num_groups() == 0) std::abort();
+  });
+
+  std::printf(
+      "{\"bench\":\"micro_ops\",\"rows\":%zu,"
+      "\"join_build_mrows_per_s\":%.2f,\"join_probe_mrows_per_s\":%.2f,"
+      "\"group_by_mrows_per_s\":%.2f}\n",
+      kRows, build_mrows, probe_mrows, group_mrows);
+  return 0;
+}
+
 }  // namespace wake
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return wake::RunMicroJson();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

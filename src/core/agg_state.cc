@@ -52,31 +52,23 @@ GroupedAggState::GroupedAggState(std::vector<std::string> group_by,
     key_schema.AddField(input_schema.field(input_schema.FieldIndex(g)));
   }
   group_keys_ = DataFrame(key_schema);
+  for (size_t i = 0; i < group_by_.size(); ++i) stored_key_cols_.push_back(i);
 }
 
 void GroupedAggState::Reset() {
   group_keys_ = DataFrame(group_keys_.schema());
-  key_index_.clear();
+  key_index_.Reset();
   group_rows_.clear();
   accums_.clear();
   total_rows_ = 0;
 }
 
 uint32_t GroupedAggState::FindOrCreateGroup(
-    const DataFrame& partial, const std::vector<size_t>& key_cols,
-    size_t row) {
-  // Hash against the stored group_keys_ frame; group key columns of
-  // group_keys_ are 0..k-1 by construction.
-  static thread_local std::vector<size_t> stored_cols;
-  stored_cols.resize(key_cols.size());
-  for (size_t i = 0; i < key_cols.size(); ++i) stored_cols[i] = i;
-
-  uint64_t h = partial.HashRowKeys(key_cols, row);
-  auto& bucket = key_index_[h];
-  for (uint32_t cand : bucket) {
-    if (partial.KeysEqual(key_cols, row, group_keys_, stored_cols, cand)) {
-      return cand;
-    }
+    uint64_t hash, const DataFrame& partial,
+    const std::vector<size_t>& key_cols, size_t row, const KeyEq& eq) {
+  for (uint32_t cand = key_index_.Find(hash); cand != FlatHashIndex::kNil;
+       cand = key_index_.Next(cand)) {
+    if (eq.Equal(row, cand)) return cand;
   }
   uint32_t gid = static_cast<uint32_t>(group_rows_.size());
   for (size_t i = 0; i < key_cols.size(); ++i) {
@@ -84,8 +76,8 @@ uint32_t GroupedAggState::FindOrCreateGroup(
         partial.column(key_cols[i]).GetValue(row));
   }
   group_rows_.push_back(0);
-  accums_.emplace_back(aggs_.size());
-  bucket.push_back(gid);
+  accums_.resize(accums_.size() + aggs_.size());
+  key_index_.Insert(hash, gid);
   return gid;
 }
 
@@ -111,56 +103,96 @@ void GroupedAggState::Consume(const DataFrame& partial,
     }
   }
 
-  for (size_t r = 0; r < n; ++r) {
-    uint32_t gid = group_by_.empty()
-                       ? (group_rows_.empty()
-                              ? FindOrCreateGroup(partial, key_cols, r)
-                              : 0)
-                       : FindOrCreateGroup(partial, key_cols, r);
-    ++group_rows_[gid];
-    ++total_rows_;
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      Accum& acc = accums_[gid][a];
-      const Column* col = in_cols[a];
-      if (col == nullptr) {  // count(*)
-        ++acc.count;
-        continue;
+  // Phase 1: assign every row its dense group id (batch hash, then
+  // find-or-create against the flat index).
+  const size_t num_aggs = aggs_.size();
+  static thread_local std::vector<uint32_t> gids;
+  gids.assign(n, 0);
+  if (group_by_.empty()) {
+    // Global aggregate: one group with no key columns.
+    if (group_rows_.empty()) {
+      group_rows_.push_back(0);
+      accums_.resize(num_aggs);
+    }
+  } else {
+    static thread_local std::vector<uint64_t> hashes;
+    partial.HashRowsBatch(key_cols, &hashes);
+    KeyEq eq(partial, key_cols, group_keys_, stored_key_cols_);
+    constexpr size_t kPrefetchAhead = 8;
+    for (size_t r = 0; r < n; ++r) {
+      if (r + kPrefetchAhead < n) {
+        key_index_.Prefetch(hashes[r + kPrefetchAhead]);
       }
-      if (col->IsNull(r)) continue;
-      switch (aggs_[a].func) {
-        case AggFunc::kCount:
-          ++acc.count;
-          break;
-        case AggFunc::kSum:
-        case AggFunc::kAvg:
-        case AggFunc::kVar:
-        case AggFunc::kStddev: {
-          double v = col->DoubleAt(r);
+      gids[r] = FindOrCreateGroup(hashes[r], partial, key_cols, r, eq);
+    }
+  }
+  for (size_t r = 0; r < n; ++r) ++group_rows_[gids[r]];
+  total_rows_ += n;
+
+  // Phase 2: accumulate column-at-a-time — one function/type dispatch per
+  // aggregate, then a tight per-row loop over that aggregate's column.
+  for (size_t a = 0; a < num_aggs; ++a) {
+    Accum* accs = accums_.data() + a;  // stride num_aggs, indexed by gid
+    const Column* col = in_cols[a];
+    if (col == nullptr) {  // count(*)
+      for (size_t r = 0; r < n; ++r) ++accs[gids[r] * num_aggs].count;
+      continue;
+    }
+    const bool nulls = col->has_nulls();
+    switch (aggs_[a].func) {
+      case AggFunc::kCount:
+        for (size_t r = 0; r < n; ++r) {
+          if (nulls && col->IsNull(r)) continue;
+          ++accs[gids[r] * num_aggs].count;
+        }
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+      case AggFunc::kVar:
+      case AggFunc::kStddev: {
+        const std::vector<double>* vars = in_vars[a];
+        const int64_t* ip =
+            IsIntPhysical(col->type()) ? col->ints().data() : nullptr;
+        const double* dp = ip == nullptr ? col->doubles().data() : nullptr;
+        for (size_t r = 0; r < n; ++r) {
+          if (nulls && col->IsNull(r)) continue;
+          Accum& acc = accs[gids[r] * num_aggs];
+          double v = ip != nullptr ? static_cast<double>(ip[r]) : dp[r];
           acc.sum += v;
           acc.sumsq += v * v;
           ++acc.count;
-          if (in_vars[a] != nullptr) acc.var_in_sum += (*in_vars[a])[r];
-          break;
+          if (vars != nullptr) acc.var_in_sum += (*vars)[r];
         }
-        case AggFunc::kMin:
-        case AggFunc::kMax: {
+        break;
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        const bool is_min = aggs_[a].func == AggFunc::kMin;
+        for (size_t r = 0; r < n; ++r) {
+          if (nulls && col->IsNull(r)) continue;
+          Accum& acc = accs[gids[r] * num_aggs];
           Value v = col->GetValue(r);
           bool replace = !acc.has_extreme ||
-                         (aggs_[a].func == AggFunc::kMin ? v < acc.extreme
-                                                         : acc.extreme < v);
+                         (is_min ? v < acc.extreme : acc.extreme < v);
           if (replace) {
             acc.extreme = std::move(v);
             acc.has_extreme = true;
           }
-          break;
         }
-        case AggFunc::kCountDistinct:
-          acc.distinct.insert(DistinctKey(*col, r));
-          break;
-        case AggFunc::kMedian:
-          acc.samples.push_back(col->DoubleAt(r));
-          break;
+        break;
       }
+      case AggFunc::kCountDistinct:
+        for (size_t r = 0; r < n; ++r) {
+          if (nulls && col->IsNull(r)) continue;
+          accs[gids[r] * num_aggs].distinct.insert(DistinctKey(*col, r));
+        }
+        break;
+      case AggFunc::kMedian:
+        for (size_t r = 0; r < n; ++r) {
+          if (nulls && col->IsNull(r)) continue;
+          accs[gids[r] * num_aggs].samples.push_back(col->DoubleAt(r));
+        }
+        break;
     }
   }
 }
@@ -196,7 +228,7 @@ AggResult GroupedAggState::Finalize(const AggScaling& scaling) const {
     Column* col = out.frame.mutable_column(num_keys + a);
     col->Reserve(num_groups);
     for (size_t g = 0; g < num_groups; ++g) {
-      const Accum& acc = accums_[g][a];
+      const Accum& acc = accums_[g * aggs_.size() + a];
       double x = static_cast<double>(group_rows_[g]);
       double xhat = scale ? EstimateCardinality(x, scaling.t, scaling.w) : x;
       double var_xhat = 0.0;

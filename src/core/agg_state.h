@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "frame/data_frame.h"
 #include "plan/plan.h"
 
@@ -94,18 +95,22 @@ class GroupedAggState {
     std::vector<double> samples;  // median keeps the group's values (§5.3)
   };
 
-  uint32_t FindOrCreateGroup(const DataFrame& partial,
-                             const std::vector<size_t>& key_cols, size_t row);
+  uint32_t FindOrCreateGroup(uint64_t hash, const DataFrame& partial,
+                             const std::vector<size_t>& key_cols, size_t row,
+                             const KeyEq& eq);
 
   std::vector<std::string> group_by_;
   std::vector<AggSpec> aggs_;
   Schema output_schema_;
   std::vector<size_t> agg_input_cols_;  // index into input schema; npos for *
+  std::vector<size_t> stored_key_cols_;  // 0..k-1 into group_keys_
 
   DataFrame group_keys_;  // one row per group (group_by columns)
-  std::unordered_map<uint64_t, std::vector<uint32_t>> key_index_;
-  std::vector<size_t> group_rows_;          // x_i per group
-  std::vector<std::vector<Accum>> accums_;  // [group][agg]
+  // Key-hash -> group-id chains; keys verified on lookup, so hash
+  // collisions between distinct group keys never merge.
+  FlatHashIndex key_index_;
+  std::vector<size_t> group_rows_;  // x_i per group
+  std::vector<Accum> accums_;       // flattened [group * aggs_.size() + agg]
   size_t total_rows_ = 0;
 };
 

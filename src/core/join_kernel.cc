@@ -16,6 +16,10 @@ JoinHashTable::JoinHashTable(const Schema& right_schema,
   }
 }
 
+void JoinHashTable::Reserve(size_t expected_rows) {
+  index_.Reserve(expected_rows);
+}
+
 void JoinHashTable::Insert(const DataFrame& right_partial,
                            const VarianceMap* variances) {
   size_t base = build_.num_rows();
@@ -27,16 +31,20 @@ void JoinHashTable::Insert(const DataFrame& right_partial,
       dst.insert(dst.end(), vars.begin(), vars.end());
     }
   }
-  for (size_t r = base; r < build_.num_rows(); ++r) {
-    index_[build_.HashRowKeys(key_cols_, r)].push_back(
-        static_cast<uint32_t>(r));
+  if (key_cols_.empty()) return;  // cross join: no index needed
+  // The incoming partial holds exactly the appended rows, so hash it
+  // column-at-a-time instead of re-reading the accumulated build frame.
+  static thread_local std::vector<uint64_t> hashes;
+  right_partial.HashRowsBatch(key_cols_, &hashes);
+  for (size_t r = 0; r < hashes.size(); ++r) {
+    index_.Insert(hashes[r], static_cast<uint32_t>(base + r));
   }
 }
 
 void JoinHashTable::Reset() {
   build_ = DataFrame(right_schema_);
   build_vars_.clear();
-  index_.clear();
+  index_.Reset();
 }
 
 DataFrame JoinHashTable::Probe(const DataFrame& left,
@@ -44,12 +52,22 @@ DataFrame JoinHashTable::Probe(const DataFrame& left,
                                JoinType type, const Schema& out_schema,
                                const VarianceMap* left_vars,
                                VarianceMap* out_vars) const {
+  CheckArg(type == JoinType::kCross || !key_cols_.empty(),
+           "hash join requires keys for non-cross joins");
   std::vector<size_t> lcols = left.ColumnIndices(left_keys);
   size_t n = left.num_rows();
 
-  // Row-pair lists; right == -1 encodes a null-padded (left join) row.
-  std::vector<uint32_t> lrows;
-  std::vector<int64_t> rrows;
+  // Phase 1: match selection vectors. `rvalid` (left joins only) marks
+  // which rrows entries are real matches vs null-padded placeholders.
+  // Thread-local scratch: probes run once per partial, and re-faulting
+  // multi-MB vectors on every call costs more than the probe itself.
+  static thread_local std::vector<uint32_t> lrows;
+  static thread_local std::vector<uint32_t> rrows;
+  static thread_local std::vector<uint8_t> rvalid;
+  lrows.clear();
+  rrows.clear();
+  rvalid.clear();
+  const bool pad = type == JoinType::kLeft;
 
   if (type == JoinType::kCross) {
     CheckArg(build_.num_rows() <= 1,
@@ -60,44 +78,68 @@ DataFrame JoinHashTable::Probe(const DataFrame& left,
       for (size_t i = 0; i < n; ++i) lrows[i] = static_cast<uint32_t>(i);
     }
   } else {
+    static thread_local std::vector<uint64_t> hashes;
+    left.HashRowsBatch(lcols, &hashes);
+    KeyEq eq(left, lcols, build_, key_cols_);
     lrows.reserve(n);
-    rrows.reserve(n);
+    if (type == JoinType::kInner || pad) {
+      rrows.reserve(n);
+      if (pad) rvalid.reserve(n);
+    }
+    // Pipelined probe: resolve every row's chain head first (slot array
+    // prefetched ahead), then verify keys and emit matches with the chain
+    // arena and build-side key rows prefetched ahead.
+    constexpr size_t kPrefetchAhead = 8;
+    static thread_local std::vector<uint32_t> heads;
+    heads.resize(n);
     for (size_t r = 0; r < n; ++r) {
-      uint64_t h = left.HashRowKeys(lcols, r);
-      auto it = index_.find(h);
+      if (r + kPrefetchAhead < n) index_.Prefetch(hashes[r + kPrefetchAhead]);
+      heads[r] = index_.Find(hashes[r]);
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r + kPrefetchAhead < n) {
+        uint32_t ahead = heads[r + kPrefetchAhead];
+        if (ahead != FlatHashIndex::kNil) {
+          index_.PrefetchChain(ahead);
+          eq.PrefetchRight(ahead);
+        }
+      }
       bool matched = false;
-      if (it != index_.end()) {
-        for (uint32_t cand : it->second) {
-          if (left.KeysEqual(lcols, r, build_, key_cols_, cand)) {
-            matched = true;
-            if (type == JoinType::kInner || type == JoinType::kLeft) {
-              lrows.push_back(static_cast<uint32_t>(r));
-              rrows.push_back(cand);
-            } else {
-              break;  // semi/anti only need existence
-            }
-          }
+      for (uint32_t cand = heads[r]; cand != FlatHashIndex::kNil;
+           cand = index_.Next(cand)) {
+        // Verify the real keys: chains hold every row whose 64-bit hash
+        // collided, and distinct keys must not merge.
+        if (!eq.Equal(r, cand)) continue;
+        matched = true;
+        if (type == JoinType::kInner || pad) {
+          lrows.push_back(static_cast<uint32_t>(r));
+          rrows.push_back(cand);
+          if (pad) rvalid.push_back(1);
+        } else {
+          break;  // semi/anti only need existence
         }
       }
       if (type == JoinType::kSemi && matched) {
         lrows.push_back(static_cast<uint32_t>(r));
       } else if (type == JoinType::kAnti && !matched) {
         lrows.push_back(static_cast<uint32_t>(r));
-      } else if (type == JoinType::kLeft && !matched) {
+      } else if (pad && !matched) {
         lrows.push_back(static_cast<uint32_t>(r));
-        rrows.push_back(-1);
+        rrows.push_back(0);  // placeholder row; nulled in the gather
+        rvalid.push_back(0);
       }
     }
   }
 
-  // Assemble output columns: left columns gathered by lrows, then right
-  // columns (minus join keys) gathered by rrows.
+  // Phase 2: gather output columns from the selection vectors — left
+  // columns by lrows, right columns (minus join keys) by rrows.
   DataFrame out(out_schema);
   size_t col = 0;
   for (; col < left.num_columns(); ++col) {
     *out.mutable_column(col) = left.column(col).Take(lrows);
   }
   if (type != JoinType::kSemi && type != JoinType::kAnti) {
+    const bool build_empty = build_.num_rows() == 0;
     for (size_t rc = 0; rc < build_.num_columns(); ++rc) {
       if (std::find(key_cols_.begin(), key_cols_.end(), rc) !=
           key_cols_.end()) {
@@ -105,17 +147,13 @@ DataFrame JoinHashTable::Probe(const DataFrame& left,
       }
       const Column& src = build_.column(rc);
       Column dst(src.type());
-      dst.Reserve(rrows.size());
-      // Typed gather loops (GetValue/AppendValue per row would allocate).
-      for (int64_t rr : rrows) {
-        if (rr < 0 || src.IsNull(static_cast<size_t>(rr))) {
-          dst.AppendNull();
-        } else if (src.type() == ValueType::kString) {
-          dst.AppendString(src.StringAt(static_cast<size_t>(rr)));
-        } else if (src.type() == ValueType::kFloat64) {
-          dst.AppendDouble(src.doubles()[static_cast<size_t>(rr)]);
-        } else {
-          dst.AppendInt(src.ints()[static_cast<size_t>(rr)]);
+      if (build_empty) {
+        // Placeholder index 0 has nothing to gather; pad all-null rows.
+        for (size_t i = 0; i < rrows.size(); ++i) dst.AppendNull();
+      } else {
+        dst = src.Take(rrows);
+        for (size_t i = 0; i < rvalid.size(); ++i) {
+          if (rvalid[i] == 0) dst.SetNull(i);
         }
       }
       *out.mutable_column(col) = std::move(dst);
@@ -141,10 +179,10 @@ DataFrame JoinHashTable::Probe(const DataFrame& left,
         if (!out_schema.HasField(name)) continue;
         auto& dst = (*out_vars)[name];
         dst.reserve(rrows.size());
-        for (int64_t rr : rrows) {
-          dst.push_back(rr >= 0 && static_cast<size_t>(rr) < vars.size()
-                            ? vars[static_cast<size_t>(rr)]
-                            : 0.0);
+        for (size_t i = 0; i < rrows.size(); ++i) {
+          bool valid = rvalid.empty() || rvalid[i] != 0;
+          dst.push_back(valid && rrows[i] < vars.size() ? vars[rrows[i]]
+                                                        : 0.0);
         }
       }
     }
@@ -157,6 +195,7 @@ DataFrame HashJoin(const DataFrame& left, const DataFrame& right,
                    const std::vector<std::string>& right_keys, JoinType type,
                    const Schema& out_schema) {
   JoinHashTable table(right.schema(), right_keys);
+  table.Reserve(right.num_rows());
   table.Insert(right);
   return table.Probe(left, left_keys, type, out_schema);
 }

@@ -14,9 +14,9 @@
 #define WAKE_CORE_JOIN_KERNEL_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "core/agg_state.h"
 #include "frame/data_frame.h"
 #include "plan/plan.h"
@@ -31,6 +31,9 @@ class JoinHashTable {
   JoinHashTable(const Schema& right_schema,
                 std::vector<std::string> right_keys);
 
+  /// Pre-sizes the index for an expected total build-row count.
+  void Reserve(size_t expected_rows);
+
   /// Appends build rows (and their variances, if any) to the table.
   void Insert(const DataFrame& right_partial,
               const VarianceMap* variances = nullptr);
@@ -40,6 +43,9 @@ class JoinHashTable {
 
   size_t num_rows() const { return build_.num_rows(); }
   const DataFrame& build_frame() const { return build_; }
+
+  /// Heap footprint of build frame + hash index (§8.2 accounting).
+  size_t ByteSize() const { return build_.ByteSize() + index_.ByteSize(); }
 
   /// Probes with `left`, producing rows per `type` into a frame with
   /// schema `out_schema` (must equal JoinOutputSchema(left.schema(),
@@ -58,7 +64,9 @@ class JoinHashTable {
   std::vector<size_t> key_cols_;
   DataFrame build_;
   VarianceMap build_vars_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> index_;
+  // Key-hash -> build-row chains; key equality verified on probe, so hash
+  // collisions between distinct keys never merge.
+  FlatHashIndex index_;
 };
 
 /// One-shot convenience used by the exact engine.

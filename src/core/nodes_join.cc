@@ -22,7 +22,7 @@ HashJoinNode::HashJoinNode(const PlanNode& plan, const Schema& left_schema,
 }
 
 size_t HashJoinNode::BufferedBytes() const {
-  size_t bytes = table_.build_frame().ByteSize();
+  size_t bytes = table_.ByteSize();
   for (const auto& m : pending_probe_) bytes += m.frame->ByteSize();
   return bytes;
 }
@@ -99,7 +99,7 @@ MergeJoinNode::MergeJoinNode(const PlanNode& plan, const Schema& left_schema,
 }
 
 size_t MergeJoinNode::BufferedBytes() const {
-  return table_.build_frame().ByteSize() + left_pending_.ByteSize();
+  return table_.ByteSize() + left_pending_.ByteSize();
 }
 
 void MergeJoinNode::Process(size_t port, const Message& msg) {

@@ -146,21 +146,25 @@ void Column::Clear() {
 
 Column Column::Take(const std::vector<uint32_t>& indices) const {
   Column out(type_);
-  out.Reserve(indices.size());
+  const size_t n = indices.size();
+  // Sized gathers (no per-push capacity checks in the hot join path).
   switch (type_) {
     case ValueType::kFloat64:
-      for (uint32_t i : indices) out.doubles_.push_back(doubles_[i]);
+      out.doubles_.resize(n);
+      for (size_t i = 0; i < n; ++i) out.doubles_[i] = doubles_[indices[i]];
       break;
     case ValueType::kString:
-      for (uint32_t i : indices) out.strings_.push_back(strings_[i]);
+      out.strings_.resize(n);
+      for (size_t i = 0; i < n; ++i) out.strings_[i] = strings_[indices[i]];
       break;
     default:
-      for (uint32_t i : indices) out.ints_.push_back(ints_[i]);
+      out.ints_.resize(n);
+      for (size_t i = 0; i < n; ++i) out.ints_[i] = ints_[indices[i]];
       break;
   }
   if (!valid_.empty()) {
-    out.valid_.reserve(indices.size());
-    for (uint32_t i : indices) out.valid_.push_back(valid_[i]);
+    out.valid_.resize(n);
+    for (size_t i = 0; i < n; ++i) out.valid_[i] = valid_[indices[i]];
     out.CompactValidity();
   }
   return out;
@@ -198,7 +202,9 @@ Column Column::FilterBy(const std::vector<uint8_t>& mask) const {
 void Column::AppendColumn(const Column& other) {
   CheckArg(type_ == other.type_, "append type mismatch");
   size_t old_size = size();
-  if (other.has_nulls() && valid_.empty()) valid_.assign(old_size, 1);
+  // Decide before appending: an empty mask on an empty column must still
+  // pick up the appended column's nulls.
+  const bool need_mask = other.has_nulls() || !valid_.empty();
   switch (type_) {
     case ValueType::kFloat64:
       doubles_.insert(doubles_.end(), other.doubles_.begin(),
@@ -212,7 +218,8 @@ void Column::AppendColumn(const Column& other) {
       ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
       break;
   }
-  if (!valid_.empty()) {
+  if (need_mask) {
+    if (valid_.empty()) valid_.assign(old_size, 1);
     if (other.valid_.empty()) {
       valid_.resize(size(), 1);
     } else {
@@ -276,10 +283,50 @@ uint64_t Column::HashRow(size_t i, uint64_t seed) const {
   }
 }
 
+void Column::HashInto(uint64_t* hashes, size_t n) const {
+  const bool nulls = !valid_.empty();
+  switch (type_) {
+    case ValueType::kString:
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = (nulls && valid_[i] == 0)
+                        ? MixHash(hashes[i], 0xdeadbeefULL)
+                        : HashBytes(strings_[i].data(), strings_[i].size(),
+                                    hashes[i]);
+      }
+      break;
+    case ValueType::kFloat64:
+      for (size_t i = 0; i < n; ++i) {
+        if (nulls && valid_[i] == 0) {
+          hashes[i] = MixHash(hashes[i], 0xdeadbeefULL);
+          continue;
+        }
+        double d = doubles_[i];
+        if (d == 0.0) d = 0.0;  // normalize -0.0
+        uint64_t bits;
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        hashes[i] = MixHash(hashes[i], bits);
+      }
+      break;
+    default:
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = (nulls && valid_[i] == 0)
+                        ? MixHash(hashes[i], 0xdeadbeefULL)
+                        : MixHash(hashes[i], static_cast<uint64_t>(ints_[i]));
+      }
+      break;
+  }
+}
+
 size_t Column::ByteSize() const {
   size_t bytes = ints_.capacity() * sizeof(int64_t) +
                  doubles_.capacity() * sizeof(double) + valid_.capacity();
-  for (const auto& s : strings_) bytes += sizeof(std::string) + s.capacity();
+  // Short strings live in the SSO buffer inside sizeof(std::string);
+  // only capacities beyond it allocate separately on the heap.
+  static const size_t kInlineCapacity = std::string().capacity();
+  bytes += strings_.capacity() * sizeof(std::string);
+  for (const auto& s : strings_) {
+    if (s.capacity() > kInlineCapacity) bytes += s.capacity();
+  }
   return bytes;
 }
 

@@ -89,6 +89,11 @@ class Column {
   /// 64-bit hash of row i mixed into `seed` (used for join/group keys).
   uint64_t HashRow(size_t i, uint64_t seed) const;
 
+  /// Column-at-a-time hashing: mixes row i's hash into hashes[i] for the
+  /// first n rows (one type dispatch per column instead of per row).
+  /// Produces exactly HashRow(i, hashes[i]) for every row.
+  void HashInto(uint64_t* hashes, size_t n) const;
+
   /// Approximate heap footprint in bytes (peak-memory accounting, §8.2).
   size_t ByteSize() const;
 

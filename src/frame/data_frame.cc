@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <unordered_map>
 
 #include "common/error.h"
+#include "common/flat_hash.h"
 #include "common/strings.h"
 
 namespace wake {
@@ -106,11 +106,28 @@ DataFrame DataFrame::SortBy(const std::vector<SortKey>& keys) const {
   return Take(order);
 }
 
+namespace {
+constexpr uint64_t kRowHashSeed = 0x2545f4914f6cdd1dULL;
+}  // namespace
+
 uint64_t DataFrame::HashRowKeys(const std::vector<size_t>& key_cols,
                                 size_t row) const {
-  uint64_t h = 0x2545f4914f6cdd1dULL;
+  uint64_t h = kRowHashSeed;
   for (size_t c : key_cols) h = columns_[c].HashRow(row, h);
   return h;
+}
+
+std::vector<uint64_t> DataFrame::HashRowsBatch(
+    const std::vector<size_t>& key_cols) const {
+  std::vector<uint64_t> hashes;
+  HashRowsBatch(key_cols, &hashes);
+  return hashes;
+}
+
+void DataFrame::HashRowsBatch(const std::vector<size_t>& key_cols,
+                              std::vector<uint64_t>* out) const {
+  out->assign(num_rows(), kRowHashSeed);
+  for (size_t c : key_cols) columns_[c].HashInto(out->data(), out->size());
 }
 
 bool DataFrame::KeysEqual(const std::vector<size_t>& cols, size_t i,
@@ -210,23 +227,24 @@ GroupIndex BuildGroups(const DataFrame& df,
     return out;
   }
   std::vector<size_t> cols = df.ColumnIndices(key_names);
-  // hash -> candidate group ids (collision chains resolved by KeysEqual).
-  std::unordered_map<uint64_t, std::vector<uint32_t>> table;
-  table.reserve(n);
+  std::vector<uint64_t> hashes = df.HashRowsBatch(cols);
+  // hash -> candidate group-id chains (collisions resolved by key verify).
+  FlatHashIndex table;
+  table.Reserve(n);
+  KeyEq eq(df, cols, df, cols);
   for (size_t r = 0; r < n; ++r) {
-    uint64_t h = df.HashRowKeys(cols, r);
-    auto& bucket = table[h];
-    uint32_t gid = UINT32_MAX;
-    for (uint32_t cand : bucket) {
-      if (df.KeysEqual(cols, r, df, cols, out.first_row[cand])) {
+    uint32_t gid = FlatHashIndex::kNil;
+    for (uint32_t cand = table.Find(hashes[r]); cand != FlatHashIndex::kNil;
+         cand = table.Next(cand)) {
+      if (eq.Equal(r, out.first_row[cand])) {
         gid = cand;
         break;
       }
     }
-    if (gid == UINT32_MAX) {
+    if (gid == FlatHashIndex::kNil) {
       gid = static_cast<uint32_t>(out.first_row.size());
       out.first_row.push_back(static_cast<uint32_t>(r));
-      bucket.push_back(gid);
+      table.Insert(hashes[r], gid);
     }
     out.group_of_row[r] = gid;
   }

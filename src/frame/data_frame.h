@@ -65,6 +65,16 @@ class DataFrame {
   /// Hash of the key columns `key_cols` for row `row`.
   uint64_t HashRowKeys(const std::vector<size_t>& key_cols, size_t row) const;
 
+  /// Hashes of the key columns for every row, computed column-at-a-time.
+  /// hashes[r] == HashRowKeys(key_cols, r) for all r.
+  std::vector<uint64_t> HashRowsBatch(
+      const std::vector<size_t>& key_cols) const;
+
+  /// As above, writing into `out` (kernels reuse scratch buffers to avoid
+  /// re-faulting multi-MB allocations on every partial).
+  void HashRowsBatch(const std::vector<size_t>& key_cols,
+                     std::vector<uint64_t>* out) const;
+
   /// True if row `i` of this frame equals row `j` of `other` on the given
   /// (parallel) key column index lists.
   bool KeysEqual(const std::vector<size_t>& cols, size_t i,
@@ -87,6 +97,64 @@ class DataFrame {
 };
 
 using DataFramePtr = std::shared_ptr<const DataFrame>;
+
+/// Typed row-equality over parallel key-column lists — the inlined hot-loop
+/// form of DataFrame::KeysEqual used when verifying hash-index candidates.
+/// Matches KeysEqual semantics exactly: nulls equal nulls, int/float keys
+/// compare promoted, NaNs compare equal.
+class KeyEq {
+ public:
+  KeyEq(const DataFrame& left, const std::vector<size_t>& left_cols,
+        const DataFrame& right, const std::vector<size_t>& right_cols) {
+    cols_.reserve(left_cols.size());
+    for (size_t k = 0; k < left_cols.size(); ++k) {
+      cols_.push_back({&left.column(left_cols[k]),
+                       &right.column(right_cols[k])});
+    }
+  }
+
+  /// Hints the cache to load right-side row `j` of every key column.
+  void PrefetchRight(size_t j) const {
+    for (const auto& p : cols_) {
+      const Column& b = *p.b;
+      if (b.type() == ValueType::kString) {
+        __builtin_prefetch(b.strings().data() + j);
+      } else if (IsIntPhysical(b.type())) {
+        __builtin_prefetch(b.ints().data() + j);
+      } else {
+        __builtin_prefetch(b.doubles().data() + j);
+      }
+    }
+  }
+
+  bool Equal(size_t i, size_t j) const {
+    for (const auto& p : cols_) {
+      const Column& a = *p.a;
+      const Column& b = *p.b;
+      const bool an = a.IsNull(i), bn = b.IsNull(j);
+      if (an || bn) {
+        if (an != bn) return false;
+        continue;
+      }
+      if (a.type() == ValueType::kString) {
+        if (a.strings()[i] != b.strings()[j]) return false;
+      } else if (IsIntPhysical(a.type()) && IsIntPhysical(b.type())) {
+        if (a.ints()[i] != b.ints()[j]) return false;
+      } else {
+        double x = a.DoubleAt(i), y = b.DoubleAt(j);
+        if (x < y || y < x) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct ColPair {
+    const Column* a;
+    const Column* b;
+  };
+  std::vector<ColPair> cols_;
+};
 
 /// Hash-based group index over key columns: assigns each row a dense group
 /// id; used by aggregation in every engine.

@@ -168,6 +168,71 @@ TEST(GroupedAggStateTest, NullInputsSkippedPerAggregate) {
   EXPECT_EQ(out.ColumnByName("n").IntAt(0), 2);   // count(*) counts rows
 }
 
+TEST(GroupedAggStateTest, HashCollisionKeepsDistinctGroupsApart) {
+  // A null group key and the int key 0xdeadbeef share the same 64-bit
+  // hash (nulls hash as the constant 0xdeadbeef); the key verification in
+  // the flat index must still keep them in separate groups.
+  const int64_t kColliding = 0xdeadbeef;
+  DataFrame df(InputSchema());
+  *df.mutable_column(0) =
+      Column::FromInts({kColliding, 0, kColliding, 0});
+  df.mutable_column(0)->SetNull(1);
+  df.mutable_column(0)->SetNull(3);
+  *df.mutable_column(1) = Column::FromDoubles({1.0, 10.0, 2.0, 20.0});
+  *df.mutable_column(2) = Column::FromStrings({"a", "b", "c", "d"});
+  auto state = MakeState({"g"}, {Sum("v", "s"), Count("n")});
+  state.Consume(df);
+  EXPECT_EQ(state.num_groups(), 2u);
+  DataFrame out = state.Finalize(AggScaling{}).frame;
+  ASSERT_EQ(out.num_rows(), 2u);
+  // First group: the int key; second: the null key (insertion order).
+  EXPECT_EQ(out.ColumnByName("g").IntAt(0), kColliding);
+  EXPECT_TRUE(out.ColumnByName("g").IsNull(1));
+  EXPECT_DOUBLE_EQ(out.ColumnByName("s").DoubleAt(0), 3.0);
+  EXPECT_DOUBLE_EQ(out.ColumnByName("s").DoubleAt(1), 30.0);
+}
+
+TEST(GroupedAggStateTest, AllNullKeyRowsGroupTogether) {
+  DataFrame df(InputSchema());
+  *df.mutable_column(0) = Column::FromInts({0, 0, 0});
+  for (size_t r = 0; r < 3; ++r) df.mutable_column(0)->SetNull(r);
+  *df.mutable_column(1) = Column::FromDoubles({1.0, 2.0, 3.0});
+  *df.mutable_column(2) = Column::FromStrings({"a", "b", "c"});
+  auto state = MakeState({"g"}, {Sum("v", "s"), Count("n")});
+  state.Consume(df);
+  EXPECT_EQ(state.num_groups(), 1u);
+  DataFrame out = state.Finalize(AggScaling{}).frame;
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_TRUE(out.ColumnByName("g").IsNull(0));
+  EXPECT_DOUBLE_EQ(out.ColumnByName("s").DoubleAt(0), 6.0);
+  EXPECT_EQ(out.ColumnByName("n").IntAt(0), 3);
+}
+
+TEST(GroupedAggStateTest, ManyDistinctGroupsStayExact) {
+  // Enough groups to force flat-index rehashes mid-consume; every group
+  // must keep exactly its own rows.
+  constexpr int64_t kGroups = 10000;
+  std::vector<int64_t> g;
+  std::vector<double> v;
+  std::vector<std::string> names;
+  for (int64_t i = 0; i < kGroups; ++i) {
+    for (int rep = 0; rep < 2; ++rep) {
+      g.push_back(i);
+      v.push_back(static_cast<double>(i));
+      names.push_back("x");
+    }
+  }
+  auto state = MakeState({"g"}, {Sum("v", "s"), Count("n")});
+  state.Consume(MakeInput(g, v, names));
+  ASSERT_EQ(state.num_groups(), static_cast<size_t>(kGroups));
+  DataFrame out = state.Finalize(AggScaling{}).frame;
+  for (int64_t i = 0; i < kGroups; ++i) {
+    ASSERT_EQ(out.ColumnByName("g").IntAt(i), i);
+    ASSERT_DOUBLE_EQ(out.ColumnByName("s").DoubleAt(i), 2.0 * i);
+    ASSERT_EQ(out.ColumnByName("n").IntAt(i), 2);
+  }
+}
+
 // Growth-based scaling (§5.3).
 TEST(GbiScalingTest, SumAndCountScaleByGrowth) {
   auto state = MakeState({"g"}, {Sum("v", "s"), Count("n")});

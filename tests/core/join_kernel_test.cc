@@ -150,6 +150,80 @@ TEST(JoinHashTableTest, VarianceGatherThroughJoin) {
   EXPECT_DOUBLE_EQ(out_vars["lv"][1], 9.0);
 }
 
+TEST(JoinHashTableTest, HashCollisionKeepsDistinctKeysApart) {
+  // A null key and the int key 0xdeadbeef produce the same 64-bit hash
+  // (nulls hash as the constant 0xdeadbeef), so both build rows share one
+  // index chain; key verification on probe must keep them apart.
+  const int64_t kColliding = 0xdeadbeef;
+  DataFrame right(RightSchema());
+  *right.mutable_column(0) = Column::FromInts({kColliding, 0});
+  right.mutable_column(0)->SetNull(1);
+  *right.mutable_column(1) = Column::FromStrings({"int", "null"});
+  JoinHashTable table(RightSchema(), {"rk"});
+  table.Insert(right);
+
+  Schema out_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {"rk"},
+                                       JoinType::kInner);
+  DataFrame out = table.Probe(Left({kColliding}, {1.0}), {"lk"},
+                              JoinType::kInner, out_schema);
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.ColumnByName("rv").StringAt(0), "int");
+
+  // The null probe key collides with 0xdeadbeef too and must only match
+  // the null build row (null keys compare equal to null keys here).
+  DataFrame left(LeftSchema());
+  *left.mutable_column(0) = Column::FromInts({0});
+  left.mutable_column(0)->SetNull(0);
+  *left.mutable_column(1) = Column::FromDoubles({2.0});
+  DataFrame null_out =
+      table.Probe(left, {"lk"}, JoinType::kInner, out_schema);
+  ASSERT_EQ(null_out.num_rows(), 1u);
+  EXPECT_EQ(null_out.ColumnByName("rv").StringAt(0), "null");
+}
+
+TEST(JoinHashTableTest, ProbeEmptyBuildTable) {
+  JoinHashTable table(RightSchema(), {"rk"});
+  Schema inner_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {"rk"},
+                                         JoinType::kInner);
+  DataFrame inner = table.Probe(Left({1, 2}, {1, 2}), {"lk"},
+                                JoinType::kInner, inner_schema);
+  EXPECT_EQ(inner.num_rows(), 0u);
+  EXPECT_TRUE(inner.schema().SameFields(inner_schema));
+
+  // Left join against an empty build side null-pads every probe row.
+  Schema left_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {"rk"},
+                                        JoinType::kLeft);
+  DataFrame padded = table.Probe(Left({1, 2}, {1, 2}), {"lk"},
+                                 JoinType::kLeft, left_schema);
+  ASSERT_EQ(padded.num_rows(), 2u);
+  EXPECT_TRUE(padded.ColumnByName("rv").IsNull(0));
+  EXPECT_TRUE(padded.ColumnByName("rv").IsNull(1));
+}
+
+TEST(JoinHashTableTest, ManyDistinctKeysStayExact) {
+  // Thousands of keys force slot collisions and rehashes in the flat
+  // index; every probe must still match exactly its own key.
+  constexpr int64_t kN = 20000;
+  std::vector<int64_t> keys(kN);
+  std::vector<std::string> vals(kN);
+  for (int64_t i = 0; i < kN; ++i) {
+    keys[i] = i * 7;
+    vals[i] = std::to_string(i);
+  }
+  JoinHashTable table(RightSchema(), {"rk"});
+  table.Insert(Right(keys, vals));
+  Schema out_schema = JoinOutputSchema(LeftSchema(), RightSchema(), {"rk"},
+                                       JoinType::kInner);
+  // Probe keys: every multiple of 7 hits, everything else misses.
+  DataFrame out = table.Probe(Left({0, 7, 3, 7 * (kN - 1), 7 * kN},
+                                   {0, 1, 2, 3, 4}),
+                              {"lk"}, JoinType::kInner, out_schema);
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.ColumnByName("rv").StringAt(0), "0");
+  EXPECT_EQ(out.ColumnByName("rv").StringAt(1), "1");
+  EXPECT_EQ(out.ColumnByName("rv").StringAt(2), std::to_string(kN - 1));
+}
+
 TEST(HashJoinFunctionTest, MultiKeyJoin) {
   Schema ls({{"a", ValueType::kInt64}, {"b", ValueType::kInt64},
              {"v", ValueType::kFloat64}});

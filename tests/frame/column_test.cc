@@ -148,5 +148,25 @@ TEST(ColumnTest, ByteSizeGrowsWithData) {
   EXPECT_GT(big.ByteSize(), small.ByteSize());
 }
 
+TEST(ColumnTest, AppendColumnIntoEmptyKeepsNulls) {
+  Column src = Column::FromInts({1, 2});
+  src.SetNull(1);
+  Column dst(ValueType::kInt64);
+  dst.AppendColumn(src);
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_FALSE(dst.IsNull(0));
+  EXPECT_TRUE(dst.IsNull(1));
+}
+
+TEST(ColumnTest, ByteSizeDoesNotDoubleCountSsoStrings) {
+  // Strings short enough for the SSO buffer occupy exactly
+  // sizeof(std::string); only longer strings add heap capacity.
+  Column sso = Column::FromStrings({"ab", "cd"});
+  EXPECT_EQ(sso.ByteSize(), sso.strings().capacity() * sizeof(std::string));
+  std::string long_str(200, 'x');
+  Column heap = Column::FromStrings({long_str});
+  EXPECT_GE(heap.ByteSize(), sizeof(std::string) + 200);
+}
+
 }  // namespace
 }  // namespace wake
