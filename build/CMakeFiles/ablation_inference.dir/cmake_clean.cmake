@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inference.dir/bench/ablation_inference.cc.o"
+  "CMakeFiles/ablation_inference.dir/bench/ablation_inference.cc.o.d"
+  "bench/ablation_inference"
+  "bench/ablation_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

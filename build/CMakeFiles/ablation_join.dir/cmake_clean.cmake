@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_join.dir/bench/ablation_join.cc.o"
+  "CMakeFiles/ablation_join.dir/bench/ablation_join.cc.o.d"
+  "bench/ablation_join"
+  "bench/ablation_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_progressive_ola_test.dir/tests/baseline/progressive_ola_test.cc.o"
+  "CMakeFiles/baseline_progressive_ola_test.dir/tests/baseline/progressive_ola_test.cc.o.d"
+  "baseline_progressive_ola_test"
+  "baseline_progressive_ola_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_progressive_ola_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

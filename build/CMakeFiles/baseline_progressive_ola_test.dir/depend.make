@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_progressive_ola_test.
+# This may be replaced when dependencies are built.

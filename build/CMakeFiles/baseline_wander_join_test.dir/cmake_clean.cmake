@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_wander_join_test.dir/tests/baseline/wander_join_test.cc.o"
+  "CMakeFiles/baseline_wander_join_test.dir/tests/baseline/wander_join_test.cc.o.d"
+  "baseline_wander_join_test"
+  "baseline_wander_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_wander_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

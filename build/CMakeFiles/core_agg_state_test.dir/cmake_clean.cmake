@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_agg_state_test.dir/tests/core/agg_state_test.cc.o"
+  "CMakeFiles/core_agg_state_test.dir/tests/core/agg_state_test.cc.o.d"
+  "core_agg_state_test"
+  "core_agg_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_agg_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ci_test.dir/tests/core/ci_test.cc.o"
+  "CMakeFiles/core_ci_test.dir/tests/core/ci_test.cc.o.d"
+  "core_ci_test"
+  "core_ci_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

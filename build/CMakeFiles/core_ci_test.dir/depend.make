@@ -1,0 +1,2 @@
+# Empty dependencies file for core_ci_test.
+# This may be replaced when dependencies are built.

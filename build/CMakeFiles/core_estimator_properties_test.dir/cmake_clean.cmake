@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_estimator_properties_test.dir/tests/core/estimator_properties_test.cc.o"
+  "CMakeFiles/core_estimator_properties_test.dir/tests/core/estimator_properties_test.cc.o.d"
+  "core_estimator_properties_test"
+  "core_estimator_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_estimator_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

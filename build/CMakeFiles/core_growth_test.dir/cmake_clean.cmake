@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_growth_test.dir/tests/core/growth_test.cc.o"
+  "CMakeFiles/core_growth_test.dir/tests/core/growth_test.cc.o.d"
+  "core_growth_test"
+  "core_growth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_growth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

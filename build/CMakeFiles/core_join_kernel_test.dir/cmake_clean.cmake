@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_join_kernel_test.dir/tests/core/join_kernel_test.cc.o"
+  "CMakeFiles/core_join_kernel_test.dir/tests/core/join_kernel_test.cc.o.d"
+  "core_join_kernel_test"
+  "core_join_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_join_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

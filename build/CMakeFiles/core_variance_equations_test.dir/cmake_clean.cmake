@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_variance_equations_test.dir/tests/core/variance_equations_test.cc.o"
+  "CMakeFiles/core_variance_equations_test.dir/tests/core/variance_equations_test.cc.o.d"
+  "core_variance_equations_test"
+  "core_variance_equations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_variance_equations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

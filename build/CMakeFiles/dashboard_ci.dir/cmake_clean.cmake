@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashboard_ci.dir/examples/dashboard_ci.cpp.o"
+  "CMakeFiles/dashboard_ci.dir/examples/dashboard_ci.cpp.o.d"
+  "examples/dashboard_ci"
+  "examples/dashboard_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashboard_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_pipeline.dir/examples/deep_pipeline.cpp.o"
+  "CMakeFiles/deep_pipeline.dir/examples/deep_pipeline.cpp.o.d"
+  "examples/deep_pipeline"
+  "examples/deep_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_convergence_test.dir/tests/engine/convergence_test.cc.o"
+  "CMakeFiles/engine_convergence_test.dir/tests/engine/convergence_test.cc.o.d"
+  "engine_convergence_test"
+  "engine_convergence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

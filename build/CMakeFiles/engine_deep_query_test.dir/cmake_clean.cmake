@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_deep_query_test.dir/tests/engine/deep_query_test.cc.o"
+  "CMakeFiles/engine_deep_query_test.dir/tests/engine/deep_query_test.cc.o.d"
+  "engine_deep_query_test"
+  "engine_deep_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_deep_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_edf_test.dir/tests/engine/edf_test.cc.o"
+  "CMakeFiles/engine_edf_test.dir/tests/engine/edf_test.cc.o.d"
+  "engine_edf_test"
+  "engine_edf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_edf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

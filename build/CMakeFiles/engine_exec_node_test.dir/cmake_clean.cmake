@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_exec_node_test.dir/tests/engine/exec_node_test.cc.o"
+  "CMakeFiles/engine_exec_node_test.dir/tests/engine/exec_node_test.cc.o.d"
+  "engine_exec_node_test"
+  "engine_exec_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_exec_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_fuzz_plan_test.dir/tests/engine/fuzz_plan_test.cc.o"
+  "CMakeFiles/engine_fuzz_plan_test.dir/tests/engine/fuzz_plan_test.cc.o.d"
+  "engine_fuzz_plan_test"
+  "engine_fuzz_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_fuzz_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

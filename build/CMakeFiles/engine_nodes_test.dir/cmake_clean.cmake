@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_nodes_test.dir/tests/engine/nodes_test.cc.o"
+  "CMakeFiles/engine_nodes_test.dir/tests/engine/nodes_test.cc.o.d"
+  "engine_nodes_test"
+  "engine_nodes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_nodes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

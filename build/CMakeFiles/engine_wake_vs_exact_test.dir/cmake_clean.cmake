@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_wake_vs_exact_test.dir/tests/engine/wake_vs_exact_test.cc.o"
+  "CMakeFiles/engine_wake_vs_exact_test.dir/tests/engine/wake_vs_exact_test.cc.o.d"
+  "engine_wake_vs_exact_test"
+  "engine_wake_vs_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_wake_vs_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

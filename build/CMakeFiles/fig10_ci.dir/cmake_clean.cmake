@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ci.dir/bench/fig10_ci.cc.o"
+  "CMakeFiles/fig10_ci.dir/bench/fig10_ci.cc.o.d"
+  "bench/fig10_ci"
+  "bench/fig10_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_deep_queries.dir/bench/fig11_deep_queries.cc.o"
+  "CMakeFiles/fig11_deep_queries.dir/bench/fig11_deep_queries.cc.o.d"
+  "bench/fig11_deep_queries"
+  "bench/fig11_deep_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_deep_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

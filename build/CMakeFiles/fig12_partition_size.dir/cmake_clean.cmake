@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_partition_size.dir/bench/fig12_partition_size.cc.o"
+  "CMakeFiles/fig12_partition_size.dir/bench/fig12_partition_size.cc.o.d"
+  "bench/fig12_partition_size"
+  "bench/fig12_partition_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_partition_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_pipeline.dir/bench/fig13_pipeline.cc.o"
+  "CMakeFiles/fig13_pipeline.dir/bench/fig13_pipeline.cc.o.d"
+  "bench/fig13_pipeline"
+  "bench/fig13_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_error_curves.dir/bench/fig8_error_curves.cc.o"
+  "CMakeFiles/fig8_error_curves.dir/bench/fig8_error_curves.cc.o.d"
+  "bench/fig8_error_curves"
+  "bench/fig8_error_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_error_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

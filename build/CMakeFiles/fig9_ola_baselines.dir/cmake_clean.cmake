@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_ola_baselines.dir/bench/fig9_ola_baselines.cc.o"
+  "CMakeFiles/fig9_ola_baselines.dir/bench/fig9_ola_baselines.cc.o.d"
+  "bench/fig9_ola_baselines"
+  "bench/fig9_ola_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ola_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_column_test.dir/tests/frame/column_test.cc.o"
+  "CMakeFiles/frame_column_test.dir/tests/frame/column_test.cc.o.d"
+  "frame_column_test"
+  "frame_column_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_column_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

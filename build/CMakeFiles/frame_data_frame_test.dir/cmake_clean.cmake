@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_data_frame_test.dir/tests/frame/data_frame_test.cc.o"
+  "CMakeFiles/frame_data_frame_test.dir/tests/frame/data_frame_test.cc.o.d"
+  "frame_data_frame_test"
+  "frame_data_frame_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_data_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

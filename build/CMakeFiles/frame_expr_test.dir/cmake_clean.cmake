@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_expr_test.dir/tests/frame/expr_test.cc.o"
+  "CMakeFiles/frame_expr_test.dir/tests/frame/expr_test.cc.o.d"
+  "frame_expr_test"
+  "frame_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_schema_test.dir/tests/frame/schema_test.cc.o"
+  "CMakeFiles/frame_schema_test.dir/tests/frame/schema_test.cc.o.d"
+  "frame_schema_test"
+  "frame_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_value_test.dir/tests/frame/value_test.cc.o"
+  "CMakeFiles/frame_value_test.dir/tests/frame/value_test.cc.o.d"
+  "frame_value_test"
+  "frame_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_stats.dir/bench/headline_stats.cc.o"
+  "CMakeFiles/headline_stats.dir/bench/headline_stats.cc.o.d"
+  "bench/headline_stats"
+  "bench/headline_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_exact_engine_test.dir/tests/plan/exact_engine_test.cc.o"
+  "CMakeFiles/plan_exact_engine_test.dir/tests/plan/exact_engine_test.cc.o.d"
+  "plan_exact_engine_test"
+  "plan_exact_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_exact_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_query_structure_test.dir/tests/plan/query_structure_test.cc.o"
+  "CMakeFiles/plan_query_structure_test.dir/tests/plan/query_structure_test.cc.o.d"
+  "plan_query_structure_test"
+  "plan_query_structure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_query_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_ola.dir/examples/sql_ola.cpp.o"
+  "CMakeFiles/sql_ola.dir/examples/sql_ola.cpp.o.d"
+  "examples/sql_ola"
+  "examples/sql_ola.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_ola.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_csv_test.dir/tests/storage/csv_test.cc.o"
+  "CMakeFiles/storage_csv_test.dir/tests/storage/csv_test.cc.o.d"
+  "storage_csv_test"
+  "storage_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

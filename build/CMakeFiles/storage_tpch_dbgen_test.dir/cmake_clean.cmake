@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tpch_dbgen_test.dir/tests/storage/tpch_dbgen_test.cc.o"
+  "CMakeFiles/storage_tpch_dbgen_test.dir/tests/storage/tpch_dbgen_test.cc.o.d"
+  "storage_tpch_dbgen_test"
+  "storage_tpch_dbgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tpch_dbgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/top_customers.dir/examples/top_customers.cpp.o"
+  "CMakeFiles/top_customers.dir/examples/top_customers.cpp.o.d"
+  "examples/top_customers"
+  "examples/top_customers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/top_customers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for top_customers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/exact_engine.cc" "CMakeFiles/wake.dir/src/baseline/exact_engine.cc.o" "gcc" "CMakeFiles/wake.dir/src/baseline/exact_engine.cc.o.d"
+  "/root/repo/src/baseline/progressive_ola.cc" "CMakeFiles/wake.dir/src/baseline/progressive_ola.cc.o" "gcc" "CMakeFiles/wake.dir/src/baseline/progressive_ola.cc.o.d"
+  "/root/repo/src/baseline/wander_join.cc" "CMakeFiles/wake.dir/src/baseline/wander_join.cc.o" "gcc" "CMakeFiles/wake.dir/src/baseline/wander_join.cc.o.d"
+  "/root/repo/src/common/strings.cc" "CMakeFiles/wake.dir/src/common/strings.cc.o" "gcc" "CMakeFiles/wake.dir/src/common/strings.cc.o.d"
+  "/root/repo/src/core/agg_state.cc" "CMakeFiles/wake.dir/src/core/agg_state.cc.o" "gcc" "CMakeFiles/wake.dir/src/core/agg_state.cc.o.d"
+  "/root/repo/src/core/ci.cc" "CMakeFiles/wake.dir/src/core/ci.cc.o" "gcc" "CMakeFiles/wake.dir/src/core/ci.cc.o.d"
+  "/root/repo/src/core/edf.cc" "CMakeFiles/wake.dir/src/core/edf.cc.o" "gcc" "CMakeFiles/wake.dir/src/core/edf.cc.o.d"
+  "/root/repo/src/core/engine.cc" "CMakeFiles/wake.dir/src/core/engine.cc.o" "gcc" "CMakeFiles/wake.dir/src/core/engine.cc.o.d"
+  "/root/repo/src/core/growth.cc" "CMakeFiles/wake.dir/src/core/growth.cc.o" "gcc" "CMakeFiles/wake.dir/src/core/growth.cc.o.d"
+  "/root/repo/src/core/inference.cc" "CMakeFiles/wake.dir/src/core/inference.cc.o" "gcc" "CMakeFiles/wake.dir/src/core/inference.cc.o.d"
+  "/root/repo/src/core/join_kernel.cc" "CMakeFiles/wake.dir/src/core/join_kernel.cc.o" "gcc" "CMakeFiles/wake.dir/src/core/join_kernel.cc.o.d"
+  "/root/repo/src/core/nodes_agg.cc" "CMakeFiles/wake.dir/src/core/nodes_agg.cc.o" "gcc" "CMakeFiles/wake.dir/src/core/nodes_agg.cc.o.d"
+  "/root/repo/src/core/nodes_basic.cc" "CMakeFiles/wake.dir/src/core/nodes_basic.cc.o" "gcc" "CMakeFiles/wake.dir/src/core/nodes_basic.cc.o.d"
+  "/root/repo/src/core/nodes_join.cc" "CMakeFiles/wake.dir/src/core/nodes_join.cc.o" "gcc" "CMakeFiles/wake.dir/src/core/nodes_join.cc.o.d"
+  "/root/repo/src/exec/exec_node.cc" "CMakeFiles/wake.dir/src/exec/exec_node.cc.o" "gcc" "CMakeFiles/wake.dir/src/exec/exec_node.cc.o.d"
+  "/root/repo/src/frame/column.cc" "CMakeFiles/wake.dir/src/frame/column.cc.o" "gcc" "CMakeFiles/wake.dir/src/frame/column.cc.o.d"
+  "/root/repo/src/frame/data_frame.cc" "CMakeFiles/wake.dir/src/frame/data_frame.cc.o" "gcc" "CMakeFiles/wake.dir/src/frame/data_frame.cc.o.d"
+  "/root/repo/src/frame/expr.cc" "CMakeFiles/wake.dir/src/frame/expr.cc.o" "gcc" "CMakeFiles/wake.dir/src/frame/expr.cc.o.d"
+  "/root/repo/src/frame/schema.cc" "CMakeFiles/wake.dir/src/frame/schema.cc.o" "gcc" "CMakeFiles/wake.dir/src/frame/schema.cc.o.d"
+  "/root/repo/src/frame/value.cc" "CMakeFiles/wake.dir/src/frame/value.cc.o" "gcc" "CMakeFiles/wake.dir/src/frame/value.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "CMakeFiles/wake.dir/src/plan/plan.cc.o" "gcc" "CMakeFiles/wake.dir/src/plan/plan.cc.o.d"
+  "/root/repo/src/plan/props.cc" "CMakeFiles/wake.dir/src/plan/props.cc.o" "gcc" "CMakeFiles/wake.dir/src/plan/props.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "CMakeFiles/wake.dir/src/sql/lexer.cc.o" "gcc" "CMakeFiles/wake.dir/src/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "CMakeFiles/wake.dir/src/sql/parser.cc.o" "gcc" "CMakeFiles/wake.dir/src/sql/parser.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "CMakeFiles/wake.dir/src/storage/csv.cc.o" "gcc" "CMakeFiles/wake.dir/src/storage/csv.cc.o.d"
+  "/root/repo/src/storage/partitioned_table.cc" "CMakeFiles/wake.dir/src/storage/partitioned_table.cc.o" "gcc" "CMakeFiles/wake.dir/src/storage/partitioned_table.cc.o.d"
+  "/root/repo/src/tpch/dbgen.cc" "CMakeFiles/wake.dir/src/tpch/dbgen.cc.o" "gcc" "CMakeFiles/wake.dir/src/tpch/dbgen.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "CMakeFiles/wake.dir/src/tpch/queries.cc.o" "gcc" "CMakeFiles/wake.dir/src/tpch/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
