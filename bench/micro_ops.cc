@@ -172,9 +172,10 @@ BENCHMARK(BM_ChannelThroughput);
 
 // ---------------------------------------------------------------------------
 // One-line JSON mode (`micro_ops --json`): times the three hot kernels —
-// join_build, join_probe, group_by — on a fixed workload and prints a single
-// JSON object (the BENCH_micro.json format) so the perf trajectory of these
-// kernels can be tracked across PRs.
+// join_build, join_probe, group_by — on a fixed workload, with int keys and
+// string keys (plain vs dict-encoded), and prints a single JSON object (the
+// BENCH_micro_ops.json format) so the perf trajectory of these kernels can
+// be tracked across PRs.
 // ---------------------------------------------------------------------------
 
 double BestMrowsPerSec(size_t rows_per_run, const std::function<void()>& fn) {
@@ -191,49 +192,118 @@ double BestMrowsPerSec(size_t rows_per_run, const std::function<void()>& fn) {
   return static_cast<double>(rows_per_run) / best_sec / 1e6;
 }
 
+// Dict-encoded pool of `keys` distinct "Customer#%09d"-style strings
+// (18 chars — heap-allocated under libstdc++ SSO, like real TPC-H
+// name/phone columns).
+Column MakeStringPool(int64_t keys) {
+  std::vector<std::string> pool(static_cast<size_t>(keys));
+  for (int64_t k = 0; k < keys; ++k) {
+    pool[static_cast<size_t>(k)] =
+        StrFormat("Customer#%09lld", static_cast<long long>(k));
+  }
+  return Column::DictFromStrings(pool);
+}
+
+// Key column of `rows` random draws from the pool. Every column gathered
+// from one pool shares its dict, mirroring partials of one source table;
+// callers DecodeDict() for the plain-encoding baseline.
+Column MakeStringKeys(const Column& pool, size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> idx(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    idx[i] = static_cast<uint32_t>(
+        rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1));
+  }
+  return pool.Take(idx);
+}
+
+struct KernelRates {
+  double join_build = 0.0;
+  double join_probe = 0.0;
+  double group_by = 0.0;
+};
+
+// Times the three kernels over the given key columns (int, plain string,
+// or dict string — the kernels are encoding-agnostic).
+KernelRates MeasureKernels(size_t rows, Column build_keys, Column probe_keys,
+                           Column group_keys) {
+  KernelRates rates;
+  ValueType key_type = build_keys.type();
+  Schema build_schema({{"bk", key_type}, {"bv", ValueType::kFloat64}});
+  DataFrame vals = MakeFact(rows, 1, 3);  // "v" payload column
+  DataFrame build(build_schema);
+  *build.mutable_column(0) = std::move(build_keys);
+  *build.mutable_column(1) = vals.column(1);
+
+  rates.join_build = BestMrowsPerSec(rows, [&] {
+    JoinHashTable table(build_schema, {"bk"});
+    table.Insert(build);
+  });
+
+  Schema probe_schema({{"g", key_type}, {"v", ValueType::kFloat64}});
+  DataFrame probe(probe_schema);
+  *probe.mutable_column(0) = std::move(probe_keys);
+  *probe.mutable_column(1) = vals.column(1);
+  JoinHashTable table(build_schema, {"bk"});
+  // Quarter-size build keeps the probe output (~4 matches/key) bounded.
+  table.Insert(build.Slice(0, rows / 4));
+  Schema out_schema = JoinOutputSchema(probe_schema, build_schema, {"bk"},
+                                       JoinType::kInner);
+  rates.join_probe = BestMrowsPerSec(rows, [&] {
+    DataFrame out = table.Probe(probe, {"g"}, JoinType::kInner, out_schema);
+    if (out.num_rows() == 0) std::abort();
+  });
+
+  DataFrame agg_in(probe_schema);
+  *agg_in.mutable_column(0) = std::move(group_keys);
+  *agg_in.mutable_column(1) = vals.column(1);
+  std::vector<AggSpec> aggs = {Sum("v", "s"), Count("n"), Avg("v", "a")};
+  Schema agg_out = AggOutputSchema(probe_schema, {"g"}, aggs);
+  rates.group_by = BestMrowsPerSec(rows, [&] {
+    GroupedAggState agg({"g"}, aggs, probe_schema, agg_out);
+    agg.Consume(agg_in);
+    if (agg.num_groups() == 0) std::abort();
+  });
+  return rates;
+}
+
 int RunMicroJson() {
   constexpr size_t kRows = 1 << 18;     // 256k rows per kernel invocation
   constexpr int64_t kJoinKeys = 1 << 16;
   constexpr int64_t kGroups = 1 << 14;
 
-  Schema build_schema({{"bk", ValueType::kInt64},
-                       {"bv", ValueType::kFloat64}});
   DataFrame fact = MakeFact(kRows, kJoinKeys, 3);
-  DataFrame build(build_schema);
-  *build.mutable_column(0) = fact.column(0);
-  *build.mutable_column(1) = fact.column(1);
   DataFrame probe = MakeFact(kRows, kJoinKeys, 5);
-
-  double build_mrows = BestMrowsPerSec(kRows, [&] {
-    JoinHashTable table(build_schema, {"bk"});
-    table.Insert(build);
-  });
-
-  JoinHashTable table(build_schema, {"bk"});
-  // Quarter-size build keeps the probe output (~4 matches/key) bounded.
-  table.Insert(build.Slice(0, kRows / 4));
-  Schema out_schema = JoinOutputSchema(probe.schema(), build_schema, {"bk"},
-                                       JoinType::kInner);
-  double probe_mrows = BestMrowsPerSec(kRows, [&] {
-    DataFrame out = table.Probe(probe, {"g"}, JoinType::kInner, out_schema);
-    if (out.num_rows() == 0) std::abort();
-  });
-
   DataFrame agg_in = MakeFact(kRows, kGroups, 7);
-  Schema in = agg_in.schema();
-  std::vector<AggSpec> aggs = {Sum("v", "s"), Count("n"), Avg("v", "a")};
-  Schema agg_out = AggOutputSchema(in, {"g"}, aggs);
-  double group_mrows = BestMrowsPerSec(kRows, [&] {
-    GroupedAggState agg({"g"}, aggs, in, agg_out);
-    agg.Consume(agg_in);
-    if (agg.num_groups() == 0) std::abort();
-  });
+  KernelRates ints = MeasureKernels(kRows, fact.column(0), probe.column(0),
+                                    agg_in.column(0));
+
+  // String keys: same draw distributions; build and probe gather from one
+  // pool (shared dict, as partials of one source table), plain baseline
+  // via DecodeDict.
+  Column join_pool = MakeStringPool(kJoinKeys);
+  Column group_pool = MakeStringPool(kGroups);
+  Column build_sk = MakeStringKeys(join_pool, kRows, 3);
+  Column probe_sk = MakeStringKeys(join_pool, kRows, 5);
+  Column group_sk = MakeStringKeys(group_pool, kRows, 7);
+  KernelRates plain =
+      MeasureKernels(kRows, build_sk.DecodeDict(), probe_sk.DecodeDict(),
+                     group_sk.DecodeDict());
+  KernelRates dict = MeasureKernels(kRows, build_sk, probe_sk, group_sk);
 
   std::printf(
       "{\"bench\":\"micro_ops\",\"rows\":%zu,"
       "\"join_build_mrows_per_s\":%.2f,\"join_probe_mrows_per_s\":%.2f,"
-      "\"group_by_mrows_per_s\":%.2f}\n",
-      kRows, build_mrows, probe_mrows, group_mrows);
+      "\"group_by_mrows_per_s\":%.2f,"
+      "\"join_build_str_plain_mrows_per_s\":%.2f,"
+      "\"join_probe_str_plain_mrows_per_s\":%.2f,"
+      "\"group_by_str_plain_mrows_per_s\":%.2f,"
+      "\"join_build_str_dict_mrows_per_s\":%.2f,"
+      "\"join_probe_str_dict_mrows_per_s\":%.2f,"
+      "\"group_by_str_dict_mrows_per_s\":%.2f}\n",
+      kRows, ints.join_build, ints.join_probe, ints.group_by,
+      plain.join_build, plain.join_probe, plain.group_by, dict.join_build,
+      dict.join_probe, dict.group_by);
   return 0;
 }
 

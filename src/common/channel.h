@@ -52,6 +52,21 @@ class Channel {
     return item;
   }
 
+  /// Drains the entire queue in one lock acquisition. Blocks until at
+  /// least one item is available or the channel is closed; an empty result
+  /// therefore means closed-and-drained. Consumer loops use this instead
+  /// of per-item Receive() so deep pipelines pay one synchronization per
+  /// batch of partials rather than one per partial.
+  std::deque<T> ReceiveAll() {
+    std::deque<T> out;
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    out.swap(queue_);
+    // A whole batch of slots freed at once: wake every blocked sender.
+    if (!out.empty()) not_full_.notify_all();
+    return out;
+  }
+
   /// Non-blocking receive.
   std::optional<T> TryReceive() {
     std::unique_lock<std::mutex> lock(mu_);

@@ -1,0 +1,110 @@
+// StringDict: an append-only interned string pool backing dictionary-
+// encoded string columns.
+//
+// Each distinct string is stored once and addressed by a dense int32 code
+// (its insertion index). Alongside every entry the pool keeps the entry's
+// seed-free FNV-1a hash, so hashing a dict-encoded row is one array load +
+// one MixHash instead of a byte loop — and produces exactly the same row
+// hash as the plain-string path (see common/hash.h).
+//
+// Sharing contract: dicts are shared between columns via shared_ptr
+// (slices, gathers, and appends of same-dict columns just alias the
+// pointer). A dict that is visible to more than one Column is treated as
+// immutable; Column's append paths copy-on-write before interning into a
+// shared dict, so concurrent readers of published columns never observe
+// mutation.
+#ifndef WAKE_COMMON_STRING_DICT_H_
+#define WAKE_COMMON_STRING_DICT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "common/hash.h"
+
+namespace wake {
+
+class StringDict {
+ public:
+  /// Code returned by Find for strings not in the pool.
+  static constexpr int32_t kNotFound = -1;
+
+  StringDict() = default;
+  /// Deep copy (entries, hashes, and lookup index); codes are preserved,
+  /// so columns can swap a shared dict for a private clone in place.
+  StringDict(const StringDict&) = default;
+  StringDict& operator=(const StringDict&) = default;
+
+  /// Number of distinct entries.
+  size_t size() const { return entries_.size(); }
+
+  /// Code of `s`, interning it if absent.
+  int32_t Intern(std::string_view s) {
+    uint64_t h = FnvHash64(s.data(), s.size());
+    int32_t code = FindHashed(s, h);
+    if (code != kNotFound) return code;
+    code = static_cast<int32_t>(entries_.size());
+    entries_.emplace_back(s);
+    hashes_.push_back(h);
+    index_.Insert(h, static_cast<uint32_t>(code));
+    return code;
+  }
+
+  /// Code of `s`, or kNotFound.
+  int32_t Find(std::string_view s) const {
+    return FindHashed(s, FnvHash64(s.data(), s.size()));
+  }
+
+  /// Entry for `code` (must be a valid code).
+  const std::string& At(int32_t code) const {
+    return entries_[static_cast<size_t>(code)];
+  }
+
+  /// Pre-computed FnvHash64 of entry `code`.
+  uint64_t HashAt(int32_t code) const {
+    return hashes_[static_cast<size_t>(code)];
+  }
+
+  /// Raw pre-hash array (size() entries) for tight per-row hash loops.
+  const uint64_t* hash_data() const { return hashes_.data(); }
+
+  void Reserve(size_t entries) {
+    entries_.reserve(entries);
+    hashes_.reserve(entries);
+    index_.Reserve(entries);
+  }
+
+  /// Approximate heap footprint in bytes.
+  size_t ByteSize() const {
+    static const size_t kInlineCapacity = std::string().capacity();
+    size_t bytes = entries_.capacity() * sizeof(std::string) +
+                   hashes_.capacity() * sizeof(uint64_t) + index_.ByteSize();
+    for (const auto& s : entries_) {
+      if (s.capacity() > kInlineCapacity) bytes += s.capacity();
+    }
+    return bytes;
+  }
+
+ private:
+  int32_t FindHashed(std::string_view s, uint64_t h) const {
+    // Chains hold every code whose FNV hash collided; compare bytes.
+    for (uint32_t cand = index_.Find(h); cand != FlatHashIndex::kNil;
+         cand = index_.Next(cand)) {
+      if (entries_[cand] == s) return static_cast<int32_t>(cand);
+    }
+    return kNotFound;
+  }
+
+  std::vector<std::string> entries_;  // code -> string
+  std::vector<uint64_t> hashes_;      // code -> FnvHash64(string)
+  FlatHashIndex index_;               // FnvHash64 -> code chains
+};
+
+using StringDictPtr = std::shared_ptr<StringDict>;
+
+}  // namespace wake
+
+#endif  // WAKE_COMMON_STRING_DICT_H_

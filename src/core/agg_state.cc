@@ -53,14 +53,27 @@ GroupedAggState::GroupedAggState(std::vector<std::string> group_by,
   }
   group_keys_ = DataFrame(key_schema);
   for (size_t i = 0; i < group_by_.size(); ++i) stored_key_cols_.push_back(i);
+  hot_.resize(aggs_.size());
+  cold_.resize(aggs_.size());
+}
+
+void GroupedAggState::AppendAccums() {
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    hot_[a].emplace_back();
+    if (NeedsCold(aggs_[a].func)) cold_[a].emplace_back();
+  }
 }
 
 void GroupedAggState::Reset() {
   group_keys_ = DataFrame(group_keys_.schema());
   key_index_.Reset();
   group_rows_.clear();
-  accums_.clear();
+  for (auto& h : hot_) h.clear();
+  for (auto& c : cold_) c.clear();
   total_rows_ = 0;
+  code_cache_dict_ = nullptr;
+  code_to_gid_.clear();
+  null_gid_ = FlatHashIndex::kNil;
 }
 
 uint32_t GroupedAggState::FindOrCreateGroup(
@@ -72,13 +85,60 @@ uint32_t GroupedAggState::FindOrCreateGroup(
   }
   uint32_t gid = static_cast<uint32_t>(group_rows_.size());
   for (size_t i = 0; i < key_cols.size(); ++i) {
-    group_keys_.mutable_column(i)->AppendValue(
-        partial.column(key_cols[i]).GetValue(row));
+    // AppendFrom keeps dict-encoded keys as codes (no string materializes).
+    group_keys_.mutable_column(i)->AppendFrom(partial.column(key_cols[i]),
+                                              row);
   }
   group_rows_.push_back(0);
-  accums_.resize(accums_.size() + aggs_.size());
+  AppendAccums();
   key_index_.Insert(hash, gid);
   return gid;
+}
+
+void GroupedAggState::AssignGroupsByCode(const DataFrame& partial,
+                                         const std::vector<size_t>& key_cols,
+                                         const Column& key_col,
+                                         uint32_t* gids, size_t n) {
+  const StringDict* d = key_col.dict().get();
+  if (code_cache_dict_ != d) {
+    // New dict object (first partial, or the stored dict was re-pointed by
+    // a cross-dict COW): rebuild the table from the stored group keys.
+    code_cache_dict_ = d;
+    code_to_gid_.assign(d->size(), FlatHashIndex::kNil);
+    null_gid_ = FlatHashIndex::kNil;
+    const auto& gcodes = group_keys_.column(0).codes();
+    for (size_t g = 0; g < gcodes.size(); ++g) {
+      if (gcodes[g] >= 0) {
+        code_to_gid_[gcodes[g]] = static_cast<uint32_t>(g);
+      } else {
+        null_gid_ = static_cast<uint32_t>(g);
+      }
+    }
+  } else if (code_to_gid_.size() < d->size()) {
+    code_to_gid_.resize(d->size(), FlatHashIndex::kNil);
+  }
+  KeyEq eq(partial, key_cols, group_keys_, stored_key_cols_);
+  const int32_t* codes = key_col.codes().data();
+  const bool nulls = key_col.has_nulls();
+  for (size_t r = 0; r < n; ++r) {
+    if (nulls && key_col.IsNull(r)) {
+      if (null_gid_ == FlatHashIndex::kNil) {
+        null_gid_ = FindOrCreateGroup(partial.HashRowKeys(key_cols, r),
+                                      partial, key_cols, r, eq);
+      }
+      gids[r] = null_gid_;
+      continue;
+    }
+    uint32_t g = code_to_gid_[codes[r]];
+    if (g == FlatHashIndex::kNil) {
+      // First sighting of this code: resolve through the hash index (the
+      // group may predate the cache) and memoize.
+      g = FindOrCreateGroup(partial.HashRowKeys(key_cols, r), partial,
+                            key_cols, r, eq);
+      code_to_gid_[codes[r]] = g;
+    }
+    gids[r] = g;
+  }
 }
 
 void GroupedAggState::Consume(const DataFrame& partial,
@@ -112,30 +172,45 @@ void GroupedAggState::Consume(const DataFrame& partial,
     // Global aggregate: one group with no key columns.
     if (group_rows_.empty()) {
       group_rows_.push_back(0);
-      accums_.resize(num_aggs);
+      AppendAccums();
     }
   } else {
-    static thread_local std::vector<uint64_t> hashes;
-    partial.HashRowsBatch(key_cols, &hashes);
-    KeyEq eq(partial, key_cols, group_keys_, stored_key_cols_);
-    constexpr size_t kPrefetchAhead = 8;
-    for (size_t r = 0; r < n; ++r) {
-      if (r + kPrefetchAhead < n) {
-        key_index_.Prefetch(hashes[r + kPrefetchAhead]);
+    // Adopt dict encodings before constructing the comparator, so even the
+    // first partial verifies candidates by code compare.
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      const Column& src = partial.column(key_cols[k]);
+      if (src.is_dict()) group_keys_.mutable_column(k)->AdoptDict(src.dict());
+    }
+    const Column& kc = partial.column(key_cols[0]);
+    if (key_cols.size() == 1 && kc.is_dict() &&
+        group_keys_.column(0).dict().get() == kc.dict().get()) {
+      // Dict group key sharing the stored keys' dict: group ids resolve
+      // through the dense code table — no hashing at all.
+      AssignGroupsByCode(partial, key_cols, kc, gids.data(), n);
+    } else {
+      static thread_local std::vector<uint64_t> hashes;
+      partial.HashRowsBatch(key_cols, &hashes);
+      KeyEq eq(partial, key_cols, group_keys_, stored_key_cols_);
+      constexpr size_t kPrefetchAhead = 8;
+      for (size_t r = 0; r < n; ++r) {
+        if (r + kPrefetchAhead < n) {
+          key_index_.Prefetch(hashes[r + kPrefetchAhead]);
+        }
+        gids[r] = FindOrCreateGroup(hashes[r], partial, key_cols, r, eq);
       }
-      gids[r] = FindOrCreateGroup(hashes[r], partial, key_cols, r, eq);
     }
   }
   for (size_t r = 0; r < n; ++r) ++group_rows_[gids[r]];
   total_rows_ += n;
 
   // Phase 2: accumulate column-at-a-time — one function/type dispatch per
-  // aggregate, then a tight per-row loop over that aggregate's column.
+  // aggregate, then a tight per-row loop over that aggregate's dense
+  // HotAccum array (32 bytes per group).
   for (size_t a = 0; a < num_aggs; ++a) {
-    Accum* accs = accums_.data() + a;  // stride num_aggs, indexed by gid
+    HotAccum* hot = hot_[a].data();
     const Column* col = in_cols[a];
     if (col == nullptr) {  // count(*)
-      for (size_t r = 0; r < n; ++r) ++accs[gids[r] * num_aggs].count;
+      for (size_t r = 0; r < n; ++r) ++hot[gids[r]].count;
       continue;
     }
     const bool nulls = col->has_nulls();
@@ -143,7 +218,7 @@ void GroupedAggState::Consume(const DataFrame& partial,
       case AggFunc::kCount:
         for (size_t r = 0; r < n; ++r) {
           if (nulls && col->IsNull(r)) continue;
-          ++accs[gids[r] * num_aggs].count;
+          ++hot[gids[r]].count;
         }
         break;
       case AggFunc::kSum:
@@ -156,7 +231,7 @@ void GroupedAggState::Consume(const DataFrame& partial,
         const double* dp = ip == nullptr ? col->doubles().data() : nullptr;
         for (size_t r = 0; r < n; ++r) {
           if (nulls && col->IsNull(r)) continue;
-          Accum& acc = accs[gids[r] * num_aggs];
+          HotAccum& acc = hot[gids[r]];
           double v = ip != nullptr ? static_cast<double>(ip[r]) : dp[r];
           acc.sum += v;
           acc.sumsq += v * v;
@@ -168,9 +243,10 @@ void GroupedAggState::Consume(const DataFrame& partial,
       case AggFunc::kMin:
       case AggFunc::kMax: {
         const bool is_min = aggs_[a].func == AggFunc::kMin;
+        ColdAccum* cold = cold_[a].data();
         for (size_t r = 0; r < n; ++r) {
           if (nulls && col->IsNull(r)) continue;
-          Accum& acc = accs[gids[r] * num_aggs];
+          ColdAccum& acc = cold[gids[r]];
           Value v = col->GetValue(r);
           bool replace = !acc.has_extreme ||
                          (is_min ? v < acc.extreme : acc.extreme < v);
@@ -181,18 +257,22 @@ void GroupedAggState::Consume(const DataFrame& partial,
         }
         break;
       }
-      case AggFunc::kCountDistinct:
+      case AggFunc::kCountDistinct: {
+        ColdAccum* cold = cold_[a].data();
         for (size_t r = 0; r < n; ++r) {
           if (nulls && col->IsNull(r)) continue;
-          accs[gids[r] * num_aggs].distinct.insert(DistinctKey(*col, r));
+          cold[gids[r]].distinct.insert(DistinctKey(*col, r));
         }
         break;
-      case AggFunc::kMedian:
+      }
+      case AggFunc::kMedian: {
+        ColdAccum* cold = cold_[a].data();
         for (size_t r = 0; r < n; ++r) {
           if (nulls && col->IsNull(r)) continue;
-          accs[gids[r] * num_aggs].samples.push_back(col->DoubleAt(r));
+          cold[gids[r]].samples.push_back(col->DoubleAt(r));
         }
         break;
+      }
     }
   }
 }
@@ -227,8 +307,10 @@ AggResult GroupedAggState::Finalize(const AggScaling& scaling) const {
   for (size_t a = 0; a < aggs_.size(); ++a) {
     Column* col = out.frame.mutable_column(num_keys + a);
     col->Reserve(num_groups);
+    static const ColdAccum kNoCold;
     for (size_t g = 0; g < num_groups; ++g) {
-      const Accum& acc = accums_[g * aggs_.size() + a];
+      const HotAccum& acc = hot_[a][g];
+      const ColdAccum& cold = cold_[a].empty() ? kNoCold : cold_[a][g];
       double x = static_cast<double>(group_rows_[g]);
       double xhat = scale ? EstimateCardinality(x, scaling.t, scaling.w) : x;
       double var_xhat = 0.0;
@@ -292,15 +374,15 @@ AggResult GroupedAggState::Finalize(const AggScaling& scaling) const {
         }
         case AggFunc::kMin:
         case AggFunc::kMax: {
-          if (!acc.has_extreme) {
+          if (!cold.has_extreme) {
             col->AppendNull();
           } else {
-            col->AppendValue(acc.extreme);  // order statistics: identity
+            col->AppendValue(cold.extreme);  // order statistics: identity
           }
           break;
         }
         case AggFunc::kCountDistinct: {
-          double d = static_cast<double>(acc.distinct.size());
+          double d = static_cast<double>(cold.distinct.size());
           double est =
               scale && x > 0 ? EstimateCountDistinct(d, x, xhat) : d;
           col->AppendInt(static_cast<int64_t>(std::llround(est)));
@@ -335,11 +417,11 @@ AggResult GroupedAggState::Finalize(const AggScaling& scaling) const {
           // Order-statistic estimator: the sample median of the observed
           // rows is the estimate (identity f_order, §5.3). Lower-median
           // convention for even counts keeps merges deterministic.
-          if (acc.samples.empty()) {
+          if (cold.samples.empty()) {
             col->AppendNull();
             break;
           }
-          std::vector<double> values = acc.samples;
+          std::vector<double> values = cold.samples;
           size_t mid = (values.size() - 1) / 2;
           std::nth_element(values.begin(), values.begin() + mid,
                            values.end());

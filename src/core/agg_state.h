@@ -84,20 +84,40 @@ class GroupedAggState {
   double MeanGroupCardinality() const;
 
  private:
-  struct Accum {
+  // Accumulators are split hot/cold: the numeric merge loops touch only
+  // 32-byte HotAccum entries, one dense array per aggregate (the whole
+  // group state for a 16k-group aggregate then fits in L2 instead of
+  // striding through ~176-byte structs). Cold payloads exist only for the
+  // aggregates that need them (min/max/count-distinct/median).
+  struct HotAccum {
     double sum = 0.0;
     double sumsq = 0.0;
-    int64_t count = 0;      // non-null inputs
-    Value extreme;          // min/max payload
-    bool has_extreme = false;
+    int64_t count = 0;        // non-null inputs
     double var_in_sum = 0.0;  // accumulated input variance (CI)
+  };
+  struct ColdAccum {
+    Value extreme;  // min/max payload
+    bool has_extreme = false;
     std::unordered_set<std::string> distinct;
     std::vector<double> samples;  // median keeps the group's values (§5.3)
   };
+  static bool NeedsCold(AggFunc func) {
+    return func == AggFunc::kMin || func == AggFunc::kMax ||
+           func == AggFunc::kCountDistinct || func == AggFunc::kMedian;
+  }
+  /// Appends one zeroed accumulator row (a new group) across all aggs.
+  void AppendAccums();
 
   uint32_t FindOrCreateGroup(uint64_t hash, const DataFrame& partial,
                              const std::vector<size_t>& key_cols, size_t row,
                              const KeyEq& eq);
+
+  /// Single dict-encoded group key sharing the stored keys' dict: assigns
+  /// group ids through the dense code→gid table (one array load per row,
+  /// no hashing). Misses fall back to FindOrCreateGroup and are memoized.
+  void AssignGroupsByCode(const DataFrame& partial,
+                          const std::vector<size_t>& key_cols,
+                          const Column& key_col, uint32_t* gids, size_t n);
 
   std::vector<std::string> group_by_;
   std::vector<AggSpec> aggs_;
@@ -109,8 +129,18 @@ class GroupedAggState {
   // Key-hash -> group-id chains; keys verified on lookup, so hash
   // collisions between distinct group keys never merge.
   FlatHashIndex key_index_;
-  std::vector<size_t> group_rows_;  // x_i per group
-  std::vector<Accum> accums_;       // flattened [group * aggs_.size() + agg]
+  // code→gid table for the single-dict-key fast path. Valid only while
+  // group_keys_'s dict is the object `code_cache_dict_` points at: codes
+  // are append-only within one dict, so entries can be missing but never
+  // wrong; a dict pointer change (cross-dict COW) rebuilds from
+  // group_keys_. FlatHashIndex::kNil marks unresolved entries.
+  const StringDict* code_cache_dict_ = nullptr;
+  std::vector<uint32_t> code_to_gid_;
+  uint32_t null_gid_ = FlatHashIndex::kNil;
+  std::vector<size_t> group_rows_;            // x_i per group
+  std::vector<std::vector<HotAccum>> hot_;    // [agg][group]
+  std::vector<std::vector<ColdAccum>> cold_;  // [agg][group]; empty unless
+                                              // the agg NeedsCold
   size_t total_rows_ = 0;
 };
 

@@ -112,23 +112,28 @@ void WakeEngine::Execute(const PlanNodePtr& plan,
   double progress = 0.0;
   bool got_any = false;
   MessageChannelPtr channel = root.node->ClaimOutput();
-  while (auto msg = channel->Receive()) {
-    if (msg->refresh) {
-      content = *msg->frame;
-    } else {
-      content.Append(*msg->frame);
-    }
-    progress = std::max(progress, msg->progress);
-    latest_vars = msg->variances;
-    got_any = true;
-    if (on_state) {
-      OlaState state;
-      state.frame = std::make_shared<DataFrame>(content);
-      state.progress = progress;
-      state.is_final = false;
-      state.elapsed_seconds = clock.ElapsedSeconds();
-      state.variances = latest_vars;
-      on_state(state);
+  for (;;) {
+    // Batched drain: one lock per burst of root-stream messages.
+    auto batch = channel->ReceiveAll();
+    if (batch.empty()) break;  // closed and drained
+    for (auto& msg : batch) {
+      if (msg.refresh) {
+        content = *msg.frame;
+      } else {
+        content.Append(*msg.frame);
+      }
+      progress = std::max(progress, msg.progress);
+      latest_vars = msg.variances;
+      got_any = true;
+      if (on_state) {
+        OlaState state;
+        state.frame = std::make_shared<DataFrame>(content);
+        state.progress = progress;
+        state.is_final = false;
+        state.elapsed_seconds = clock.ElapsedSeconds();
+        state.variances = latest_vars;
+        on_state(state);
+      }
     }
   }
   for (auto& n : nodes) n->Join();

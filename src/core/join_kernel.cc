@@ -1,16 +1,39 @@
 #include "core/join_kernel.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.h"
 
 namespace wake {
 
+namespace {
+
+// Thread-local code→chain-head memo for probes whose single string key
+// shares the build side's dict: the first probe of each distinct code pays
+// one hash+slot walk, every later row is an array load. Validated against
+// (table, build version, dict object); codes within one dict object are
+// append-only, so hits are never stale.
+struct ProbeCodeCache {
+  // Distinct from FlatHashIndex::kNil (a legitimate cached "no match").
+  static constexpr uint32_t kUnresolved = 0xFFFFFFFEu;
+  uint64_t table_id = 0;  // 0 == never filled
+  uint64_t build_version = 0;
+  const StringDict* dict = nullptr;
+  std::vector<uint32_t> heads;  // code -> chain head (kNil == no match)
+  uint32_t null_head = kUnresolved;
+};
+
+std::atomic<uint64_t> next_table_id{0};
+
+}  // namespace
+
 JoinHashTable::JoinHashTable(const Schema& right_schema,
                              std::vector<std::string> right_keys)
     : right_schema_(right_schema),
       right_keys_(std::move(right_keys)),
-      build_(right_schema) {
+      build_(right_schema),
+      table_id_(++next_table_id) {
   for (const auto& k : right_keys_) {
     key_cols_.push_back(right_schema_.FieldIndex(k));
   }
@@ -22,6 +45,7 @@ void JoinHashTable::Reserve(size_t expected_rows) {
 
 void JoinHashTable::Insert(const DataFrame& right_partial,
                            const VarianceMap* variances) {
+  ++build_version_;
   size_t base = build_.num_rows();
   build_.Append(right_partial);
   if (variances != nullptr) {
@@ -42,6 +66,7 @@ void JoinHashTable::Insert(const DataFrame& right_partial,
 }
 
 void JoinHashTable::Reset() {
+  ++build_version_;
   build_ = DataFrame(right_schema_);
   build_vars_.clear();
   index_.Reset();
@@ -78,8 +103,6 @@ DataFrame JoinHashTable::Probe(const DataFrame& left,
       for (size_t i = 0; i < n; ++i) lrows[i] = static_cast<uint32_t>(i);
     }
   } else {
-    static thread_local std::vector<uint64_t> hashes;
-    left.HashRowsBatch(lcols, &hashes);
     KeyEq eq(left, lcols, build_, key_cols_);
     lrows.reserve(n);
     if (type == JoinType::kInner || pad) {
@@ -92,9 +115,55 @@ DataFrame JoinHashTable::Probe(const DataFrame& left,
     constexpr size_t kPrefetchAhead = 8;
     static thread_local std::vector<uint32_t> heads;
     heads.resize(n);
-    for (size_t r = 0; r < n; ++r) {
-      if (r + kPrefetchAhead < n) index_.Prefetch(hashes[r + kPrefetchAhead]);
-      heads[r] = index_.Find(hashes[r]);
+    const Column* dict_key = nullptr;
+    if (lcols.size() == 1) {
+      const Column& lkc = left.column(lcols[0]);
+      const Column& bkc = build_.column(key_cols_[0]);
+      if (lkc.is_dict() && lkc.dict().get() == bkc.dict().get()) {
+        dict_key = &lkc;
+      }
+    }
+    if (dict_key != nullptr) {
+      // Shared-dict string key: chain heads come from the code memo; only
+      // first-seen codes touch the hash index.
+      static thread_local ProbeCodeCache cache;
+      const StringDict* d = dict_key->dict().get();
+      if (cache.table_id != table_id_ ||
+          cache.build_version != build_version_ || cache.dict != d) {
+        cache.table_id = table_id_;
+        cache.build_version = build_version_;
+        cache.dict = d;
+        cache.heads.assign(d->size(), ProbeCodeCache::kUnresolved);
+        cache.null_head = ProbeCodeCache::kUnresolved;
+      } else if (cache.heads.size() < d->size()) {
+        cache.heads.resize(d->size(), ProbeCodeCache::kUnresolved);
+      }
+      const int32_t* codes = dict_key->codes().data();
+      const bool nulls = dict_key->has_nulls();
+      for (size_t r = 0; r < n; ++r) {
+        if (nulls && dict_key->IsNull(r)) {
+          if (cache.null_head == ProbeCodeCache::kUnresolved) {
+            cache.null_head = index_.Find(left.HashRowKeys(lcols, r));
+          }
+          heads[r] = cache.null_head;
+          continue;
+        }
+        uint32_t head = cache.heads[codes[r]];
+        if (head == ProbeCodeCache::kUnresolved) {
+          head = index_.Find(left.HashRowKeys(lcols, r));
+          cache.heads[codes[r]] = head;
+        }
+        heads[r] = head;
+      }
+    } else {
+      static thread_local std::vector<uint64_t> hashes;
+      left.HashRowsBatch(lcols, &hashes);
+      for (size_t r = 0; r < n; ++r) {
+        if (r + kPrefetchAhead < n) {
+          index_.Prefetch(hashes[r + kPrefetchAhead]);
+        }
+        heads[r] = index_.Find(hashes[r]);
+      }
     }
     for (size_t r = 0; r < n; ++r) {
       if (r + kPrefetchAhead < n) {

@@ -67,6 +67,13 @@ class JoinHashTable {
   // Key-hash -> build-row chains; key equality verified on probe, so hash
   // collisions between distinct keys never merge.
   FlatHashIndex index_;
+  // Process-unique instance id plus a version bumped by Insert/Reset;
+  // probes keyed on a single dict-encoded string column use the pair to
+  // validate their thread-local code→chain-head cache. The id (not the
+  // address, which allocators recycle) prevents a later table from
+  // replaying a destroyed table's cached chain heads.
+  uint64_t table_id_;
+  uint64_t build_version_ = 0;
 };
 
 /// One-shot convenience used by the exact engine.

@@ -58,8 +58,13 @@ void ExecNode::Run(TraceLog* trace) {
   forwarders_.reserve(ports);
   for (size_t p = 0; p < ports; ++p) {
     forwarders_.emplace_back([this, merged, p] {
-      while (auto msg = inputs_[p]->Receive()) {
-        merged->Send(Tagged{p, false, std::move(*msg)});
+      // Batched drain: one lock per burst of queued partials.
+      for (;;) {
+        auto batch = inputs_[p]->ReceiveAll();
+        if (batch.empty()) break;  // closed and drained
+        for (auto& msg : batch) {
+          merged->Send(Tagged{p, false, std::move(msg)});
+        }
       }
       merged->Send(Tagged{p, true, Message{}});
     });

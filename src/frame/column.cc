@@ -3,29 +3,16 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/hash.h"
 
 namespace wake {
 
 namespace {
-inline uint64_t MixHash(uint64_t h, uint64_t v) {
-  // 64-bit mix derived from splitmix64's finalizer.
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  return h;
-}
-
-uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
-  // FNV-1a over bytes then mixed with the seed.
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  uint64_t h = 1469598103934665603ULL;
-  for (size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ULL;
-  }
-  return MixHash(seed, h);
-}
+// Sentinel mixed in place of a value hash for null rows.
+constexpr uint64_t kNullHashPayload = 0xdeadbeefULL;
 }  // namespace
+
+const std::string Column::kEmptyString;
 
 Column Column::FromInts(std::vector<int64_t> data, ValueType type) {
   Column c(type);
@@ -45,12 +32,54 @@ Column Column::FromStrings(std::vector<std::string> data) {
   return c;
 }
 
+Column Column::NewDict() {
+  Column c(ValueType::kString);
+  c.dict_ = std::make_shared<StringDict>();
+  return c;
+}
+
+Column Column::DictFromStrings(const std::vector<std::string>& data) {
+  Column c = NewDict();
+  c.codes_.reserve(data.size());
+  for (const auto& s : data) c.codes_.push_back(c.dict_->Intern(s));
+  return c;
+}
+
+Column Column::DecodeDict() const {
+  if (dict_ == nullptr) return *this;
+  Column out(ValueType::kString);
+  out.strings_.reserve(codes_.size());
+  for (size_t i = 0; i < codes_.size(); ++i) {
+    out.strings_.push_back(codes_[i] < 0 ? std::string()
+                                         : dict_->At(codes_[i]));
+  }
+  out.valid_ = valid_;
+  return out;
+}
+
+Column Column::EncodeDict() const {
+  CheckArg(type_ == ValueType::kString, "EncodeDict over non-string");
+  if (dict_ != nullptr) return *this;
+  Column out = NewDict();
+  out.codes_.reserve(strings_.size());
+  for (size_t i = 0; i < strings_.size(); ++i) {
+    out.codes_.push_back(IsNull(i) ? kNullCode : out.dict_->Intern(strings_[i]));
+  }
+  out.valid_ = valid_;
+  return out;
+}
+
+StringDict* Column::MutableDict() {
+  if (dict_.use_count() > 1) dict_ = std::make_shared<StringDict>(*dict_);
+  return dict_.get();
+}
+
 size_t Column::size() const {
   switch (type_) {
     case ValueType::kFloat64:
       return doubles_.size();
     case ValueType::kString:
-      return strings_.size();
+      return dict_ != nullptr ? codes_.size() : strings_.size();
     default:
       return ints_.size();
   }
@@ -59,6 +88,7 @@ size_t Column::size() const {
 void Column::SetNull(size_t i) {
   if (valid_.empty()) valid_.assign(size(), 1);
   valid_[i] = 0;
+  if (dict_ != nullptr) codes_[i] = kNullCode;
 }
 
 void Column::CompactValidity() {
@@ -78,7 +108,7 @@ Value Column::GetValue(size_t i) const {
       v.d = doubles_[i];
       break;
     case ValueType::kString:
-      v.s = strings_[i];
+      v.s = StringAt(i);
       break;
     default:
       v.i = ints_[i];
@@ -107,6 +137,35 @@ void Column::AppendValue(const Value& v) {
   }
 }
 
+void Column::AppendString(std::string x) {
+  if (dict_ != nullptr) {
+    codes_.push_back(MutableDict()->Intern(x));
+  } else {
+    strings_.push_back(std::move(x));
+  }
+  ExtendValidity();
+}
+
+void Column::AppendFrom(const Column& src, size_t i) {
+  if (src.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  if (type_ == ValueType::kString) {
+    if (src.dict_ != nullptr) {
+      if (dict_ == nullptr && size() == 0) dict_ = src.dict_;
+      if (dict_ == src.dict_) {
+        codes_.push_back(src.codes_[i]);
+        ExtendValidity();
+        return;
+      }
+    }
+    AppendString(src.StringAt(i));
+    return;
+  }
+  AppendValue(src.GetValue(i));
+}
+
 void Column::AppendNull() {
   if (valid_.empty()) valid_.assign(size(), 1);
   switch (type_) {
@@ -114,7 +173,11 @@ void Column::AppendNull() {
       doubles_.push_back(0.0);
       break;
     case ValueType::kString:
-      strings_.emplace_back();
+      if (dict_ != nullptr) {
+        codes_.push_back(kNullCode);
+      } else {
+        strings_.emplace_back();
+      }
       break;
     default:
       ints_.push_back(0);
@@ -129,7 +192,11 @@ void Column::Reserve(size_t n) {
       doubles_.reserve(n);
       break;
     case ValueType::kString:
-      strings_.reserve(n);
+      if (dict_ != nullptr) {
+        codes_.reserve(n);
+      } else {
+        strings_.reserve(n);
+      }
       break;
     default:
       ints_.reserve(n);
@@ -141,6 +208,7 @@ void Column::Clear() {
   ints_.clear();
   doubles_.clear();
   strings_.clear();
+  codes_.clear();
   valid_.clear();
 }
 
@@ -154,8 +222,15 @@ Column Column::Take(const std::vector<uint32_t>& indices) const {
       for (size_t i = 0; i < n; ++i) out.doubles_[i] = doubles_[indices[i]];
       break;
     case ValueType::kString:
-      out.strings_.resize(n);
-      for (size_t i = 0; i < n; ++i) out.strings_[i] = strings_[indices[i]];
+      if (dict_ != nullptr) {
+        // Codes gather; the dict is shared, so no string is copied.
+        out.dict_ = dict_;
+        out.codes_.resize(n);
+        for (size_t i = 0; i < n; ++i) out.codes_[i] = codes_[indices[i]];
+      } else {
+        out.strings_.resize(n);
+        for (size_t i = 0; i < n; ++i) out.strings_[i] = strings_[indices[i]];
+      }
       break;
     default:
       out.ints_.resize(n);
@@ -180,8 +255,15 @@ Column Column::FilterBy(const std::vector<uint8_t>& mask) const {
       }
       break;
     case ValueType::kString:
-      for (size_t i = 0; i < mask.size(); ++i) {
-        if (mask[i]) out.strings_.push_back(strings_[i]);
+      if (dict_ != nullptr) {
+        out.dict_ = dict_;
+        for (size_t i = 0; i < mask.size(); ++i) {
+          if (mask[i]) out.codes_.push_back(codes_[i]);
+        }
+      } else {
+        for (size_t i = 0; i < mask.size(); ++i) {
+          if (mask[i]) out.strings_.push_back(strings_[i]);
+        }
       }
       break;
     default:
@@ -210,10 +292,45 @@ void Column::AppendColumn(const Column& other) {
       doubles_.insert(doubles_.end(), other.doubles_.begin(),
                       other.doubles_.end());
       break;
-    case ValueType::kString:
-      strings_.insert(strings_.end(), other.strings_.begin(),
-                      other.strings_.end());
+    case ValueType::kString: {
+      if (old_size == 0 && dict_ == nullptr && other.dict_ != nullptr) {
+        dict_ = other.dict_;  // empty destination adopts the encoding
+      }
+      if (dict_ == nullptr && other.dict_ == nullptr) {
+        strings_.insert(strings_.end(), other.strings_.begin(),
+                        other.strings_.end());
+      } else if (dict_ != nullptr && dict_ == other.dict_) {
+        codes_.insert(codes_.end(), other.codes_.begin(), other.codes_.end());
+      } else if (dict_ != nullptr && other.dict_ != nullptr) {
+        // Cross-dict append: remap each distinct entry once, then gather.
+        StringDict* d = MutableDict();
+        std::vector<int32_t> remap(other.dict_->size());
+        for (size_t c = 0; c < remap.size(); ++c) {
+          remap[c] = d->Intern(other.dict_->At(static_cast<int32_t>(c)));
+        }
+        codes_.reserve(codes_.size() + other.codes_.size());
+        for (int32_t code : other.codes_) {
+          codes_.push_back(code < 0 ? kNullCode : remap[code]);
+        }
+      } else if (dict_ != nullptr) {
+        // Plain rows into a dict column: intern row by row.
+        StringDict* d = MutableDict();
+        codes_.reserve(codes_.size() + other.strings_.size());
+        for (size_t i = 0; i < other.strings_.size(); ++i) {
+          codes_.push_back(other.IsNull(i) ? kNullCode
+                                           : d->Intern(other.strings_[i]));
+        }
+      } else {
+        // Dict rows into a non-empty plain column: decode.
+        strings_.reserve(strings_.size() + other.codes_.size());
+        for (size_t i = 0; i < other.codes_.size(); ++i) {
+          strings_.push_back(other.codes_[i] < 0
+                                 ? std::string()
+                                 : other.dict_->At(other.codes_[i]));
+        }
+      }
       break;
+    }
     default:
       ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
       break;
@@ -235,7 +352,12 @@ Column Column::Slice(size_t begin, size_t end) const {
       out.doubles_.assign(doubles_.begin() + begin, doubles_.begin() + end);
       break;
     case ValueType::kString:
-      out.strings_.assign(strings_.begin() + begin, strings_.begin() + end);
+      if (dict_ != nullptr) {
+        out.dict_ = dict_;
+        out.codes_.assign(codes_.begin() + begin, codes_.begin() + end);
+      } else {
+        out.strings_.assign(strings_.begin() + begin, strings_.begin() + end);
+      }
       break;
     default:
       out.ints_.assign(ints_.begin() + begin, ints_.begin() + end);
@@ -252,7 +374,13 @@ int Column::CompareRows(size_t i, const Column& other, size_t j) const {
   bool ln = IsNull(i), rn = other.IsNull(j);
   if (ln || rn) return ln == rn ? 0 : (ln ? -1 : 1);
   if (type_ == ValueType::kString) {
-    int c = strings_[i].compare(other.strings_[j]);
+    // Shared-dict equality is a code compare; codes are unordered (the
+    // dict is insertion-ordered), so inequality still compares bytes.
+    if (dict_ != nullptr && dict_ == other.dict_ &&
+        codes_[i] == other.codes_[j]) {
+      return 0;
+    }
+    int c = StringAt(i).compare(other.StringAt(j));
     return c < 0 ? -1 : (c > 0 ? 1 : 0);
   }
   // Numeric comparison with int/float promotion (mixed-type comparisons
@@ -266,9 +394,10 @@ int Column::CompareRows(size_t i, const Column& other, size_t j) const {
 }
 
 uint64_t Column::HashRow(size_t i, uint64_t seed) const {
-  if (IsNull(i)) return MixHash(seed, 0xdeadbeefULL);
+  if (IsNull(i)) return MixHash(seed, kNullHashPayload);
   switch (type_) {
     case ValueType::kString:
+      if (dict_ != nullptr) return MixHash(seed, dict_->HashAt(codes_[i]));
       return HashBytes(strings_[i].data(), strings_[i].size(), seed);
     case ValueType::kFloat64: {
       double d = doubles_[i];
@@ -287,9 +416,20 @@ void Column::HashInto(uint64_t* hashes, size_t n) const {
   const bool nulls = !valid_.empty();
   switch (type_) {
     case ValueType::kString:
+      if (dict_ != nullptr) {
+        // One pre-hash load + mix per row; no byte loop.
+        const int32_t* cp = codes_.data();
+        const uint64_t* ph = dict_->hash_data();
+        for (size_t i = 0; i < n; ++i) {
+          hashes[i] = (nulls && valid_[i] == 0)
+                          ? MixHash(hashes[i], kNullHashPayload)
+                          : MixHash(hashes[i], ph[cp[i]]);
+        }
+        break;
+      }
       for (size_t i = 0; i < n; ++i) {
         hashes[i] = (nulls && valid_[i] == 0)
-                        ? MixHash(hashes[i], 0xdeadbeefULL)
+                        ? MixHash(hashes[i], kNullHashPayload)
                         : HashBytes(strings_[i].data(), strings_[i].size(),
                                     hashes[i]);
       }
@@ -297,7 +437,7 @@ void Column::HashInto(uint64_t* hashes, size_t n) const {
     case ValueType::kFloat64:
       for (size_t i = 0; i < n; ++i) {
         if (nulls && valid_[i] == 0) {
-          hashes[i] = MixHash(hashes[i], 0xdeadbeefULL);
+          hashes[i] = MixHash(hashes[i], kNullHashPayload);
           continue;
         }
         double d = doubles_[i];
@@ -310,7 +450,7 @@ void Column::HashInto(uint64_t* hashes, size_t n) const {
     default:
       for (size_t i = 0; i < n; ++i) {
         hashes[i] = (nulls && valid_[i] == 0)
-                        ? MixHash(hashes[i], 0xdeadbeefULL)
+                        ? MixHash(hashes[i], kNullHashPayload)
                         : MixHash(hashes[i], static_cast<uint64_t>(ints_[i]));
       }
       break;
@@ -319,9 +459,13 @@ void Column::HashInto(uint64_t* hashes, size_t n) const {
 
 size_t Column::ByteSize() const {
   size_t bytes = ints_.capacity() * sizeof(int64_t) +
-                 doubles_.capacity() * sizeof(double) + valid_.capacity();
+                 doubles_.capacity() * sizeof(double) +
+                 codes_.capacity() * sizeof(int32_t) + valid_.capacity();
+  if (dict_ != nullptr) bytes += dict_->ByteSize();
   // Short strings live in the SSO buffer inside sizeof(std::string);
-  // only capacities beyond it allocate separately on the heap.
+  // only capacities beyond it allocate separately on the heap. Dict
+  // columns hold no per-row strings — payload bytes live in the pool,
+  // counted once via dict_->ByteSize() above.
   static const size_t kInlineCapacity = std::string().capacity();
   bytes += strings_.capacity() * sizeof(std::string);
   for (const auto& s : strings_) {

@@ -1,7 +1,18 @@
 // Column: typed, nullable, contiguous vector of values.
 //
-// Physical storage is one of three vectors (int64 / double / string)
-// selected by the logical type; kDate and kBool share int64 storage.
+// Physical storage is selected by the logical type; kDate and kBool share
+// int64 storage. String columns have two physical encodings behind one
+// API:
+//   - plain: one std::string per row (strings_), and
+//   - dict:  one int32 code per row (codes_) into a shared, append-only
+//     StringDict (common/string_dict.h) holding each distinct string once
+//     alongside its pre-computed hash.
+// Sources (CSV/tbl/wpart readers, dbgen) build dict columns, so the join
+// and aggregation hot paths hash, compare, and gather dense codes instead
+// of whole strings; plain columns remain for small derived results
+// (SUBSTR output, literal broadcasts) and the two encodings hash
+// identically, so they can always probe each other.
+//
 // The null mask is allocated lazily — an empty `valid_` means all rows are
 // valid, which keeps the common non-null path branch-free.
 #ifndef WAKE_FRAME_COLUMN_H_
@@ -9,8 +20,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/string_dict.h"
 #include "frame/value.h"
 
 namespace wake {
@@ -18,6 +31,10 @@ namespace wake {
 /// A single column of a DataFrame.
 class Column {
  public:
+  /// Code stored for rows appended as null into dict columns (never
+  /// dereferenced; the validity mask is checked first).
+  static constexpr int32_t kNullCode = -1;
+
   Column() : type_(ValueType::kInt64) {}
   explicit Column(ValueType type) : type_(type) {}
 
@@ -27,6 +44,12 @@ class Column {
   static Column FromDoubles(std::vector<double> data);
   static Column FromStrings(std::vector<std::string> data);
 
+  /// Empty dict-encoded string column with a fresh private dict; appends
+  /// intern into it. This is how sources start their string columns.
+  static Column NewDict();
+  /// Dict-encoded column holding `data` (convenience for tests/benches).
+  static Column DictFromStrings(const std::vector<std::string>& data);
+
   ValueType type() const { return type_; }
   void set_type(ValueType t) { type_ = t; }
   size_t size() const;
@@ -34,17 +57,41 @@ class Column {
   /// --- typed access (caller must respect the type) ---
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
+  /// Plain-encoded rows only; empty for dict columns (use StringAt).
   const std::vector<std::string>& strings() const { return strings_; }
   std::vector<int64_t>* mutable_ints() { return &ints_; }
   std::vector<double>* mutable_doubles() { return &doubles_; }
   std::vector<std::string>* mutable_strings() { return &strings_; }
+
+  /// --- dict encoding ---
+  bool is_dict() const { return dict_ != nullptr; }
+  const std::vector<int32_t>& codes() const { return codes_; }
+  const StringDictPtr& dict() const { return dict_; }
+  /// Plain-encoded copy (identity copy for non-dict columns).
+  Column DecodeDict() const;
+  /// Dict-encoded copy with a fresh dict (identity copy for dict columns).
+  Column EncodeDict() const;
+  /// If this is an empty plain string column, switches it to dict encoding
+  /// sharing `dict` (no-op otherwise). Accumulating consumers call this
+  /// before their first append so comparators see codes from row one.
+  void AdoptDict(const StringDictPtr& dict) {
+    if (type_ == ValueType::kString && dict_ == nullptr && size() == 0) {
+      dict_ = dict;
+    }
+  }
 
   /// Numeric value of row i promoted to double (0.0 for null).
   double DoubleAt(size_t i) const {
     return IsIntPhysical(type_) ? static_cast<double>(ints_[i]) : doubles_[i];
   }
   int64_t IntAt(size_t i) const { return ints_[i]; }
-  const std::string& StringAt(size_t i) const { return strings_[i]; }
+  /// String value of row i under either encoding (empty for null rows of
+  /// dict columns).
+  const std::string& StringAt(size_t i) const {
+    if (dict_ == nullptr) return strings_[i];
+    int32_t code = codes_[i];
+    return code < 0 ? kEmptyString : dict_->At(code);
+  }
 
   /// --- nulls ---
   bool has_nulls() const { return !valid_.empty(); }
@@ -63,10 +110,11 @@ class Column {
   void AppendNull();
   void AppendInt(int64_t x) { ints_.push_back(x); ExtendValidity(); }
   void AppendDouble(double x) { doubles_.push_back(x); ExtendValidity(); }
-  void AppendString(std::string x) {
-    strings_.push_back(std::move(x));
-    ExtendValidity();
-  }
+  void AppendString(std::string x);
+  /// Appends row `i` of `src` (same logical type), preserving dict
+  /// encoding when possible: an empty plain string column adopts `src`'s
+  /// dict, same-dict appends copy the code, and cross-dict appends intern.
+  void AppendFrom(const Column& src, size_t i);
 
   void Reserve(size_t n);
   void Clear();
@@ -77,7 +125,10 @@ class Column {
   /// New column containing rows where mask[i] != 0.
   Column FilterBy(const std::vector<uint8_t>& mask) const;
 
-  /// Appends all rows of `other` (must have same type).
+  /// Appends all rows of `other` (must have same type). Dict handling: an
+  /// empty plain destination adopts `other`'s dict; same-dict appends
+  /// concatenate codes; cross-dict/cross-encoding appends remap through
+  /// this column's dict (copy-on-write if the dict is shared).
   void AppendColumn(const Column& other);
 
   /// New column of rows [begin, end).
@@ -87,6 +138,8 @@ class Column {
   int CompareRows(size_t i, const Column& other, size_t j) const;
 
   /// 64-bit hash of row i mixed into `seed` (used for join/group keys).
+  /// Identical across string encodings: dict rows mix the entry's
+  /// pre-computed FNV hash, plain rows hash the bytes.
   uint64_t HashRow(size_t i, uint64_t seed) const;
 
   /// Column-at-a-time hashing: mixes row i's hash into hashes[i] for the
@@ -95,6 +148,8 @@ class Column {
   void HashInto(uint64_t* hashes, size_t n) const;
 
   /// Approximate heap footprint in bytes (peak-memory accounting, §8.2).
+  /// Dict columns count their codes plus the dict pool; a dict shared by
+  /// k columns is counted k times (upper bound).
   size_t ByteSize() const;
 
  private:
@@ -102,10 +157,18 @@ class Column {
     if (!valid_.empty()) valid_.push_back(1);
   }
 
+  /// Dict pointer safe to intern into: clones the pool first if any other
+  /// column shares it (published dicts stay immutable).
+  StringDict* MutableDict();
+
+  static const std::string kEmptyString;
+
   ValueType type_;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
-  std::vector<std::string> strings_;
+  std::vector<std::string> strings_;  // plain string rows
+  std::vector<int32_t> codes_;        // dict string rows (when dict_ set)
+  StringDictPtr dict_;
   std::vector<uint8_t> valid_;  // empty == all valid
 };
 

@@ -101,15 +101,27 @@ using DataFramePtr = std::shared_ptr<const DataFrame>;
 /// Typed row-equality over parallel key-column lists — the inlined hot-loop
 /// form of DataFrame::KeysEqual used when verifying hash-index candidates.
 /// Matches KeysEqual semantics exactly: nulls equal nulls, int/float keys
-/// compare promoted, NaNs compare equal.
+/// compare promoted, NaNs compare equal. The per-pair comparison mode is
+/// resolved once at construction; string pairs sharing one dict compare
+/// int32 codes instead of bytes.
 class KeyEq {
  public:
   KeyEq(const DataFrame& left, const std::vector<size_t>& left_cols,
         const DataFrame& right, const std::vector<size_t>& right_cols) {
     cols_.reserve(left_cols.size());
     for (size_t k = 0; k < left_cols.size(); ++k) {
-      cols_.push_back({&left.column(left_cols[k]),
-                       &right.column(right_cols[k])});
+      const Column& a = left.column(left_cols[k]);
+      const Column& b = right.column(right_cols[k]);
+      Mode mode;
+      if (a.type() == ValueType::kString) {
+        mode = (a.is_dict() && a.dict() == b.dict()) ? Mode::kCode
+                                                     : Mode::kString;
+      } else if (IsIntPhysical(a.type()) && IsIntPhysical(b.type())) {
+        mode = Mode::kInt;
+      } else {
+        mode = Mode::kDouble;
+      }
+      cols_.push_back({&a, &b, mode});
     }
   }
 
@@ -118,7 +130,11 @@ class KeyEq {
     for (const auto& p : cols_) {
       const Column& b = *p.b;
       if (b.type() == ValueType::kString) {
-        __builtin_prefetch(b.strings().data() + j);
+        if (b.is_dict()) {
+          __builtin_prefetch(b.codes().data() + j);
+        } else {
+          __builtin_prefetch(b.strings().data() + j);
+        }
       } else if (IsIntPhysical(b.type())) {
         __builtin_prefetch(b.ints().data() + j);
       } else {
@@ -136,22 +152,32 @@ class KeyEq {
         if (an != bn) return false;
         continue;
       }
-      if (a.type() == ValueType::kString) {
-        if (a.strings()[i] != b.strings()[j]) return false;
-      } else if (IsIntPhysical(a.type()) && IsIntPhysical(b.type())) {
-        if (a.ints()[i] != b.ints()[j]) return false;
-      } else {
-        double x = a.DoubleAt(i), y = b.DoubleAt(j);
-        if (x < y || y < x) return false;
+      switch (p.mode) {
+        case Mode::kCode:
+          if (a.codes()[i] != b.codes()[j]) return false;
+          break;
+        case Mode::kString:
+          if (a.StringAt(i) != b.StringAt(j)) return false;
+          break;
+        case Mode::kInt:
+          if (a.ints()[i] != b.ints()[j]) return false;
+          break;
+        case Mode::kDouble: {
+          double x = a.DoubleAt(i), y = b.DoubleAt(j);
+          if (x < y || y < x) return false;
+          break;
+        }
       }
     }
     return true;
   }
 
  private:
+  enum class Mode : uint8_t { kInt, kDouble, kCode, kString };
   struct ColPair {
     const Column* a;
     const Column* b;
+    Mode mode;
   };
   std::vector<ColPair> cols_;
 };

@@ -325,8 +325,23 @@ Column Expr::Eval(const DataFrame& df) const {
       Column out(ValueType::kBool);
       auto& v = *out.mutable_ints();
       v.resize(n, 0);
+      if (c.is_dict() && c.dict()->size() < n) {
+        // Match each distinct entry once, then map codes through the memo.
+        // Only profitable when the dict is smaller than the partial —
+        // small partials over a large shared dict stay row-wise.
+        const StringDict& dict = *c.dict();
+        std::vector<uint8_t> match(dict.size());
+        for (size_t k = 0; k < dict.size(); ++k) {
+          match[k] = LikeMatch(dict.At(static_cast<int32_t>(k)), pattern_);
+        }
+        const auto& codes = c.codes();
+        for (size_t i = 0; i < n; ++i) {
+          if (c.IsValid(i)) v[i] = match[codes[i]];
+        }
+        return out;
+      }
       for (size_t i = 0; i < n; ++i) {
-        if (c.IsValid(i)) v[i] = LikeMatch(c.strings()[i], pattern_) ? 1 : 0;
+        if (c.IsValid(i)) v[i] = LikeMatch(c.StringAt(i), pattern_) ? 1 : 0;
       }
       return out;
     }
@@ -335,6 +350,21 @@ Column Expr::Eval(const DataFrame& df) const {
       Column out(ValueType::kBool);
       auto& v = *out.mutable_ints();
       v.resize(n, 0);
+      if (c.is_dict()) {
+        // Membership per distinct entry once, then map codes.
+        const StringDict& dict = *c.dict();
+        std::vector<uint8_t> member(dict.size(), 0);
+        for (const auto& cand : list_) {
+          if (cand.type != ValueType::kString || cand.is_null) continue;
+          int32_t code = dict.Find(cand.s);
+          if (code != StringDict::kNotFound) member[code] = 1;
+        }
+        const auto& codes = c.codes();
+        for (size_t i = 0; i < n; ++i) {
+          if (c.IsValid(i)) v[i] = member[codes[i]];
+        }
+        return out;
+      }
       for (size_t i = 0; i < n; ++i) {
         if (c.IsNull(i)) continue;
         Value row = c.GetValue(i);
@@ -363,7 +393,7 @@ Column Expr::Eval(const DataFrame& df) const {
         } else if (to_double) {
           out.AppendDouble(src.DoubleAt(i));
         } else if (out.type() == ValueType::kString) {
-          out.AppendString(src.StringAt(i));
+          out.AppendFrom(src, i);  // keeps dict codes when branches share one
         } else {
           out.AppendInt(src.IntAt(i));
         }
@@ -379,7 +409,7 @@ Column Expr::Eval(const DataFrame& df) const {
         if (c.IsNull(i)) {
           out.AppendValue(literal_);
         } else {
-          out.AppendValue(c.GetValue(i));
+          out.AppendFrom(c, i);
         }
       }
       return out;
@@ -390,7 +420,7 @@ Column Expr::Eval(const DataFrame& df) const {
       Column out(ValueType::kString);
       out.Reserve(n);
       for (size_t i = 0; i < n; ++i) {
-        const std::string& s = c.strings()[i];
+        const std::string& s = c.StringAt(i);
         size_t start = static_cast<size_t>(std::max<int64_t>(
             substr_start_ - 1, 0));  // SQL is 1-based
         if (start >= s.size()) {

@@ -64,13 +64,22 @@ std::string FieldText(const Column& col, size_t row) {
 }  // namespace
 
 bool ParseCsvRecord(const std::string& content, size_t* offset,
-                    std::vector<std::string>* fields) {
+                    std::vector<std::string>* fields,
+                    std::vector<uint8_t>* quoted) {
   fields->clear();
+  if (quoted != nullptr) quoted->clear();
   size_t i = *offset;
   size_t n = content.size();
   if (i >= n) return false;
   std::string field;
   bool in_quotes = false;
+  bool was_quoted = false;
+  auto emit = [&] {
+    fields->push_back(std::move(field));
+    field.clear();
+    if (quoted != nullptr) quoted->push_back(was_quoted ? 1 : 0);
+    was_quoted = false;
+  };
   while (i < n) {
     char c = content[i];
     if (in_quotes) {
@@ -90,19 +99,19 @@ bool ParseCsvRecord(const std::string& content, size_t* offset,
     }
     if (c == '"' && field.empty()) {
       in_quotes = true;
+      was_quoted = true;
       ++i;
       continue;
     }
     if (c == ',') {
-      fields->push_back(std::move(field));
-      field.clear();
+      emit();
       ++i;
       continue;
     }
     if (c == '\n' || c == '\r') {
       if (c == '\r' && i + 1 < n && content[i + 1] == '\n') ++i;
       ++i;
-      fields->push_back(std::move(field));
+      emit();
       *offset = i;
       return true;
     }
@@ -110,7 +119,7 @@ bool ParseCsvRecord(const std::string& content, size_t* offset,
     ++i;
   }
   CheckArg(!in_quotes, "unterminated quoted CSV field");
-  fields->push_back(std::move(field));
+  emit();
   *offset = n;
   return true;
 }
@@ -128,7 +137,15 @@ void WriteCsv(const DataFrame& df, const std::string& path) {
   for (size_t r = 0; r < df.num_rows(); ++r) {
     for (size_t c = 0; c < df.num_columns(); ++c) {
       if (c > 0) out << ',';
-      out << QuoteField(FieldText(df.column(c), r));
+      const Column& col = df.column(c);
+      // NULL writes as an empty unquoted field; an empty non-null string
+      // writes as `""` so the distinction survives a round trip.
+      if (col.type() == ValueType::kString && !col.IsNull(r) &&
+          col.StringAt(r).empty()) {
+        out << "\"\"";
+      } else {
+        out << QuoteField(FieldText(col, r));
+      }
     }
     out << '\n';
   }
@@ -144,6 +161,7 @@ DataFrame ReadCsvImpl(const std::string& path, const Schema* given_schema) {
   std::string content = buffer.str();
   size_t offset = 0;
   std::vector<std::string> fields;
+  std::vector<uint8_t> quoted;
 
   Schema schema;
   if (given_schema != nullptr) {
@@ -161,15 +179,32 @@ DataFrame ReadCsvImpl(const std::string& path, const Schema* given_schema) {
   }
 
   DataFrame df(schema);
-  while (ParseCsvRecord(content, &offset, &fields)) {
-    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+  // Sources build dict-encoded string columns: the engine's hot paths then
+  // hash/compare/gather int32 codes instead of whole strings.
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (schema.field(c).type == ValueType::kString) {
+      *df.mutable_column(c) = Column::NewDict();
+    }
+  }
+  while (ParseCsvRecord(content, &offset, &fields, &quoted)) {
+    // Blank separator line — but in a single-column schema an empty
+    // unquoted line is a legitimate NULL row, so only multi-column files
+    // skip it.
+    if (schema.num_fields() > 1 && fields.size() == 1 && fields[0].empty() &&
+        quoted[0] == 0) {
+      continue;
+    }
     CheckArg(fields.size() == schema.num_fields(),
              StrFormat("CSV row has %zu fields, schema has %zu",
                        fields.size(), schema.num_fields()));
     for (size_t c = 0; c < fields.size(); ++c) {
       Column* col = df.mutable_column(c);
       const std::string& text = fields[c];
-      if (text.empty() && schema.field(c).type != ValueType::kString) {
+      // Empty numeric/date fields are NULL however they were quoted (there
+      // is no empty number); for strings the quotes disambiguate NULL
+      // (unquoted) from the empty string (`""`).
+      if (text.empty() && (quoted[c] == 0 ||
+                           schema.field(c).type != ValueType::kString)) {
         col->AppendNull();
         continue;
       }

@@ -13,21 +13,27 @@
 
 namespace wake {
 
-/// Writes `df` to `path` with a `name:type` header row.
+/// Writes `df` to `path` with a `name:type` header row. NULLs of any type
+/// write as empty unquoted fields; empty non-null strings write as `""`,
+/// so the two survive a round trip.
 void WriteCsv(const DataFrame& df, const std::string& path);
 
 /// Reads a CSV produced by WriteCsv (schema from the header). Throws
-/// wake::Error on malformed input. Empty unquoted fields of non-string
-/// columns read back as NULL.
+/// wake::Error on malformed input. Empty unquoted fields read back as
+/// NULL for every column type; quoted empty fields (`""`) are empty
+/// strings. String columns come back dictionary-encoded.
 DataFrame ReadCsv(const std::string& path);
 
 /// Reads a headerless CSV against a caller-provided schema.
 DataFrame ReadCsvWithSchema(const std::string& path, const Schema& schema);
 
 /// Parses one CSV record (handles quoting); exposed for testing. Returns
-/// false at end of input. `io` is consumed across calls.
+/// false at end of input. `offset` is consumed across calls. If `quoted`
+/// is non-null it receives, per field, whether the field used quotes
+/// (distinguishes NULL from the empty string).
 bool ParseCsvRecord(const std::string& content, size_t* offset,
-                    std::vector<std::string>* fields);
+                    std::vector<std::string>* fields,
+                    std::vector<uint8_t>* quoted = nullptr);
 
 }  // namespace wake
 

@@ -203,6 +203,12 @@ PartitionedTable PartitionedTable::ReadTblDir(const std::string& dir,
     std::ifstream in(path);
     CheckArg(in.good(), "cannot read " + path);
     auto df = std::make_shared<DataFrame>(schema);
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      // Sources build dict-encoded string columns (see frame/column.h).
+      if (schema.field(c).type == ValueType::kString) {
+        *df->mutable_column(c) = Column::NewDict();
+      }
+    }
     std::string line;
     while (std::getline(in, line)) {
       if (line.empty()) continue;
@@ -296,7 +302,10 @@ void PartitionedTable::WriteWpartDir(const std::string& dir) const {
                   static_cast<std::streamsize>(col.doubles().size() *
                                                sizeof(double)));
       } else if (col.type() == ValueType::kString) {
-        for (const auto& s : col.strings()) WriteString(out, s);
+        // Row-wise via StringAt so both encodings serialize identically.
+        for (size_t r = 0; r < df.num_rows(); ++r) {
+          WriteString(out, col.StringAt(r));
+        }
       } else {
         out.write(reinterpret_cast<const char*>(col.ints().data()),
                   static_cast<std::streamsize>(col.ints().size() *
@@ -338,9 +347,10 @@ PartitionedTable PartitionedTable::ReadWpartDir(const std::string& dir,
         in.read(reinterpret_cast<char*>(col->mutable_doubles()->data()),
                 static_cast<std::streamsize>(rows * sizeof(double)));
       } else if (type == ValueType::kString) {
-        col->mutable_strings()->reserve(rows);
+        *col = Column::NewDict();
+        col->Reserve(rows);
         for (uint64_t r = 0; r < rows; ++r) {
-          col->mutable_strings()->push_back(ReadString(in));
+          col->AppendString(ReadString(in));
         }
       } else {
         col->mutable_ints()->resize(rows);

@@ -137,13 +137,26 @@ Schema MakeSchema(std::vector<Field> fields, std::vector<std::string> pk,
   return schema;
 }
 
+// Frame whose string columns are dict-encoded: dbgen is a source, so the
+// engine never sees per-row strings from generated tables (AppendString
+// interns into each column's private dict).
+DataFrame NewFrame(const Schema& schema) {
+  DataFrame df(schema);
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (schema.field(c).type == ValueType::kString) {
+      *df.mutable_column(c) = Column::NewDict();
+    }
+  }
+  return df;
+}
+
 PartitionedTable BuildRegion(const DbgenConfig& config) {
   Rng rng(config.seed ^ 0x7265ULL);
   Schema schema = MakeSchema({{"r_regionkey", ValueType::kInt64},
                               {"r_name", ValueType::kString},
                               {"r_comment", ValueType::kString}},
                              {"r_regionkey"}, {"r_regionkey"});
-  DataFrame df(schema);
+  DataFrame df = NewFrame(schema);
   for (int64_t i = 0; i < 5; ++i) {
     df.mutable_column(0)->AppendInt(i);
     df.mutable_column(1)->AppendString(kRegions[i]);
@@ -159,7 +172,7 @@ PartitionedTable BuildNation(const DbgenConfig& config) {
                               {"n_regionkey", ValueType::kInt64},
                               {"n_comment", ValueType::kString}},
                              {"n_nationkey"}, {"n_nationkey"});
-  DataFrame df(schema);
+  DataFrame df = NewFrame(schema);
   for (int64_t i = 0; i < 25; ++i) {
     df.mutable_column(0)->AppendInt(i);
     df.mutable_column(1)->AppendString(kNations[i].name);
@@ -180,7 +193,7 @@ PartitionedTable BuildSupplier(const DbgenConfig& config) {
                               {"s_acctbal", ValueType::kFloat64},
                               {"s_comment", ValueType::kString}},
                              {"s_suppkey"}, {"s_suppkey"});
-  DataFrame df(schema);
+  DataFrame df = NewFrame(schema);
   for (size_t i = 1; i <= n; ++i) {
     int64_t nationkey = rng.UniformInt(0, 24);
     df.mutable_column(0)->AppendInt(static_cast<int64_t>(i));
@@ -213,7 +226,7 @@ PartitionedTable BuildCustomer(const DbgenConfig& config) {
                               {"c_mktsegment", ValueType::kString},
                               {"c_comment", ValueType::kString}},
                              {"c_custkey"}, {"c_custkey"});
-  DataFrame df(schema);
+  DataFrame df = NewFrame(schema);
   for (size_t i = 1; i <= n; ++i) {
     int64_t nationkey = rng.UniformInt(0, 24);
     df.mutable_column(0)->AppendInt(static_cast<int64_t>(i));
@@ -242,7 +255,7 @@ PartitionedTable BuildPart(const DbgenConfig& config) {
                               {"p_retailprice", ValueType::kFloat64},
                               {"p_comment", ValueType::kString}},
                              {"p_partkey"}, {"p_partkey"});
-  DataFrame df(schema);
+  DataFrame df = NewFrame(schema);
   for (size_t i = 1; i <= n; ++i) {
     int64_t partkey = static_cast<int64_t>(i);
     int mfgr = static_cast<int>(rng.UniformInt(1, 5));
@@ -284,7 +297,7 @@ PartitionedTable BuildPartsupp(const DbgenConfig& config,
                               {"ps_supplycost", ValueType::kFloat64},
                               {"ps_comment", ValueType::kString}},
                              {"ps_partkey", "ps_suppkey"}, {"ps_partkey"});
-  DataFrame df(schema);
+  DataFrame df = NewFrame(schema);
   for (size_t p = 1; p <= num_parts; ++p) {
     for (int64_t i = 0; i < 4; ++i) {
       df.mutable_column(0)->AppendInt(static_cast<int64_t>(p));
@@ -343,8 +356,8 @@ OrdersAndLineitem BuildOrdersLineitem(const DbgenConfig& config,
        {"l_comment", ValueType::kString}},
       {"l_orderkey", "l_linenumber"}, {"l_orderkey"});
 
-  DataFrame orders(orders_schema);
-  DataFrame lineitem(lineitem_schema);
+  DataFrame orders = NewFrame(orders_schema);
+  DataFrame lineitem = NewFrame(lineitem_schema);
   size_t num_clerks = std::max<size_t>(
       1, static_cast<size_t>(config.scale_factor * 1000));
   int64_t current = CurrentDate();

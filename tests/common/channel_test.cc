@@ -103,6 +103,53 @@ TEST(ChannelTest, CloseWakesBlockedReceivers) {
   consumer.join();
 }
 
+TEST(ChannelTest, ReceiveAllDrainsWholeQueue) {
+  Channel<int> ch;
+  for (int i = 0; i < 5; ++i) ch.Send(i);
+  auto batch = ch.ReceiveAll();
+  ASSERT_EQ(batch.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(batch[i], i);
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(ChannelTest, ReceiveAllBlocksUntilFirstItem) {
+  Channel<int> ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.Send(42);
+  });
+  auto batch = ch.ReceiveAll();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 42);
+  producer.join();
+}
+
+TEST(ChannelTest, ReceiveAllEmptyMeansClosedAndDrained) {
+  Channel<int> ch;
+  ch.Send(1);
+  ch.Close();
+  EXPECT_EQ(ch.ReceiveAll().size(), 1u);  // pending items still delivered
+  EXPECT_TRUE(ch.ReceiveAll().empty());
+  EXPECT_TRUE(ch.ReceiveAll().empty());  // idempotent
+}
+
+TEST(ChannelTest, ReceiveAllReleasesBackpressuredSenders) {
+  Channel<int> ch(2);
+  ch.Send(1);
+  ch.Send(2);
+  std::atomic<int> sent{0};
+  std::thread p1([&] { ch.Send(3); ++sent; });
+  std::thread p2([&] { ch.Send(4); ++sent; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(sent.load(), 0);
+  // One drain frees both slots; both blocked senders must wake.
+  EXPECT_EQ(ch.ReceiveAll().size(), 2u);
+  p1.join();
+  p2.join();
+  EXPECT_EQ(sent.load(), 2);
+  EXPECT_EQ(ch.ReceiveAll().size(), 2u);
+}
+
 TEST(ChannelTest, MoveOnlyPayload) {
   Channel<std::unique_ptr<int>> ch;
   ch.Send(std::make_unique<int>(11));

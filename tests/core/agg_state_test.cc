@@ -342,5 +342,61 @@ TEST(AggCiTest, InputVariancesAccumulateIntoSums) {
   EXPECT_DOUBLE_EQ(res.variances["s"][0], 0.75);  // sum of input variances
 }
 
+// --- dictionary-encoded group keys ---
+
+TEST(GroupedAggStateTest, DictStringKeysMatchPlainResults) {
+  std::vector<int64_t> g = {1, 1, 2};
+  std::vector<double> v = {1.0, 2.0, 4.0};
+  std::vector<std::string> names = {"x", "y", "x"};
+  auto aggs = std::vector<AggSpec>{Sum("v", "s"), Count("n")};
+
+  auto plain = MakeState({"name"}, aggs);
+  plain.Consume(MakeInput(g, v, names));
+
+  auto dict = MakeState({"name"}, aggs);
+  DataFrame in = MakeInput(g, v, names);
+  *in.mutable_column(2) = in.column(2).EncodeDict();
+  dict.Consume(in);
+
+  std::string diff;
+  EXPECT_TRUE(dict.Finalize(AggScaling{}).frame.ApproxEquals(
+      plain.Finalize(AggScaling{}).frame, 1e-12, &diff))
+      << diff;
+  // The stored group keys adopted the source dict: no strings copied.
+  EXPECT_TRUE(
+      dict.Finalize(AggScaling{}).frame.ColumnByName("name").is_dict());
+}
+
+TEST(GroupedAggStateTest, DictKeysAcrossCrossDictPartials) {
+  // Partials from different sources carry different dicts; groups must
+  // still merge by string value.
+  auto aggs = std::vector<AggSpec>{Count("n")};
+  auto state = MakeState({"name"}, aggs);
+  DataFrame p1 = MakeInput({1, 1}, {1.0, 1.0}, {"x", "y"});
+  *p1.mutable_column(2) = p1.column(2).EncodeDict();
+  DataFrame p2 = MakeInput({1, 1}, {1.0, 1.0}, {"y", "z"});
+  *p2.mutable_column(2) = p2.column(2).EncodeDict();
+  ASSERT_NE(p1.column(2).dict().get(), p2.column(2).dict().get());
+  state.Consume(p1);
+  state.Consume(p2);
+  EXPECT_EQ(state.num_groups(), 3u);  // x, y, z — "y" merged across dicts
+  DataFrame out = state.Finalize(AggScaling{}).frame;
+  EXPECT_EQ(out.ColumnByName("n").IntAt(1), 2);  // y counted twice
+}
+
+TEST(GroupedAggStateTest, NullDictKeysFormTheirOwnGroup) {
+  auto aggs = std::vector<AggSpec>{Count("n")};
+  auto state = MakeState({"name"}, aggs);
+  DataFrame in = MakeInput({1, 1, 1}, {1.0, 1.0, 1.0}, {"x", "", "x"});
+  *in.mutable_column(2) = in.column(2).EncodeDict();
+  in.mutable_column(2)->SetNull(1);
+  state.Consume(in);
+  EXPECT_EQ(state.num_groups(), 2u);
+  DataFrame out = state.Finalize(AggScaling{}).frame;
+  EXPECT_EQ(out.ColumnByName("n").IntAt(0), 2);  // "x"
+  EXPECT_TRUE(out.ColumnByName("name").IsNull(1));
+  EXPECT_EQ(out.ColumnByName("n").IntAt(1), 1);  // null group
+}
+
 }  // namespace
 }  // namespace wake

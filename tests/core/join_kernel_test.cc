@@ -224,6 +224,118 @@ TEST(JoinHashTableTest, ManyDistinctKeysStayExact) {
   EXPECT_EQ(out.ColumnByName("rv").StringAt(2), std::to_string(kN - 1));
 }
 
+// --- dictionary-encoded string keys ---
+
+Schema StrLeftSchema() {
+  return Schema({{"lk", ValueType::kString}, {"lv", ValueType::kFloat64}});
+}
+Schema StrRightSchema() {
+  return Schema({{"rk", ValueType::kString}, {"rv", ValueType::kInt64}});
+}
+
+DataFrame StrFrame(const Schema& schema, Column keys,
+                   const std::vector<int64_t>& vals) {
+  DataFrame df(schema);
+  *df.mutable_column(0) = std::move(keys);
+  if (schema.field(1).type == ValueType::kFloat64) {
+    std::vector<double> d(vals.begin(), vals.end());
+    *df.mutable_column(1) = Column::FromDoubles(d);
+  } else {
+    *df.mutable_column(1) = Column::FromInts(vals);
+  }
+  return df;
+}
+
+TEST(JoinHashTableTest, DictKeysMatchSharedDictProbe) {
+  // Build and probe share one dict (same source table) — the code-compare
+  // fast path; results must equal the plain-string join.
+  Column pool = Column::DictFromStrings({"ant", "bee", "cat", "ant", "bee"});
+  JoinHashTable table(StrRightSchema(), {"rk"});
+  table.Insert(StrFrame(StrRightSchema(), pool.Slice(0, 3), {10, 20, 30}));
+  Schema out_schema = JoinOutputSchema(StrLeftSchema(), StrRightSchema(),
+                                       {"rk"}, JoinType::kInner);
+  DataFrame out = table.Probe(
+      StrFrame(StrLeftSchema(), pool.Slice(3, 5), {1, 2}), {"lk"},
+      JoinType::kInner, out_schema);
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.ColumnByName("lk").StringAt(0), "ant");
+  EXPECT_EQ(out.ColumnByName("rv").IntAt(0), 10);
+  EXPECT_EQ(out.ColumnByName("rv").IntAt(1), 20);
+  // The gathered key column still shares the probe-side dict.
+  ASSERT_TRUE(out.ColumnByName("lk").is_dict());
+  EXPECT_EQ(out.ColumnByName("lk").dict().get(), pool.dict().get());
+}
+
+TEST(JoinHashTableTest, DictProbeAgainstPlainBuild) {
+  // Cross-encoding: identical hashes, byte-compare verification.
+  JoinHashTable table(StrRightSchema(), {"rk"});
+  table.Insert(StrFrame(StrRightSchema(),
+                        Column::FromStrings({"ant", "bee"}), {10, 20}));
+  Schema out_schema = JoinOutputSchema(StrLeftSchema(), StrRightSchema(),
+                                       {"rk"}, JoinType::kInner);
+  DataFrame out = table.Probe(
+      StrFrame(StrLeftSchema(),
+               Column::DictFromStrings({"bee", "dog", "ant"}), {1, 2, 3}),
+      {"lk"}, JoinType::kInner, out_schema);
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.ColumnByName("lk").StringAt(0), "bee");
+  EXPECT_EQ(out.ColumnByName("lk").StringAt(1), "ant");
+}
+
+TEST(JoinHashTableTest, DictKeysCrossDictJoin) {
+  // Build and probe from different sources (different dicts): hashes are
+  // encoding-independent, KeyEq falls back to byte compares.
+  JoinHashTable table(StrRightSchema(), {"rk"});
+  table.Insert(StrFrame(StrRightSchema(),
+                        Column::DictFromStrings({"ant", "bee"}), {10, 20}));
+  Schema out_schema = JoinOutputSchema(StrLeftSchema(), StrRightSchema(),
+                                       {"rk"}, JoinType::kInner);
+  DataFrame out = table.Probe(
+      StrFrame(StrLeftSchema(),
+               Column::DictFromStrings({"bee", "ant", "emu"}), {1, 2, 3}),
+      {"lk"}, JoinType::kInner, out_schema);
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.ColumnByName("rv").IntAt(0), 20);
+  EXPECT_EQ(out.ColumnByName("rv").IntAt(1), 10);
+}
+
+TEST(JoinHashTableTest, NullStringKeysThroughDictJoin) {
+  // Null keys match null keys (KeysEqual semantics) and never match real
+  // values, under dict encoding on both sides.
+  Column rk = Column::DictFromStrings({"ant", ""});
+  rk.SetNull(1);
+  JoinHashTable table(StrRightSchema(), {"rk"});
+  table.Insert(StrFrame(StrRightSchema(), std::move(rk), {10, 20}));
+  Schema out_schema = JoinOutputSchema(StrLeftSchema(), StrRightSchema(),
+                                       {"rk"}, JoinType::kInner);
+  Column lk = Column::DictFromStrings({"", "ant", ""});
+  lk.SetNull(0);
+  DataFrame out = table.Probe(
+      StrFrame(StrLeftSchema(), std::move(lk), {1, 2, 3}), {"lk"},
+      JoinType::kInner, out_schema);
+  // Row 0 (null) matches the null build row; row 1 matches "ant"; row 2
+  // (empty string, non-null) matches nothing.
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_TRUE(out.ColumnByName("lk").IsNull(0));
+  EXPECT_EQ(out.ColumnByName("rv").IntAt(0), 20);
+  EXPECT_EQ(out.ColumnByName("lk").StringAt(1), "ant");
+  EXPECT_EQ(out.ColumnByName("rv").IntAt(1), 10);
+}
+
+TEST(JoinHashTableTest, DictLeftJoinPadsNulls) {
+  Column pool = Column::DictFromStrings({"ant", "bee", "emu"});
+  JoinHashTable table(StrRightSchema(), {"rk"});
+  table.Insert(StrFrame(StrRightSchema(), pool.Slice(0, 1), {10}));
+  Schema out_schema = JoinOutputSchema(StrLeftSchema(), StrRightSchema(),
+                                       {"rk"}, JoinType::kLeft);
+  DataFrame out = table.Probe(
+      StrFrame(StrLeftSchema(), pool.Slice(1, 3), {1, 2}), {"lk"},
+      JoinType::kLeft, out_schema);
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_TRUE(out.ColumnByName("rv").IsNull(0));
+  EXPECT_TRUE(out.ColumnByName("rv").IsNull(1));
+}
+
 TEST(HashJoinFunctionTest, MultiKeyJoin) {
   Schema ls({{"a", ValueType::kInt64}, {"b", ValueType::kInt64},
              {"v", ValueType::kFloat64}});

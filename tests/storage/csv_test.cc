@@ -59,7 +59,52 @@ TEST_F(CsvTest, NullsRoundTripAsEmptyFields) {
   DataFrame back = ReadCsv(path_);
   EXPECT_EQ(back.column(0).IntAt(0), 7);
   EXPECT_TRUE(back.column(0).IsNull(1));
+  EXPECT_FALSE(back.column(1).IsNull(1));
   EXPECT_EQ(back.column(1).StringAt(1), "");  // empty string, not null
+}
+
+TEST_F(CsvTest, NullStringsDistinctFromEmptyStrings) {
+  // NULL writes as an empty unquoted field, the empty string as `""`.
+  Schema schema({{"s", ValueType::kString}});
+  DataFrame df(schema);
+  df.mutable_column(0)->AppendString("a");
+  df.mutable_column(0)->AppendNull();
+  df.mutable_column(0)->AppendString("");
+  WriteCsv(df, path_);
+  DataFrame back = ReadCsv(path_);
+  ASSERT_EQ(back.num_rows(), 3u);
+  EXPECT_EQ(back.column(0).StringAt(0), "a");
+  EXPECT_TRUE(back.column(0).IsNull(1));
+  EXPECT_FALSE(back.column(0).IsNull(2));
+  EXPECT_EQ(back.column(0).StringAt(2), "");
+}
+
+TEST_F(CsvTest, QuotedEmptyNumericFieldIsNull) {
+  // Externally produced CSVs often quote every field; an empty numeric
+  // field is NULL regardless of quoting (there is no empty number).
+  {
+    std::ofstream out(path_);
+    out << "a:i,b:f\n\"\",\"\"\n1,2.5\n";
+  }
+  DataFrame df = ReadCsv(path_);
+  ASSERT_EQ(df.num_rows(), 2u);
+  EXPECT_TRUE(df.column(0).IsNull(0));
+  EXPECT_TRUE(df.column(1).IsNull(0));
+  EXPECT_EQ(df.column(0).IntAt(1), 1);
+}
+
+TEST_F(CsvTest, StringColumnsReadBackDictEncoded) {
+  {
+    std::ofstream out(path_);
+    out << "k:s,v:i\nant,1\nbee,2\nant,3\n,4\n";
+  }
+  DataFrame df = ReadCsv(path_);
+  const Column& k = df.column(0);
+  ASSERT_TRUE(k.is_dict());
+  EXPECT_EQ(k.dict()->size(), 2u);  // "ant", "bee" — null not interned
+  EXPECT_EQ(k.codes()[0], k.codes()[2]);
+  EXPECT_EQ(k.StringAt(1), "bee");
+  EXPECT_TRUE(k.IsNull(3));  // unquoted empty string field is NULL
 }
 
 TEST_F(CsvTest, ReadWithProvidedSchemaSkipsHeader) {

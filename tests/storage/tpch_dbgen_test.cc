@@ -102,13 +102,13 @@ TEST_F(DbgenTest, DateRelationsFollowSpec) {
   const auto& ship = li.ColumnByName("l_shipdate").ints();
   const auto& receipt = li.ColumnByName("l_receiptdate").ints();
   const auto& commit = li.ColumnByName("l_commitdate").ints();
-  const auto& status = li.ColumnByName("l_linestatus").strings();
+  const Column& status = li.ColumnByName("l_linestatus");
   int64_t current = CurrentDate();
   for (size_t i = 0; i < li.num_rows(); ++i) {
     ASSERT_GT(receipt[i], ship[i]);
     ASSERT_LE(receipt[i], ship[i] + 30);
     ASSERT_GT(commit[i], 0);
-    ASSERT_EQ(status[i], ship[i] <= current ? "F" : "O");
+    ASSERT_EQ(status.StringAt(i), ship[i] <= current ? "F" : "O");
   }
 }
 
@@ -139,36 +139,36 @@ TEST_F(DbgenTest, OrderStatusConsistentWithLineitems) {
     shipped[ok[i]] += ship[i] <= current;
   }
   const auto& keys = ord.ColumnByName("o_orderkey").ints();
-  const auto& status = ord.ColumnByName("o_orderstatus").strings();
+  const Column& status = ord.ColumnByName("o_orderstatus");
   for (size_t i = 0; i < ord.num_rows(); ++i) {
     int64_t k = keys[i];
     std::string expected = shipped[k] == lines[k]
                                ? "F"
                                : (shipped[k] == 0 ? "O" : "P");
-    ASSERT_EQ(status[i], expected);
+    ASSERT_EQ(status.StringAt(i), expected);
   }
 }
 
 TEST_F(DbgenTest, PhoneCountryCodeEncodesNation) {
   DataFrame cust = catalog_->Get("customer").Materialize();
-  const auto& phone = cust.ColumnByName("c_phone").strings();
+  const Column& phone = cust.ColumnByName("c_phone");
   const auto& nk = cust.ColumnByName("c_nationkey").ints();
   for (size_t i = 0; i < cust.num_rows(); ++i) {
-    int code = std::stoi(phone[i].substr(0, 2));
+    int code = std::stoi(phone.StringAt(i).substr(0, 2));
     ASSERT_EQ(code, 10 + nk[i]);
   }
 }
 
 TEST_F(DbgenTest, TextPatternsProbedByQueriesExist) {
   DataFrame part = catalog_->Get("part").Materialize();
-  const auto& type = part.ColumnByName("p_type").strings();
-  const auto& name = part.ColumnByName("p_name").strings();
+  const Column& type = part.ColumnByName("p_type");
+  const Column& name = part.ColumnByName("p_name");
   int promo = 0, brass = 0, green = 0;
   for (size_t i = 0; i < part.num_rows(); ++i) {
-    promo += type[i].rfind("PROMO", 0) == 0;
-    brass += type[i].size() >= 5 &&
-             type[i].substr(type[i].size() - 5) == "BRASS";
-    green += name[i].find("green") != std::string::npos;
+    const std::string& t = type.StringAt(i);
+    promo += t.rfind("PROMO", 0) == 0;
+    brass += t.size() >= 5 && t.substr(t.size() - 5) == "BRASS";
+    green += name.StringAt(i).find("green") != std::string::npos;
   }
   EXPECT_GT(promo, 0);
   EXPECT_GT(brass, 0);
