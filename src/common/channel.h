@@ -14,6 +14,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace wake {
 
@@ -38,6 +39,40 @@ class Channel {
     queue_.push_back(std::move(item));
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Moves every item of `items` into the queue, acquiring the lock once
+  /// and notifying consumers once — the sending half of the batched
+  /// discipline (ReceiveAll is the receiving half). Blocks while a bounded
+  /// channel is at capacity between pushes. Returns the number of items
+  /// accepted (fewer than items.size() only if the channel closes
+  /// mid-send); `items` is left empty.
+  size_t SendAll(std::vector<T>&& items) {
+    if (items.empty()) return 0;
+    size_t accepted = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (T& item : items) {
+        if (capacity_ != 0 && !closed_ && queue_.size() >= capacity_) {
+          // About to sleep on a full bounded channel: wake consumers
+          // first — the items already pushed must be receivable, or a
+          // consumer that blocked before this call would sleep forever
+          // while we wait for it to free a slot.
+          if (accepted > 0) not_empty_.notify_all();
+          not_full_.wait(lock, [&] {
+            return closed_ || queue_.size() < capacity_;
+          });
+        }
+        if (closed_) break;
+        queue_.push_back(std::move(item));
+        ++accepted;
+      }
+      // One wakeup for the whole batch; notify_all because a batch can
+      // satisfy several blocked consumers.
+      if (accepted > 0) not_empty_.notify_all();
+    }
+    items.clear();
+    return accepted;
   }
 
   /// Receives one item; blocks until an item is available or the channel

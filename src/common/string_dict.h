@@ -16,6 +16,7 @@
 #ifndef WAKE_COMMON_STRING_DICT_H_
 #define WAKE_COMMON_STRING_DICT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -32,11 +33,28 @@ class StringDict {
   /// Code returned by Find for strings not in the pool.
   static constexpr int32_t kNotFound = -1;
 
-  StringDict() = default;
+  StringDict() : id_(NextId()) {}
   /// Deep copy (entries, hashes, and lookup index); codes are preserved,
-  /// so columns can swap a shared dict for a private clone in place.
-  StringDict(const StringDict&) = default;
-  StringDict& operator=(const StringDict&) = default;
+  /// so columns can swap a shared dict for a private clone in place. The
+  /// clone gets a fresh id: caches keyed on it never confuse a clone (or
+  /// a recycled allocation) with the original.
+  StringDict(const StringDict& other)
+      : entries_(other.entries_),
+        hashes_(other.hashes_),
+        index_(other.index_),
+        id_(NextId()) {}
+  StringDict& operator=(const StringDict& other) {
+    entries_ = other.entries_;
+    hashes_ = other.hashes_;
+    index_ = other.index_;
+    id_ = NextId();
+    return *this;
+  }
+
+  /// Process-unique identity for translation/memo caches. Unlike the
+  /// address, ids are never reused, so a cache entry keyed on one cannot
+  /// alias a dict that died and had its allocation recycled.
+  uint64_t id() const { return id_; }
 
   /// Number of distinct entries.
   size_t size() const { return entries_.size(); }
@@ -89,6 +107,11 @@ class StringDict {
   }
 
  private:
+  static uint64_t NextId() {
+    static std::atomic<uint64_t> next{0};
+    return ++next;
+  }
+
   int32_t FindHashed(std::string_view s, uint64_t h) const {
     // Chains hold every code whose FNV hash collided; compare bytes.
     for (uint32_t cand = index_.Find(h); cand != FlatHashIndex::kNil;
@@ -101,6 +124,7 @@ class StringDict {
   std::vector<std::string> entries_;  // code -> string
   std::vector<uint64_t> hashes_;      // code -> FnvHash64(string)
   FlatHashIndex index_;               // FnvHash64 -> code chains
+  uint64_t id_;
 };
 
 using StringDictPtr = std::shared_ptr<StringDict>;

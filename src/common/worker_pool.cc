@@ -1,0 +1,180 @@
+#include "common/worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "common/error.h"
+
+namespace wake {
+
+// Shared state of one blocking parallel loop. Runner tasks (one per
+// worker) claim indices from `next` until exhausted; `active` counts
+// runners still inside body calls so the caller can wait for the last
+// claimed index to finish, not just for the cursor to empty.
+struct WorkerPool::LoopState {
+  std::atomic<size_t> next{0};
+  size_t total = 0;
+  size_t grain = 1;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::exception_ptr error;  // first failure, rethrown on the caller
+};
+
+WorkerPool::WorkerPool(size_t workers) {
+  size_t spawn = workers > 0 ? workers - 1 : 0;
+  queues_.resize(spawn);
+  threads_.reserve(spawn);
+  for (size_t i = 0; i < spawn; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+size_t WorkerPool::DefaultWorkers() {
+  if (const char* env = std::getenv("WAKE_WORKERS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+WorkerPool& WorkerPool::Global() {
+  static WorkerPool pool(DefaultWorkers());
+  return pool;
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  if (queues_.empty()) {
+    // No spawned threads: run inline (serial pool).
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  work_ready_.notify_one();
+}
+
+bool WorkerPool::PopOrSteal(size_t slot, std::function<void()>* task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Own deque first, newest task (LIFO keeps caches warm) …
+  if (!queues_[slot].empty()) {
+    *task = std::move(queues_[slot].back());
+    queues_[slot].pop_back();
+    return true;
+  }
+  // … then steal the oldest task from a sibling (FIFO takes the work the
+  // owner is furthest from touching).
+  for (size_t i = 1; i < queues_.size(); ++i) {
+    size_t victim = (slot + i) % queues_.size();
+    if (!queues_[victim].empty()) {
+      *task = std::move(queues_[victim].front());
+      queues_[victim].pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkerPool::WorkerMain(size_t slot) {
+  for (;;) {
+    std::function<void()> task;
+    if (PopOrSteal(slot, &task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    work_ready_.wait(lock, [&] {
+      if (shutdown_) return true;
+      for (const auto& q : queues_) {
+        if (!q.empty()) return true;
+      }
+      return false;
+    });
+    if (shutdown_) {
+      bool any = false;
+      for (const auto& q : queues_) any = any || !q.empty();
+      if (!any) return;
+    }
+  }
+}
+
+void WorkerPool::RunLoop(LoopState* state) {
+  for (;;) {
+    size_t begin = state->next.fetch_add(state->grain);
+    if (begin >= state->total) break;
+    size_t end = std::min(begin + state->grain, state->total);
+    try {
+      (*state->body)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->error) state->error = std::current_exception();
+    }
+    size_t finished =
+        state->done.fetch_add(end - begin) + (end - begin);
+    if (finished >= state->total) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->all_done.notify_all();
+      break;
+    }
+  }
+}
+
+void WorkerPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (queues_.empty() || n <= grain) {
+    // Serial pool or a single morsel: run inline, in range order.
+    for (size_t begin = 0; begin < n; begin += grain) {
+      body(begin, std::min(begin + grain, n));
+    }
+    return;
+  }
+  // Heap-owned so a surplus runner firing after the caller returned still
+  // sees a live cursor (it reads `next`, finds the loop exhausted, and
+  // exits without touching `body`, whose referent died with the caller).
+  auto state = std::make_shared<LoopState>();
+  state->total = n;
+  state->grain = grain;
+  state->body = &body;
+  // One runner per spawned thread (the caller is the final runner). More
+  // runners than morsels is harmless: surplus runners see an exhausted
+  // cursor and return immediately.
+  size_t morsels = (n + grain - 1) / grain;
+  size_t runners = std::min(queues_.size(), morsels - 1);
+  for (size_t i = 0; i < runners; ++i) {
+    Submit([state] { RunLoop(state.get()); });
+  }
+  RunLoop(state.get());
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->all_done.wait(
+        lock, [&] { return state->done.load() >= state->total; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void WorkerPool::ParallelShards(size_t shards,
+                                const std::function<void(size_t)>& body) {
+  ParallelFor(shards, 1,
+              [&body](size_t begin, size_t /*end*/) { body(begin); });
+}
+
+}  // namespace wake

@@ -1,0 +1,98 @@
+// WorkerPool: a process-wide pool of worker threads with a work-stealing
+// task queue, used to run morsel-parallel loops inside execution nodes.
+//
+// Wake's pipeline parallelism (one thread per node, §7.2) caps a deep
+// plan's throughput at its slowest operator. The pool adds intra-operator
+// parallelism: a node splits each incoming partial into row-range morsels
+// and runs them here, while the node thread itself participates as one
+// worker, so WAKE_WORKERS=1 degenerates to the exact serial execution.
+//
+// Determinism contract: the pool only schedules work — callers must make
+// their task decomposition (morsel boundaries, shard counts) a function of
+// the input alone, never of the worker count. Every ParallelFor /
+// ParallelShards call runs tasks indexed 0..n-1 exactly once; which thread
+// runs which task is unspecified, so per-task outputs must be stitched by
+// task index, not completion order.
+//
+// Scheduling: each worker owns a deque; Submit() pushes to the deques
+// round-robin, idle workers pop their own deque LIFO and steal from
+// siblings FIFO. Parallel loops submit one runner task per worker; runners
+// claim loop indices from a shared atomic cursor (cheaper than one queue
+// entry per morsel) while the stealing layer balances runners across
+// concurrently executing nodes.
+#ifndef WAKE_COMMON_WORKER_POOL_H_
+#define WAKE_COMMON_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wake {
+
+class WorkerPool {
+ public:
+  /// A pool with `workers` total executors: the caller of a parallel loop
+  /// counts as one, so `workers - 1` threads are spawned. `workers == 1`
+  /// spawns nothing and runs every loop inline (exact serial execution).
+  explicit WorkerPool(size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Process-wide pool, sized once from WAKE_WORKERS (falling back to
+  /// std::thread::hardware_concurrency).
+  static WorkerPool& Global();
+
+  /// WAKE_WORKERS env value, or hardware_concurrency when unset/invalid.
+  static size_t DefaultWorkers();
+
+  /// Total executors (spawned threads + the participating caller).
+  size_t workers() const { return threads_.size() + 1; }
+
+  /// Enqueues one task on the work-stealing queue.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(begin, end) for consecutive row ranges of size `grain`
+  /// covering [0, n). Blocks until every range completed. The range
+  /// decomposition depends only on (n, grain) — never on the worker count
+  /// — so per-range results stitched by range index are deterministic.
+  /// The caller participates; with one worker the loop runs inline, in
+  /// range order. Bodies must not throw (the first exception is rethrown
+  /// on the caller after the loop drains) and must not call back into a
+  /// blocking pool loop for unbounded nesting — one nested level is safe
+  /// because callers always participate.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// Runs body(shard) for shard in [0, shards), blocking until all
+  /// complete. Same determinism and exception rules as ParallelFor.
+  void ParallelShards(size_t shards,
+                      const std::function<void(size_t)>& body);
+
+ private:
+  struct LoopState;
+
+  void WorkerMain(size_t slot);
+  /// Runs queued tasks until `until` returns true (worker main loop uses
+  /// `until` = pool shutdown).
+  bool PopOrSteal(size_t slot, std::function<void()>* task);
+  static void RunLoop(LoopState* state);
+
+  std::vector<std::thread> threads_;
+  // One deque per spawned thread; guarded by mu_ (tasks are coarse —
+  // runner tasks for whole loops — so one lock is not contended).
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  size_t next_queue_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_COMMON_WORKER_POOL_H_

@@ -17,9 +17,20 @@
 //   min/max          -> extreme per key
 //   var/stddev       -> (sum, sumsq, count) per key
 //   count_distinct   -> exact value set per key (footnote 3: no sketches)
+//
+// Parallelism: states are single-writer, but the state merge operator is
+// associative, so EnableSharding() lets a state split itself into a fixed
+// number of hash-disjoint sub-states ("shards") once the input is large
+// enough. Each incoming partial is then partitioned by group-key hash and
+// the buckets are consumed into their shards concurrently on a WorkerPool;
+// because a group's rows all land in one shard in input order, every
+// accumulator sees exactly the serial addition order, and Finalize emits
+// groups by first appearance — so results are identical at any worker
+// count (the shard decomposition depends only on the data).
 #ifndef WAKE_CORE_AGG_STATE_H_
 #define WAKE_CORE_AGG_STATE_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -30,6 +41,8 @@
 #include "plan/plan.h"
 
 namespace wake {
+
+class WorkerPool;
 
 /// Per-column variance vectors keyed by column name (CI plumbing).
 using VarianceMap = std::unordered_map<std::string, std::vector<double>>;
@@ -53,6 +66,16 @@ struct AggResult {
 /// Incremental hash aggregation over (group_by, aggs).
 class GroupedAggState {
  public:
+  /// Number of hash-disjoint sub-states a sharding state splits into.
+  /// Fixed (never derived from the worker count) so the decomposition —
+  /// and therefore every accumulator's addition order — is a function of
+  /// the data alone.
+  static constexpr size_t kNumShards = 8;
+  /// Default partial size that triggers sharding.
+  static constexpr size_t kDefaultShardRows = 32 * 1024;
+  /// Minimum distinct groups before sharding pays for itself.
+  static constexpr size_t kMinShardGroups = 64;
+
   /// `input_schema` is the schema of frames passed to Consume;
   /// `output_schema` must equal AggOutputSchema(input_schema, ...).
   GroupedAggState(std::vector<std::string> group_by, std::vector<AggSpec> aggs,
@@ -61,8 +84,29 @@ class GroupedAggState {
   /// Merges one partial into the state (the ⊕ of §2.2/§4.3).
   /// `input_variances` (optional) carries per-row variances of mutable
   /// input columns; they accumulate into the summed-variance term.
+  /// `order_ids` (optional; used by sharded routing) gives each row its
+  /// global arrival rank, which decides first-appearance output order;
+  /// by default rows rank in arrival order.
   void Consume(const DataFrame& partial,
-               const VarianceMap* input_variances = nullptr);
+               const VarianceMap* input_variances = nullptr,
+               const uint64_t* order_ids = nullptr);
+
+  /// Merges `other` — a state over the same (group_by, aggs, schemas) —
+  /// into this one: groups are matched by key, matched accumulators are
+  /// combined with the per-aggregate merge rules (sums add, counts add,
+  /// extremes compare, distinct sets union, medians concatenate), and
+  /// unmatched groups are adopted keeping their first-appearance rank.
+  void Merge(const GroupedAggState& other);
+
+  /// Opts this state into hash-sharded parallel consumption: once a
+  /// single Consume sees >= min_rows rows and the state holds enough
+  /// groups, it splits into kNumShards hash-disjoint sub-states and
+  /// subsequent partials are partitioned and consumed shard-parallel on
+  /// `pool` (serially when pool is null — the structure, and thus the
+  /// result, never depends on the pool). Only hot-accumulator aggregates
+  /// (count/sum/avg/var/stddev) without input variances shard; others
+  /// stay serial.
+  void EnableSharding(WorkerPool* pool, size_t min_rows = kDefaultShardRows);
 
   /// Drops all state (used when the input is refresh-mode and each new
   /// snapshot replaces the previous content).
@@ -72,10 +116,13 @@ class GroupedAggState {
   /// aggregate of everything consumed; with scaling enabled, growth-based
   /// inference per §5 is applied (count/sum scale by x̂/x; avg/var/stddev
   /// are ratio-invariant; count-distinct uses the MM1 estimator; min/max
-  /// pass through).
+  /// pass through). Output rows appear in group first-appearance order.
   AggResult Finalize(const AggScaling& scaling) const;
 
-  size_t num_groups() const { return group_rows_.size(); }
+  size_t num_groups() const;
+
+  /// True once the state has split into hash-disjoint shards.
+  bool sharded() const { return !shards_.empty(); }
 
   /// Total input rows consumed (Σ x_i).
   size_t total_rows() const { return total_rows_; }
@@ -105,8 +152,22 @@ class GroupedAggState {
     return func == AggFunc::kMin || func == AggFunc::kMax ||
            func == AggFunc::kCountDistinct || func == AggFunc::kMedian;
   }
+  /// Shard owning key hash `h`. Deliberately a different mixer than
+  /// FlatHashIndex::HomeSlot's Fibonacci multiply: reusing that one would
+  /// make every key within a shard share its top mixed bits, cramming the
+  /// shard's own hash table into 1/kNumShards of its slots and
+  /// degenerating its linear probing into long walks.
+  static size_t ShardOf(uint64_t h) {
+    return static_cast<size_t>((h * 0xC2B2AE3D27D4EB4FULL) >> 61);
+  }
+  static_assert(kNumShards == 8, "ShardOf takes the top 3 mixed bits");
+
   /// Appends one zeroed accumulator row (a new group) across all aggs.
   void AppendAccums();
+
+  /// Drops all per-group storage (keys, index, ranks, accumulators,
+  /// code cache); totals and shards are the callers' concern.
+  void ClearGroupStorage();
 
   uint32_t FindOrCreateGroup(uint64_t hash, const DataFrame& partial,
                              const std::vector<size_t>& key_cols, size_t row,
@@ -119,11 +180,38 @@ class GroupedAggState {
                           const std::vector<size_t>& key_cols,
                           const Column& key_col, uint32_t* gids, size_t n);
 
+  /// Serial ⊕ of one partial (the pre-sharding Consume body).
+  void ConsumeSerial(const DataFrame& partial,
+                     const VarianceMap* input_variances,
+                     const uint64_t* order_ids);
+
+  /// Combines `other`'s group `g` into this state's group `gid`.
+  void CombineGroup(uint32_t gid, const GroupedAggState& other, uint32_t g);
+
+  /// Merge internals: group adoption/combination without touching row
+  /// totals (Merge adds those once at the top level).
+  void MergeGroups(const GroupedAggState& other);
+  void MergeGroupList(const GroupedAggState& other, const uint32_t* gids,
+                      size_t count);
+
+  /// True if this partial may trigger the split into shards.
+  bool ShardTriggered(size_t partial_rows) const;
+
+  /// Splits the accumulated groups into kNumShards hash-disjoint
+  /// sub-states and clears the top-level group storage.
+  void SplitIntoShards();
+
+  /// Partitions the partial by group-key hash and consumes each bucket
+  /// into its shard (parallel across shards when a pool is set).
+  void RouteToShards(const DataFrame& partial);
+
   std::vector<std::string> group_by_;
   std::vector<AggSpec> aggs_;
+  Schema input_schema_;
   Schema output_schema_;
   std::vector<size_t> agg_input_cols_;  // index into input schema; npos for *
   std::vector<size_t> stored_key_cols_;  // 0..k-1 into group_keys_
+  bool hot_only_ = true;  // no aggregate needs a ColdAccum
 
   DataFrame group_keys_;  // one row per group (group_by columns)
   // Key-hash -> group-id chains; keys verified on lookup, so hash
@@ -138,10 +226,21 @@ class GroupedAggState {
   std::vector<uint32_t> code_to_gid_;
   uint32_t null_gid_ = FlatHashIndex::kNil;
   std::vector<size_t> group_rows_;            // x_i per group
+  std::vector<uint64_t> group_hashes_;        // key hash per group
+  std::vector<uint64_t> group_first_seen_;    // arrival rank of first row
   std::vector<std::vector<HotAccum>> hot_;    // [agg][group]
   std::vector<std::vector<ColdAccum>> cold_;  // [agg][group]; empty unless
                                               // the agg NeedsCold
   size_t total_rows_ = 0;
+  // Arrival-rank source for the current Consume call: explicit per-row
+  // ids (sharded routing) or order_base_ + row (serial default).
+  const uint64_t* order_ids_ = nullptr;
+  uint64_t order_base_ = 0;
+
+  // Sharding (see class comment). shard_min_rows_ == 0 disables.
+  WorkerPool* pool_ = nullptr;
+  size_t shard_min_rows_ = 0;
+  std::vector<std::unique_ptr<GroupedAggState>> shards_;
 };
 
 }  // namespace wake

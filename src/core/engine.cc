@@ -2,12 +2,20 @@
 
 #include "common/error.h"
 #include "common/stopwatch.h"
+#include "common/worker_pool.h"
 
 namespace wake {
 
 WakeEngine::WakeEngine(const Catalog* catalog, WakeOptions options)
     : catalog_(catalog), options_(options) {
   CheckArg(catalog != nullptr, "null catalog");
+  if (options_.workers == 0) {
+    // Process-wide pool; skip it entirely when it would be serial anyway.
+    if (WorkerPool::DefaultWorkers() > 1) pool_ = &WorkerPool::Global();
+  } else if (options_.workers > 1) {
+    owned_pool_ = std::make_unique<WorkerPool>(options_.workers);
+    pool_ = owned_pool_.get();
+  }
 }
 
 WakeEngine::Compiled WakeEngine::CompileRec(
@@ -25,6 +33,7 @@ WakeEngine::Compiled WakeEngine::CompileRec(
   NodeOptions node_options;
   node_options.with_ci = options_.with_ci;
   node_options.fixed_growth_w = options_.fixed_growth_w;
+  node_options.pool = pool_;
 
   switch (plan->op) {
     case PlanOp::kScan: {

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "core/nodes.h"
 #include "exec/trace.h"
 #include "plan/props.h"
@@ -43,6 +44,13 @@ struct WakeOptions {
   /// through several parents, e.g. Q15's revenue view) instead of
   /// executing them once per parent — the paper's §7.3 reuse optimization.
   bool share_subplans = true;
+  /// Intra-operator parallelism: workers available to each node for
+  /// morsel-parallel probe/aggregate/filter loops. 0 = use the
+  /// process-wide pool (sized from WAKE_WORKERS, default hardware
+  /// concurrency); 1 = serial operator bodies (pipeline parallelism
+  /// only); N > 1 = engine-owned pool of N workers. Results are
+  /// byte-identical across settings.
+  size_t workers = 0;
 };
 
 /// One converging result state delivered to the caller (an edf state).
@@ -91,6 +99,8 @@ class WakeEngine {
 
   const Catalog* catalog_;
   WakeOptions options_;
+  std::unique_ptr<WorkerPool> owned_pool_;  // when options.workers > 1
+  WorkerPool* pool_ = nullptr;              // null = serial operators
   std::vector<TraceSpan> last_trace_;
   size_t buffered_bytes_ = 0;
 };

@@ -23,6 +23,8 @@
 
 namespace wake {
 
+class WorkerPool;
+
 /// Incrementally built hash table over the right (build) side of a join.
 class JoinHashTable {
  public:
@@ -52,13 +54,32 @@ class JoinHashTable {
   /// right_schema, right_keys, type)). If `out_vars` is non-null, gathers
   /// per-column variances for the output rows from `left_vars` /
   /// accumulated build variances.
+  ///
+  /// Thread safety: Probe is const and the table is read-mostly after
+  /// build, so any number of threads may probe one table concurrently (no
+  /// Insert/Reset may run meanwhile). With a non-null `pool`, large
+  /// probes additionally split into row-range morsels matched and
+  /// gathered across the pool; per-morsel results are stitched in morsel
+  /// order, so the output frame is byte-identical to a serial probe at
+  /// any worker count.
   DataFrame Probe(const DataFrame& left,
                   const std::vector<std::string>& left_keys, JoinType type,
                   const Schema& out_schema,
                   const VarianceMap* left_vars = nullptr,
-                  VarianceMap* out_vars = nullptr) const;
+                  VarianceMap* out_vars = nullptr,
+                  WorkerPool* pool = nullptr) const;
 
  private:
+  /// Match phase over probe rows [begin, end): appends matching row pairs
+  /// (absolute indices) to the selection vectors. `dict_key` (nullable)
+  /// is the probe key column carrying build-dict codes — the original
+  /// column for shared-dict probes, or the translated shadow column for
+  /// cross-dict probes — enabling the per-thread code→chain-head memo.
+  void MatchRange(const DataFrame& left, const std::vector<size_t>& lcols,
+                  const KeyEq& eq, const Column* dict_key, JoinType type,
+                  size_t begin, size_t end, std::vector<uint32_t>* lrows,
+                  std::vector<uint32_t>* rrows,
+                  std::vector<uint8_t>* rvalid) const;
   Schema right_schema_;
   std::vector<std::string> right_keys_;
   std::vector<size_t> key_cols_;

@@ -43,6 +43,12 @@ struct NodeOptions {
   /// power instead of the fitted one (e.g. 1.0 reproduces naive linear
   /// 1/t scaling — what Wake would do without §5.2's growth model).
   double fixed_growth_w = -1.0;
+  /// Worker pool for intra-operator morsel parallelism: large partials
+  /// are split into row-range morsels run across the pool (the node
+  /// thread participates). Null = serial operator bodies. Results are
+  /// deterministic at any worker count — morsel decomposition depends
+  /// only on the input, and outputs are stitched in morsel order.
+  WorkerPool* pool = nullptr;
 };
 
 /// Base-table reader (the paper's read_csv / table-reader node).

@@ -85,7 +85,12 @@ ShuffleAggNode::ShuffleAggNode(const PlanNode& plan,
     : ExecNode(plan.label.empty() ? "agg(shuffle)" : plan.label),
       output_schema_(output_schema),
       options_(options),
-      state_(plan.group_by, plan.aggs, input_schema, output_schema) {}
+      state_(plan.group_by, plan.aggs, input_schema, output_schema) {
+  // Morsel parallelism: large partials shard across the pool. CI mode
+  // stays serial — variance vectors are indexed per input row and are not
+  // routed through the hash partitioning.
+  if (!options_.with_ci) state_.EnableSharding(options_.pool);
+}
 
 size_t ShuffleAggNode::BufferedBytes() const {
   // Rough: one accumulator set per group.

@@ -1,7 +1,18 @@
 // ReaderNode, MapNode, FilterNode (Case 1 operators).
 #include "core/nodes.h"
 
+#include "common/worker_pool.h"
+
 namespace wake {
+
+namespace {
+
+// Rows per morsel for parallel projection/selection. Expressions are
+// row-local, so per-morsel evaluation over slices stitched in morsel
+// order reproduces the serial output exactly.
+constexpr size_t kEvalMorselRows = 32 * 1024;
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // ReaderNode
@@ -40,6 +51,40 @@ MapNode::MapNode(const PlanNode& plan, const Schema& input_schema,
 
 void MapNode::Process(size_t, const Message& msg) {
   const DataFrame& in = *msg.frame;
+  size_t n = in.num_rows();
+  WorkerPool* pool = options_.pool;
+  const bool vars_in = options_.with_ci && msg.variances != nullptr;
+  if (pool != nullptr && !vars_in && pool->workers() > 1 &&
+      n >= 2 * kEvalMorselRows) {
+    // Morsel-parallel projection: evaluate each slice independently and
+    // stitch in morsel order (identical to the serial evaluation).
+    size_t morsels = (n + kEvalMorselRows - 1) / kEvalMorselRows;
+    std::vector<DataFrame> parts(morsels);
+    pool->ParallelFor(n, kEvalMorselRows, [&](size_t b, size_t e) {
+      DataFrame slice = in.Slice(b, e);
+      DataFrame part(output_schema_);
+      size_t col = 0;
+      if (append_input_) {
+        for (size_t c = 0; c < slice.num_columns(); ++c) {
+          *part.mutable_column(col++) = slice.column(c);
+        }
+      }
+      for (const auto& p : projections_) {
+        *part.mutable_column(col++) = p.expr->Eval(slice);
+      }
+      parts[b / kEvalMorselRows] = std::move(part);
+    });
+    DataFrame stitched(output_schema_);
+    for (auto& part : parts) stitched.Append(part);
+    Message result;
+    result.frame = std::make_shared<DataFrame>(std::move(stitched));
+    result.progress = msg.progress;
+    result.version = msg.version;
+    result.refresh = msg.refresh;
+    Emit(std::move(result));
+    return;
+  }
+
   auto out = std::make_shared<DataFrame>(output_schema_);
   size_t col = 0;
   if (append_input_) {
@@ -49,7 +94,7 @@ void MapNode::Process(size_t, const Message& msg) {
   }
 
   Message result;
-  if (options_.with_ci && msg.variances != nullptr) {
+  if (vars_in) {
     // Propagate uncertainty through the projection expressions (§6).
     std::unordered_map<std::string, const std::vector<double>*> var_of;
     for (const auto& [name, vars] : *msg.variances) var_of[name] = &vars;
@@ -92,6 +137,35 @@ FilterNode::FilterNode(ExprPtr predicate, const Schema& schema,
 
 void FilterNode::Process(size_t, const Message& msg) {
   const DataFrame& in = *msg.frame;
+  size_t n = in.num_rows();
+  WorkerPool* pool = options_.pool;
+  const bool vars_in = options_.with_ci && msg.variances != nullptr;
+  if (pool != nullptr && !vars_in && pool->workers() > 1 &&
+      n >= 2 * kEvalMorselRows) {
+    // Morsel-parallel selection: evaluate the predicate and filter each
+    // slice independently, stitch surviving rows in morsel order.
+    size_t morsels = (n + kEvalMorselRows - 1) / kEvalMorselRows;
+    std::vector<DataFrame> parts(morsels);
+    pool->ParallelFor(n, kEvalMorselRows, [&](size_t b, size_t e) {
+      DataFrame slice = in.Slice(b, e);
+      Column mask_col = predicate_->Eval(slice);
+      std::vector<uint8_t> mask(mask_col.size());
+      for (size_t i = 0; i < mask.size(); ++i) {
+        mask[i] = (mask_col.IsValid(i) && mask_col.ints()[i] != 0) ? 1 : 0;
+      }
+      parts[b / kEvalMorselRows] = slice.FilterBy(mask);
+    });
+    DataFrame stitched(schema_);
+    for (auto& part : parts) stitched.Append(part);
+    Message result;
+    result.frame = std::make_shared<DataFrame>(std::move(stitched));
+    result.progress = msg.progress;
+    result.version = msg.version;
+    result.refresh = msg.refresh;
+    Emit(std::move(result));
+    return;
+  }
+
   Column mask_col = predicate_->Eval(in);
   std::vector<uint8_t> mask(mask_col.size());
   for (size_t i = 0; i < mask.size(); ++i) {

@@ -57,11 +57,12 @@ void HashJoinNode::ProbeAndEmit(const Message& msg) {
     auto out_vars = std::make_shared<VarianceMap>();
     result.frame = std::make_shared<DataFrame>(
         table_.Probe(*msg.frame, left_keys_, join_type_, output_schema_,
-                     msg.variances.get(), out_vars.get()));
+                     msg.variances.get(), out_vars.get(), options_.pool));
     if (!out_vars->empty()) result.variances = std::move(out_vars);
   } else {
     result.frame = std::make_shared<DataFrame>(
-        table_.Probe(*msg.frame, left_keys_, join_type_, output_schema_));
+        table_.Probe(*msg.frame, left_keys_, join_type_, output_schema_,
+                     nullptr, nullptr, options_.pool));
   }
   result.progress = msg.progress;
   result.version = msg.version;
@@ -176,7 +177,8 @@ void MergeJoinNode::EmitReady() {
       left_consumed_ = 0;
     }
     result.frame = std::make_shared<DataFrame>(
-        table_.Probe(batch, left_keys_, join_type_, output_schema_));
+        table_.Probe(batch, left_keys_, join_type_, output_schema_, nullptr,
+                     nullptr, options_.pool));
   }
   result.progress = progress;
   last_emitted_progress_ = progress;

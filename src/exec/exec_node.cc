@@ -53,18 +53,23 @@ void ExecNode::Run(TraceLog* trace) {
 
   // Multiplex all inputs into one internal queue; forwarders tag messages
   // with their port and send a final EOF marker when their channel closes.
+  // Both hops are batched: one ReceiveAll per burst of queued partials,
+  // one SendAll (single lock, single wakeup) to re-enqueue the burst.
   auto merged = std::make_shared<Channel<Tagged>>();
   size_t ports = inputs_.size();
   forwarders_.reserve(ports);
   for (size_t p = 0; p < ports; ++p) {
     forwarders_.emplace_back([this, merged, p] {
-      // Batched drain: one lock per burst of queued partials.
+      std::vector<Tagged> tagged;
       for (;;) {
         auto batch = inputs_[p]->ReceiveAll();
         if (batch.empty()) break;  // closed and drained
+        tagged.clear();
+        tagged.reserve(batch.size());
         for (auto& msg : batch) {
-          merged->Send(Tagged{p, false, std::move(msg)});
+          tagged.push_back(Tagged{p, false, std::move(msg)});
         }
+        merged->SendAll(std::move(tagged));
       }
       merged->Send(Tagged{p, true, Message{}});
     });
@@ -72,26 +77,47 @@ void ExecNode::Run(TraceLog* trace) {
 
   size_t open_ports = ports;
   while (open_ports > 0) {
-    auto tagged = merged->Receive();
-    if (!tagged.has_value()) break;  // defensive; merged never closes early
-    double t0 = trace ? trace->epoch().ElapsedSeconds() : 0.0;
-    if (tagged->eof) {
-      ports_closed_[tagged->port] = 1;
-      --open_ports;
-      OnInputClosed(tagged->port);
-    } else {
-      Process(tagged->port, tagged->msg);
+    // Drain whatever has accumulated, buffer the emits the batch
+    // produces, then flush them as one SendAll per output.
+    auto batch = merged->ReceiveAll();
+    if (batch.empty()) break;  // defensive; merged never closes early
+    emit_buffering_ = true;
+    for (auto& tagged : batch) {
+      double t0 = trace ? trace->epoch().ElapsedSeconds() : 0.0;
+      if (tagged.eof) {
+        ports_closed_[tagged.port] = 1;
+        --open_ports;
+        OnInputClosed(tagged.port);
+      } else {
+        Process(tagged.port, tagged.msg);
+      }
+      if (trace) {
+        trace->Record(label_, t0, trace->epoch().ElapsedSeconds());
+      }
+      if (open_ports == 0) break;
     }
-    if (trace) {
-      trace->Record(label_, t0, trace->epoch().ElapsedSeconds());
-    }
+    emit_buffering_ = false;
+    FlushEmits();
   }
   double t0 = trace ? trace->epoch().ElapsedSeconds() : 0.0;
+  emit_buffering_ = true;
   Finish();
+  emit_buffering_ = false;
+  FlushEmits();
   if (trace) {
     trace->Record(label_ + ":finish", t0, trace->epoch().ElapsedSeconds());
   }
   CloseOutputs();
+}
+
+void ExecNode::FlushEmits() {
+  if (emit_buffer_.empty()) return;
+  for (size_t i = 1; i < outputs_.size(); ++i) {
+    std::vector<Message> copy(emit_buffer_.begin(), emit_buffer_.end());
+    outputs_[i]->SendAll(std::move(copy));
+  }
+  outputs_[0]->SendAll(std::move(emit_buffer_));
+  emit_buffer_.clear();
 }
 
 }  // namespace wake

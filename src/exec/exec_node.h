@@ -73,8 +73,20 @@ class ExecNode {
   virtual void RunSource() {}
 
   /// Sends to every claimed output (frames are shared immutable pointers,
-  /// so broadcast is a cheap pointer copy).
+  /// so broadcast is a cheap pointer copy). While the run loop is
+  /// processing a drained input batch, emits are buffered and flushed as
+  /// one SendAll per output at the end of the batch — one lock and one
+  /// consumer wakeup per burst instead of one per message. Source nodes
+  /// (RunSource) emit immediately so readers keep streaming partials.
   void Emit(Message msg) {
+    if (emit_buffering_) {
+      emit_buffer_.push_back(std::move(msg));
+      // Cap the buffer so a long drained batch (e.g. a join replaying
+      // its pending probes at build EOF) still streams to downstream
+      // nodes: the lock is amortized kEmitFlushBatch ways either way.
+      if (emit_buffer_.size() >= kEmitFlushBatch) FlushEmits();
+      return;
+    }
     for (size_t i = 1; i < outputs_.size(); ++i) outputs_[i]->Send(msg);
     outputs_[0]->Send(std::move(msg));
   }
@@ -93,6 +105,12 @@ class ExecNode {
 
   void CloseOutputs();
 
+  /// Max messages buffered before Emit flushes mid-batch.
+  static constexpr size_t kEmitFlushBatch = 64;
+
+  /// Sends the buffered emits, one SendAll per output, in emit order.
+  void FlushEmits();
+
   std::string label_;
   std::vector<MessageChannelPtr> inputs_;
   std::vector<MessageChannelPtr> outputs_;  // [0] = primary
@@ -100,6 +118,8 @@ class ExecNode {
   std::vector<std::thread> forwarders_;
   std::thread thread_;
   std::vector<uint8_t> ports_closed_;
+  bool emit_buffering_ = false;
+  std::vector<Message> emit_buffer_;
 };
 
 }  // namespace wake

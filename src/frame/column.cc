@@ -45,6 +45,16 @@ Column Column::DictFromStrings(const std::vector<std::string>& data) {
   return c;
 }
 
+Column Column::DictFromCodes(StringDictPtr dict, std::vector<int32_t> codes,
+                             std::vector<uint8_t> valid) {
+  Column c(ValueType::kString);
+  c.dict_ = std::move(dict);
+  c.codes_ = std::move(codes);
+  c.valid_ = std::move(valid);
+  c.CompactValidity();
+  return c;
+}
+
 Column Column::DecodeDict() const {
   if (dict_ == nullptr) return *this;
   Column out(ValueType::kString);
@@ -412,7 +422,7 @@ uint64_t Column::HashRow(size_t i, uint64_t seed) const {
   }
 }
 
-void Column::HashInto(uint64_t* hashes, size_t n) const {
+void Column::HashIntoRange(uint64_t* hashes, size_t begin, size_t end) const {
   const bool nulls = !valid_.empty();
   switch (type_) {
     case ValueType::kString:
@@ -420,38 +430,40 @@ void Column::HashInto(uint64_t* hashes, size_t n) const {
         // One pre-hash load + mix per row; no byte loop.
         const int32_t* cp = codes_.data();
         const uint64_t* ph = dict_->hash_data();
-        for (size_t i = 0; i < n; ++i) {
-          hashes[i] = (nulls && valid_[i] == 0)
-                          ? MixHash(hashes[i], kNullHashPayload)
-                          : MixHash(hashes[i], ph[cp[i]]);
+        for (size_t i = begin; i < end; ++i) {
+          hashes[i - begin] = (nulls && valid_[i] == 0)
+                                  ? MixHash(hashes[i - begin], kNullHashPayload)
+                                  : MixHash(hashes[i - begin], ph[cp[i]]);
         }
         break;
       }
-      for (size_t i = 0; i < n; ++i) {
-        hashes[i] = (nulls && valid_[i] == 0)
-                        ? MixHash(hashes[i], kNullHashPayload)
-                        : HashBytes(strings_[i].data(), strings_[i].size(),
-                                    hashes[i]);
+      for (size_t i = begin; i < end; ++i) {
+        hashes[i - begin] =
+            (nulls && valid_[i] == 0)
+                ? MixHash(hashes[i - begin], kNullHashPayload)
+                : HashBytes(strings_[i].data(), strings_[i].size(),
+                            hashes[i - begin]);
       }
       break;
     case ValueType::kFloat64:
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = begin; i < end; ++i) {
         if (nulls && valid_[i] == 0) {
-          hashes[i] = MixHash(hashes[i], kNullHashPayload);
+          hashes[i - begin] = MixHash(hashes[i - begin], kNullHashPayload);
           continue;
         }
         double d = doubles_[i];
         if (d == 0.0) d = 0.0;  // normalize -0.0
         uint64_t bits;
         __builtin_memcpy(&bits, &d, sizeof(bits));
-        hashes[i] = MixHash(hashes[i], bits);
+        hashes[i - begin] = MixHash(hashes[i - begin], bits);
       }
       break;
     default:
-      for (size_t i = 0; i < n; ++i) {
-        hashes[i] = (nulls && valid_[i] == 0)
-                        ? MixHash(hashes[i], kNullHashPayload)
-                        : MixHash(hashes[i], static_cast<uint64_t>(ints_[i]));
+      for (size_t i = begin; i < end; ++i) {
+        hashes[i - begin] =
+            (nulls && valid_[i] == 0)
+                ? MixHash(hashes[i - begin], kNullHashPayload)
+                : MixHash(hashes[i - begin], static_cast<uint64_t>(ints_[i]));
       }
       break;
   }

@@ -66,7 +66,14 @@ class Column {
   /// --- dict encoding ---
   bool is_dict() const { return dict_ != nullptr; }
   const std::vector<int32_t>& codes() const { return codes_; }
+  std::vector<int32_t>* mutable_codes() { return &codes_; }
   const StringDictPtr& dict() const { return dict_; }
+  /// Dict-encoded column over an existing (shared) dict: row i holds
+  /// `codes[i]` (kNullCode rows must be masked via `valid`). Used by the
+  /// probe-side dict unification of cross-dict string joins and by
+  /// parallel gathers that assemble codes off-column.
+  static Column DictFromCodes(StringDictPtr dict, std::vector<int32_t> codes,
+                              std::vector<uint8_t> valid = {});
   /// Plain-encoded copy (identity copy for non-dict columns).
   Column DecodeDict() const;
   /// Dict-encoded copy with a fresh dict (identity copy for dict columns).
@@ -100,6 +107,7 @@ class Column {
   /// Marks row i null (allocates the mask on first use).
   void SetNull(size_t i);
   const std::vector<uint8_t>& validity() const { return valid_; }
+  std::vector<uint8_t>* mutable_validity() { return &valid_; }
   void set_validity(std::vector<uint8_t> v) { valid_ = std::move(v); }
   /// Drops the mask if every row is valid.
   void CompactValidity();
@@ -145,7 +153,13 @@ class Column {
   /// Column-at-a-time hashing: mixes row i's hash into hashes[i] for the
   /// first n rows (one type dispatch per column instead of per row).
   /// Produces exactly HashRow(i, hashes[i]) for every row.
-  void HashInto(uint64_t* hashes, size_t n) const;
+  void HashInto(uint64_t* hashes, size_t n) const {
+    HashIntoRange(hashes, 0, n);
+  }
+
+  /// Ranged form for morsel-parallel kernels: mixes row r's hash into
+  /// hashes[r - begin] for r in [begin, end).
+  void HashIntoRange(uint64_t* hashes, size_t begin, size_t end) const;
 
   /// Approximate heap footprint in bytes (peak-memory accounting, §8.2).
   /// Dict columns count their codes plus the dict pool; a dict shared by

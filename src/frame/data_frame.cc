@@ -130,6 +130,15 @@ void DataFrame::HashRowsBatch(const std::vector<size_t>& key_cols,
   for (size_t c : key_cols) columns_[c].HashInto(out->data(), out->size());
 }
 
+void DataFrame::HashRowsBatchRange(const std::vector<size_t>& key_cols,
+                                   size_t begin, size_t end,
+                                   std::vector<uint64_t>* out) const {
+  out->assign(end - begin, kRowHashSeed);
+  for (size_t c : key_cols) {
+    columns_[c].HashIntoRange(out->data(), begin, end);
+  }
+}
+
 bool DataFrame::KeysEqual(const std::vector<size_t>& cols, size_t i,
                           const DataFrame& other,
                           const std::vector<size_t>& other_cols,

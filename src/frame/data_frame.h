@@ -75,6 +75,11 @@ class DataFrame {
   void HashRowsBatch(const std::vector<size_t>& key_cols,
                      std::vector<uint64_t>* out) const;
 
+  /// Ranged form for morsel-parallel kernels: out gets end - begin
+  /// entries, (*out)[r - begin] == HashRowKeys(key_cols, r).
+  void HashRowsBatchRange(const std::vector<size_t>& key_cols, size_t begin,
+                          size_t end, std::vector<uint64_t>* out) const;
+
   /// True if row `i` of this frame equals row `j` of `other` on the given
   /// (parallel) key column index lists.
   bool KeysEqual(const std::vector<size_t>& cols, size_t i,
@@ -110,20 +115,14 @@ class KeyEq {
         const DataFrame& right, const std::vector<size_t>& right_cols) {
     cols_.reserve(left_cols.size());
     for (size_t k = 0; k < left_cols.size(); ++k) {
-      const Column& a = left.column(left_cols[k]);
-      const Column& b = right.column(right_cols[k]);
-      Mode mode;
-      if (a.type() == ValueType::kString) {
-        mode = (a.is_dict() && a.dict() == b.dict()) ? Mode::kCode
-                                                     : Mode::kString;
-      } else if (IsIntPhysical(a.type()) && IsIntPhysical(b.type())) {
-        mode = Mode::kInt;
-      } else {
-        mode = Mode::kDouble;
-      }
-      cols_.push_back({&a, &b, mode});
+      cols_.push_back(
+          MakePair(left.column(left_cols[k]), right.column(right_cols[k])));
     }
   }
+
+  /// Single-pair form for kernels comparing one synthesized key column
+  /// (e.g. the cross-dict shadow column of a probe) against a stored one.
+  KeyEq(const Column& a, const Column& b) { cols_.push_back(MakePair(a, b)); }
 
   /// Hints the cache to load right-side row `j` of every key column.
   void PrefetchRight(size_t j) const {
@@ -179,6 +178,20 @@ class KeyEq {
     const Column* b;
     Mode mode;
   };
+
+  static ColPair MakePair(const Column& a, const Column& b) {
+    Mode mode;
+    if (a.type() == ValueType::kString) {
+      mode = (a.is_dict() && a.dict() == b.dict()) ? Mode::kCode
+                                                   : Mode::kString;
+    } else if (IsIntPhysical(a.type()) && IsIntPhysical(b.type())) {
+      mode = Mode::kInt;
+    } else {
+      mode = Mode::kDouble;
+    }
+    return {&a, &b, mode};
+  }
+
   std::vector<ColPair> cols_;
 };
 

@@ -1,0 +1,223 @@
+// GroupedAggState::Merge and hash-sharded consumption: sharded == serial
+// for every aggregate kind, including null keys and dict-encoded keys.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/worker_pool.h"
+#include "core/agg_state.h"
+#include "plan/props.h"
+
+namespace wake {
+namespace {
+
+Schema InputSchema() {
+  return Schema({{"g", ValueType::kInt64},
+                 {"v", ValueType::kFloat64},
+                 {"name", ValueType::kString}});
+}
+
+// Random input; every ~17th group key and ~13th value is null.
+DataFrame MakeInput(size_t rows, int64_t groups, uint64_t seed,
+                    bool with_nulls = false, int64_t name_card = 31) {
+  DataFrame df(InputSchema());
+  Rng rng(seed);
+  Column names = Column::NewDict();
+  for (size_t i = 0; i < rows; ++i) {
+    df.mutable_column(0)->AppendInt(rng.UniformInt(0, groups - 1));
+    df.mutable_column(1)->AppendDouble(rng.UniformDouble(-10.0, 50.0));
+    names.AppendString("n" + std::to_string(rng.UniformInt(0, name_card - 1)));
+    if (with_nulls && i % 17 == 3) df.mutable_column(0)->SetNull(i);
+    if (with_nulls && i % 13 == 5) df.mutable_column(1)->SetNull(i);
+  }
+  *df.mutable_column(2) = std::move(names);
+  return df;
+}
+
+std::vector<AggSpec> AllAggs() {
+  return {Sum("v", "s"),           Count("n"),
+          CountCol("v", "nv"),     Avg("v", "a"),
+          Min("v", "mn"),          Max("v", "mx"),
+          CountDistinct("name", "d"), VarOf("v", "var"),
+          StddevOf("v", "sd"),     MedianOf("v", "med")};
+}
+
+std::vector<AggSpec> HotAggs() {
+  return {Sum("v", "s"), Count("n"), Avg("v", "a"), VarOf("v", "var"),
+          StddevOf("v", "sd")};
+}
+
+GroupedAggState MakeState(const std::vector<std::string>& by,
+                          const std::vector<AggSpec>& aggs) {
+  return GroupedAggState(by, aggs, InputSchema(),
+                         AggOutputSchema(InputSchema(), by, aggs));
+}
+
+// Merge equivalence up to row order (states consumed independently rank
+// their groups independently, so compare sorted by key).
+void ExpectSameSorted(const DataFrame& a, const DataFrame& b,
+                      const std::string& key) {
+  std::string diff;
+  EXPECT_TRUE(a.SortBy({{key, false}})
+                  .ApproxEquals(b.SortBy({{key, false}}), 1e-9, &diff))
+      << diff;
+}
+
+TEST(AggMergeTest, MergedPartialsEqualWholeForEveryAggKind) {
+  DataFrame whole = MakeInput(600, 9, 17, /*with_nulls=*/true);
+  auto serial = MakeState({"g"}, AllAggs());
+  serial.Consume(whole);
+
+  auto merged = MakeState({"g"}, AllAggs());
+  for (size_t begin = 0; begin < 600; begin += 150) {
+    auto part_state = MakeState({"g"}, AllAggs());
+    part_state.Consume(whole.Slice(begin, begin + 150));
+    merged.Merge(part_state);
+  }
+  EXPECT_EQ(merged.num_groups(), serial.num_groups());
+  EXPECT_EQ(merged.total_rows(), serial.total_rows());
+  ExpectSameSorted(merged.Finalize(AggScaling{}).frame,
+                   serial.Finalize(AggScaling{}).frame, "g");
+}
+
+TEST(AggMergeTest, MergeOnDictKeys) {
+  DataFrame whole = MakeInput(400, 50, 23);
+  auto serial = MakeState({"name"}, AllAggs());
+  serial.Consume(whole);
+  auto merged = MakeState({"name"}, AllAggs());
+  for (size_t begin = 0; begin < 400; begin += 100) {
+    auto part_state = MakeState({"name"}, AllAggs());
+    part_state.Consume(whole.Slice(begin, begin + 100));
+    merged.Merge(part_state);
+  }
+  ExpectSameSorted(merged.Finalize(AggScaling{}).frame,
+                   serial.Finalize(AggScaling{}).frame, "name");
+}
+
+TEST(AggMergeTest, MergeGlobalAggregate) {
+  DataFrame whole = MakeInput(300, 5, 29, /*with_nulls=*/true);
+  auto serial = MakeState({}, AllAggs());
+  serial.Consume(whole);
+  auto merged = MakeState({}, AllAggs());
+  for (size_t begin = 0; begin < 300; begin += 100) {
+    auto part_state = MakeState({}, AllAggs());
+    part_state.Consume(whole.Slice(begin, begin + 100));
+    merged.Merge(part_state);
+  }
+  std::string diff;
+  EXPECT_TRUE(merged.Finalize(AggScaling{}).frame.ApproxEquals(
+      serial.Finalize(AggScaling{}).frame, 1e-9, &diff))
+      << diff;
+}
+
+// Sharded consumption must reproduce the serial state exactly: a group's
+// rows all reach its shard in arrival order (bit-identical accumulators)
+// and Finalize orders groups by first appearance (identical row order).
+TEST(AggMergeTest, ShardedConsumeIsBitIdenticalToSerial) {
+  constexpr size_t kRows = 8192;
+  DataFrame p1 = MakeInput(kRows, 300, 41, /*with_nulls=*/true);
+  DataFrame p2 = MakeInput(kRows, 300, 43, /*with_nulls=*/true);
+  DataFrame p3 = MakeInput(kRows / 8, 300, 47);  // small post-shard partial
+
+  auto serial = MakeState({"g"}, HotAggs());
+  serial.Consume(p1);
+  serial.Consume(p2);
+  serial.Consume(p3);
+  ASSERT_FALSE(serial.sharded());
+
+  auto sharded = MakeState({"g"}, HotAggs());
+  sharded.EnableSharding(nullptr, /*min_rows=*/1024);
+  sharded.Consume(p1);
+  EXPECT_TRUE(sharded.sharded());
+  sharded.Consume(p2);
+  sharded.Consume(p3);
+
+  EXPECT_EQ(sharded.num_groups(), serial.num_groups());
+  EXPECT_EQ(sharded.total_rows(), serial.total_rows());
+  std::string diff;
+  EXPECT_TRUE(sharded.Finalize(AggScaling{}).frame.ApproxEquals(
+      serial.Finalize(AggScaling{}).frame, 0.0, &diff))
+      << diff;
+}
+
+TEST(AggMergeTest, ShardedConsumeOnDictKeysMatchesSerial) {
+  constexpr size_t kRows = 8192;
+  DataFrame p1 = MakeInput(kRows, 300, 51, false, /*name_card=*/400);
+  DataFrame p2 = MakeInput(kRows, 300, 53, false, /*name_card=*/400);
+  auto serial = MakeState({"name"}, HotAggs());
+  serial.Consume(p1);
+  serial.Consume(p2);
+  auto sharded = MakeState({"name"}, HotAggs());
+  sharded.EnableSharding(nullptr, 1024);
+  sharded.Consume(p1);
+  sharded.Consume(p2);
+  ASSERT_TRUE(sharded.sharded());
+  std::string diff;
+  EXPECT_TRUE(sharded.Finalize(AggScaling{}).frame.ApproxEquals(
+      serial.Finalize(AggScaling{}).frame, 0.0, &diff))
+      << diff;
+}
+
+TEST(AggMergeTest, ShardedResultIdenticalAtAnyWorkerCount) {
+  constexpr size_t kRows = 16384;
+  DataFrame p1 = MakeInput(kRows, 500, 61, /*with_nulls=*/true);
+  DataFrame p2 = MakeInput(kRows, 500, 67, /*with_nulls=*/true);
+
+  WorkerPool pool4(4);
+  auto run = [&](WorkerPool* pool) {
+    auto state = MakeState({"g"}, HotAggs());
+    state.EnableSharding(pool, 1024);
+    state.Consume(p1);
+    state.Consume(p2);
+    return state.Finalize(AggScaling{}).frame;
+  };
+  DataFrame w1 = run(nullptr);
+  DataFrame w4 = run(&pool4);
+  std::string diff;
+  EXPECT_TRUE(w1.ApproxEquals(w4, 0.0, &diff)) << diff;
+}
+
+TEST(AggMergeTest, ColdAggregatesNeverShard) {
+  auto state = MakeState({"g"}, AllAggs());  // min/max/distinct/median
+  state.EnableSharding(nullptr, 64);
+  state.Consume(MakeInput(4096, 100, 71));
+  EXPECT_FALSE(state.sharded());
+}
+
+TEST(AggMergeTest, ResetDropsShardsAndStateStaysUsable) {
+  auto state = MakeState({"g"}, HotAggs());
+  state.EnableSharding(nullptr, 512);
+  state.Consume(MakeInput(2048, 100, 73));
+  ASSERT_TRUE(state.sharded());
+  state.Reset();
+  EXPECT_FALSE(state.sharded());
+  EXPECT_EQ(state.num_groups(), 0u);
+  DataFrame small = MakeInput(100, 10, 79);
+  state.Consume(small);
+  auto serial = MakeState({"g"}, HotAggs());
+  serial.Consume(small);
+  std::string diff;
+  EXPECT_TRUE(state.Finalize(AggScaling{}).frame.ApproxEquals(
+      serial.Finalize(AggScaling{}).frame, 0.0, &diff))
+      << diff;
+}
+
+TEST(AggMergeTest, MergeOfShardedStateIntoFreshState) {
+  DataFrame p1 = MakeInput(4096, 200, 83);
+  auto sharded = MakeState({"g"}, HotAggs());
+  sharded.EnableSharding(nullptr, 1024);
+  sharded.Consume(p1);
+  ASSERT_TRUE(sharded.sharded());
+
+  auto fresh = MakeState({"g"}, HotAggs());
+  fresh.Merge(sharded);
+  auto serial = MakeState({"g"}, HotAggs());
+  serial.Consume(p1);
+  EXPECT_EQ(fresh.total_rows(), serial.total_rows());
+  std::string diff;
+  EXPECT_TRUE(fresh.Finalize(AggScaling{}).frame.ApproxEquals(
+      serial.Finalize(AggScaling{}).frame, 0.0, &diff))
+      << diff;
+}
+
+}  // namespace
+}  // namespace wake
