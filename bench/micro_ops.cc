@@ -4,9 +4,12 @@
 // throughput. These quantify the per-partial costs behind Fig 11/12.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <thread>
@@ -20,6 +23,7 @@
 #include "core/inference.h"
 #include "core/join_kernel.h"
 #include "plan/props.h"
+#include "tpch/dbgen.h"
 
 namespace wake {
 namespace {
@@ -307,6 +311,43 @@ WorkerRates MeasureWorkers(size_t rows, size_t workers,
   return rates;
 }
 
+// Projected vs full storage reads: parse TPC-H lineitem (16 columns) from
+// .tbl text with and without the Q6-style four-column projection the
+// optimizer's scan-projection pass emits. The win is the parsing,
+// allocation, and dict-interning of the 12 untouched columns.
+struct ScanRates {
+  double scan_full = 0.0;
+  double scan_pruned = 0.0;
+};
+
+ScanRates MeasureScan() {
+  tpch::DbgenConfig cfg;
+  cfg.scale_factor = 0.02;
+  cfg.partitions = 4;
+  PartitionedTable lineitem = tpch::GenerateTable(cfg, "lineitem");
+  auto dir = std::filesystem::temp_directory_path() /
+             ("wake_micro_scan_" + std::to_string(::getpid()));
+  lineitem.WriteTblDir(dir.string());
+  const std::vector<std::string> pruned = {"l_orderkey", "l_extendedprice",
+                                           "l_discount", "l_shipdate"};
+  size_t rows = lineitem.total_rows();
+  ScanRates rates;
+  rates.scan_full = BestMrowsPerSec(rows, [&] {
+    if (PartitionedTable::ReadTblDir(dir.string(), "lineitem")
+            .total_rows() != rows) {
+      std::abort();
+    }
+  });
+  rates.scan_pruned = BestMrowsPerSec(rows, [&] {
+    if (PartitionedTable::ReadTblDir(dir.string(), "lineitem", pruned)
+            .total_rows() != rows) {
+      std::abort();
+    }
+  });
+  std::filesystem::remove_all(dir);
+  return rates;
+}
+
 int RunMicroJson() {
   constexpr size_t kRows = 1 << 18;     // 256k rows per kernel invocation
   constexpr int64_t kJoinKeys = 1 << 16;
@@ -350,6 +391,8 @@ int RunMicroJson() {
   WorkerRates w2 = MeasureWorkers(kRows, 2, wbuild, wprobe, wagg);
   WorkerRates w4 = MeasureWorkers(kRows, 4, wbuild, wprobe, wagg);
 
+  ScanRates scan = MeasureScan();
+
   std::printf(
       "{\"bench\":\"micro_ops\",\"rows\":%zu,\"host_cores\":%u,"
       "\"join_build_mrows_per_s\":%.2f,\"join_probe_mrows_per_s\":%.2f,"
@@ -365,12 +408,14 @@ int RunMicroJson() {
       "\"join_probe_w4_mrows_per_s\":%.2f,"
       "\"group_by_w1_mrows_per_s\":%.2f,"
       "\"group_by_w2_mrows_per_s\":%.2f,"
-      "\"group_by_w4_mrows_per_s\":%.2f}\n",
+      "\"group_by_w4_mrows_per_s\":%.2f,"
+      "\"scan_full_mrows_per_s\":%.2f,"
+      "\"scan_pruned_mrows_per_s\":%.2f}\n",
       kRows, std::thread::hardware_concurrency(), ints.join_build,
       ints.join_probe, ints.group_by, plain.join_build, plain.join_probe,
       plain.group_by, dict.join_build, dict.join_probe, dict.group_by,
       w1.join_probe, w2.join_probe, w4.join_probe, w1.group_by, w2.group_by,
-      w4.group_by);
+      w4.group_by, scan.scan_full, scan.scan_pruned);
   return 0;
 }
 

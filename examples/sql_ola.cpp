@@ -1,36 +1,72 @@
-// SQL with online aggregation: run a SQL query (from the command line or a
-// built-in default) against generated TPC-H data and stream the converging
-// OLA states — the declarative interface the paper lists as future work,
-// running on the Deep-OLA engine.
+// SQL with online aggregation: run a SQL query (from the command line, a
+// TPC-H query number, or a built-in default) against generated TPC-H data
+// and stream the converging OLA states — the declarative interface the
+// paper lists as future work, running on the Deep-OLA engine. Queries are
+// run through the logical optimizer (plan/optimizer.h) first; pass
+// --explain to print the plan before and after optimization.
 //
-//   build/examples/sql_ola ["SELECT ... FROM ..."]
+//   build/examples/sql_ola [--explain] [--no-optimize]
+//                          ["SELECT ... FROM ..." | --tpch N]
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "common/error.h"
 #include "core/engine.h"
+#include "plan/optimizer.h"
 #include "sql/parser.h"
 #include "tpch/dbgen.h"
+#include "tpch/queries_sql.h"
 
 using namespace wake;
 
 int main(int argc, char** argv) {
-  const char* query =
-      argc > 1 ? argv[1]
-               : "SELECT l_shipmode, SUM(l_extendedprice * (1 - l_discount)) "
-                 "AS revenue, COUNT(*) AS items FROM lineitem "
-                 "JOIN orders ON l_orderkey = o_orderkey "
-                 "WHERE o_orderdate >= DATE '1995-01-01' "
-                 "GROUP BY l_shipmode ORDER BY revenue DESC";
+  bool explain = false;
+  bool optimize = true;
+  std::string query =
+      "SELECT l_shipmode, SUM(l_extendedprice * (1 - l_discount)) "
+      "AS revenue, COUNT(*) AS items FROM lineitem "
+      "JOIN orders ON l_orderkey = o_orderkey "
+      "WHERE o_orderdate >= DATE '1995-01-01' "
+      "GROUP BY l_shipmode ORDER BY revenue DESC";
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--explain") {
+        explain = true;
+      } else if (arg == "--no-optimize") {
+        optimize = false;
+      } else if (arg == "--tpch") {
+        if (i + 1 >= argc) throw Error("--tpch needs a query number (1-22)");
+        query = tpch::QuerySql(std::atoi(argv[++i]));
+      } else {
+        query = arg;
+      }
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 
   tpch::DbgenConfig cfg;
   cfg.scale_factor = 0.02;
   cfg.partitions = 10;
   Catalog catalog = tpch::Generate(cfg);
 
-  std::printf("query:\n  %s\n\n", query);
+  std::printf("query:\n  %s\n\n", query.c_str());
   Plan plan;
   try {
     plan = sql::Parse(query);
+    if (explain) {
+      std::printf("parsed plan:\n%s\n", PlanToString(plan.node()).c_str());
+    }
+    if (optimize) {
+      plan = Optimize(plan, catalog);
+      if (explain) {
+        std::printf("optimized plan:\n%s\n",
+                    PlanToString(plan.node()).c_str());
+      }
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;

@@ -17,7 +17,8 @@ DataFrame ExactEngine::Eval(const PlanNodePtr& node) const {
   DataFrame result;
   switch (node->op) {
     case PlanOp::kScan: {
-      result = catalog_->Get(node->table).Materialize();
+      // Projected read: only the plan's column list is ever copied.
+      result = catalog_->Get(node->table).Materialize(node->columns);
       break;
     }
     case PlanOp::kMap: {

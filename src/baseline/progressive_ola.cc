@@ -40,7 +40,12 @@ void ProgressiveOla::Execute(const PlanNodePtr& plan,
   const PlanNode* agg_node = nullptr;
   const PlanNode* scan = FindScan(plan, &agg_node);
   CheckArg(agg_node != nullptr, "plan has no aggregation");
-  const PartitionedTable& table = catalog_->Get(scan->table);
+  const PartitionedTable& full_table = catalog_->Get(scan->table);
+  // Projected scans re-accumulate only the plan's column list (the
+  // middleware still re-executes per chunk, but over narrowed chunks).
+  PartitionedTable table = scan->columns.empty()
+                               ? full_table
+                               : full_table.SelectColumns(scan->columns);
   size_t total = table.total_rows();
 
   Stopwatch clock;

@@ -37,8 +37,11 @@ WakeEngine::Compiled WakeEngine::CompileRec(
 
   switch (plan->op) {
     case PlanOp::kScan: {
+      // Projected scan: the reader narrows each partition as it streams,
+      // so downstream nodes only ever gather the columns the plan needs
+      // and no full-table narrowed copy is ever held.
       nodes->push_back(std::make_unique<ReaderNode>(
-          catalog_->GetPtr(plan->table), node_options));
+          catalog_->GetPtr(plan->table), node_options, plan->columns));
       break;
     }
     case PlanOp::kMap: {

@@ -51,10 +51,15 @@ struct NodeOptions {
   WorkerPool* pool = nullptr;
 };
 
-/// Base-table reader (the paper's read_csv / table-reader node).
+/// Base-table reader (the paper's read_csv / table-reader node). A
+/// non-empty `columns` list makes the scan projected: each partition is
+/// narrowed as it is emitted (copying only the selected columns, one
+/// partition in flight at a time) rather than materializing a narrowed
+/// copy of the whole table up front.
 class ReaderNode : public ExecNode {
  public:
-  ReaderNode(TablePtr table, NodeOptions options);
+  ReaderNode(TablePtr table, NodeOptions options,
+             std::vector<std::string> columns = {});
   size_t BufferedBytes() const override { return 0; }
 
  protected:
@@ -63,6 +68,8 @@ class ReaderNode : public ExecNode {
 
  private:
   TablePtr table_;
+  std::vector<std::string> columns_;  // empty = all
+  Schema narrowed_schema_;            // key-aware (set iff columns_ set)
 };
 
 /// Projection (map). Stateless: one output partial per input partial.

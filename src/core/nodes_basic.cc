@@ -18,8 +18,17 @@ constexpr size_t kEvalMorselRows = 32 * 1024;
 // ReaderNode
 // ---------------------------------------------------------------------------
 
-ReaderNode::ReaderNode(TablePtr table, NodeOptions)
-    : ExecNode("read(" + table->name() + ")"), table_(std::move(table)) {}
+ReaderNode::ReaderNode(TablePtr table, NodeOptions,
+                       std::vector<std::string> columns)
+    : ExecNode("read(" + table->name() + ")"),
+      table_(std::move(table)),
+      columns_(std::move(columns)) {
+  if (!columns_.empty()) {
+    // Key-aware narrowing (keys survive only if all their columns do);
+    // DataFrame::Select alone would keep stale key metadata.
+    narrowed_schema_ = table_->schema().Select(columns_);
+  }
+}
 
 void ReaderNode::RunSource() {
   size_t total = table_->total_rows();
@@ -28,7 +37,13 @@ void ReaderNode::RunSource() {
     const DataFramePtr& part = table_->partition(i);
     seen += part->num_rows();
     Message msg;
-    msg.frame = part;
+    if (columns_.empty()) {
+      msg.frame = part;
+    } else {
+      auto narrowed = std::make_shared<DataFrame>(part->Select(columns_));
+      *narrowed->mutable_schema() = narrowed_schema_;
+      msg.frame = std::move(narrowed);
+    }
     msg.progress =
         total == 0 ? 1.0
                    : static_cast<double>(seen) / static_cast<double>(total);

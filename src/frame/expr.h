@@ -75,6 +75,17 @@ class Expr {
   const std::string& column_name() const { return name_; }
   const Value& literal() const { return literal_; }
 
+  /// --- structural accessors (used by the plan optimizer to rewrite
+  /// trees: constant folding, conjunction splitting, column renaming) ---
+  const std::vector<ExprPtr>& children() const { return children_; }
+  ArithOp arith_op() const { return arith_op_; }
+  CompareOp cmp_op() const { return cmp_op_; }
+  LogicOp logic_op() const { return logic_op_; }
+  const std::string& like_pattern() const { return pattern_; }
+  const std::vector<Value>& in_list() const { return list_; }
+  int64_t substr_start() const { return substr_start_; }
+  int64_t substr_len() const { return substr_len_; }
+
   /// Result type when evaluated against `schema`.
   ValueType ResultType(const Schema& schema) const;
 

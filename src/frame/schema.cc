@@ -40,6 +40,33 @@ bool Schema::AnyMutable(const std::vector<std::string>& names) const {
   return false;
 }
 
+Schema Schema::Select(const std::vector<std::string>& names) const {
+  Schema out;
+  for (const auto& n : names) {
+    // Duplicates would leave later slots unfillable for the projected
+    // readers (they map file fields to output slots by name).
+    if (out.HasField(n)) throw Error("duplicate column in selection: " + n);
+    out.AddField(fields_[FieldIndex(n)]);
+  }
+  auto keep_if_present = [&](const std::vector<std::string>& key) {
+    for (const auto& k : key) {
+      if (!out.HasField(k)) return std::vector<std::string>{};
+    }
+    return key;
+  };
+  out.set_primary_key(keep_if_present(primary_key_));
+  out.set_clustering_key(keep_if_present(clustering_key_));
+  return out;
+}
+
+std::vector<size_t> Schema::ProjectionSlots(const Schema& narrowed) const {
+  std::vector<size_t> slots(fields_.size(), npos);
+  for (size_t f = 0; f < fields_.size(); ++f) {
+    slots[f] = narrowed.FindField(fields_[f].name);
+  }
+  return slots;
+}
+
 std::string Schema::ToString() const {
   std::string out = "(";
   for (size_t i = 0; i < fields_.size(); ++i) {

@@ -78,6 +78,17 @@ class Schema {
   /// True if any field named in `names` is mutable.
   bool AnyMutable(const std::vector<std::string>& names) const;
 
+  /// Schema narrowed to the named fields, in the given order; throws on
+  /// unknown or duplicated names. Primary/clustering keys are kept only
+  /// if every key column survives (a partial key identifies nothing).
+  Schema Select(const std::vector<std::string>& names) const;
+
+  /// For each field of this (full) schema: the matching field index in
+  /// `narrowed`, or npos when the field was projected away. The projected
+  /// readers (tbl/wpart/CSV, dbgen) use this to map file fields to output
+  /// slots.
+  std::vector<size_t> ProjectionSlots(const Schema& narrowed) const;
+
   bool SameFields(const Schema& other) const {
     return fields_ == other.fields_;
   }

@@ -28,9 +28,10 @@ std::shared_ptr<PlanNode> NewNode(PlanOp op) {
 }
 }  // namespace
 
-Plan Plan::Scan(std::string table) {
+Plan Plan::Scan(std::string table, std::vector<std::string> columns) {
   auto node = NewNode(PlanOp::kScan);
   node->table = std::move(table);
+  node->columns = std::move(columns);
   node->label = "scan(" + node->table + ")";
   return Plan(node);
 }
@@ -127,6 +128,9 @@ std::string PlanToString(const PlanNodePtr& node, int indent) {
   switch (node->op) {
     case PlanOp::kScan:
       out += "Scan " + node->table;
+      if (!node->columns.empty()) {
+        out += " [" + Join(node->columns, ",") + "]";
+      }
       break;
     case PlanOp::kMap:
       out += node->append_input ? "Derive [" : "Map [";

@@ -75,6 +75,10 @@ struct PlanNode {
 
   // kScan
   std::string table;
+  /// Columns to read from the table, in table-schema order; empty = all.
+  /// Set by the optimizer's scan-projection pass and lowered by every
+  /// engine so unused columns are never materialized.
+  std::vector<std::string> columns;
 
   // kMap: if append_input is true, output = input columns + projections;
   // otherwise output = projections only.
@@ -104,8 +108,9 @@ class Plan {
   Plan() = default;
   explicit Plan(PlanNodePtr node) : node_(std::move(node)) {}
 
-  /// Leaf: read a named table from the catalog.
-  static Plan Scan(std::string table);
+  /// Leaf: read a named table from the catalog. A non-empty `columns`
+  /// list restricts the scan to those columns (projected read).
+  static Plan Scan(std::string table, std::vector<std::string> columns = {});
 
   /// Projection replacing the schema with `projections`.
   Plan Map(std::vector<NamedExpr> projections) const;

@@ -94,7 +94,8 @@ PlanProps InferProps(const PlanNodePtr& node, const Catalog& catalog) {
   switch (node->op) {
     case PlanOp::kScan: {
       PlanProps props;
-      props.schema = catalog.Get(node->table).schema();
+      const Schema& full = catalog.Get(node->table).schema();
+      props.schema = node->columns.empty() ? full : full.Select(node->columns);
       props.mode = EvolveMode::kAppend;
       return props;
     }

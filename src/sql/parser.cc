@@ -71,16 +71,13 @@ class Parser {
     Advance();
   }
 
-  /// Identifier, stripping an optional table qualifier (`t.col` -> `col`).
+  /// Identifier with an optional table qualifier (`t.col` -> `col`).
+  /// Qualifiers are recorded and validated against the FROM/JOIN scope
+  /// once the full statement is parsed (SELECT items appear before FROM);
+  /// the column keeps its bare name (TPC-H names are globally unique).
   std::string ParseColumnName() {
-    if (Peek().type != TokenType::kIdent) Fail("expected column name");
-    std::string name = Advance().text;
-    if (AtSymbol(".")) {
-      Advance();
-      if (Peek().type != TokenType::kIdent) Fail("expected column name");
-      name = Advance().text;  // qualifier stripped; TPC-H names are unique
-    }
-    return name;
+    std::string qualifier;
+    return ParseQualified(&qualifier);
   }
 
   // --- expression grammar (precedence climbing) ---
@@ -331,9 +328,49 @@ class Parser {
   }
 
   // --- FROM / JOIN ---
+
+  /// Optional `[AS] alias` after a table name or subquery.
+  std::string MaybeAlias() {
+    if (AcceptKeyword("AS")) {
+      if (Peek().type != TokenType::kIdent) Fail("expected alias");
+      return Advance().text;
+    }
+    if (Peek().type == TokenType::kIdent) return Advance().text;
+    return "";
+  }
+
+  /// One relation in FROM/JOIN: a table name or a parenthesized SELECT,
+  /// each with an optional alias. Every name/alias is registered in the
+  /// statement's scope; `names` receives the ways this relation can be
+  /// qualified (used to orient ON-clause keys).
+  Plan ParseRelation(std::vector<std::string>* names) {
+    if (AcceptSymbol("(")) {
+      Plan sub = ParseSelect();
+      ExpectSymbol(")");
+      std::string alias = MaybeAlias();
+      if (!alias.empty()) {
+        names->push_back(alias);
+        scope_.push_back(alias);
+      }
+      return sub;
+    }
+    if (Peek().type != TokenType::kIdent) {
+      Fail("expected table name or subquery");
+    }
+    std::string table = Advance().text;
+    names->push_back(table);
+    scope_.push_back(table);
+    std::string alias = MaybeAlias();
+    if (!alias.empty()) {
+      names->push_back(alias);
+      scope_.push_back(alias);
+    }
+    return Plan::Scan(std::move(table));
+  }
+
   Plan ParseFrom() {
-    if (Peek().type != TokenType::kIdent) Fail("expected table name");
-    Plan plan = Plan::Scan(Advance().text);
+    std::vector<std::string> names;
+    Plan plan = ParseRelation(&names);
     while (true) {
       JoinType type;
       if (AcceptKeyword("JOIN")) {
@@ -358,24 +395,37 @@ class Parser {
       } else if (AtKeyword("CROSS") && Peek(1).text == "JOIN") {
         Advance();
         Advance();
-        if (Peek().type != TokenType::kIdent) Fail("expected table name");
-        plan = plan.CrossJoin(Plan::Scan(Advance().text));
+        std::vector<std::string> right_names;
+        plan = plan.CrossJoin(ParseRelation(&right_names));
         continue;
       } else {
         break;
       }
-      if (Peek().type != TokenType::kIdent) Fail("expected table name");
-      std::string table = Advance().text;
+      // Names in scope before the right relation parses belong to the
+      // left side; a qualifier naming the left side wins even if the
+      // right relation reuses the same name/alias.
+      size_t left_scope_end = scope_.size();
+      std::vector<std::string> right_names;
+      Plan right = ParseRelation(&right_names);
       ExpectKeyword("ON");
       std::vector<std::string> left_keys, right_keys;
       do {
-        // a = b; columns written in either order — the column prefixed
-        // with the joined table's name (or listed second) is the right key.
+        // a = b; columns written in either order — the column qualified
+        // with the joined relation's name/alias (or listed second) is the
+        // right key.
         std::string a_qual, b_qual;
         std::string a = ParseQualified(&a_qual);
         ExpectSymbol("=");
         std::string b = ParseQualified(&b_qual);
-        if (a_qual == table) {
+        auto in_left_scope = [&](const std::string& qual) {
+          return std::find(scope_.begin(), scope_.begin() + left_scope_end,
+                           qual) != scope_.begin() + left_scope_end;
+        };
+        bool a_is_right =
+            !in_left_scope(a_qual) &&
+            std::find(right_names.begin(), right_names.end(), a_qual) !=
+                right_names.end();
+        if (a_is_right) {
           left_keys.push_back(b);
           right_keys.push_back(a);
         } else {
@@ -383,7 +433,7 @@ class Parser {
           right_keys.push_back(b);
         }
       } while (AcceptKeyword("AND"));
-      plan = plan.Join(Plan::Scan(table), type, std::move(left_keys),
+      plan = plan.Join(right, type, std::move(left_keys),
                        std::move(right_keys));
     }
     return plan;
@@ -391,10 +441,12 @@ class Parser {
 
   std::string ParseQualified(std::string* qualifier) {
     if (Peek().type != TokenType::kIdent) Fail("expected column name");
+    size_t position = Peek().position;
     std::string name = Advance().text;
     if (AtSymbol(".")) {
       Advance();
       *qualifier = name;
+      qualifier_refs_.push_back({name, position});
       if (Peek().type != TokenType::kIdent) Fail("expected column name");
       name = Advance().text;
     }
@@ -402,7 +454,35 @@ class Parser {
   }
 
   // --- the statement ---
+
+  /// Every recorded `qual.col` must name a table or alias brought into
+  /// scope by this statement's FROM/JOIN clause.
+  void ValidateQualifiers() {
+    for (const auto& [qual, position] : qualifier_refs_) {
+      if (std::find(scope_.begin(), scope_.end(), qual) == scope_.end()) {
+        throw Error("SQL error at offset " + std::to_string(position) +
+                    " (near '" + qual + "'): unknown table or alias '" +
+                    qual + "' (not in FROM/JOIN scope)");
+      }
+    }
+  }
+
   Plan ParseSelect() {
+    // Each (sub)statement validates its own qualifiers against its own
+    // FROM/JOIN scope; save and restore around nested SELECTs.
+    std::vector<std::string> saved_scope = std::move(scope_);
+    std::vector<std::pair<std::string, size_t>> saved_refs =
+        std::move(qualifier_refs_);
+    scope_.clear();
+    qualifier_refs_.clear();
+    Plan plan = ParseSelectBody();
+    ValidateQualifiers();
+    scope_ = std::move(saved_scope);
+    qualifier_refs_ = std::move(saved_refs);
+    return plan;
+  }
+
+  Plan ParseSelectBody() {
     ExpectKeyword("SELECT");
     std::vector<SelectItem> items;
     do {
@@ -554,6 +634,10 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  /// Tables/aliases in scope for the SELECT currently being parsed.
+  std::vector<std::string> scope_;
+  /// (qualifier, input offset) pairs awaiting scope validation.
+  std::vector<std::pair<std::string, size_t>> qualifier_refs_;
 };
 
 }  // namespace

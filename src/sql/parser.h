@@ -4,17 +4,26 @@
 // this module provides one for the supported operator algebra:
 //
 //   SELECT <expr [AS name] | agg(expr) [AS name] | *> [, ...]
-//   FROM <table> [ [INNER|LEFT|SEMI|ANTI] JOIN <table> ON a = b [AND ...]
-//                | CROSS JOIN <table> ]*
+//   FROM <relation> [ [INNER|LEFT|SEMI|ANTI] JOIN <relation>
+//                       ON a = b [AND ...]
+//                   | CROSS JOIN <relation> ]*
 //   [WHERE <predicate>]
 //   [GROUP BY col [, ...]]   [HAVING <predicate>]
 //   [ORDER BY col [ASC|DESC] [, ...]]   [LIMIT n]
 //
+// where <relation> is `table [[AS] alias]` or a parenthesized SELECT
+// (derived table) with an optional alias — enough to express all 22
+// TPC-H queries in the plan decomposition style of the paper (scalar
+// subqueries via CROSS JOIN over an aggregating subquery, EXISTS via
+// SEMI/ANTI JOIN; see tpch/queries_sql.h).
+//
 // Expressions: arithmetic, comparisons, AND/OR/NOT, BETWEEN, IN (...),
 // LIKE, CASE WHEN, DATE 'yyyy-mm-dd' (± INTERVAL n DAY), YEAR(),
 // SUBSTR(), COALESCE(); aggregates SUM/COUNT/COUNT(DISTINCT)/AVG/MIN/MAX/
-// VAR/STDDEV. Table qualifiers (`l.l_orderkey`) are accepted and stripped
-// (TPC-H columns are globally unique). Subqueries are not supported —
+// VAR/STDDEV/MEDIAN. Table qualifiers (`l.l_orderkey`) are validated
+// against the tables and aliases in FROM/JOIN scope (unknown qualifiers
+// raise a position-annotated wake::Error), then stripped — TPC-H column
+// names are globally unique. Correlated subqueries are not supported —
 // express them by composing plans/edfs, as the paper's API does.
 //
 // Example:

@@ -153,7 +153,8 @@ void WriteCsv(const DataFrame& df, const std::string& path) {
 
 namespace {
 
-DataFrame ReadCsvImpl(const std::string& path, const Schema* given_schema) {
+DataFrame ReadCsvImpl(const std::string& path, const Schema* given_schema,
+                      const std::vector<std::string>& columns) {
   std::ifstream in(path);
   CheckArg(in.good(), "cannot read " + path);
   std::stringstream buffer;
@@ -163,9 +164,9 @@ DataFrame ReadCsvImpl(const std::string& path, const Schema* given_schema) {
   std::vector<std::string> fields;
   std::vector<uint8_t> quoted;
 
-  Schema schema;
+  Schema full;
   if (given_schema != nullptr) {
-    schema = *given_schema;
+    full = *given_schema;
   } else {
     CheckArg(ParseCsvRecord(content, &offset, &fields),
              "empty CSV file " + path);
@@ -173,10 +174,14 @@ DataFrame ReadCsvImpl(const std::string& path, const Schema* given_schema) {
       size_t colon = header.rfind(':');
       CheckArg(colon != std::string::npos && colon + 2 == header.size(),
                "CSV header field must be name:type, got '" + header + "'");
-      schema.AddField(
+      full.AddField(
           Field(header.substr(0, colon), TypeFromChar(header[colon + 1])));
     }
   }
+  Schema schema = columns.empty() ? full : full.Select(columns);
+  // File field f lands in output column slot_of[f]; npos fields are never
+  // converted or interned.
+  std::vector<size_t> slot_of = full.ProjectionSlots(schema);
 
   DataFrame df(schema);
   // Sources build dict-encoded string columns: the engine's hot paths then
@@ -190,25 +195,26 @@ DataFrame ReadCsvImpl(const std::string& path, const Schema* given_schema) {
     // Blank separator line — but in a single-column schema an empty
     // unquoted line is a legitimate NULL row, so only multi-column files
     // skip it.
-    if (schema.num_fields() > 1 && fields.size() == 1 && fields[0].empty() &&
+    if (full.num_fields() > 1 && fields.size() == 1 && fields[0].empty() &&
         quoted[0] == 0) {
       continue;
     }
-    CheckArg(fields.size() == schema.num_fields(),
+    CheckArg(fields.size() == full.num_fields(),
              StrFormat("CSV row has %zu fields, schema has %zu",
-                       fields.size(), schema.num_fields()));
+                       fields.size(), full.num_fields()));
     for (size_t c = 0; c < fields.size(); ++c) {
-      Column* col = df.mutable_column(c);
+      if (slot_of[c] == Schema::npos) continue;
+      Column* col = df.mutable_column(slot_of[c]);
       const std::string& text = fields[c];
       // Empty numeric/date fields are NULL however they were quoted (there
       // is no empty number); for strings the quotes disambiguate NULL
       // (unquoted) from the empty string (`""`).
       if (text.empty() && (quoted[c] == 0 ||
-                           schema.field(c).type != ValueType::kString)) {
+                           full.field(c).type != ValueType::kString)) {
         col->AppendNull();
         continue;
       }
-      switch (schema.field(c).type) {
+      switch (full.field(c).type) {
         case ValueType::kInt64:
         case ValueType::kBool:
           col->AppendInt(std::stoll(text));
@@ -230,12 +236,14 @@ DataFrame ReadCsvImpl(const std::string& path, const Schema* given_schema) {
 
 }  // namespace
 
-DataFrame ReadCsv(const std::string& path) {
-  return ReadCsvImpl(path, nullptr);
+DataFrame ReadCsv(const std::string& path,
+                  const std::vector<std::string>& columns) {
+  return ReadCsvImpl(path, nullptr, columns);
 }
 
-DataFrame ReadCsvWithSchema(const std::string& path, const Schema& schema) {
-  return ReadCsvImpl(path, &schema);
+DataFrame ReadCsvWithSchema(const std::string& path, const Schema& schema,
+                            const std::vector<std::string>& columns) {
+  return ReadCsvImpl(path, &schema, columns);
 }
 
 }  // namespace wake

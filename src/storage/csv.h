@@ -21,11 +21,16 @@ void WriteCsv(const DataFrame& df, const std::string& path);
 /// Reads a CSV produced by WriteCsv (schema from the header). Throws
 /// wake::Error on malformed input. Empty unquoted fields read back as
 /// NULL for every column type; quoted empty fields (`""`) are empty
-/// strings. String columns come back dictionary-encoded.
-DataFrame ReadCsv(const std::string& path);
+/// strings. String columns come back dictionary-encoded. A non-empty
+/// `columns` list makes the read projected: unselected fields are never
+/// converted, allocated, or dict-encoded.
+DataFrame ReadCsv(const std::string& path,
+                  const std::vector<std::string>& columns = {});
 
-/// Reads a headerless CSV against a caller-provided schema.
-DataFrame ReadCsvWithSchema(const std::string& path, const Schema& schema);
+/// Reads a headerless CSV against a caller-provided schema (optionally
+/// projected to `columns`).
+DataFrame ReadCsvWithSchema(const std::string& path, const Schema& schema,
+                            const std::vector<std::string>& columns = {});
 
 /// Parses one CSV record (handles quoting); exposed for testing. Returns
 /// false at end of input. `offset` is consumed across calls. If `quoted`

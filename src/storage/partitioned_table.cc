@@ -89,6 +89,32 @@ DataFrame PartitionedTable::Materialize() const {
   return out;
 }
 
+DataFrame PartitionedTable::Materialize(
+    const std::vector<std::string>& columns) const {
+  if (columns.empty()) return Materialize();
+  DataFrame out(schema_.Select(columns));
+  std::vector<size_t> idx;
+  idx.reserve(columns.size());
+  for (const auto& c : columns) idx.push_back(schema_.FieldIndex(c));
+  for (const auto& p : partitions_) {
+    for (size_t c = 0; c < idx.size(); ++c) {
+      out.mutable_column(c)->AppendColumn(p->column(idx[c]));
+    }
+  }
+  return out;
+}
+
+PartitionedTable PartitionedTable::SelectColumns(
+    const std::vector<std::string>& columns) const {
+  PartitionedTable out(name_, schema_.Select(columns));
+  for (const auto& p : partitions_) {
+    auto narrowed = std::make_shared<DataFrame>(p->Select(columns));
+    *narrowed->mutable_schema() = out.schema_;
+    out.AddPartition(std::move(narrowed));
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Text (.tbl) serialization
 // ---------------------------------------------------------------------------
@@ -191,12 +217,17 @@ void PartitionedTable::WriteTblDir(const std::string& dir) const {
   }
 }
 
-PartitionedTable PartitionedTable::ReadTblDir(const std::string& dir,
-                                              const std::string& name) {
+PartitionedTable PartitionedTable::ReadTblDir(
+    const std::string& dir, const std::string& name,
+    const std::vector<std::string>& columns) {
   std::string table_name;
   size_t num_partitions = 0;
-  Schema schema = ReadMeta(dir + "/" + name + ".meta", &table_name,
-                           &num_partitions);
+  Schema full = ReadMeta(dir + "/" + name + ".meta", &table_name,
+                         &num_partitions);
+  Schema schema = columns.empty() ? full : full.Select(columns);
+  // For file field f: slot_of[f] = output column, or npos (skip the field
+  // entirely — no number parse, no string intern).
+  std::vector<size_t> slot_of = full.ProjectionSlots(schema);
   PartitionedTable table(table_name, schema);
   for (size_t i = 0; i < num_partitions; ++i) {
     std::string path = dir + "/" + name + "." + std::to_string(i) + ".tbl";
@@ -213,16 +244,17 @@ PartitionedTable PartitionedTable::ReadTblDir(const std::string& dir,
     while (std::getline(in, line)) {
       if (line.empty()) continue;
       auto fields = Split(line, '|');
-      CheckArg(fields.size() == schema.num_fields(),
+      CheckArg(fields.size() == full.num_fields(),
                "column count mismatch in " + path);
-      for (size_t c = 0; c < fields.size(); ++c) {
-        Column* col = df->mutable_column(c);
-        const std::string& text = fields[c];
-        if (text.empty() && schema.field(c).type != ValueType::kString) {
+      for (size_t f = 0; f < fields.size(); ++f) {
+        if (slot_of[f] == Schema::npos) continue;
+        Column* col = df->mutable_column(slot_of[f]);
+        const std::string& text = fields[f];
+        if (text.empty() && full.field(f).type != ValueType::kString) {
           col->AppendNull();
           continue;
         }
-        switch (schema.field(c).type) {
+        switch (full.field(f).type) {
           case ValueType::kInt64:
           case ValueType::kBool:
             col->AppendInt(std::stoll(text));
@@ -315,12 +347,25 @@ void PartitionedTable::WriteWpartDir(const std::string& dir) const {
   }
 }
 
-PartitionedTable PartitionedTable::ReadWpartDir(const std::string& dir,
-                                                const std::string& name) {
+namespace {
+
+// Advances past one serialized string without building it.
+void SkipString(std::ifstream& in) {
+  uint32_t len = ReadPod<uint32_t>(in);
+  in.seekg(len, std::ios::cur);
+}
+
+}  // namespace
+
+PartitionedTable PartitionedTable::ReadWpartDir(
+    const std::string& dir, const std::string& name,
+    const std::vector<std::string>& columns) {
   std::string table_name;
   size_t num_partitions = 0;
-  Schema schema = ReadMeta(dir + "/" + name + ".meta", &table_name,
-                           &num_partitions);
+  Schema full = ReadMeta(dir + "/" + name + ".meta", &table_name,
+                         &num_partitions);
+  Schema schema = columns.empty() ? full : full.Select(columns);
+  std::vector<size_t> slot_of = full.ProjectionSlots(schema);
   PartitionedTable table(table_name, schema);
   for (size_t i = 0; i < num_partitions; ++i) {
     std::string path = dir + "/" + name + "." + std::to_string(i) + ".wpart";
@@ -329,19 +374,38 @@ PartitionedTable PartitionedTable::ReadWpartDir(const std::string& dir,
     CheckArg(ReadPod<uint32_t>(in) == kWpartMagic, "bad magic in " + path);
     uint64_t rows = ReadPod<uint64_t>(in);
     uint32_t cols = ReadPod<uint32_t>(in);
-    CheckArg(cols == schema.num_fields(), "column count mismatch in " + path);
+    CheckArg(cols == full.num_fields(), "column count mismatch in " + path);
     auto df = std::make_shared<DataFrame>(schema);
-    for (uint32_t c = 0; c < cols; ++c) {
-      Column* col = df->mutable_column(c);
+    for (uint32_t f = 0; f < cols; ++f) {
+      bool wanted = slot_of[f] != Schema::npos;
       ValueType type = static_cast<ValueType>(ReadPod<uint8_t>(in));
-      CheckArg(type == schema.field(c).type, "type mismatch in " + path);
+      CheckArg(type == full.field(f).type, "type mismatch in " + path);
       bool has_nulls = ReadPod<uint8_t>(in) != 0;
       std::vector<uint8_t> valid;
       if (has_nulls) {
-        valid.resize(rows);
-        in.read(reinterpret_cast<char*>(valid.data()),
-                static_cast<std::streamsize>(rows));
+        if (wanted) {
+          valid.resize(rows);
+          in.read(reinterpret_cast<char*>(valid.data()),
+                  static_cast<std::streamsize>(rows));
+        } else {
+          in.seekg(static_cast<std::streamoff>(rows), std::ios::cur);
+        }
       }
+      if (!wanted) {
+        // Skip the payload: fixed-width columns seek in one hop, string
+        // columns hop record-by-record (lengths are inline).
+        if (type == ValueType::kFloat64) {
+          in.seekg(static_cast<std::streamoff>(rows * sizeof(double)),
+                   std::ios::cur);
+        } else if (type == ValueType::kString) {
+          for (uint64_t r = 0; r < rows; ++r) SkipString(in);
+        } else {
+          in.seekg(static_cast<std::streamoff>(rows * sizeof(int64_t)),
+                   std::ios::cur);
+        }
+        continue;
+      }
+      Column* col = df->mutable_column(slot_of[f]);
       if (type == ValueType::kFloat64) {
         col->mutable_doubles()->resize(rows);
         in.read(reinterpret_cast<char*>(col->mutable_doubles()->data()),

@@ -64,17 +64,34 @@ class PartitionedTable {
   /// Concatenation of all partitions (used by the exact engine).
   DataFrame Materialize() const;
 
+  /// Concatenation of all partitions narrowed to `columns` (in the given
+  /// order); only the named columns are copied.
+  DataFrame Materialize(const std::vector<std::string>& columns) const;
+
+  /// Same rows narrowed to `columns`: each partition keeps only the named
+  /// columns (dict pools stay shared, unused columns are never copied).
+  /// Key metadata survives only if every key column survives.
+  PartitionedTable SelectColumns(const std::vector<std::string>& columns) const;
+
   /// --- serialization ---
   /// Writes one `<name>.<i>.tbl` per partition plus `<name>.meta` into
-  /// `dir`; `ReadTblDir` is the inverse.
+  /// `dir`; `ReadTblDir` is the inverse. A non-empty `columns` list makes
+  /// the read projected: unselected fields are never parsed, allocated,
+  /// or dict-encoded.
   void WriteTblDir(const std::string& dir) const;
   static PartitionedTable ReadTblDir(const std::string& dir,
-                                     const std::string& name);
+                                     const std::string& name,
+                                     const std::vector<std::string>& columns =
+                                         {});
 
   /// Binary columnar format, one `<name>.<i>.wpart` per partition.
+  /// Projected reads seek past unselected fixed-width columns and skip
+  /// string columns record-by-record without interning them.
   void WriteWpartDir(const std::string& dir) const;
   static PartitionedTable ReadWpartDir(const std::string& dir,
-                                       const std::string& name);
+                                       const std::string& name,
+                                       const std::vector<std::string>&
+                                           columns = {});
 
  private:
   std::string name_;

@@ -101,6 +101,14 @@ std::string Comment(Rng& rng, int min_words, int max_words) {
   return out;
 }
 
+// Consumes exactly the draws of Comment without building the string, so
+// projected generation keeps the random stream (and every other column)
+// bit-identical to a full generation.
+void SkipComment(Rng& rng, int min_words, int max_words) {
+  int n = static_cast<int>(rng.UniformInt(min_words, max_words));
+  for (int i = 0; i < n; ++i) rng.Next();
+}
+
 std::string Phone(Rng& rng, int64_t nationkey) {
   // Country code 10 + nationkey, so SUBSTRING(phone, 1, 2) gives the codes
   // Q22 filters on ('13','31','23','29','30','18','17').
@@ -150,39 +158,75 @@ DataFrame NewFrame(const Schema& schema) {
   return df;
 }
 
-PartitionedTable BuildRegion(const DbgenConfig& config) {
+// Projected generation: maps full-schema field indices to output columns.
+// `columns == nullptr` keeps everything; a pointer to an empty list keeps
+// nothing (used for the discarded half of the orders/lineitem pair). The
+// random draws of skipped columns are still consumed by the builders, so
+// kept columns are bit-identical to a full generation.
+class Projection {
+ public:
+  Projection(const Schema& full, const std::vector<std::string>* columns)
+      : schema_(columns == nullptr ? full : full.Select(*columns)),
+        frame_(NewFrame(schema_)),
+        slot_(full.ProjectionSlots(schema_)) {}
+
+  bool want(size_t field) const { return slot_[field] != Schema::npos; }
+  Column* col(size_t field) { return frame_.mutable_column(slot_[field]); }
+  DataFrame& frame() { return frame_; }
+
+ private:
+  Schema schema_;
+  DataFrame frame_;
+  std::vector<size_t> slot_;
+};
+
+PartitionedTable BuildRegion(const DbgenConfig& config,
+                             const std::vector<std::string>* columns =
+                                 nullptr) {
   Rng rng(config.seed ^ 0x7265ULL);
   Schema schema = MakeSchema({{"r_regionkey", ValueType::kInt64},
                               {"r_name", ValueType::kString},
                               {"r_comment", ValueType::kString}},
                              {"r_regionkey"}, {"r_regionkey"});
-  DataFrame df = NewFrame(schema);
+  Projection p(schema, columns);
   for (int64_t i = 0; i < 5; ++i) {
-    df.mutable_column(0)->AppendInt(i);
-    df.mutable_column(1)->AppendString(kRegions[i]);
-    df.mutable_column(2)->AppendString(Comment(rng, 3, 10));
+    if (p.want(0)) p.col(0)->AppendInt(i);
+    if (p.want(1)) p.col(1)->AppendString(kRegions[i]);
+    if (p.want(2)) {
+      p.col(2)->AppendString(Comment(rng, 3, 10));
+    } else {
+      SkipComment(rng, 3, 10);
+    }
   }
-  return PartitionedTable::FromDataFrame("region", df, 1);
+  return PartitionedTable::FromDataFrame("region", p.frame(), 1);
 }
 
-PartitionedTable BuildNation(const DbgenConfig& config) {
+PartitionedTable BuildNation(const DbgenConfig& config,
+                             const std::vector<std::string>* columns =
+                                 nullptr) {
   Rng rng(config.seed ^ 0x6e61ULL);
   Schema schema = MakeSchema({{"n_nationkey", ValueType::kInt64},
                               {"n_name", ValueType::kString},
                               {"n_regionkey", ValueType::kInt64},
                               {"n_comment", ValueType::kString}},
                              {"n_nationkey"}, {"n_nationkey"});
-  DataFrame df = NewFrame(schema);
+  Projection p(schema, columns);
   for (int64_t i = 0; i < 25; ++i) {
-    df.mutable_column(0)->AppendInt(i);
-    df.mutable_column(1)->AppendString(kNations[i].name);
-    df.mutable_column(2)->AppendInt(kNations[i].region);
-    df.mutable_column(3)->AppendString(Comment(rng, 3, 10));
+    if (p.want(0)) p.col(0)->AppendInt(i);
+    if (p.want(1)) p.col(1)->AppendString(kNations[i].name);
+    if (p.want(2)) p.col(2)->AppendInt(kNations[i].region);
+    if (p.want(3)) {
+      p.col(3)->AppendString(Comment(rng, 3, 10));
+    } else {
+      SkipComment(rng, 3, 10);
+    }
   }
-  return PartitionedTable::FromDataFrame("nation", df, 1);
+  return PartitionedTable::FromDataFrame("nation", p.frame(), 1);
 }
 
-PartitionedTable BuildSupplier(const DbgenConfig& config) {
+PartitionedTable BuildSupplier(const DbgenConfig& config,
+                               const std::vector<std::string>* columns =
+                                   nullptr) {
   Rng rng(config.seed ^ 0x7375ULL);
   size_t n = ScaleCount(config.scale_factor, 10000.0, 20);
   Schema schema = MakeSchema({{"s_suppkey", ValueType::kInt64},
@@ -193,28 +237,41 @@ PartitionedTable BuildSupplier(const DbgenConfig& config) {
                               {"s_acctbal", ValueType::kFloat64},
                               {"s_comment", ValueType::kString}},
                              {"s_suppkey"}, {"s_suppkey"});
-  DataFrame df = NewFrame(schema);
+  Projection p(schema, columns);
   for (size_t i = 1; i <= n; ++i) {
     int64_t nationkey = rng.UniformInt(0, 24);
-    df.mutable_column(0)->AppendInt(static_cast<int64_t>(i));
-    df.mutable_column(1)->AppendString(StrFormat("Supplier#%09zu", i));
-    df.mutable_column(2)->AppendString(Comment(rng, 2, 4));
-    df.mutable_column(3)->AppendInt(nationkey);
-    df.mutable_column(4)->AppendString(Phone(rng, nationkey));
-    df.mutable_column(5)->AppendDouble(Money(rng, -99999, 999999));
+    if (p.want(0)) p.col(0)->AppendInt(static_cast<int64_t>(i));
+    if (p.want(1)) p.col(1)->AppendString(StrFormat("Supplier#%09zu", i));
+    if (p.want(2)) {
+      p.col(2)->AppendString(Comment(rng, 2, 4));
+    } else {
+      SkipComment(rng, 2, 4);
+    }
+    if (p.want(3)) p.col(3)->AppendInt(nationkey);
+    std::string phone = Phone(rng, nationkey);  // fixed 3 draws
+    if (p.want(4)) p.col(4)->AppendString(std::move(phone));
+    double acctbal = Money(rng, -99999, 999999);
+    if (p.want(5)) p.col(5)->AppendDouble(acctbal);
     // Per spec, ~5 of 10000 suppliers carry the Customer...Complaints text
     // (Q16 anti-join); use 1/1000 so small SFs still have matches.
-    std::string comment = Comment(rng, 5, 12);
-    if (rng.UniformInt(0, 999) == 0) {
-      comment += " Customer detected Complaints";
+    if (p.want(6)) {
+      std::string comment = Comment(rng, 5, 12);
+      if (rng.UniformInt(0, 999) == 0) {
+        comment += " Customer detected Complaints";
+      }
+      p.col(6)->AppendString(comment);
+    } else {
+      SkipComment(rng, 5, 12);
+      rng.UniformInt(0, 999);
     }
-    df.mutable_column(6)->AppendString(comment);
   }
   return PartitionedTable::FromDataFrame(
-      "supplier", df, std::max<size_t>(1, config.partitions / 2));
+      "supplier", p.frame(), std::max<size_t>(1, config.partitions / 2));
 }
 
-PartitionedTable BuildCustomer(const DbgenConfig& config) {
+PartitionedTable BuildCustomer(const DbgenConfig& config,
+                               const std::vector<std::string>* columns =
+                                   nullptr) {
   Rng rng(config.seed ^ 0x6375ULL);
   size_t n = ScaleCount(config.scale_factor, 150000.0, 150);
   Schema schema = MakeSchema({{"c_custkey", ValueType::kInt64},
@@ -226,23 +283,36 @@ PartitionedTable BuildCustomer(const DbgenConfig& config) {
                               {"c_mktsegment", ValueType::kString},
                               {"c_comment", ValueType::kString}},
                              {"c_custkey"}, {"c_custkey"});
-  DataFrame df = NewFrame(schema);
+  Projection p(schema, columns);
   for (size_t i = 1; i <= n; ++i) {
     int64_t nationkey = rng.UniformInt(0, 24);
-    df.mutable_column(0)->AppendInt(static_cast<int64_t>(i));
-    df.mutable_column(1)->AppendString(StrFormat("Customer#%09zu", i));
-    df.mutable_column(2)->AppendString(Comment(rng, 2, 4));
-    df.mutable_column(3)->AppendInt(nationkey);
-    df.mutable_column(4)->AppendString(Phone(rng, nationkey));
-    df.mutable_column(5)->AppendDouble(Money(rng, -99999, 999999));
-    df.mutable_column(6)->AppendString(Pick(rng, kSegments));
-    df.mutable_column(7)->AppendString(Comment(rng, 4, 10));
+    if (p.want(0)) p.col(0)->AppendInt(static_cast<int64_t>(i));
+    if (p.want(1)) p.col(1)->AppendString(StrFormat("Customer#%09zu", i));
+    if (p.want(2)) {
+      p.col(2)->AppendString(Comment(rng, 2, 4));
+    } else {
+      SkipComment(rng, 2, 4);
+    }
+    if (p.want(3)) p.col(3)->AppendInt(nationkey);
+    std::string phone = Phone(rng, nationkey);  // fixed 3 draws
+    if (p.want(4)) p.col(4)->AppendString(std::move(phone));
+    double acctbal = Money(rng, -99999, 999999);
+    if (p.want(5)) p.col(5)->AppendDouble(acctbal);
+    const char* segment = Pick(rng, kSegments);
+    if (p.want(6)) p.col(6)->AppendString(segment);
+    if (p.want(7)) {
+      p.col(7)->AppendString(Comment(rng, 4, 10));
+    } else {
+      SkipComment(rng, 4, 10);
+    }
   }
   return PartitionedTable::FromDataFrame(
-      "customer", df, std::max<size_t>(1, config.partitions / 2));
+      "customer", p.frame(), std::max<size_t>(1, config.partitions / 2));
 }
 
-PartitionedTable BuildPart(const DbgenConfig& config) {
+PartitionedTable BuildPart(const DbgenConfig& config,
+                           const std::vector<std::string>* columns =
+                               nullptr) {
   Rng rng(config.seed ^ 0x7061ULL);
   size_t n = ScaleCount(config.scale_factor, 200000.0, 200);
   Schema schema = MakeSchema({{"p_partkey", ValueType::kInt64},
@@ -255,41 +325,54 @@ PartitionedTable BuildPart(const DbgenConfig& config) {
                               {"p_retailprice", ValueType::kFloat64},
                               {"p_comment", ValueType::kString}},
                              {"p_partkey"}, {"p_partkey"});
-  DataFrame df = NewFrame(schema);
+  Projection p(schema, columns);
   for (size_t i = 1; i <= n; ++i) {
     int64_t partkey = static_cast<int64_t>(i);
     int mfgr = static_cast<int>(rng.UniformInt(1, 5));
     int brand = mfgr * 10 + static_cast<int>(rng.UniformInt(1, 5));
-    std::string name;
-    for (int w = 0; w < 5; ++w) {
-      if (w > 0) name += ' ';
-      name += Pick(rng, kColors);
+    if (p.want(1)) {
+      std::string name;
+      for (int w = 0; w < 5; ++w) {
+        if (w > 0) name += ' ';
+        name += Pick(rng, kColors);
+      }
+      p.col(1)->AppendString(name);
+    } else {
+      for (int w = 0; w < 5; ++w) rng.Next();
     }
-    std::string type = std::string(Pick(rng, kTypeSyllable1)) + " " +
-                       Pick(rng, kTypeSyllable2) + " " +
-                       Pick(rng, kTypeSyllable3);
-    std::string container = std::string(Pick(rng, kContainerSyllable1)) +
-                            " " + Pick(rng, kContainerSyllable2);
+    const char* t1 = Pick(rng, kTypeSyllable1);
+    const char* t2 = Pick(rng, kTypeSyllable2);
+    const char* t3 = Pick(rng, kTypeSyllable3);
+    const char* c1 = Pick(rng, kContainerSyllable1);
+    const char* c2 = Pick(rng, kContainerSyllable2);
     // Spec retail price formula (cents).
     double retail =
         (90000.0 + ((partkey / 10) % 20001) + 100.0 * (partkey % 1000)) /
         100.0;
-    df.mutable_column(0)->AppendInt(partkey);
-    df.mutable_column(1)->AppendString(name);
-    df.mutable_column(2)->AppendString(StrFormat("Manufacturer#%d", mfgr));
-    df.mutable_column(3)->AppendString(StrFormat("Brand#%d", brand));
-    df.mutable_column(4)->AppendString(type);
-    df.mutable_column(5)->AppendInt(rng.UniformInt(1, 50));
-    df.mutable_column(6)->AppendString(container);
-    df.mutable_column(7)->AppendDouble(retail);
-    df.mutable_column(8)->AppendString(Comment(rng, 2, 6));
+    if (p.want(0)) p.col(0)->AppendInt(partkey);
+    if (p.want(2)) p.col(2)->AppendString(StrFormat("Manufacturer#%d", mfgr));
+    if (p.want(3)) p.col(3)->AppendString(StrFormat("Brand#%d", brand));
+    if (p.want(4)) {
+      p.col(4)->AppendString(std::string(t1) + " " + t2 + " " + t3);
+    }
+    int64_t size = rng.UniformInt(1, 50);
+    if (p.want(5)) p.col(5)->AppendInt(size);
+    if (p.want(6)) p.col(6)->AppendString(std::string(c1) + " " + c2);
+    if (p.want(7)) p.col(7)->AppendDouble(retail);
+    if (p.want(8)) {
+      p.col(8)->AppendString(Comment(rng, 2, 6));
+    } else {
+      SkipComment(rng, 2, 6);
+    }
   }
   return PartitionedTable::FromDataFrame(
-      "part", df, std::max<size_t>(1, config.partitions / 2));
+      "part", p.frame(), std::max<size_t>(1, config.partitions / 2));
 }
 
-PartitionedTable BuildPartsupp(const DbgenConfig& config,
-                               size_t num_parts, size_t num_suppliers) {
+PartitionedTable BuildPartsupp(const DbgenConfig& config, size_t num_parts,
+                               size_t num_suppliers,
+                               const std::vector<std::string>* columns =
+                                   nullptr) {
   Rng rng(config.seed ^ 0x7073ULL);
   Schema schema = MakeSchema({{"ps_partkey", ValueType::kInt64},
                               {"ps_suppkey", ValueType::kInt64},
@@ -297,19 +380,28 @@ PartitionedTable BuildPartsupp(const DbgenConfig& config,
                               {"ps_supplycost", ValueType::kFloat64},
                               {"ps_comment", ValueType::kString}},
                              {"ps_partkey", "ps_suppkey"}, {"ps_partkey"});
-  DataFrame df = NewFrame(schema);
+  Projection proj(schema, columns);
   for (size_t p = 1; p <= num_parts; ++p) {
     for (int64_t i = 0; i < 4; ++i) {
-      df.mutable_column(0)->AppendInt(static_cast<int64_t>(p));
-      df.mutable_column(1)->AppendInt(PartSupplier(
-          static_cast<int64_t>(p), i, static_cast<int64_t>(num_suppliers)));
-      df.mutable_column(2)->AppendInt(rng.UniformInt(1, 9999));
-      df.mutable_column(3)->AppendDouble(Money(rng, 100, 100000));
-      df.mutable_column(4)->AppendString(Comment(rng, 2, 6));
+      if (proj.want(0)) proj.col(0)->AppendInt(static_cast<int64_t>(p));
+      if (proj.want(1)) {
+        proj.col(1)->AppendInt(PartSupplier(
+            static_cast<int64_t>(p), i,
+            static_cast<int64_t>(num_suppliers)));
+      }
+      int64_t availqty = rng.UniformInt(1, 9999);
+      if (proj.want(2)) proj.col(2)->AppendInt(availqty);
+      double cost = Money(rng, 100, 100000);
+      if (proj.want(3)) proj.col(3)->AppendDouble(cost);
+      if (proj.want(4)) {
+        proj.col(4)->AppendString(Comment(rng, 2, 6));
+      } else {
+        SkipComment(rng, 2, 6);
+      }
     }
   }
   return PartitionedTable::FromDataFrame(
-      "partsupp", df, std::max<size_t>(1, config.partitions / 2));
+      "partsupp", proj.frame(), std::max<size_t>(1, config.partitions / 2));
 }
 
 struct OrdersAndLineitem {
@@ -317,10 +409,11 @@ struct OrdersAndLineitem {
   PartitionedTable lineitem;
 };
 
-OrdersAndLineitem BuildOrdersLineitem(const DbgenConfig& config,
-                                      const DataFrame& part,
-                                      size_t num_customers,
-                                      size_t num_suppliers) {
+OrdersAndLineitem BuildOrdersLineitem(
+    const DbgenConfig& config, const DataFrame& part, size_t num_customers,
+    size_t num_suppliers,
+    const std::vector<std::string>* orders_columns = nullptr,
+    const std::vector<std::string>* lineitem_columns = nullptr) {
   Rng rng(config.seed ^ 0x6f72ULL);
   size_t num_orders = ScaleCount(config.scale_factor, 1500000.0, 1500);
   size_t num_parts = part.num_rows();
@@ -356,8 +449,8 @@ OrdersAndLineitem BuildOrdersLineitem(const DbgenConfig& config,
        {"l_comment", ValueType::kString}},
       {"l_orderkey", "l_linenumber"}, {"l_orderkey"});
 
-  DataFrame orders = NewFrame(orders_schema);
-  DataFrame lineitem = NewFrame(lineitem_schema);
+  Projection orders(orders_schema, orders_columns);
+  Projection li(lineitem_schema, lineitem_columns);
   size_t num_clerks = std::max<size_t>(
       1, static_cast<size_t>(config.scale_factor * 1000));
   int64_t current = CurrentDate();
@@ -385,57 +478,69 @@ OrdersAndLineitem BuildOrdersLineitem(const DbgenConfig& config,
       int64_t shipdate = orderdate + rng.UniformInt(1, 121);
       int64_t commitdate = orderdate + rng.UniformInt(30, 90);
       int64_t receiptdate = shipdate + rng.UniformInt(1, 30);
-      std::string returnflag;
+      const char* returnflag = "N";
       if (receiptdate <= current) {
         returnflag = rng.UniformInt(0, 1) ? "R" : "A";
-      } else {
-        returnflag = "N";
       }
       bool is_shipped = shipdate <= current;
       shipped += is_shipped ? 1 : 0;
 
-      lineitem.mutable_column(0)->AppendInt(static_cast<int64_t>(ok));
-      lineitem.mutable_column(1)->AppendInt(partkey);
-      lineitem.mutable_column(2)->AppendInt(suppkey);
-      lineitem.mutable_column(3)->AppendInt(ln);
-      lineitem.mutable_column(4)->AppendDouble(quantity);
-      lineitem.mutable_column(5)->AppendDouble(extprice);
-      lineitem.mutable_column(6)->AppendDouble(discount);
-      lineitem.mutable_column(7)->AppendDouble(tax);
-      lineitem.mutable_column(8)->AppendString(returnflag);
-      lineitem.mutable_column(9)->AppendString(is_shipped ? "F" : "O");
-      lineitem.mutable_column(10)->AppendInt(shipdate);
-      lineitem.mutable_column(11)->AppendInt(commitdate);
-      lineitem.mutable_column(12)->AppendInt(receiptdate);
-      lineitem.mutable_column(13)->AppendString(Pick(rng, kShipInstructs));
-      lineitem.mutable_column(14)->AppendString(Pick(rng, kShipModes));
-      lineitem.mutable_column(15)->AppendString(Comment(rng, 2, 6));
+      if (li.want(0)) li.col(0)->AppendInt(static_cast<int64_t>(ok));
+      if (li.want(1)) li.col(1)->AppendInt(partkey);
+      if (li.want(2)) li.col(2)->AppendInt(suppkey);
+      if (li.want(3)) li.col(3)->AppendInt(ln);
+      if (li.want(4)) li.col(4)->AppendDouble(quantity);
+      if (li.want(5)) li.col(5)->AppendDouble(extprice);
+      if (li.want(6)) li.col(6)->AppendDouble(discount);
+      if (li.want(7)) li.col(7)->AppendDouble(tax);
+      if (li.want(8)) li.col(8)->AppendString(returnflag);
+      if (li.want(9)) li.col(9)->AppendString(is_shipped ? "F" : "O");
+      if (li.want(10)) li.col(10)->AppendInt(shipdate);
+      if (li.want(11)) li.col(11)->AppendInt(commitdate);
+      if (li.want(12)) li.col(12)->AppendInt(receiptdate);
+      const char* instruct = Pick(rng, kShipInstructs);
+      if (li.want(13)) li.col(13)->AppendString(instruct);
+      const char* mode = Pick(rng, kShipModes);
+      if (li.want(14)) li.col(14)->AppendString(mode);
+      if (li.want(15)) {
+        li.col(15)->AppendString(Comment(rng, 2, 6));
+      } else {
+        SkipComment(rng, 2, 6);
+      }
       total += extprice * (1.0 - discount) * (1.0 + tax);
     }
-    std::string status = shipped == lines ? "F" : (shipped == 0 ? "O" : "P");
+    const char* status = shipped == lines ? "F" : (shipped == 0 ? "O" : "P");
     // ~3% of order comments carry the 'special ... requests' pattern Q13
     // filters out.
-    std::string comment = Comment(rng, 4, 12);
-    if (rng.UniformInt(0, 32) == 0) {
-      comment += " special handling requests";
+    if (orders.want(8)) {
+      std::string comment = Comment(rng, 4, 12);
+      if (rng.UniformInt(0, 32) == 0) {
+        comment += " special handling requests";
+      }
+      orders.col(8)->AppendString(comment);
+    } else {
+      SkipComment(rng, 4, 12);
+      rng.UniformInt(0, 32);
     }
-    orders.mutable_column(0)->AppendInt(static_cast<int64_t>(ok));
-    orders.mutable_column(1)->AppendInt(custkey);
-    orders.mutable_column(2)->AppendString(status);
-    orders.mutable_column(3)->AppendDouble(total);
-    orders.mutable_column(4)->AppendInt(orderdate);
-    orders.mutable_column(5)->AppendString(Pick(rng, kPriorities));
-    orders.mutable_column(6)->AppendString(StrFormat(
-        "Clerk#%09d", static_cast<int>(rng.UniformInt(
-                          1, static_cast<int64_t>(num_clerks)))));
-    orders.mutable_column(7)->AppendInt(0);
-    orders.mutable_column(8)->AppendString(comment);
+    if (orders.want(0)) orders.col(0)->AppendInt(static_cast<int64_t>(ok));
+    if (orders.want(1)) orders.col(1)->AppendInt(custkey);
+    if (orders.want(2)) orders.col(2)->AppendString(status);
+    if (orders.want(3)) orders.col(3)->AppendDouble(total);
+    if (orders.want(4)) orders.col(4)->AppendInt(orderdate);
+    const char* priority = Pick(rng, kPriorities);
+    if (orders.want(5)) orders.col(5)->AppendString(priority);
+    int clerk = static_cast<int>(
+        rng.UniformInt(1, static_cast<int64_t>(num_clerks)));
+    if (orders.want(6)) {
+      orders.col(6)->AppendString(StrFormat("Clerk#%09d", clerk));
+    }
+    if (orders.want(7)) orders.col(7)->AppendInt(0);
   }
 
   OrdersAndLineitem out;
-  out.orders =
-      PartitionedTable::FromDataFrame("orders", orders, config.partitions);
-  out.lineitem = PartitionedTable::FromDataFrame("lineitem", lineitem,
+  out.orders = PartitionedTable::FromDataFrame("orders", orders.frame(),
+                                               config.partitions);
+  out.lineitem = PartitionedTable::FromDataFrame("lineitem", li.frame(),
                                                  config.partitions);
   return out;
 }
@@ -467,9 +572,36 @@ Catalog Generate(const DbgenConfig& config) {
 }
 
 PartitionedTable GenerateTable(const DbgenConfig& config,
-                               const std::string& name) {
-  Catalog catalog = Generate(config);
-  return catalog.Get(name);
+                               const std::string& name,
+                               const std::vector<std::string>& columns) {
+  CheckArg(config.scale_factor > 0, "scale factor must be positive");
+  CheckArg(config.partitions > 0, "partitions must be positive");
+  // Each table draws from its own seeded stream, so single-table
+  // generation reproduces exactly the table Generate() would build.
+  const std::vector<std::string>* cols = columns.empty() ? nullptr : &columns;
+  if (name == "region") return BuildRegion(config, cols);
+  if (name == "nation") return BuildNation(config, cols);
+  if (name == "supplier") return BuildSupplier(config, cols);
+  if (name == "customer") return BuildCustomer(config, cols);
+  if (name == "part") return BuildPart(config, cols);
+  if (name == "partsupp") {
+    return BuildPartsupp(config, RowsAtScale("part", config.scale_factor),
+                         RowsAtScale("supplier", config.scale_factor), cols);
+  }
+  if (name == "orders" || name == "lineitem") {
+    // The pair generates together (lineitems nest inside orders); the
+    // discarded half materializes no columns at all.
+    static const std::vector<std::string> kNone;
+    std::vector<std::string> retail_only = {"p_retailprice"};
+    DataFrame part = BuildPart(config, &retail_only).Materialize();
+    bool want_orders = name == "orders";
+    OrdersAndLineitem ol = BuildOrdersLineitem(
+        config, part, RowsAtScale("customer", config.scale_factor),
+        RowsAtScale("supplier", config.scale_factor),
+        want_orders ? cols : &kNone, want_orders ? &kNone : cols);
+    return want_orders ? std::move(ol.orders) : std::move(ol.lineitem);
+  }
+  throw Error("unknown table " + name);
 }
 
 size_t RowsAtScale(const std::string& table, double sf) {

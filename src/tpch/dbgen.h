@@ -41,9 +41,14 @@ int64_t CurrentDate();
 Catalog Generate(const DbgenConfig& config);
 
 /// Generates a single table (same contents as the corresponding table from
-/// Generate with the same config).
+/// Generate with the same config) without building the rest of the
+/// catalog. A non-empty `columns` list makes generation projected: the
+/// same random draws are consumed (so kept columns are bit-identical to a
+/// full generation) but unselected columns are never built, stored, or
+/// dict-encoded, and the result carries the narrowed schema.
 PartitionedTable GenerateTable(const DbgenConfig& config,
-                               const std::string& name);
+                               const std::string& name,
+                               const std::vector<std::string>& columns = {});
 
 /// Row count for `table` at `scale_factor` (lineitem returns the expected
 /// value; its actual count varies with the per-order line count draw).

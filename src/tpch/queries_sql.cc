@@ -1,0 +1,447 @@
+#include "tpch/queries_sql.h"
+
+#include "common/error.h"
+
+namespace wake {
+namespace tpch {
+
+namespace {
+
+// -- Q1: pricing summary report -------------------------------------------
+const char* kQ1 =
+    "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, "
+    "SUM(l_extendedprice) AS sum_base_price, "
+    "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+    "SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, "
+    "AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, "
+    "AVG(l_discount) AS avg_disc, COUNT(*) AS count_order "
+    "FROM lineitem "
+    "WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL 90 DAY "
+    "GROUP BY l_returnflag, l_linestatus "
+    "ORDER BY l_returnflag, l_linestatus";
+
+// -- Q2: minimum cost supplier --------------------------------------------
+const char* kQ2 =
+    "SELECT s_acctbal, s_name, n_name, ps_partkey AS p_partkey, p_mfgr, "
+    "s_address, s_phone, s_comment "
+    "FROM partsupp "
+    "JOIN (SELECT s_suppkey, s_acctbal, s_name, n_name, s_address, s_phone, "
+    "s_comment FROM supplier "
+    "JOIN (SELECT n_nationkey, n_name FROM nation "
+    "SEMI JOIN (SELECT r_regionkey FROM region WHERE r_name = 'EUROPE') AS r "
+    "ON n_regionkey = r_regionkey) AS n "
+    "ON s_nationkey = n_nationkey) AS se "
+    "ON ps_suppkey = s_suppkey "
+    "JOIN (SELECT p_partkey, p_mfgr FROM part "
+    "WHERE p_size = 15 AND p_type LIKE '%BRASS') AS pf "
+    "ON ps_partkey = p_partkey "
+    "JOIN (SELECT ps_partkey AS mc_partkey, MIN(ps_supplycost) AS min_cost "
+    "FROM partsupp "
+    "JOIN (SELECT s_suppkey FROM supplier "
+    "JOIN (SELECT n_nationkey FROM nation "
+    "SEMI JOIN (SELECT r_regionkey FROM region WHERE r_name = 'EUROPE') AS r2 "
+    "ON n_regionkey = r_regionkey) AS n2 "
+    "ON s_nationkey = n_nationkey) AS se2 "
+    "ON ps_suppkey = s_suppkey "
+    "JOIN (SELECT p_partkey FROM part "
+    "WHERE p_size = 15 AND p_type LIKE '%BRASS') AS pf2 "
+    "ON ps_partkey = p_partkey "
+    "GROUP BY ps_partkey) AS mc "
+    "ON ps_partkey = mc_partkey "
+    "WHERE ps_supplycost = min_cost "
+    "ORDER BY s_acctbal DESC, n_name, s_name, p_partkey LIMIT 100";
+
+// -- Q3: shipping priority ------------------------------------------------
+const char* kQ3 =
+    "SELECT l_orderkey, o_orderdate, o_shippriority, "
+    "SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+    "FROM lineitem "
+    "JOIN (SELECT o_orderkey, o_orderdate, o_shippriority FROM orders "
+    "SEMI JOIN (SELECT c_custkey FROM customer "
+    "WHERE c_mktsegment = 'BUILDING') AS c "
+    "ON o_custkey = c_custkey "
+    "WHERE o_orderdate < DATE '1995-03-15') AS o "
+    "ON l_orderkey = o_orderkey "
+    "WHERE l_shipdate > DATE '1995-03-15' "
+    "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+    "ORDER BY revenue DESC, o_orderdate LIMIT 10";
+
+// -- Q4: order priority checking ------------------------------------------
+const char* kQ4 =
+    "SELECT o_orderpriority, COUNT(*) AS order_count "
+    "FROM orders "
+    "SEMI JOIN (SELECT l_orderkey FROM lineitem "
+    "WHERE l_commitdate < l_receiptdate) AS l "
+    "ON o_orderkey = l_orderkey "
+    "WHERE o_orderdate >= DATE '1993-07-01' "
+    "AND o_orderdate < DATE '1993-10-01' "
+    "GROUP BY o_orderpriority ORDER BY o_orderpriority";
+
+// -- Q5: local supplier volume --------------------------------------------
+const char* kQ5 =
+    "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+    "FROM lineitem "
+    "JOIN (SELECT o_orderkey, c_nationkey FROM orders "
+    "JOIN (SELECT c_custkey, c_nationkey FROM customer) AS c "
+    "ON o_custkey = c_custkey "
+    "WHERE o_orderdate >= DATE '1994-01-01' "
+    "AND o_orderdate < DATE '1995-01-01') AS o "
+    "ON l_orderkey = o_orderkey "
+    "JOIN (SELECT s_suppkey, s_nationkey, n_name FROM supplier "
+    "JOIN (SELECT n_nationkey, n_name FROM nation "
+    "SEMI JOIN (SELECT r_regionkey FROM region WHERE r_name = 'ASIA') AS r "
+    "ON n_regionkey = r_regionkey) AS n "
+    "ON s_nationkey = n_nationkey) AS s "
+    "ON l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+    "GROUP BY n_name ORDER BY revenue DESC";
+
+// -- Q6: forecasting revenue change ---------------------------------------
+const char* kQ6 =
+    "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+    "WHERE l_shipdate >= DATE '1994-01-01' "
+    "AND l_shipdate < DATE '1995-01-01' "
+    "AND l_discount BETWEEN 0.049 AND 0.071 AND l_quantity < 24";
+
+// -- Q7: volume shipping ---------------------------------------------------
+const char* kQ7 =
+    "SELECT supp_nation, cust_nation, YEAR(l_shipdate) AS l_year, "
+    "SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+    "FROM lineitem "
+    "JOIN (SELECT o_orderkey, cust_nation FROM orders "
+    "JOIN (SELECT c_custkey, n_name AS cust_nation FROM customer "
+    "JOIN (SELECT n_nationkey, n_name FROM nation "
+    "WHERE n_name IN ('FRANCE', 'GERMANY')) AS n "
+    "ON c_nationkey = n_nationkey) AS c "
+    "ON o_custkey = c_custkey) AS o "
+    "ON l_orderkey = o_orderkey "
+    "JOIN (SELECT s_suppkey, n_name AS supp_nation FROM supplier "
+    "JOIN (SELECT n_nationkey, n_name FROM nation "
+    "WHERE n_name IN ('FRANCE', 'GERMANY')) AS n2 "
+    "ON s_nationkey = n_nationkey) AS s "
+    "ON l_suppkey = s_suppkey "
+    "WHERE l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' "
+    "AND ((supp_nation = 'FRANCE' AND cust_nation = 'GERMANY') "
+    "OR (supp_nation = 'GERMANY' AND cust_nation = 'FRANCE')) "
+    "GROUP BY supp_nation, cust_nation, l_year "
+    "ORDER BY supp_nation, cust_nation, l_year";
+
+// -- Q8: national market share --------------------------------------------
+const char* kQ8 =
+    "SELECT o_year, brazil / total AS mkt_share "
+    "FROM (SELECT YEAR(o_orderdate) AS o_year, "
+    "SUM(CASE WHEN nation = 'BRAZIL' "
+    "THEN l_extendedprice * (1 - l_discount) ELSE 0.0 END) AS brazil, "
+    "SUM(l_extendedprice * (1 - l_discount)) AS total "
+    "FROM lineitem "
+    "SEMI JOIN (SELECT p_partkey FROM part "
+    "WHERE p_type = 'ECONOMY ANODIZED STEEL') AS pf "
+    "ON l_partkey = p_partkey "
+    "JOIN (SELECT o_orderkey, o_orderdate FROM orders "
+    "SEMI JOIN (SELECT c_custkey FROM customer "
+    "SEMI JOIN (SELECT n_nationkey FROM nation "
+    "SEMI JOIN (SELECT r_regionkey FROM region "
+    "WHERE r_name = 'AMERICA') AS r "
+    "ON n_regionkey = r_regionkey) AS n "
+    "ON c_nationkey = n_nationkey) AS c "
+    "ON o_custkey = c_custkey "
+    "WHERE o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31') AS o "
+    "ON l_orderkey = o_orderkey "
+    "JOIN (SELECT s_suppkey, n_name AS nation FROM supplier "
+    "JOIN (SELECT n_nationkey, n_name FROM nation) AS n2 "
+    "ON s_nationkey = n_nationkey) AS s "
+    "ON l_suppkey = s_suppkey "
+    "GROUP BY o_year) AS t "
+    "ORDER BY o_year";
+
+// -- Q9: product type profit measure --------------------------------------
+const char* kQ9 =
+    "SELECT nation, YEAR(o_orderdate) AS o_year, "
+    "SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) "
+    "AS sum_profit "
+    "FROM lineitem "
+    "SEMI JOIN (SELECT p_partkey FROM part "
+    "WHERE p_name LIKE '%green%') AS pf "
+    "ON l_partkey = p_partkey "
+    "JOIN (SELECT ps_partkey, ps_suppkey, ps_supplycost FROM partsupp) AS ps "
+    "ON l_partkey = ps_partkey AND l_suppkey = ps_suppkey "
+    "JOIN (SELECT o_orderkey, o_orderdate FROM orders) AS o "
+    "ON l_orderkey = o_orderkey "
+    "JOIN (SELECT s_suppkey, n_name AS nation FROM supplier "
+    "JOIN (SELECT n_nationkey, n_name FROM nation) AS n "
+    "ON s_nationkey = n_nationkey) AS s "
+    "ON l_suppkey = s_suppkey "
+    "GROUP BY nation, o_year ORDER BY nation, o_year DESC";
+
+// -- Q10: returned item reporting -----------------------------------------
+const char* kQ10 =
+    "SELECT o_custkey, c_name, c_acctbal, c_phone, n_name, c_address, "
+    "c_comment, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+    "FROM lineitem "
+    "JOIN (SELECT o_orderkey, o_custkey FROM orders "
+    "WHERE o_orderdate >= DATE '1993-10-01' "
+    "AND o_orderdate < DATE '1994-01-01') AS o "
+    "ON l_orderkey = o_orderkey "
+    "JOIN (SELECT c_custkey, c_name, c_acctbal, c_phone, c_address, "
+    "c_comment, n_name FROM customer "
+    "JOIN (SELECT n_nationkey, n_name FROM nation) AS n "
+    "ON c_nationkey = n_nationkey) AS c "
+    "ON o_custkey = c_custkey "
+    "WHERE l_returnflag = 'R' "
+    "GROUP BY o_custkey, c_name, c_acctbal, c_phone, n_name, c_address, "
+    "c_comment "
+    "ORDER BY revenue DESC LIMIT 20";
+
+// -- Q11: important stock identification -----------------------------------
+const char* kQ11 =
+    "SELECT ps_partkey, value "
+    "FROM (SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value "
+    "FROM partsupp "
+    "SEMI JOIN (SELECT s_suppkey FROM supplier "
+    "SEMI JOIN (SELECT n_nationkey FROM nation "
+    "WHERE n_name = 'GERMANY') AS n "
+    "ON s_nationkey = n_nationkey) AS sd "
+    "ON ps_suppkey = s_suppkey "
+    "GROUP BY ps_partkey) AS g "
+    "CROSS JOIN (SELECT total_value * 0.0001 AS threshold "
+    "FROM (SELECT SUM(ps_supplycost * ps_availqty) AS total_value "
+    "FROM partsupp "
+    "SEMI JOIN (SELECT s_suppkey FROM supplier "
+    "SEMI JOIN (SELECT n_nationkey FROM nation "
+    "WHERE n_name = 'GERMANY') AS n2 "
+    "ON s_nationkey = n_nationkey) AS sd2 "
+    "ON ps_suppkey = s_suppkey) AS tv) AS th "
+    "WHERE value > threshold "
+    "ORDER BY value DESC";
+
+// -- Q12: shipping modes and order priority --------------------------------
+const char* kQ12 =
+    "SELECT l_shipmode, "
+    "SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') "
+    "THEN 1 ELSE 0 END) AS high_line_count, "
+    "SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') "
+    "THEN 0 ELSE 1 END) AS low_line_count "
+    "FROM lineitem "
+    "JOIN (SELECT o_orderkey, o_orderpriority FROM orders) AS o "
+    "ON l_orderkey = o_orderkey "
+    "WHERE l_shipmode IN ('MAIL', 'SHIP') "
+    "AND l_commitdate < l_receiptdate "
+    "AND l_shipdate < l_commitdate "
+    "AND l_receiptdate >= DATE '1994-01-01' "
+    "AND l_receiptdate < DATE '1995-01-01' "
+    "GROUP BY l_shipmode ORDER BY l_shipmode";
+
+// -- Q13: customer distribution --------------------------------------------
+const char* kQ13 =
+    "SELECT c_count, COUNT(*) AS custdist "
+    "FROM (SELECT COALESCE(c_count, 0) AS c_count "
+    "FROM customer "
+    "LEFT JOIN (SELECT o_custkey, COUNT(o_orderkey) AS c_count FROM orders "
+    "WHERE o_comment NOT LIKE '%special%requests%' "
+    "GROUP BY o_custkey) AS pc "
+    "ON c_custkey = o_custkey) AS t "
+    "GROUP BY c_count "
+    "ORDER BY custdist DESC, c_count DESC";
+
+// -- Q14: promotion effect --------------------------------------------------
+const char* kQ14 =
+    "SELECT 100.0 * promo / total AS promo_revenue "
+    "FROM (SELECT SUM(CASE WHEN p_type LIKE 'PROMO%' "
+    "THEN l_extendedprice * (1 - l_discount) ELSE 0.0 END) AS promo, "
+    "SUM(l_extendedprice * (1 - l_discount)) AS total "
+    "FROM lineitem "
+    "JOIN (SELECT p_partkey, p_type FROM part) AS p "
+    "ON l_partkey = p_partkey "
+    "WHERE l_shipdate >= DATE '1995-09-01' "
+    "AND l_shipdate < DATE '1995-10-01') AS t";
+
+// -- Q15: top supplier -------------------------------------------------------
+const char* kQ15 =
+    "SELECT l_suppkey AS s_suppkey, s_name, s_address, s_phone, "
+    "total_revenue "
+    "FROM (SELECT l_suppkey, "
+    "SUM(l_extendedprice * (1 - l_discount)) AS total_revenue "
+    "FROM lineitem "
+    "WHERE l_shipdate >= DATE '1996-01-01' "
+    "AND l_shipdate < DATE '1996-04-01' "
+    "GROUP BY l_suppkey) AS r "
+    "CROSS JOIN (SELECT MAX(total_revenue) AS max_rev "
+    "FROM (SELECT l_suppkey, "
+    "SUM(l_extendedprice * (1 - l_discount)) AS total_revenue "
+    "FROM lineitem "
+    "WHERE l_shipdate >= DATE '1996-01-01' "
+    "AND l_shipdate < DATE '1996-04-01' "
+    "GROUP BY l_suppkey) AS r2) AS mx "
+    "JOIN (SELECT s_suppkey, s_name, s_address, s_phone FROM supplier) AS s "
+    "ON l_suppkey = s_suppkey "
+    "WHERE total_revenue = max_rev "
+    "ORDER BY s_suppkey";
+
+// -- Q16: parts/supplier relationship ---------------------------------------
+const char* kQ16 =
+    "SELECT p_brand, p_type, p_size, "
+    "COUNT(DISTINCT ps_suppkey) AS supplier_cnt "
+    "FROM partsupp "
+    "ANTI JOIN (SELECT s_suppkey FROM supplier "
+    "WHERE s_comment LIKE '%Customer%Complaints%') AS bs "
+    "ON ps_suppkey = s_suppkey "
+    "JOIN (SELECT p_partkey, p_brand, p_type, p_size FROM part "
+    "WHERE p_brand <> 'Brand#45' "
+    "AND p_type NOT LIKE 'MEDIUM POLISHED%' "
+    "AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)) AS pf "
+    "ON ps_partkey = p_partkey "
+    "GROUP BY p_brand, p_type, p_size "
+    "ORDER BY supplier_cnt DESC, p_brand, p_type, p_size";
+
+// -- Q17: small-quantity-order revenue ---------------------------------------
+const char* kQ17 =
+    "SELECT total_price / 7.0 AS avg_yearly "
+    "FROM (SELECT SUM(l_extendedprice) AS total_price "
+    "FROM (SELECT l_orderkey, l_partkey, l_quantity, l_extendedprice "
+    "FROM lineitem "
+    "SEMI JOIN (SELECT p_partkey FROM part "
+    "WHERE p_brand = 'Brand#23' AND p_container = 'MED BOX') AS pf "
+    "ON l_partkey = p_partkey) AS li "
+    "JOIN (SELECT l_partkey AS aq_partkey, AVG(l_quantity) AS avg_qty "
+    "FROM (SELECT l_orderkey, l_partkey, l_quantity, l_extendedprice "
+    "FROM lineitem "
+    "SEMI JOIN (SELECT p_partkey FROM part "
+    "WHERE p_brand = 'Brand#23' AND p_container = 'MED BOX') AS pf2 "
+    "ON l_partkey = p_partkey) AS li2 "
+    "GROUP BY l_partkey) AS aq "
+    "ON l_partkey = aq_partkey "
+    "WHERE l_quantity < 0.2 * avg_qty) AS t";
+
+// -- Q18: large volume customer ----------------------------------------------
+const char* kQ18 =
+    "SELECT c_name, o_custkey, l_orderkey, o_orderdate, o_totalprice, "
+    "SUM(sum_qty) AS total_qty "
+    "FROM (SELECT l_orderkey, SUM(l_quantity) AS sum_qty FROM lineitem "
+    "GROUP BY l_orderkey HAVING sum_qty > 300) AS oq "
+    "JOIN (SELECT o_orderkey, o_custkey, o_orderdate, o_totalprice "
+    "FROM orders) AS o "
+    "ON l_orderkey = o_orderkey "
+    "JOIN (SELECT c_custkey, c_name FROM customer) AS c "
+    "ON o_custkey = c_custkey "
+    "GROUP BY c_name, o_custkey, l_orderkey, o_orderdate, o_totalprice "
+    "ORDER BY o_totalprice DESC, o_orderdate LIMIT 100";
+
+// -- Q19: discounted revenue -------------------------------------------------
+const char* kQ19 =
+    "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+    "FROM lineitem "
+    "JOIN (SELECT p_partkey, p_brand, p_container, p_size FROM part) AS p "
+    "ON l_partkey = p_partkey "
+    "WHERE l_shipmode IN ('AIR', 'AIR REG') "
+    "AND l_shipinstruct = 'DELIVER IN PERSON' "
+    "AND ((p_brand = 'Brand#12' "
+    "AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') "
+    "AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5) "
+    "OR (p_brand = 'Brand#23' "
+    "AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') "
+    "AND l_quantity BETWEEN 10 AND 20 AND p_size BETWEEN 1 AND 10) "
+    "OR (p_brand = 'Brand#34' "
+    "AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') "
+    "AND l_quantity BETWEEN 20 AND 30 AND p_size BETWEEN 1 AND 15))";
+
+// -- Q20: potential part promotion -------------------------------------------
+const char* kQ20 =
+    "SELECT s_name, s_address "
+    "FROM supplier "
+    "SEMI JOIN (SELECT n_nationkey FROM nation "
+    "WHERE n_name = 'CANADA') AS n "
+    "ON s_nationkey = n_nationkey "
+    "SEMI JOIN (SELECT ps_suppkey "
+    "FROM partsupp "
+    "SEMI JOIN (SELECT p_partkey FROM part "
+    "WHERE p_name LIKE 'forest%') AS pf "
+    "ON ps_partkey = p_partkey "
+    "JOIN (SELECT l_partkey AS q_partkey, l_suppkey AS q_suppkey, "
+    "0.5 * sum_qty AS half_qty "
+    "FROM (SELECT l_partkey, l_suppkey, SUM(l_quantity) AS sum_qty "
+    "FROM lineitem "
+    "WHERE l_shipdate >= DATE '1994-01-01' "
+    "AND l_shipdate < DATE '1995-01-01' "
+    "GROUP BY l_partkey, l_suppkey) AS q0) AS q "
+    "ON ps_partkey = q_partkey AND ps_suppkey = q_suppkey "
+    "WHERE ps_availqty > half_qty) AS avail "
+    "ON s_suppkey = ps_suppkey "
+    "ORDER BY s_name";
+
+// -- Q21: suppliers who kept orders waiting ----------------------------------
+const char* kQ21 =
+    "SELECT s_name, COUNT(*) AS numwait "
+    "FROM (SELECT l_orderkey, l_suppkey FROM lineitem "
+    "WHERE l_receiptdate > l_commitdate) AS late "
+    "SEMI JOIN (SELECT o_orderkey FROM orders "
+    "WHERE o_orderstatus = 'F') AS of "
+    "ON l_orderkey = o_orderkey "
+    "JOIN (SELECT l_orderkey AS a_orderkey, "
+    "COUNT(DISTINCT l_suppkey) AS nsupp FROM lineitem "
+    "GROUP BY l_orderkey) AS na "
+    "ON l_orderkey = a_orderkey "
+    "JOIN (SELECT l_orderkey AS b_orderkey, "
+    "COUNT(DISTINCT l_suppkey) AS nlate FROM lineitem "
+    "WHERE l_receiptdate > l_commitdate "
+    "GROUP BY l_orderkey) AS nl "
+    "ON l_orderkey = b_orderkey "
+    "JOIN (SELECT s_suppkey, s_name FROM supplier "
+    "SEMI JOIN (SELECT n_nationkey FROM nation "
+    "WHERE n_name = 'SAUDI ARABIA') AS sa "
+    "ON s_nationkey = n_nationkey) AS ss "
+    "ON l_suppkey = s_suppkey "
+    "WHERE nsupp > 1 AND nlate = 1 "
+    "GROUP BY s_name "
+    "ORDER BY numwait DESC, s_name LIMIT 100";
+
+// -- Q22: global sales opportunity -------------------------------------------
+const char* kQ22 =
+    "SELECT cntrycode, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal "
+    "FROM (SELECT c_custkey, c_acctbal, SUBSTR(c_phone, 1, 2) AS cntrycode "
+    "FROM customer "
+    "WHERE SUBSTR(c_phone, 1, 2) IN "
+    "('13', '31', '23', '29', '30', '18', '17')) AS cust "
+    "CROSS JOIN (SELECT AVG(c_acctbal) AS avg_bal "
+    "FROM (SELECT c_custkey, c_acctbal, SUBSTR(c_phone, 1, 2) AS cntrycode "
+    "FROM customer "
+    "WHERE SUBSTR(c_phone, 1, 2) IN "
+    "('13', '31', '23', '29', '30', '18', '17')) AS cust2 "
+    "WHERE c_acctbal > 0.0) AS ab "
+    "ANTI JOIN (SELECT o_custkey FROM orders) AS o "
+    "ON c_custkey = o_custkey "
+    "WHERE c_acctbal > avg_bal "
+    "GROUP BY cntrycode "
+    "ORDER BY cntrycode";
+
+}  // namespace
+
+const char* QuerySql(int number) {
+  switch (number) {
+    case 1: return kQ1;
+    case 2: return kQ2;
+    case 3: return kQ3;
+    case 4: return kQ4;
+    case 5: return kQ5;
+    case 6: return kQ6;
+    case 7: return kQ7;
+    case 8: return kQ8;
+    case 9: return kQ9;
+    case 10: return kQ10;
+    case 11: return kQ11;
+    case 12: return kQ12;
+    case 13: return kQ13;
+    case 14: return kQ14;
+    case 15: return kQ15;
+    case 16: return kQ16;
+    case 17: return kQ17;
+    case 18: return kQ18;
+    case 19: return kQ19;
+    case 20: return kQ20;
+    case 21: return kQ21;
+    case 22: return kQ22;
+    default:
+      throw Error("TPC-H query number must be 1..22");
+  }
+}
+
+}  // namespace tpch
+}  // namespace wake

@@ -1,0 +1,24 @@
+// The 22 TPC-H benchmark queries as SQL text in the dialect of
+// sql/parser.h.
+//
+// Each text mirrors the hand-built plan of tpch/queries.h in the paper's
+// decomposition style: scalar subqueries are CROSS JOINs over aggregating
+// derived tables, EXISTS / NOT EXISTS become SEMI / ANTI joins, and Q21's
+// correlated EXISTS pair goes through per-order distinct-supplier counts.
+// Parsing a text and running it through wake::Optimize produces exactly
+// the results of the corresponding tpch::Query(n) plan on every engine —
+// the hand-tuned plans serve as the regression oracle for the SQL front
+// end plus optimizer (see tests/sql/tpch_sql_equivalence_test.cc).
+#ifndef WAKE_TPCH_QUERIES_SQL_H_
+#define WAKE_TPCH_QUERIES_SQL_H_
+
+namespace wake {
+namespace tpch {
+
+/// SQL text for TPC-H query `number` (1-22). Throws wake::Error otherwise.
+const char* QuerySql(int number);
+
+}  // namespace tpch
+}  // namespace wake
+
+#endif  // WAKE_TPCH_QUERIES_SQL_H_

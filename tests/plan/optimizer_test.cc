@@ -1,0 +1,419 @@
+#include "plan/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "baseline/exact_engine.h"
+#include "common/error.h"
+
+namespace wake {
+namespace {
+
+ExprPtr C(const char* name) { return Expr::Col(name); }
+
+Catalog MakeCatalog() {
+  Schema sales_schema({{"id", ValueType::kInt64},
+                       {"cust", ValueType::kInt64},
+                       {"amount", ValueType::kFloat64},
+                       {"tag", ValueType::kString}});
+  sales_schema.set_primary_key({"id"});
+  sales_schema.set_clustering_key({"id"});
+  DataFrame sales(sales_schema);
+  for (int i = 0; i < 12; ++i) {
+    sales.mutable_column(0)->AppendInt(i);
+    sales.mutable_column(1)->AppendInt(i % 4);
+    sales.mutable_column(2)->AppendDouble(i * 10.0);
+    sales.mutable_column(3)->AppendString(i % 2 ? "odd" : "even");
+  }
+
+  Schema cust_schema({{"c_id", ValueType::kInt64},
+                      {"c_name", ValueType::kString},
+                      {"c_region", ValueType::kString}});
+  DataFrame cust(cust_schema);
+  for (int i = 0; i < 3; ++i) {  // cust 3 intentionally missing
+    cust.mutable_column(0)->AppendInt(i);
+    cust.mutable_column(1)->AppendString("cust" + std::to_string(i));
+    cust.mutable_column(2)->AppendString(i == 0 ? "east" : "west");
+  }
+
+  Catalog cat;
+  cat.Add(std::make_shared<PartitionedTable>(
+      PartitionedTable::FromDataFrame("sales", sales, 3)));
+  cat.Add(std::make_shared<PartitionedTable>(
+      PartitionedTable::FromDataFrame("cust", cust, 1)));
+  return cat;
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  Catalog cat_ = MakeCatalog();
+
+  std::string Shape(const PlanNodePtr& node) { return PlanToString(node); }
+
+  // Optimization must never change results: runs both plans on the exact
+  // engine and requires identical output.
+  void ExpectSameResults(const PlanNodePtr& before,
+                         const PlanNodePtr& after) {
+    ExactEngine engine(&cat_);
+    std::string diff;
+    EXPECT_TRUE(engine.Execute(after).ApproxEquals(engine.Execute(before),
+                                                   1e-12, &diff))
+        << diff << "\nbefore:\n" << Shape(before) << "after:\n"
+        << Shape(after);
+  }
+};
+
+// --- constant folding ------------------------------------------------------
+
+TEST_F(OptimizerTest, FoldsLiteralArithmeticAndComparisons) {
+  ExprPtr e = FoldExpr(Expr::Int(2) * Expr::Int(3) + Expr::Int(4));
+  ASSERT_EQ(e->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(e->literal().i, 10);
+
+  e = FoldExpr(Gt(Expr::Float(2.5), Expr::Int(2)));
+  ASSERT_EQ(e->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(e->literal().i, 1);
+
+  // Division folds to float with the engine's divide-by-zero convention.
+  e = FoldExpr(Expr::Int(1) / Expr::Int(0));
+  ASSERT_EQ(e->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(e->literal().type, ValueType::kFloat64);
+  EXPECT_EQ(e->literal().d, 0.0);
+}
+
+TEST_F(OptimizerTest, FoldsLogicShortCircuits) {
+  ExprPtr pred = Gt(C("amount"), Expr::Float(30.0));
+  // TRUE AND p -> p (same pointer, not just same value).
+  EXPECT_EQ(FoldExpr(Expr::And(Expr::Lit(Value::Bool(true)), pred)), pred);
+  // p OR TRUE -> TRUE.
+  ExprPtr e = FoldExpr(Expr::Or(pred, Expr::Lit(Value::Bool(true))));
+  ASSERT_EQ(e->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(e->literal().i, 1);
+  // NOT applied to a null literal: null is falsy, so NOT null -> TRUE.
+  e = FoldExpr(Expr::Not(Expr::Lit(Value::Null(ValueType::kBool))));
+  ASSERT_EQ(e->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(e->literal().i, 1);
+}
+
+TEST_F(OptimizerTest, LogicFoldKeepsBoolCoercion) {
+  // `TRUE AND <int column>` must not fold to the bare column: the logic
+  // node coerces its result to a non-null bool; the column is an int64.
+  ExprPtr e = FoldExpr(Expr::And(Expr::Lit(Value::Bool(true)), C("id")));
+  EXPECT_EQ(e->kind(), ExprKind::kLogic);
+  // A deciding literal still folds regardless of the other side's type.
+  e = FoldExpr(Expr::And(C("id"), Expr::Lit(Value::Bool(false))));
+  ASSERT_EQ(e->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(e->literal().i, 0);
+  // End-to-end: a projected logic value keeps its type through Optimize.
+  Plan plan = Plan::Scan("sales").Map(
+      {{"f", Expr::And(Eq(Expr::Int(1), Expr::Int(1)), C("id"))}});
+  ExpectSameResults(plan.node(), Optimize(plan.node(), cat_));
+}
+
+TEST_F(OptimizerTest, FoldsStringPredicates) {
+  ExprPtr e = FoldExpr(Expr::Like(Expr::Str("PROMO BRASS"), "PROMO%"));
+  ASSERT_EQ(e->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(e->literal().i, 1);
+  e = FoldExpr(Expr::In(Expr::Str("x"),
+                        {Value::Str("a"), Value::Str("b")}));
+  ASSERT_EQ(e->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(e->literal().i, 0);
+  e = FoldExpr(Expr::Substr(Expr::Str("13-555"), 1, 2));
+  ASSERT_EQ(e->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(e->literal().s, "13");
+}
+
+TEST_F(OptimizerTest, TriviallyTrueFilterIsRemoved) {
+  Plan plan = Plan::Scan("sales").Filter(
+      Expr::And(Eq(Expr::Int(1), Expr::Int(1)), Gt(C("amount"),
+                                                   Expr::Float(30.0))));
+  PlanNodePtr folded = FoldConstantsPass(plan.node(), cat_);
+  EXPECT_EQ(Shape(folded),
+            "Filter (amount > 30)\n"
+            "  Scan sales\n");
+
+  // A filter that is *entirely* true disappears.
+  Plan all = Plan::Scan("sales").Filter(Eq(Expr::Int(1), Expr::Int(1)));
+  EXPECT_EQ(Shape(FoldConstantsPass(all.node(), cat_)), "Scan sales\n");
+  ExpectSameResults(all.node(), FoldConstantsPass(all.node(), cat_));
+}
+
+// --- filter pushdown -------------------------------------------------------
+
+TEST_F(OptimizerTest, SplitsConjunctionAcrossInnerJoinSides) {
+  Plan plan = Plan::Scan("sales")
+                  .Join(Plan::Scan("cust"), JoinType::kInner, {"cust"},
+                        {"c_id"})
+                  .Filter(Expr::And(Gt(C("amount"), Expr::Float(30.0)),
+                                    Eq(C("c_region"), Expr::Str("west"))));
+  PlanNodePtr pushed = PushDownFiltersPass(plan.node(), cat_);
+  EXPECT_EQ(Shape(pushed),
+            "InnerJoin on [cust]=[c_id]\n"
+            "  Filter (amount > 30)\n"
+            "    Scan sales\n"
+            "  Filter (c_region = west)\n"
+            "    Scan cust\n");
+  ExpectSameResults(plan.node(), pushed);
+}
+
+TEST_F(OptimizerTest, LeftJoinKeepsRightSidePredicateAbove) {
+  // Pushing a right-side predicate below a LEFT join would turn dropped
+  // matches into null-padded rows; it must stay above.
+  Plan plan = Plan::Scan("sales")
+                  .Join(Plan::Scan("cust"), JoinType::kLeft, {"cust"},
+                        {"c_id"})
+                  .Filter(Expr::And(Gt(C("amount"), Expr::Float(30.0)),
+                                    Eq(C("c_region"), Expr::Str("west"))));
+  PlanNodePtr pushed = PushDownFiltersPass(plan.node(), cat_);
+  EXPECT_EQ(Shape(pushed),
+            "Filter (c_region = west)\n"
+            "  LeftJoin on [cust]=[c_id]\n"
+            "    Filter (amount > 30)\n"
+            "      Scan sales\n"
+            "    Scan cust\n");
+  ExpectSameResults(plan.node(), pushed);
+}
+
+TEST_F(OptimizerTest, SemiAndAntiJoinPushToProbeSideOnly) {
+  for (JoinType type : {JoinType::kSemi, JoinType::kAnti}) {
+    Plan plan = Plan::Scan("sales")
+                    .Join(Plan::Scan("cust"), type, {"cust"}, {"c_id"})
+                    .Filter(Gt(C("amount"), Expr::Float(30.0)));
+    PlanNodePtr pushed = PushDownFiltersPass(plan.node(), cat_);
+    const char* name = type == JoinType::kSemi ? "Semi" : "Anti";
+    EXPECT_EQ(Shape(pushed), std::string(name) +
+                                 "Join on [cust]=[c_id]\n"
+                                 "  Filter (amount > 30)\n"
+                                 "    Scan sales\n"
+                                 "  Scan cust\n");
+    ExpectSameResults(plan.node(), pushed);
+  }
+}
+
+TEST_F(OptimizerTest, PushesGroupKeyPredicateBelowAggregateButNotHaving) {
+  Plan plan = Plan::Scan("sales")
+                  .Aggregate({"cust"}, {Sum("amount", "total")})
+                  .Filter(Expr::And(Lt(C("cust"), Expr::Int(3)),
+                                    Gt(C("total"), Expr::Float(50.0))));
+  PlanNodePtr pushed = PushDownFiltersPass(plan.node(), cat_);
+  EXPECT_EQ(Shape(pushed),
+            "Filter (total > 50)\n"
+            "  Aggregate by [cust] {sum(amount)->total}\n"
+            "    Filter (cust < 3)\n"
+            "      Scan sales\n");
+  ExpectSameResults(plan.node(), pushed);
+}
+
+TEST_F(OptimizerTest, PushesThroughMapRenamesAndStopsAtComputedColumns) {
+  Plan plan = Plan::Scan("sales")
+                  .Map({{"k", C("cust")},
+                        {"double_amount", C("amount") * Expr::Int(2)}})
+                  .Filter(Expr::And(Lt(C("k"), Expr::Int(2)),
+                                    Gt(C("double_amount"),
+                                       Expr::Float(50.0))));
+  PlanNodePtr pushed = PushDownFiltersPass(plan.node(), cat_);
+  // `k` is a pure rename: its predicate pushes below the map (rewritten to
+  // `cust`). `double_amount` is computed: stays above.
+  EXPECT_EQ(Shape(pushed),
+            "Filter (double_amount > 50)\n"
+            "  Map [k, double_amount]\n"
+            "    Filter (cust < 2)\n"
+            "      Scan sales\n");
+  ExpectSameResults(plan.node(), pushed);
+}
+
+TEST_F(OptimizerTest, FilterDoesNotCrossLimit) {
+  Plan plan = Plan::Scan("sales")
+                  .Sort({{"amount", true}}, 5)
+                  .Filter(Gt(C("amount"), Expr::Float(30.0)));
+  PlanNodePtr pushed = PushDownFiltersPass(plan.node(), cat_);
+  EXPECT_EQ(Shape(pushed),
+            "Filter (amount > 30)\n"
+            "  Sort limit 5\n"
+            "    Scan sales\n");
+  // Without a limit the filter commutes with the sort.
+  Plan no_limit = Plan::Scan("sales")
+                      .Sort({{"amount", true}})
+                      .Filter(Gt(C("amount"), Expr::Float(30.0)));
+  EXPECT_EQ(Shape(PushDownFiltersPass(no_limit.node(), cat_)),
+            "Sort\n"
+            "  Filter (amount > 30)\n"
+            "    Scan sales\n");
+  ExpectSameResults(no_limit.node(),
+                    PushDownFiltersPass(no_limit.node(), cat_));
+}
+
+TEST_F(OptimizerTest, SharedSubplansAreNotDuplicatedOrPolluted) {
+  // One shared aggregate feeding two parents (§7.3 reuse): the filter of
+  // one parent must not leak into the shared subplan.
+  Plan shared = Plan::Scan("sales").Aggregate({"cust"},
+                                              {Sum("amount", "total")});
+  Plan left = shared.Filter(Gt(C("total"), Expr::Float(100.0)))
+                  .Map({{"h_cust", C("cust")}});
+  Plan joined = left.Join(shared.Map({{"cust2", C("cust")},
+                                      {"total2", C("total")}}),
+                          JoinType::kInner, {"h_cust"}, {"cust2"});
+  PlanNodePtr pushed = PushDownFiltersPass(joined.node(), cat_);
+  // The shared aggregate node must still be one object reachable twice.
+  std::set<const PlanNode*> agg_nodes;
+  std::function<void(const PlanNodePtr&)> walk =
+      [&](const PlanNodePtr& n) {
+        if (n->op == PlanOp::kAggregate) agg_nodes.insert(n.get());
+        for (const auto& in : n->inputs) walk(in);
+      };
+  walk(pushed);
+  EXPECT_EQ(agg_nodes.size(), 1u);
+  ExpectSameResults(joined.node(), pushed);
+}
+
+TEST_F(OptimizerTest, LikeOverNonStringLiteralIsLeftForRuntime) {
+  // Eval raises 'LIKE over non-string'; folding to FALSE would silently
+  // swallow the type error. Null input does fold (Eval yields false).
+  ExprPtr bad = FoldExpr(Expr::Like(Expr::Int(5), "5%"));
+  EXPECT_EQ(bad->kind(), ExprKind::kLike);
+  ExprPtr null_in =
+      FoldExpr(Expr::Like(Expr::Lit(Value::Null(ValueType::kString)), "x"));
+  ASSERT_EQ(null_in->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(null_in->literal().i, 0);
+}
+
+// --- projection pruning and scan projection --------------------------------
+
+TEST_F(OptimizerTest, SharedInputRequirementsUnionAcrossParents) {
+  // Two parents of one shared scan require different columns; the
+  // required-set propagation must union them — a later-visited parent
+  // (here the Filter) must not clobber what the Map parent recorded.
+  Plan scan = Plan::Scan("sales");
+  Plan left = scan.Filter(Gt(C("amount"), Expr::Float(0.0)))
+                  .Map({{"lid", C("id")}});
+  Plan right = scan.Map({{"rid", C("id")}, {"rtag", C("tag")}});
+  Plan joined = left.Join(right, JoinType::kInner, {"lid"}, {"rid"});
+  PlanNodePtr optimized;
+  ASSERT_NO_THROW(optimized = Optimize(joined.node(), cat_));
+  ExpectSameResults(joined.node(), optimized);
+}
+
+TEST_F(OptimizerTest, ProjectsScansToRequiredColumns) {
+  Plan plan = Plan::Scan("sales").Aggregate({"cust"},
+                                            {Sum("amount", "total")});
+  PlanNodePtr pruned = ProjectScansPass(plan.node(), cat_);
+  EXPECT_EQ(Shape(pruned),
+            "Aggregate by [cust] {sum(amount)->total}\n"
+            "  Scan sales [cust,amount]\n");
+  ExpectSameResults(plan.node(), pruned);
+}
+
+TEST_F(OptimizerTest, CountStarKeepsOneColumn) {
+  Plan plan = Plan::Scan("sales").Aggregate({}, {Count("n")});
+  PlanNodePtr pruned = ProjectScansPass(plan.node(), cat_);
+  EXPECT_EQ(Shape(pruned),
+            "Aggregate by [] {count()->n}\n"
+            "  Scan sales [id]\n");
+  ExpectSameResults(plan.node(), pruned);
+}
+
+TEST_F(OptimizerTest, NarrowsDeriveIntoExplicitMap) {
+  Plan plan = Plan::Scan("sales")
+                  .Derive({{"double_amount", C("amount") * Expr::Int(2)}})
+                  .Aggregate({"cust"}, {Sum("double_amount", "total")});
+  PlanNodePtr pruned = PruneProjectionsPass(plan.node(), cat_);
+  EXPECT_EQ(Shape(pruned),
+            "Aggregate by [cust] {sum(double_amount)->total}\n"
+            "  Map [cust, double_amount]\n"
+            "    Scan sales\n");
+  // Scan projection then narrows the storage read to what the map needs.
+  PlanNodePtr projected = ProjectScansPass(pruned, cat_);
+  EXPECT_EQ(Shape(projected),
+            "Aggregate by [cust] {sum(double_amount)->total}\n"
+            "  Map [cust, double_amount]\n"
+            "    Scan sales [cust,amount]\n");
+  ExpectSameResults(plan.node(), projected);
+}
+
+TEST_F(OptimizerTest, JoinKeysSurvivePruning) {
+  Plan plan = Plan::Scan("sales")
+                  .Join(Plan::Scan("cust"), JoinType::kInner, {"cust"},
+                        {"c_id"})
+                  .Aggregate({"c_name"}, {Sum("amount", "total")});
+  PlanNodePtr pruned = ProjectScansPass(plan.node(), cat_);
+  EXPECT_EQ(Shape(pruned),
+            "Aggregate by [c_name] {sum(amount)->total}\n"
+            "  InnerJoin on [cust]=[c_id]\n"
+            "    Scan sales [cust,amount]\n"
+            "    Scan cust [c_id,c_name]\n");
+  ExpectSameResults(plan.node(), pruned);
+}
+
+TEST_F(OptimizerTest, RootSchemaIsPreservedExactly) {
+  // A schema-transparent root (filter over join) requires every column:
+  // nothing may be pruned and the output schema must be untouched.
+  Plan plan = Plan::Scan("sales")
+                  .Join(Plan::Scan("cust"), JoinType::kInner, {"cust"},
+                        {"c_id"})
+                  .Filter(Gt(C("amount"), Expr::Float(10.0)));
+  PlanNodePtr optimized = Optimize(plan.node(), cat_);
+  ExactEngine engine(&cat_);
+  EXPECT_TRUE(engine.Execute(optimized).schema().SameFields(
+      engine.Execute(plan.node()).schema()));
+  ExpectSameResults(plan.node(), optimized);
+}
+
+// --- the full driver -------------------------------------------------------
+
+TEST_F(OptimizerTest, OptimizeIsIdempotent) {
+  Plan plan = Plan::Scan("sales")
+                  .Join(Plan::Scan("cust"), JoinType::kInner, {"cust"},
+                        {"c_id"})
+                  .Filter(Expr::And(Gt(C("amount"), Expr::Float(10.0)),
+                                    Eq(C("c_region"), Expr::Str("west"))))
+                  .Aggregate({"c_name"}, {Sum("amount", "total")})
+                  .Sort({{"total", true}}, 3);
+  PlanNodePtr once = Optimize(plan.node(), cat_);
+  PlanNodePtr twice = Optimize(once, cat_);
+  EXPECT_EQ(Shape(once), Shape(twice));
+  ExpectSameResults(plan.node(), once);
+}
+
+TEST_F(OptimizerTest, OptimizeCombinesAllPasses) {
+  Plan plan = Plan::Scan("sales")
+                  .Derive({{"v", C("amount") * (Expr::Int(1) +
+                                                Expr::Int(0))}})
+                  .Join(Plan::Scan("cust"), JoinType::kInner, {"cust"},
+                        {"c_id"})
+                  .Filter(Expr::And(
+                      Expr::Lit(Value::Bool(true)),
+                      Expr::And(Gt(C("v"), Expr::Float(20.0)),
+                                Eq(C("c_region"), Expr::Str("west")))))
+                  .Aggregate({"c_name"}, {Sum("v", "total")})
+                  .Sort({{"total", true}});
+  PlanNodePtr optimized = Optimize(plan.node(), cat_);
+  std::string shape = Shape(optimized);
+  // Literal arithmetic folded away, the TRUE conjunct gone, the sales
+  // scan projected, the region predicate on the cust scan (which needs
+  // all three of its columns, so it stays unprojected — empty = all).
+  EXPECT_EQ(shape,
+            "Sort\n"
+            "  Aggregate by [c_name] {sum(v)->total}\n"
+            "    InnerJoin on [cust]=[c_id]\n"
+            "      Filter (v > 20)\n"
+            "        Map [cust, v]\n"
+            "          Scan sales [cust,amount]\n"
+            "      Filter (c_region = west)\n"
+            "        Scan cust\n");
+  ExpectSameResults(plan.node(), optimized);
+}
+
+TEST_F(OptimizerTest, OptimizedPlanValidatesAgainstInferProps) {
+  // Optimize runs InferProps on its result; a malformed rewrite would
+  // throw here rather than mis-execute downstream.
+  Plan plan = Plan::Scan("sales")
+                  .Filter(Gt(C("amount"), Expr::Float(10.0)))
+                  .Aggregate({"tag"}, {Sum("amount", "total"), Count("n")})
+                  .Sort({{"total", true}});
+  EXPECT_NO_THROW(Optimize(plan.node(), cat_));
+}
+
+}  // namespace
+}  // namespace wake

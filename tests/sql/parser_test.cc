@@ -247,6 +247,101 @@ TEST(SqlParserTest, BareLimitWithoutOrder) {
   EXPECT_EQ(got.num_rows(), 3u);
 }
 
+TEST(SqlParserTest, UnknownTableQualifierIsRejectedWithPosition) {
+  // `l.` is not in scope: only `lineitem` is. The error must carry the
+  // offending alias and its input offset.
+  try {
+    Parse("SELECT l.l_orderkey FROM lineitem");
+    FAIL() << "expected scope error";
+  } catch (const Error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown table or alias 'l'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("offset 7"), std::string::npos) << msg;
+  }
+  // Same for qualifiers in WHERE, GROUP BY, ORDER BY, and ON clauses.
+  EXPECT_THROW(Parse("SELECT * FROM lineitem WHERE x.l_quantity > 1"),
+               Error);
+  EXPECT_THROW(
+      Parse("SELECT COUNT(*) AS n FROM supplier "
+            "JOIN nation ON bogus.s_nationkey = nation.n_nationkey"),
+      Error);
+}
+
+TEST(SqlParserTest, TableAliasesBringQualifiersIntoScope) {
+  DataFrame got = RunExact(
+      "SELECT l.l_orderkey, o.o_orderdate, COUNT(*) AS n "
+      "FROM lineitem AS l JOIN orders o ON l.l_orderkey = o.o_orderkey "
+      "GROUP BY l_orderkey, o_orderdate ORDER BY l_orderkey LIMIT 5");
+  EXPECT_EQ(got.num_rows(), 5u);
+  // The table's own name stays valid alongside the alias.
+  DataFrame both = RunExact(
+      "SELECT COUNT(*) AS n FROM lineitem l "
+      "WHERE lineitem.l_quantity > 0 AND l.l_quantity > 0");
+  EXPECT_GT(both.column(0).IntAt(0), 0);
+}
+
+TEST(SqlParserTest, OnClausePrefersLeftScopeOnAliasCollision) {
+  // The left alias shadows the right table's name: `nation.` must resolve
+  // to the LEFT relation (supplier aliased as nation), not flip the keys.
+  DataFrame got = RunExact(
+      "SELECT COUNT(*) AS n FROM supplier nation "
+      "JOIN nation n2 ON nation.s_nationkey = n2.n_nationkey");
+  DataFrame plain = RunExact(
+      "SELECT COUNT(*) AS n FROM supplier "
+      "JOIN nation ON s_nationkey = n_nationkey");
+  EXPECT_EQ(got.column(0).IntAt(0), plain.column(0).IntAt(0));
+}
+
+TEST(SqlParserTest, SubqueryScopesAreIndependent) {
+  // The outer alias `t` is visible outside, the inner alias `o` is not.
+  DataFrame got = RunExact(
+      "SELECT t.o_orderpriority, COUNT(*) AS n "
+      "FROM (SELECT o.o_orderpriority FROM orders o) AS t "
+      "GROUP BY o_orderpriority ORDER BY o_orderpriority");
+  EXPECT_EQ(got.num_rows(), 5u);
+  EXPECT_THROW(
+      Parse("SELECT o.o_orderpriority "
+            "FROM (SELECT o_orderpriority FROM orders o) AS t"),
+      Error);
+}
+
+TEST(SqlParserTest, DerivedTablesInFromAndJoin) {
+  // FROM (SELECT ...): aggregate over an aggregate.
+  DataFrame nested = RunExact(
+      "SELECT MAX(cnt) AS busiest "
+      "FROM (SELECT o_custkey, COUNT(*) AS cnt FROM orders "
+      "GROUP BY o_custkey) AS per_cust");
+  EXPECT_GT(nested.column(0).IntAt(0), 0);
+
+  // JOIN (SELECT ...) ON: matches the plan-built semi-join decomposition.
+  DataFrame sub = RunExact(
+      "SELECT COUNT(*) AS n FROM orders "
+      "SEMI JOIN (SELECT c_custkey FROM customer "
+      "WHERE c_mktsegment = 'BUILDING') AS c "
+      "ON o_custkey = c_custkey");
+  Plan hand = Plan::Scan("orders")
+                  .Join(Plan::Scan("customer")
+                            .Filter(Eq(Expr::Col("c_mktsegment"),
+                                       Expr::Str("BUILDING")))
+                            .Map({{"c_custkey", Expr::Col("c_custkey")}}),
+                        JoinType::kSemi, {"o_custkey"}, {"c_custkey"})
+                  .Aggregate({}, {Count("n")});
+  ExactEngine engine(&testing::SharedTpch());
+  EXPECT_EQ(sub.column(0).IntAt(0),
+            engine.Execute(hand.node()).column(0).IntAt(0));
+
+  // CROSS JOIN (SELECT ...): scalar-subquery broadcast.
+  DataFrame cross = RunExact(
+      "SELECT COUNT(*) AS n FROM customer "
+      "CROSS JOIN (SELECT AVG(c_acctbal) AS avg_bal FROM customer) AS a "
+      "WHERE c_acctbal > avg_bal");
+  EXPECT_GT(cross.column(0).IntAt(0), 0);
+  int64_t total =
+      static_cast<int64_t>(testing::SharedTpch().Get("customer").total_rows());
+  EXPECT_LT(cross.column(0).IntAt(0), total);
+}
+
 }  // namespace
 }  // namespace sql
 }  // namespace wake

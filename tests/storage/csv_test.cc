@@ -164,5 +164,21 @@ TEST(ParseCsvRecordTest, CrLfLineEndings) {
   EXPECT_EQ(fields[0], "c");
 }
 
+TEST_F(CsvTest, ProjectedReadMatchesFullReadSelect) {
+  DataFrame df = SampleFrame();
+  WriteCsv(df, path_);
+  DataFrame full = ReadCsv(path_);
+  DataFrame projected = ReadCsv(path_, {"note", "id"});
+  EXPECT_EQ(projected.num_columns(), 2u);
+  EXPECT_EQ(projected.schema().field(0).name, "note");
+  std::string diff;
+  EXPECT_TRUE(projected.ApproxEquals(full.Select({"note", "id"}), 1e-9,
+                                     &diff))
+      << diff;
+  // Projected string columns still come back dict-encoded.
+  EXPECT_TRUE(projected.column(0).is_dict());
+  EXPECT_THROW(ReadCsv(path_, {"nope"}), Error);
+}
+
 }  // namespace
 }  // namespace wake

@@ -218,6 +218,50 @@ TEST(DbgenScaleTest, RowsAtScaleMatchesGeneration) {
   EXPECT_THROW(RowsAtScale("bogus", 1.0), Error);
 }
 
+TEST(DbgenProjectionTest, SingleTableGenerationMatchesFullCatalog) {
+  DbgenConfig cfg;
+  cfg.scale_factor = 0.005;
+  cfg.partitions = 4;
+  Catalog full = Generate(cfg);
+  for (const auto& name : full.TableNames()) {
+    DataFrame whole = full.Get(name).Materialize();
+    DataFrame single = GenerateTable(cfg, name).Materialize();
+    std::string diff;
+    EXPECT_TRUE(single.ApproxEquals(whole, 0.0, &diff))
+        << name << ": " << diff;
+  }
+}
+
+TEST(DbgenProjectionTest, ProjectedColumnsAreBitIdenticalToFull) {
+  DbgenConfig cfg;
+  cfg.scale_factor = 0.005;
+  cfg.partitions = 4;
+  // Projection must consume the same random draws, so the kept columns
+  // match a full generation exactly — including columns generated *after*
+  // skipped ones in the row loop.
+  struct Case {
+    const char* table;
+    std::vector<std::string> columns;
+  };
+  for (const auto& c : std::vector<Case>{
+           {"lineitem", {"l_orderkey", "l_extendedprice", "l_shipmode"}},
+           {"orders", {"o_orderkey", "o_orderdate", "o_clerk"}},
+           {"customer", {"c_custkey", "c_phone", "c_mktsegment"}},
+           {"supplier", {"s_suppkey", "s_acctbal"}},
+           {"part", {"p_partkey", "p_container", "p_retailprice"}},
+           {"partsupp", {"ps_suppkey", "ps_supplycost"}},
+           {"nation", {"n_name"}},
+           {"region", {"r_name", "r_comment"}}}) {
+    DataFrame projected = GenerateTable(cfg, c.table, c.columns).Materialize();
+    DataFrame expected =
+        GenerateTable(cfg, c.table).Materialize().Select(c.columns);
+    std::string diff;
+    EXPECT_TRUE(projected.ApproxEquals(expected, 0.0, &diff))
+        << c.table << ": " << diff;
+    EXPECT_EQ(projected.num_columns(), c.columns.size());
+  }
+}
+
 }  // namespace
 }  // namespace tpch
 }  // namespace wake
