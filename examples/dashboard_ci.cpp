@@ -1,11 +1,14 @@
 // Progressive dashboard with confidence intervals (§6 of the paper):
 // TPC-H Q14's promo-revenue share rendered as a live text gauge with a 95%
-// Chebyshev interval that tightens as more partitions arrive.
+// Chebyshev interval that tightens as more partitions arrive. Runs through
+// wake::Db with a callback subscription (RunOptions::on_state).
 #include <cstdio>
 #include <string>
 
+#include "api/db.h"
+#include "common/error.h"
 #include "core/ci.h"
-#include "core/engine.h"
+#include "example_env.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -31,18 +34,19 @@ std::string Gauge(double lo, double value, double hi, double axis_max) {
 
 int main() {
   tpch::DbgenConfig cfg;
-  cfg.scale_factor = 0.05;
+  cfg.scale_factor = examples::ScaleFactor(0.05);
   cfg.partitions = 16;
   Catalog catalog = tpch::Generate(cfg);
 
-  WakeOptions options;
-  options.with_ci = true;
-  WakeEngine engine(&catalog, options);
+  Db db(&catalog);
+  PreparedQuery query = db.Prepare(tpch::Query(14));
 
   std::printf("Q14 promo revenue share, 95%% CI (k=%.2f)\n\n", ChebyshevK(0.95));
   std::printf("%9s  %-52s  %s\n", "progress", "0% ......... share ......... 40%",
               "estimate [lo, hi]");
-  engine.Execute(tpch::Query(14).node(), [&](const OlaState& s) {
+  RunOptions run;
+  run.with_ci = true;
+  run.on_state = [&](const OlaState& s) {
     if (s.frame->num_rows() == 0) return;
     double est = s.frame->ColumnByName("promo_revenue").DoubleAt(0);
     double var = 0.0;
@@ -54,6 +58,14 @@ int main() {
     std::printf("%8.0f%%  %-52s  %.2f [%.2f, %.2f]%s\n", 100 * s.progress,
                 Gauge(ci.lo, est, ci.hi, 40.0).c_str(), est, ci.lo, ci.hi,
                 s.is_final ? "  <- exact" : "");
-  });
+  };
+  QueryHandle handle = query.Run(run);
+  try {
+    handle.Final();  // joins the run; surfaces a failed run as an error
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s error: %s\n", ErrorCategoryName(e.category()),
+                 e.what());
+    return 1;
+  }
   return 0;
 }

@@ -2,11 +2,13 @@
 // (per-session max -> per-user sum -> per-region avg -> global max) over a
 // clustered event table, showing that every level keeps producing
 // converging estimates — op(op(op(op(data)))), the title capability of the
-// paper.
+// paper. Prepared once and pulled from a wake::Db cursor.
 #include <cstdio>
 
+#include "api/db.h"
+#include "common/error.h"
 #include "common/rng.h"
-#include "core/edf.h"
+#include "example_env.h"
 
 using namespace wake;
 
@@ -44,27 +46,41 @@ Catalog EventsCatalog(size_t rows, size_t partitions) {
 }  // namespace
 
 int main() {
-  Catalog catalog = EventsCatalog(120000, 12);
-  EdfSession session(&catalog);
+  // WAKE_SF rescales the synthetic table the same way it rescales TPC-H
+  // in the other examples (default 0.05 ~ 120k events).
+  size_t rows = static_cast<size_t>(examples::ScaleFactor(0.05) * 2400000);
+  if (rows < 2000) rows = 2000;
+  Catalog catalog = EventsCatalog(rows, 12);
 
   // Depth-4 cascade. Level 1 is a local aggregation (session_id is the
   // clustering key); the rest are shuffle aggregations with growth-based
   // inference at every level.
-  Edf session_peak = session.Read("events").Max(
-      "latency_ms", {"session_id", "user_id", "region"});
-  Edf user_load = session_peak.Sum("max_latency_ms", {"user_id", "region"});
-  Edf region_avg = user_load.Avg("sum_max_latency_ms", {"region"});
-  Edf worst_region =
-      region_avg.Sort({{"avg_sum_max_latency_ms", true}}, 1);
+  Plan worst_region =
+      Plan::Scan("events")
+          .Aggregate({"session_id", "user_id", "region"},
+                     {Max("latency_ms", "peak")})
+          .Aggregate({"user_id", "region"}, {Sum("peak", "load")})
+          .Aggregate({"region"}, {Avg("load", "avg_load")})
+          .Sort({{"avg_load", true}}, 1);
+
+  Db db(&catalog);
+  QueryHandle handle = db.Prepare(worst_region).Run();
 
   std::printf("worst region by average user latency-load (deep OLA, depth 4):\n");
   std::printf("%9s %12s %18s\n", "progress", "region", "avg load (est)");
-  worst_region.Subscribe([&](const OlaState& s) {
-    if (s.frame->num_rows() == 0) return;
-    std::printf("%8.0f%% %12s %18.2f%s\n", 100 * s.progress,
-                s.frame->column(0).StringAt(0).c_str(),
-                s.frame->column(1).DoubleAt(0),
-                s.is_final ? "  <- exact" : "");
-  });
+  while (auto s = handle.Next()) {
+    if (s->frame->num_rows() == 0) continue;
+    std::printf("%8.0f%% %12s %18.2f%s\n", 100 * s->progress,
+                s->frame->column(0).StringAt(0).c_str(),
+                s->frame->column(1).DoubleAt(0),
+                s->is_final ? "  <- exact" : "");
+  }
+  try {
+    handle.Final();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s error: %s\n", ErrorCategoryName(e.category()),
+                 e.what());
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,25 @@
+// Shared knobs for the runnable examples.
+//
+// WAKE_SF scales every example's dataset (TPC-H scale factor, or a row
+// multiplier for synthetic data) so CI can smoke-run them at SF 0.01
+// without each example growing its own flag surface.
+#ifndef WAKE_EXAMPLES_EXAMPLE_ENV_H_
+#define WAKE_EXAMPLES_EXAMPLE_ENV_H_
+
+#include <cstdlib>
+
+namespace wake {
+namespace examples {
+
+/// TPC-H scale factor: WAKE_SF when set and positive, else `fallback`.
+inline double ScaleFactor(double fallback) {
+  const char* env = std::getenv("WAKE_SF");
+  if (env == nullptr) return fallback;
+  double sf = std::atof(env);
+  return sf > 0.0 ? sf : fallback;
+}
+
+}  // namespace examples
+}  // namespace wake
+
+#endif  // WAKE_EXAMPLES_EXAMPLE_ENV_H_

@@ -1,14 +1,17 @@
-// Quickstart: generate a small TPC-H dataset, run a deep OLA query through
-// the evolving-data-frame API, and watch the estimates converge.
+// Quickstart: generate a small TPC-H dataset, prepare a deep OLA query
+// through the wake::Db session API, and pull the converging estimates
+// from a streaming cursor.
 //
 //   build/examples/quickstart
 //
-// The query is "average order size of shipped items per ship mode" — an
+// The query is "average order size of shipped items per order" — an
 // aggregation over an aggregation, which classic OLA systems cannot
-// process incrementally but edfs handle natively (the paper's Deep OLA).
+// process incrementally but Wake handles natively (the paper's Deep OLA).
 #include <cstdio>
 
-#include "core/edf.h"
+#include "api/db.h"
+#include "common/error.h"
+#include "example_env.h"
 #include "tpch/dbgen.h"
 
 using namespace wake;
@@ -16,27 +19,39 @@ using namespace wake;
 int main() {
   // 1. Data: an in-process TPC-H generator stands in for a data lake.
   tpch::DbgenConfig cfg;
-  cfg.scale_factor = 0.02;  // ~120k lineitem rows
-  cfg.partitions = 10;      // OLA granularity: one estimate per partition
+  cfg.scale_factor = examples::ScaleFactor(0.02);  // ~120k lineitem rows
+  cfg.partitions = 10;  // OLA granularity: one estimate per partition
   Catalog catalog = tpch::Generate(cfg);
   std::printf("generated TPC-H SF=%.2f: %zu lineitem rows in %zu partitions\n\n",
               cfg.scale_factor, catalog.Get("lineitem").total_rows(),
               catalog.Get("lineitem").num_partitions());
 
-  // 2. Build the deep query with evolving data frames. Every operation on
-  //    an edf yields another edf (closure, §3 of the paper).
-  EdfSession session(&catalog);
-  Edf per_order =
-      session.Read("lineitem").Sum("l_quantity", {"l_orderkey"});
-  Edf avg_order_size = per_order.Avg("sum_l_quantity", {});
+  // 2. A session over the catalog: Prepare parses + optimizes once; the
+  //    prepared query is reusable.
+  Db db(&catalog);
+  PreparedQuery query = db.Prepare(
+      "SELECT AVG(order_qty) AS avg_order_size "
+      "FROM (SELECT SUM(l_quantity) AS order_qty "
+      "      FROM lineitem GROUP BY l_orderkey)");
 
-  // 3. Stream the converging estimates.
+  // 3. Run without blocking and pull the converging states.
+  QueryHandle handle = query.Run();
   std::printf("%8s %10s %18s\n", "state", "progress", "avg order size");
   int state_idx = 0;
-  avg_order_size.Subscribe([&](const OlaState& s) {
-    if (s.frame->num_rows() == 0) return;
-    std::printf("%8d %9.0f%% %18.3f%s\n", state_idx++, 100 * s.progress,
-                s.frame->column(0).DoubleAt(0), s.is_final ? "  <- exact" : "");
-  });
+  while (auto s = handle.Next()) {
+    if (s->frame->num_rows() == 0) continue;
+    std::printf("%8d %9.0f%% %18.3f%s\n", state_idx++, 100 * s->progress,
+                s->frame->column(0).DoubleAt(0),
+                s->is_final ? "  <- exact" : "");
+  }
+  // The cursor ends on completion, cancellation, or failure alike;
+  // Final() is what surfaces a failed run as an error exit.
+  try {
+    handle.Final();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s error: %s\n", ErrorCategoryName(e.category()),
+                 e.what());
+    return 1;
+  }
   return 0;
 }

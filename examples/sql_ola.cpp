@@ -1,20 +1,23 @@
-// SQL with online aggregation: run a SQL query (from the command line, a
-// TPC-H query number, or a built-in default) against generated TPC-H data
-// and stream the converging OLA states — the declarative interface the
-// paper lists as future work, running on the Deep-OLA engine. Queries are
-// run through the logical optimizer (plan/optimizer.h) first; pass
-// --explain to print the plan before and after optimization.
+// SQL through the wake::Db session API: prepare a query (from the command
+// line, a TPC-H query number, or a built-in default) against generated
+// TPC-H data and stream its states from any of the three engines.
 //
 //   build/examples/sql_ola [--explain] [--no-optimize]
+//                          [--mode ola|exact|progressive] [--workers N]
 //                          ["SELECT ... FROM ..." | --tpch N]
+//
+// --mode selects the engine behind the same handle: ola (Wake, streaming
+// converging states), exact (blocking baseline, one final state), or
+// progressive (ProgressiveDB-style middleware; single-table queries
+// only). --workers sizes the session's shared worker pool.
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
+#include "api/db.h"
 #include "common/error.h"
-#include "core/engine.h"
-#include "plan/optimizer.h"
-#include "sql/parser.h"
+#include "example_env.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries_sql.h"
 
@@ -22,7 +25,9 @@ using namespace wake;
 
 int main(int argc, char** argv) {
   bool explain = false;
-  bool optimize = true;
+  DbOptions db_options;
+  RunOptions run_options;
+  std::string mode = "ola";
   std::string query =
       "SELECT l_shipmode, SUM(l_extendedprice * (1 - l_discount)) "
       "AS revenue, COUNT(*) AS items FROM lineitem "
@@ -35,7 +40,27 @@ int main(int argc, char** argv) {
       if (arg == "--explain") {
         explain = true;
       } else if (arg == "--no-optimize") {
-        optimize = false;
+        db_options.optimize = false;
+      } else if (arg == "--mode") {
+        if (i + 1 >= argc) throw Error("--mode needs ola|exact|progressive");
+        mode = argv[++i];
+        if (mode == "ola") {
+          run_options.engine = QueryEngine::kOla;
+        } else if (mode == "exact") {
+          run_options.engine = QueryEngine::kExact;
+        } else if (mode == "progressive") {
+          run_options.engine = QueryEngine::kProgressive;
+        } else {
+          throw Error("unknown --mode '" + mode + "'");
+        }
+      } else if (arg == "--workers") {
+        if (i + 1 >= argc) throw Error("--workers needs a count");
+        char* end = nullptr;
+        long n = std::strtol(argv[++i], &end, 10);
+        if (end == argv[i] || *end != '\0' || n < 0) {
+          throw Error("--workers needs a non-negative count");
+        }
+        db_options.workers = static_cast<size_t>(n);
       } else if (arg == "--tpch") {
         if (i + 1 >= argc) throw Error("--tpch needs a query number (1-22)");
         query = tpch::QuerySql(std::atoi(argv[++i]));
@@ -49,42 +74,46 @@ int main(int argc, char** argv) {
   }
 
   tpch::DbgenConfig cfg;
-  cfg.scale_factor = 0.02;
+  cfg.scale_factor = examples::ScaleFactor(0.02);
   cfg.partitions = 10;
   Catalog catalog = tpch::Generate(cfg);
 
-  std::printf("query:\n  %s\n\n", query.c_str());
-  Plan plan;
+  std::printf("query (%s engine):\n  %s\n\n", mode.c_str(), query.c_str());
+  Db db(&catalog, db_options);
+  std::optional<PreparedQuery> prepared;
   try {
-    plan = sql::Parse(query);
-    if (explain) {
-      std::printf("parsed plan:\n%s\n", PlanToString(plan.node()).c_str());
-    }
-    if (optimize) {
-      plan = Optimize(plan, catalog);
-      if (explain) {
-        std::printf("optimized plan:\n%s\n",
-                    PlanToString(plan.node()).c_str());
-      }
-    }
+    prepared = db.Prepare(query);
   } catch (const Error& e) {
-    std::fprintf(stderr, "%s\n", e.what());
+    // Categories make dispatch explicit: parse errors carry the offset,
+    // plan errors name the failing construct.
+    std::fprintf(stderr, "%s error: %s\n", ErrorCategoryName(e.category()),
+                 e.what());
     return 1;
   }
+  if (explain) {
+    std::printf("plan:\n%s\n", prepared->Explain().c_str());
+  }
 
-  WakeEngine engine(&catalog);
-  engine.Execute(plan.node(), [&](const OlaState& s) {
-    if (s.is_final) {
-      std::printf("\nfinal (exact) result:\n%s", s.frame->ToString(15).c_str());
-    } else if (s.frame->num_rows() > 0) {
+  QueryHandle handle = prepared->Run(run_options);
+  while (auto s = handle.Next()) {
+    if (s->is_final) {
+      std::printf("\nfinal (exact) result:\n%s", s->frame->ToString(15).c_str());
+    } else if (s->frame->num_rows() > 0) {
       std::printf("estimate at %3.0f%% progress: %zu rows, first row: ",
-                  100 * s.progress, s.frame->num_rows());
-      for (size_t c = 0; c < s.frame->num_columns(); ++c) {
+                  100 * s->progress, s->frame->num_rows());
+      for (size_t c = 0; c < s->frame->num_columns(); ++c) {
         std::printf("%s%s", c ? " | " : "",
-                    s.frame->column(c).GetValue(0).ToString().c_str());
+                    s->frame->column(c).GetValue(0).ToString().c_str());
       }
       std::printf("\n");
     }
-  });
+  }
+  try {
+    handle.Final();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s error: %s\n", ErrorCategoryName(e.category()),
+                 e.what());
+    return 1;
+  }
   return 0;
 }

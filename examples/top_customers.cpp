@@ -8,46 +8,66 @@
 //   lg_order_cust = lg_orders.join(orders).join(customer)
 //   qty_per_cust  = lg_order_cust.sum(sum_qty, by=name)  # deep agg (GBI)
 //   top_cust      = qty_per_cust.sort(desc).limit(10)    # Case 3
+//
+// The plan is built with the fluent Plan builder and prepared/run through
+// wake::Db — the OLA run streams from a cursor while a concurrent exact
+// run of the same PreparedQuery double-checks the final answer.
 #include <cstdio>
 
-#include "core/edf.h"
+#include "api/db.h"
+#include "example_env.h"
 #include "tpch/dbgen.h"
 
 using namespace wake;
 
 int main() {
   tpch::DbgenConfig cfg;
-  cfg.scale_factor = 0.05;
+  cfg.scale_factor = examples::ScaleFactor(0.05);
   cfg.partitions = 12;
   Catalog catalog = tpch::Generate(cfg);
 
-  EdfSession session(&catalog);
-  Edf lineitem = session.Read("lineitem");
-  Edf order_qty = lineitem.Sum("l_quantity", {"l_orderkey"});
-  Edf lg_orders = order_qty.Filter(
-      Gt(Expr::Col("sum_l_quantity"), Expr::Float(150.0)));
-  Edf lg_order_cust =
-      lg_orders
-          .Join(session.Read("orders").Project({"o_orderkey", "o_custkey"}),
-                {"l_orderkey"}, {"o_orderkey"})
-          .Join(session.Read("customer").Project({"c_custkey", "c_name"}),
-                {"o_custkey"}, {"c_custkey"});
-  Edf qty_per_cust = lg_order_cust.Sum("sum_l_quantity", {"c_name"});
-  Edf top_cust =
-      qty_per_cust.Sort({{"sum_sum_l_quantity", true}}, 10);
+  Plan top_cust =
+      Plan::Scan("lineitem")
+          .Aggregate({"l_orderkey"}, {Sum("l_quantity", "sum_l_quantity")})
+          .Filter(Gt(Expr::Col("sum_l_quantity"), Expr::Float(150.0)))
+          .Join(Plan::Scan("orders", {"o_orderkey", "o_custkey"}),
+                JoinType::kInner, {"l_orderkey"}, {"o_orderkey"})
+          .Join(Plan::Scan("customer", {"c_custkey", "c_name"}),
+                JoinType::kInner, {"o_custkey"}, {"c_custkey"})
+          .Aggregate({"c_name"}, {Sum("sum_l_quantity", "qty")})
+          .Sort({{"qty", true}}, 10);
+
+  Db db(&catalog);
+  PreparedQuery query = db.Prepare(top_cust);
+
+  // Two concurrent runs of one PreparedQuery against one Db: the OLA
+  // stream for the analyst, the exact baseline as a cross-check. Both
+  // share the session worker pool.
+  QueryHandle ola = query.Run();
+  RunOptions exact_run;
+  exact_run.engine = QueryEngine::kExact;
+  QueryHandle exact = query.Run(exact_run);
 
   std::printf("top customers by large-order quantity (converging):\n");
   size_t shown = 0;
-  top_cust.Subscribe([&](const OlaState& s) {
+  while (auto s = ola.Next()) {
     // Print a progress line for every fourth state, the full top list at
     // the end.
-    if (s.is_final) {
-      std::printf("\nfinal top-10 (exact):\n%s", s.frame->ToString(10).c_str());
-    } else if (shown++ % 4 == 0 && s.frame->num_rows() > 0) {
+    if (s->is_final) {
+      std::printf("\nfinal top-10 (exact):\n%s", s->frame->ToString(10).c_str());
+    } else if (shown++ % 4 == 0 && s->frame->num_rows() > 0) {
       std::printf("  at %3.0f%%: leader = %-22s (est. qty %.0f)\n",
-                  100 * s.progress, s.frame->column(0).StringAt(0).c_str(),
-                  s.frame->column(1).DoubleAt(0));
+                  100 * s->progress, s->frame->column(0).StringAt(0).c_str(),
+                  s->frame->column(1).DoubleAt(0));
     }
-  });
+  }
+
+  std::string diff;
+  bool agree = ola.Final().ApproxEquals(exact.Final(), 1e-9, &diff);
+  std::printf("\nOLA final == exact baseline: %s\n", agree ? "yes" : "NO");
+  if (!agree) {
+    std::printf("%s\n", diff.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,236 @@
+#include "api/db.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "baseline/exact_engine.h"
+#include "baseline/progressive_ola.h"
+#include "common/channel.h"
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "plan/optimizer.h"
+#include "plan/props.h"
+#include "sql/parser.h"
+
+namespace wake {
+
+// ---------------------------------------------------------------------------
+// QueryHandle
+// ---------------------------------------------------------------------------
+
+/// Shared between the consumer-facing handle and the driver thread. The
+/// driver produces states into `states` and publishes its terminal
+/// outcome (final frame / error / cancelled) before setting `done`
+/// (release); consumers read the outcome only after observing done
+/// (acquire) — Wait() additionally joins the driver thread.
+struct QueryHandle::Impl {
+  // Immutable after Run().
+  const Db* db = nullptr;
+  PlanNodePtr plan;
+  RunOptions options;
+
+  // The pull stream. Unbounded: the driver never blocks on a slow
+  // consumer, and a consumer that never pulls costs at most one frame
+  // per emitted state (frames are shared pointers).
+  Channel<OlaState> states;
+
+  std::atomic<bool> cancel_requested{false};
+  std::atomic<bool> done{false};
+
+  // Terminal outcome; written by the driver before done, read after.
+  // Exactly one of: final_frame set (success), error set (failure),
+  // was_cancelled (cooperative cancel ended the run early).
+  DataFramePtr final_frame;  // shared with the final OlaState, not copied
+  bool was_cancelled = false;
+  std::exception_ptr error;
+
+  // kOla machinery: the engine must outlive the run (declared first so
+  // the run is destroyed first). Created on the caller's thread in Run()
+  // so Cancel() always has a live EngineRun to poke.
+  std::unique_ptr<WakeEngine> engine;
+  std::unique_ptr<EngineRun> run;
+
+  std::mutex join_mu;  // serializes Wait() callers around the join
+  std::thread driver;
+
+  void Drive();
+  void Join();
+};
+
+void QueryHandle::Impl::Drive() {
+  Stopwatch clock;
+  auto deliver = [this](const OlaState& s) {
+    if (s.is_final) final_frame = s.frame;
+    if (options.on_state) options.on_state(s);
+    states.Send(s);
+  };
+  try {
+    switch (options.engine) {
+      case QueryEngine::kOla: {
+        run->Collect(deliver);
+        if (final_frame == nullptr) was_cancelled = run->cancelled();
+        break;
+      }
+      case QueryEngine::kExact: {
+        ExactEngine exact(&db->catalog());
+        exact.set_cancel_token(&cancel_requested);
+        DataFrame out = exact.Execute(plan);
+        OlaState state;
+        state.frame = std::make_shared<DataFrame>(std::move(out));
+        state.progress = 1.0;
+        state.is_final = true;
+        state.elapsed_seconds = clock.ElapsedSeconds();
+        deliver(state);
+        break;
+      }
+      case QueryEngine::kProgressive: {
+        ProgressiveOla progressive(&db->catalog());
+        progressive.Execute(plan, deliver, &cancel_requested);
+        break;
+      }
+    }
+  } catch (const Error& e) {
+    if (e.category() == ErrorCategory::kCancelled) {
+      was_cancelled = true;
+    } else {
+      error = std::current_exception();
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  // Publish the outcome before ending the stream, so a consumer that
+  // observes end-of-stream from Next() always sees done() == true.
+  done.store(true, std::memory_order_release);
+  states.Close();  // ends the pull stream; queued states stay receivable
+}
+
+void QueryHandle::Impl::Join() {
+  std::lock_guard<std::mutex> lock(join_mu);
+  if (driver.joinable()) driver.join();
+}
+
+QueryHandle::QueryHandle(std::shared_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+QueryHandle::QueryHandle(QueryHandle&&) noexcept = default;
+
+QueryHandle::~QueryHandle() {
+  if (impl_ == nullptr) return;  // moved-from
+  if (!impl_->done.load(std::memory_order_acquire)) Cancel();
+  impl_->Join();
+}
+
+std::optional<OlaState> QueryHandle::Next() { return impl_->states.Receive(); }
+
+std::optional<OlaState> QueryHandle::Next(std::chrono::milliseconds timeout) {
+  return impl_->states.ReceiveFor(timeout);
+}
+
+void QueryHandle::Cancel() {
+  impl_->cancel_requested.store(true, std::memory_order_relaxed);
+  // kExact / kProgressive poll the flag; the OLA graph needs its channels
+  // cancelled so blocked node threads unwind.
+  if (impl_->run != nullptr) impl_->run->Cancel();
+}
+
+void QueryHandle::Wait() { impl_->Join(); }
+
+DataFrame QueryHandle::Final() {
+  Wait();
+  if (impl_->error != nullptr) std::rethrow_exception(impl_->error);
+  if (impl_->final_frame != nullptr) return *impl_->final_frame;
+  if (impl_->was_cancelled) {
+    throw Error("query cancelled before completion",
+                ErrorCategory::kCancelled);
+  }
+  // No error, no cancel, no final state: the engine's stream ended dry
+  // (e.g. the progressive baseline over a zero-partition table).
+  throw Error("query produced no final state");
+}
+
+bool QueryHandle::done() const {
+  return impl_->done.load(std::memory_order_acquire);
+}
+
+bool QueryHandle::cancelled() const {
+  return impl_->cancel_requested.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQuery
+// ---------------------------------------------------------------------------
+
+QueryHandle PreparedQuery::Run(RunOptions options) const {
+  auto impl = std::make_shared<QueryHandle::Impl>();
+  impl->db = db_;
+  impl->plan = plan_.node();
+  impl->options = std::move(options);
+  if (impl->options.engine == QueryEngine::kOla) {
+    WakeOptions wopts;
+    wopts.with_ci = impl->options.with_ci;
+    wopts.pool = db_->pool();
+    // Without a shared pool the session is serial by construction
+    // (DbOptions::workers resolved to no pool); keep node bodies serial
+    // rather than letting the engine re-derive a pool of its own.
+    wopts.workers = 1;
+    impl->engine = std::make_unique<WakeEngine>(&db_->catalog(), wopts);
+    impl->run = impl->engine->Start(impl->plan);
+  }
+  impl->driver = std::thread([impl] { impl->Drive(); });
+  return QueryHandle(std::move(impl));
+}
+
+DataFrame PreparedQuery::Execute(RunOptions options) const {
+  return Run(std::move(options)).Final();
+}
+
+std::string PreparedQuery::Explain() const {
+  return PlanToString(plan_.node());
+}
+
+// ---------------------------------------------------------------------------
+// Db
+// ---------------------------------------------------------------------------
+
+Db::Db(const Catalog* catalog, DbOptions options)
+    : catalog_(catalog), options_(options) {
+  CheckArg(catalog != nullptr, "null catalog");
+  pool_ = ResolveWorkerPool(options_.workers, &owned_pool_);
+}
+
+Db::~Db() = default;
+
+PreparedQuery Db::Prepare(const std::string& sql) const {
+  return Finish(sql, sql::Parse(sql));
+}
+
+PreparedQuery Db::Prepare(const Plan& plan) const {
+  CheckPlan(plan.node() != nullptr, "Prepare on empty plan");
+  return Finish("", plan);
+}
+
+PreparedQuery Db::Finish(std::string sql, Plan plan) const {
+  Schema schema;
+  try {
+    if (options_.optimize) {
+      plan = Optimize(plan, *catalog_);
+    }
+    // Validate now (errors surface at Prepare, not mid-run) and pin the
+    // result schema. Optimize() already validates, but the no-optimize
+    // path must be just as loud.
+    schema = InferProps(plan.node(), *catalog_).schema;
+  } catch (const Error& e) {
+    // Validation reuses frame/schema helpers whose throws default to
+    // kExecution; at Prepare time they are plan errors by definition.
+    if (e.category() == ErrorCategory::kExecution) {
+      throw Error(e.what(), ErrorCategory::kPlan);
+    }
+    throw;
+  }
+  return PreparedQuery(this, std::move(sql), std::move(plan),
+                       std::move(schema));
+}
+
+}  // namespace wake

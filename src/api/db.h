@@ -1,0 +1,206 @@
+// wake::Db — the unified session API over every engine in this repo.
+//
+// Before this facade existed, callers hand-wired parse -> optimize ->
+// compile against three disjoint blocking entry points (WakeEngine +
+// callback, ExactEngine, ProgressiveOla). Db collapses them into the
+// session shape a progressive middleware exposes to clients
+// (ProgressiveDB, Berg et al., VLDB'19): prepared statements, a
+// pull-based stream of converging states, cancellation, and concurrent
+// execution over one shared worker pool.
+//
+//   Db db(&catalog);
+//   PreparedQuery q = db.Prepare(
+//       "SELECT l_shipmode, SUM(l_quantity) AS qty "
+//       "FROM lineitem GROUP BY l_shipmode");      // parse + optimize once
+//   QueryHandle h = q.Run();                       // non-blocking
+//   while (auto s = h.Next()) {                    // pull converging states
+//     render(*s->frame, s->progress);
+//   }
+//   DataFrame exact = h.Final();                   // the exact answer
+//
+// Engine selection is per run: RunOptions::engine picks the Wake OLA
+// engine (kOla, streaming states), the blocking exact baseline (kExact,
+// one final state), or the ProgressiveDB-style middleware baseline
+// (kProgressive, single-table re-execution). Results through this API are
+// byte-identical to driving the underlying engines directly, at any
+// worker count.
+//
+// Threading / lifetime contract (details in src/api/README.md):
+//  - Db is immutable after construction and safe to share across threads;
+//    any number of QueryHandles may run concurrently against one Db, all
+//    sharing its worker pool.
+//  - PreparedQuery is an immutable value (copyable); Run() may be called
+//    repeatedly and concurrently. Db must outlive its PreparedQuerys and
+//    QueryHandles.
+//  - QueryHandle owns the running query. Next()/Wait()/Final() may be
+//    called from any one consumer thread; Cancel() from any thread.
+//    Destroying a handle cancels the query (if still running) and joins
+//    every thread it spawned — no detached work survives a handle.
+//  - Cancel() is cooperative: node threads unwind at the next partial /
+//    chunk / operator boundary, so shutdown latency is bounded by one
+//    unit of work, never by the rest of the query.
+#ifndef WAKE_API_DB_H_
+#define WAKE_API_DB_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/engine.h"
+#include "plan/plan.h"
+#include "storage/partitioned_table.h"
+
+namespace wake {
+
+class Db;
+class PreparedQuery;
+
+/// Which engine executes a prepared query (RunOptions::engine).
+enum class QueryEngine : uint8_t {
+  kOla,          // Wake pipelined OLA: streaming converging states
+  kExact,        // blocking exact baseline: one final state
+  kProgressive,  // ProgressiveDB-style middleware (single-table plans)
+};
+
+/// Session-wide configuration.
+struct DbOptions {
+  /// Worker pool shared by all queries of this Db: 0 = process-wide pool
+  /// (WAKE_WORKERS, default hardware concurrency), 1 = serial operator
+  /// bodies, N > 1 = a Db-owned pool of N workers. Results are
+  /// byte-identical across settings.
+  size_t workers = 0;
+  /// Run the logical optimizer in Prepare(). Off = naive plans (mostly
+  /// useful for plan-shape debugging; results are identical either way).
+  bool optimize = true;
+};
+
+/// Per-run configuration.
+struct RunOptions {
+  QueryEngine engine = QueryEngine::kOla;
+  /// Propagate variances and report them with refresh-mode states
+  /// (kOla only).
+  bool with_ci = false;
+  /// Optional push subscription: invoked on the handle's driver thread
+  /// for every state (including the final one). Pull via Next() and the
+  /// callback can be used together; both see every state.
+  StateCallback on_state;
+};
+
+/// A live, possibly still running query. Move-only RAII handle: the
+/// destructor cancels (if needed) and joins everything.
+class QueryHandle {
+ public:
+  ~QueryHandle();
+  QueryHandle(QueryHandle&&) noexcept;
+  QueryHandle& operator=(QueryHandle&&) = delete;
+
+  /// Pulls the next state, blocking until one arrives or the stream ends.
+  /// Returns std::nullopt once no more states will arrive (completion,
+  /// cancellation, or error). States arrive in order; the last state of a
+  /// successful run has is_final = true.
+  std::optional<OlaState> Next();
+
+  /// Like Next() but waits at most `timeout`; std::nullopt also means
+  /// timeout — check done() to tell the stream apart from a slow query.
+  std::optional<OlaState> Next(std::chrono::milliseconds timeout);
+
+  /// Requests cooperative cancellation. Non-blocking, idempotent, safe
+  /// from any thread. A cancel that races normal completion is a no-op
+  /// (the final result stays available).
+  void Cancel();
+
+  /// Blocks until the query is finished (final state, cancelled, or
+  /// failed) and every thread of the run is joined. Does not throw.
+  void Wait();
+
+  /// Wait(), then return the exact final result. Throws the query's
+  /// error if it failed, or wake::Error(kCancelled) if it was cancelled
+  /// before producing a final state.
+  DataFrame Final();
+
+  /// True once the run is finished and its threads are joined or
+  /// joinable without blocking (final, cancelled, or failed).
+  bool done() const;
+
+  /// True once Cancel() has been requested.
+  bool cancelled() const;
+
+ private:
+  friend class PreparedQuery;
+  struct Impl;
+  explicit QueryHandle(std::shared_ptr<Impl> impl);
+  std::shared_ptr<Impl> impl_;
+};
+
+/// A parsed, optimized, reusable query. Cheap to copy (shares the plan).
+class PreparedQuery {
+ public:
+  /// Starts a run and returns immediately. Any number of runs of the
+  /// same PreparedQuery may be in flight at once.
+  QueryHandle Run(RunOptions options = {}) const;
+
+  /// Blocking convenience: Run(options).Final().
+  DataFrame Execute(RunOptions options = {}) const;
+
+  /// The optimized plan, rendered for humans.
+  std::string Explain() const;
+
+  /// Output schema of the query result.
+  const Schema& schema() const { return schema_; }
+
+  const Plan& plan() const { return plan_; }
+
+  /// Original SQL text (empty when prepared from a Plan).
+  const std::string& sql() const { return sql_; }
+
+ private:
+  friend class Db;
+  PreparedQuery(const Db* db, std::string sql, Plan plan, Schema schema)
+      : db_(db),
+        sql_(std::move(sql)),
+        plan_(std::move(plan)),
+        schema_(std::move(schema)) {}
+
+  const Db* db_;
+  std::string sql_;
+  Plan plan_;
+  Schema schema_;
+};
+
+/// A database session: catalog + worker pool + prepared queries.
+class Db {
+ public:
+  explicit Db(const Catalog* catalog, DbOptions options = {});
+  ~Db();
+
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  /// Parses and optimizes `sql` once. Errors carry a category: kParse
+  /// (with position) for rejected SQL, kPlan for validation failures.
+  PreparedQuery Prepare(const std::string& sql) const;
+
+  /// Prepares a programmatically built plan (optimized under the same
+  /// DbOptions::optimize switch).
+  PreparedQuery Prepare(const Plan& plan) const;
+
+  const Catalog& catalog() const { return *catalog_; }
+  const DbOptions& options() const { return options_; }
+
+  /// The shared worker pool (null = serial operator bodies).
+  WorkerPool* pool() const { return pool_; }
+
+ private:
+  PreparedQuery Finish(std::string sql, Plan plan) const;
+
+  const Catalog* catalog_;
+  DbOptions options_;
+  std::unique_ptr<WorkerPool> owned_pool_;
+  WorkerPool* pool_ = nullptr;
+};
+
+}  // namespace wake
+
+#endif  // WAKE_API_DB_H_

@@ -14,6 +14,9 @@ DataFrame ExactEngine::Execute(const PlanNodePtr& plan) const {
 
 DataFrame ExactEngine::Eval(const PlanNodePtr& node) const {
   CheckArg(node != nullptr, "null plan");
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    throw Error("query cancelled", ErrorCategory::kCancelled);
+  }
   DataFrame result;
   switch (node->op) {
     case PlanOp::kScan: {

@@ -9,6 +9,8 @@
 #ifndef WAKE_BASELINE_EXACT_ENGINE_H_
 #define WAKE_BASELINE_EXACT_ENGINE_H_
 
+#include <atomic>
+
 #include "plan/plan.h"
 #include "storage/partitioned_table.h"
 
@@ -22,6 +24,12 @@ class ExactEngine {
   /// Evaluates `plan` to completion and returns the result frame.
   DataFrame Execute(const PlanNodePtr& plan) const;
 
+  /// Cooperative cancellation: when set, Eval polls `cancel` at every
+  /// operator entry and throws wake::Error(kCancelled) once it reads
+  /// true, so cancellation latency is bounded by one operator. The
+  /// pointee must outlive every Execute call.
+  void set_cancel_token(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
   /// Approximate peak intermediate size in bytes observed during the last
   /// Execute call (coarse stand-in for resident-set-size tracking, §8.2).
   size_t peak_bytes() const { return peak_bytes_; }
@@ -30,6 +38,7 @@ class ExactEngine {
   DataFrame Eval(const PlanNodePtr& node) const;
 
   const Catalog* catalog_;
+  const std::atomic<bool>* cancel_ = nullptr;
   mutable size_t peak_bytes_ = 0;
 };
 

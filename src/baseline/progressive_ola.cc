@@ -36,7 +36,8 @@ ProgressiveOla::ProgressiveOla(const Catalog* catalog) : catalog_(catalog) {
 }
 
 void ProgressiveOla::Execute(const PlanNodePtr& plan,
-                             const StateCallback& on_state) {
+                             const StateCallback& on_state,
+                             const std::atomic<bool>* cancel) {
   const PlanNode* agg_node = nullptr;
   const PlanNode* scan = FindScan(plan, &agg_node);
   CheckArg(agg_node != nullptr, "plan has no aggregation");
@@ -51,6 +52,9 @@ void ProgressiveOla::Execute(const PlanNodePtr& plan,
   Stopwatch clock;
   DataFrame accumulated(table.schema());
   for (size_t i = 0; i < table.num_partitions(); ++i) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      throw Error("query cancelled", ErrorCategory::kCancelled);
+    }
     accumulated.Append(*table.partition(i));
     double t = total == 0 ? 1.0
                           : static_cast<double>(accumulated.num_rows()) /

@@ -13,6 +13,8 @@
 #ifndef WAKE_BASELINE_PROGRESSIVE_OLA_H_
 #define WAKE_BASELINE_PROGRESSIVE_OLA_H_
 
+#include <atomic>
+
 #include "core/engine.h"
 #include "plan/plan.h"
 #include "storage/partitioned_table.h"
@@ -27,8 +29,11 @@ class ProgressiveOla {
   /// Runs `plan` progressively. The plan must be a single-table pipeline:
   /// scan -> (filter|map)* -> aggregate [-> sort]; throws wake::Error
   /// otherwise (mirroring the authors' implementation, "currently limited
-  /// to a single table", §8.1).
-  void Execute(const PlanNodePtr& plan, const StateCallback& on_state);
+  /// to a single table", §8.1). When `cancel` is set it is polled before
+  /// every chunk re-execution; once true, Execute throws
+  /// wake::Error(kCancelled), bounding cancellation latency by one chunk.
+  void Execute(const PlanNodePtr& plan, const StateCallback& on_state,
+               const std::atomic<bool>* cancel = nullptr);
 
  private:
   const Catalog* catalog_;

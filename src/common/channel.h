@@ -8,6 +8,7 @@
 #ifndef WAKE_COMMON_CHANNEL_H_
 #define WAKE_COMMON_CHANNEL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -102,6 +103,22 @@ class Channel {
     return out;
   }
 
+  /// Receives one item, waiting at most `timeout`. Returns std::nullopt on
+  /// timeout as well as on closed-and-drained; callers that need to tell
+  /// the two apart check closed() (or their own completion flag) after.
+  std::optional<T> ReceiveFor(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !queue_.empty(); })) {
+      return std::nullopt;
+    }
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
   /// Non-blocking receive.
   std::optional<T> TryReceive() {
     std::unique_lock<std::mutex> lock(mu_);
@@ -116,6 +133,20 @@ class Channel {
   void Close() {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Cancels the channel: closes it AND discards everything queued, so
+  /// blocked receivers return empty immediately instead of draining
+  /// pending work first. This is the stop-token edge of cooperative query
+  /// cancellation — after Cancel(), Receive/ReceiveAll observe
+  /// closed-and-drained and node threads unwind promptly. Idempotent;
+  /// safe to race with Send/Close from other threads.
+  void Cancel() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    queue_.clear();
     not_empty_.notify_all();
     not_full_.notify_all();
   }

@@ -4,24 +4,75 @@
 // errors (bad column name, schema mismatch, malformed plan). Data-path
 // code avoids throwing in hot loops; validation happens at plan-build and
 // partition-load boundaries.
+//
+// Every error carries a category so API users (wake::Db and friends) can
+// dispatch without string-matching:
+//   kParse      SQL text rejected by the lexer/parser (position() holds
+//               the byte offset into the statement when known)
+//   kPlan       plan construction / validation / optimization failure
+//   kExecution  runtime failure while evaluating a valid plan
+//   kCancelled  the query was cancelled cooperatively (QueryHandle::Cancel)
 #ifndef WAKE_COMMON_ERROR_H_
 #define WAKE_COMMON_ERROR_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace wake {
 
+/// Classification of a wake::Error for programmatic dispatch.
+enum class ErrorCategory : uint8_t {
+  kParse,
+  kPlan,
+  kExecution,
+  kCancelled,
+};
+
+/// Human-readable category name ("parse", "plan", ...).
+inline const char* ErrorCategoryName(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kParse: return "parse";
+    case ErrorCategory::kPlan: return "plan";
+    case ErrorCategory::kExecution: return "execution";
+    case ErrorCategory::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
 /// Exception thrown for invalid usage of the wake API (unknown column,
-/// type mismatch, malformed plan, corrupt file).
+/// type mismatch, malformed plan, corrupt file) and for cooperative query
+/// cancellation.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& message) : std::runtime_error(message) {}
+  /// No position recorded.
+  static constexpr size_t kNoPosition = static_cast<size_t>(-1);
+
+  explicit Error(const std::string& message,
+                 ErrorCategory category = ErrorCategory::kExecution,
+                 size_t position = kNoPosition)
+      : std::runtime_error(message), category_(category), position_(position) {}
+
+  ErrorCategory category() const { return category_; }
+
+  /// Byte offset into the SQL statement (parse errors), or kNoPosition.
+  bool has_position() const { return position_ != kNoPosition; }
+  size_t position() const { return position_; }
+
+ private:
+  ErrorCategory category_;
+  size_t position_;
 };
 
 /// Throws wake::Error with `message` if `condition` is false.
 inline void CheckArg(bool condition, const std::string& message) {
   if (!condition) throw Error(message);
+}
+
+/// CheckArg variant for plan construction / validation sites (kPlan).
+inline void CheckPlan(bool condition, const std::string& message) {
+  if (!condition) throw Error(message, ErrorCategory::kPlan);
 }
 
 }  // namespace wake

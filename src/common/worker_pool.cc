@@ -177,4 +177,16 @@ void WorkerPool::ParallelShards(size_t shards,
               [&body](size_t begin, size_t /*end*/) { body(begin); });
 }
 
+WorkerPool* ResolveWorkerPool(size_t workers,
+                              std::unique_ptr<WorkerPool>* owned) {
+  if (workers == 0) {
+    return WorkerPool::DefaultWorkers() > 1 ? &WorkerPool::Global() : nullptr;
+  }
+  if (workers > 1) {
+    *owned = std::make_unique<WorkerPool>(workers);
+    return owned->get();
+  }
+  return nullptr;
+}
+
 }  // namespace wake

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -92,6 +93,13 @@ class WorkerPool {
   size_t next_queue_ = 0;
   bool shutdown_ = false;
 };
+
+/// Resolves the shared 0/1/N worker-count policy (WakeOptions::workers,
+/// DbOptions::workers): 0 = the process-wide pool when it would actually
+/// be parallel (else null = serial), 1 = null (serial operator bodies),
+/// N > 1 = a new owned pool of N workers stored in *owned.
+WorkerPool* ResolveWorkerPool(size_t workers,
+                              std::unique_ptr<WorkerPool>* owned);
 
 }  // namespace wake
 

@@ -9,12 +9,12 @@ namespace wake {
 WakeEngine::WakeEngine(const Catalog* catalog, WakeOptions options)
     : catalog_(catalog), options_(options) {
   CheckArg(catalog != nullptr, "null catalog");
-  if (options_.workers == 0) {
-    // Process-wide pool; skip it entirely when it would be serial anyway.
-    if (WorkerPool::DefaultWorkers() > 1) pool_ = &WorkerPool::Global();
-  } else if (options_.workers > 1) {
-    owned_pool_ = std::make_unique<WorkerPool>(options_.workers);
-    pool_ = owned_pool_.get();
+  if (options_.pool != nullptr) {
+    // Externally owned (shared) pool, e.g. one wake::Db pool serving
+    // several concurrent query handles.
+    pool_ = options_.pool;
+  } else {
+    pool_ = ResolveWorkerPool(options_.workers, &owned_pool_);
   }
 }
 
@@ -108,27 +108,59 @@ WakeEngine::Compiled WakeEngine::CompileRec(
   return out;
 }
 
-void WakeEngine::Execute(const PlanNodePtr& plan,
-                         const StateCallback& on_state) {
-  std::vector<std::unique_ptr<ExecNode>> nodes;
+std::unique_ptr<EngineRun> WakeEngine::Start(const PlanNodePtr& plan) const {
+  auto run = std::unique_ptr<EngineRun>(new EngineRun());
   CompileMemo memo;
-  Compiled root = CompileRec(plan, &nodes, &memo);
+  Compiled root = CompileRec(plan, &run->nodes_, &memo);
+  run->root_props_ = std::move(root.props);
+  run->channel_ = root.node->ClaimOutput();
+  run->trace_enabled_ = options_.trace;
+  run->clock_.Restart();
+  for (auto& n : run->nodes_) {
+    n->Start(options_.trace ? &run->trace_ : nullptr);
+  }
+  return run;
+}
 
-  TraceLog trace;
-  Stopwatch clock;
-  for (auto& n : nodes) n->Start(options_.trace ? &trace : nullptr);
+EngineRun::~EngineRun() {
+  // An uncollected run still has live node threads; cancel so they unwind
+  // instead of running the query to completion into a dead channel, then
+  // let the nodes' destructors join them.
+  if (!collected_) Cancel();
+}
 
+void EngineRun::Cancel() {
+  cancelled_.store(true, std::memory_order_release);
+  for (auto& n : nodes_) n->RequestStop();
+}
+
+void EngineRun::Collect(const StateCallback& on_state) {
+  CheckArg(!collected_, "EngineRun::Collect called twice");
+  try {
+    CollectImpl(on_state);
+  } catch (...) {
+    // A throwing state callback must not leave the graph running in the
+    // background: cancel, join every node thread, then re-throw — the
+    // "joins before returning" contract holds on every exit path.
+    Cancel();
+    for (auto& n : nodes_) n->Join();
+    collected_ = true;
+    throw;
+  }
+}
+
+void EngineRun::CollectImpl(const StateCallback& on_state) {
   // Collector: assemble the evolving result from the root's stream.
-  DataFrame content(root.props.schema);
+  DataFrame content(root_props_.schema);
   std::shared_ptr<const VarianceMap> latest_vars;
   double progress = 0.0;
   bool got_any = false;
-  MessageChannelPtr channel = root.node->ClaimOutput();
   for (;;) {
     // Batched drain: one lock per burst of root-stream messages.
-    auto batch = channel->ReceiveAll();
-    if (batch.empty()) break;  // closed and drained
+    auto batch = channel_->ReceiveAll();
+    if (batch.empty()) break;  // closed/cancelled and drained
     for (auto& msg : batch) {
+      if (cancelled()) break;
       if (msg.refresh) {
         content = *msg.frame;
       } else {
@@ -142,27 +174,39 @@ void WakeEngine::Execute(const PlanNodePtr& plan,
         state.frame = std::make_shared<DataFrame>(content);
         state.progress = progress;
         state.is_final = false;
-        state.elapsed_seconds = clock.ElapsedSeconds();
+        state.elapsed_seconds = clock_.ElapsedSeconds();
         state.variances = latest_vars;
         on_state(state);
       }
     }
+    if (cancelled()) break;
   }
-  for (auto& n : nodes) n->Join();
+  for (auto& n : nodes_) n->Join();
 
   buffered_bytes_ = content.ByteSize();
-  for (const auto& n : nodes) buffered_bytes_ += n->BufferedBytes();
-  last_trace_ = options_.trace ? trace.Spans() : std::vector<TraceSpan>{};
+  for (const auto& n : nodes_) buffered_bytes_ += n->BufferedBytes();
+  spans_ = trace_enabled_ ? trace_.Spans() : std::vector<TraceSpan>{};
+  collected_ = true;
 
-  if (on_state) {
+  // A cancelled run ends without a final state: the root stream was cut
+  // mid-query, so `content` is a truncated prefix, not the exact answer.
+  if (on_state && !cancelled()) {
     OlaState state;
     state.frame = std::make_shared<DataFrame>(std::move(content));
     state.progress = got_any ? 1.0 : progress;
     state.is_final = true;
-    state.elapsed_seconds = clock.ElapsedSeconds();
+    state.elapsed_seconds = clock_.ElapsedSeconds();
     state.variances = latest_vars;
     on_state(state);
   }
+}
+
+void WakeEngine::Execute(const PlanNodePtr& plan,
+                         const StateCallback& on_state) {
+  std::unique_ptr<EngineRun> run = Start(plan);
+  run->Collect(on_state);
+  buffered_bytes_ = run->buffered_bytes();
+  last_trace_ = run->trace_spans();
 }
 
 DataFrame WakeEngine::ExecuteFinal(const PlanNodePtr& plan) {

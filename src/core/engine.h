@@ -16,10 +16,12 @@
 #ifndef WAKE_CORE_ENGINE_H_
 #define WAKE_CORE_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "common/worker_pool.h"
 #include "core/nodes.h"
 #include "exec/trace.h"
@@ -51,6 +53,11 @@ struct WakeOptions {
   /// only); N > 1 = engine-owned pool of N workers. Results are
   /// byte-identical across settings.
   size_t workers = 0;
+  /// Externally owned worker pool; overrides `workers` when set. This is
+  /// how wake::Db shares one pool across concurrent query handles instead
+  /// of each engine spawning its own threads. Must outlive the engine and
+  /// every EngineRun started from it.
+  WorkerPool* pool = nullptr;
 };
 
 /// One converging result state delivered to the caller (an edf state).
@@ -65,14 +72,77 @@ struct OlaState {
 
 using StateCallback = std::function<void(const OlaState&)>;
 
+/// One live execution of a plan: owns the compiled node graph (every node
+/// thread is already running) and drives the collector. Obtained from
+/// WakeEngine::Start; this is what gives wake::QueryHandle its
+/// handle-driven lifetime instead of WakeEngine::Execute's internal
+/// thread management.
+///
+/// Lifecycle: Start() spawns the node threads immediately. Exactly one
+/// thread then calls Collect(), which blocks until the root stream closes
+/// (completion or cancellation) and joins every node thread before
+/// returning. Cancel() may be called from any thread at any time — it
+/// cancels every channel in the graph so all node threads unwind promptly
+/// without draining pending work; a cancelled run delivers no final
+/// state. Destroying an uncollected run cancels it and joins its threads.
+class EngineRun {
+ public:
+  ~EngineRun();
+  EngineRun(const EngineRun&) = delete;
+  EngineRun& operator=(const EngineRun&) = delete;
+
+  /// Drives the root stream: invokes `on_state` (may be null) for every
+  /// intermediate state and — unless the run was cancelled — once more
+  /// with is_final=true. Joins all node threads before returning, even
+  /// when `on_state` throws (the run is cancelled and the exception
+  /// re-thrown). Must be called at most once.
+  void Collect(const StateCallback& on_state);
+
+  /// Requests cooperative cancellation; thread-safe, idempotent, safe to
+  /// race with Collect and with run completion.
+  void Cancel();
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Output schema of the root operator.
+  const Schema& schema() const { return root_props_.schema; }
+
+  /// Post-Collect stats (see WakeEngine accessors of the same names).
+  size_t buffered_bytes() const { return buffered_bytes_; }
+  const std::vector<TraceSpan>& trace_spans() const { return spans_; }
+
+ private:
+  friend class WakeEngine;
+  EngineRun() = default;
+
+  void CollectImpl(const StateCallback& on_state);
+
+  std::vector<std::unique_ptr<ExecNode>> nodes_;
+  PlanProps root_props_;
+  MessageChannelPtr channel_;  // claimed root output
+  bool trace_enabled_ = false;
+  TraceLog trace_;
+  Stopwatch clock_;  // runs from Start()
+  std::atomic<bool> cancelled_{false};
+  bool collected_ = false;
+  size_t buffered_bytes_ = 0;
+  std::vector<TraceSpan> spans_;
+};
+
 /// Pipelined OLA query engine.
 class WakeEngine {
  public:
   explicit WakeEngine(const Catalog* catalog, WakeOptions options = {});
 
+  /// Compiles `plan` and starts every node thread, returning the live run.
+  /// The engine (and its worker pool) must outlive the returned run.
+  std::unique_ptr<EngineRun> Start(const PlanNodePtr& plan) const;
+
   /// Runs `plan` to completion, invoking `on_state` for every intermediate
-  /// state and once more with is_final=true at the end. Blocking; thread
-  /// management is internal.
+  /// state and once more with is_final=true at the end. Blocking; a
+  /// convenience wrapper over Start() + EngineRun::Collect().
   void Execute(const PlanNodePtr& plan, const StateCallback& on_state);
 
   /// Convenience: runs the plan and returns only the final (exact) result.
@@ -87,6 +157,8 @@ class WakeEngine {
   size_t buffered_bytes() const { return buffered_bytes_; }
 
  private:
+  friend class EngineRun;
+
   struct Compiled {
     ExecNode* node = nullptr;
     PlanProps props;

@@ -34,6 +34,7 @@ void ReaderNode::RunSource() {
   size_t total = table_->total_rows();
   size_t seen = 0;
   for (size_t i = 0; i < table_->num_partitions(); ++i) {
+    if (stopped()) return;  // cooperative cancel between partitions
     const DataFramePtr& part = table_->partition(i);
     seen += part->num_rows();
     Message msg;

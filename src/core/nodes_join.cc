@@ -47,7 +47,10 @@ void HashJoinNode::Process(size_t port, const Message& msg) {
 void HashJoinNode::OnInputClosed(size_t port) {
   if (port != 1) return;
   build_done_ = true;
-  for (auto& msg : pending_probe_) ProbeAndEmit(msg);
+  for (auto& msg : pending_probe_) {
+    if (stopped()) break;  // cancel can land mid-replay of pending probes
+    ProbeAndEmit(msg);
+  }
   pending_probe_.clear();
 }
 

@@ -4,7 +4,9 @@
 
 namespace wake {
 
-ExecNode::ExecNode(std::string label) : label_(std::move(label)) {
+ExecNode::ExecNode(std::string label)
+    : label_(std::move(label)),
+      merged_(std::make_shared<Channel<Tagged>>()) {
   outputs_.push_back(std::make_shared<MessageChannel>());
 }
 
@@ -30,10 +32,26 @@ void ExecNode::Start(TraceLog* trace) {
 }
 
 void ExecNode::Join() {
+  // The node thread owns forwarder creation, and a cancelled graph can be
+  // joined while Run() is still spawning them — join the node thread
+  // first so `forwarders_` is stable before it is iterated. The run loop
+  // never outlives its forwarders on the normal path (EOF markers) and
+  // exits independently of them on the cancelled path (channels are
+  // cancelled), so this order cannot deadlock.
+  if (thread_.joinable()) thread_.join();
   for (auto& f : forwarders_) {
     if (f.joinable()) f.join();
   }
-  if (thread_.joinable()) thread_.join();
+}
+
+void ExecNode::RequestStop() {
+  stop_.store(true, std::memory_order_relaxed);
+  // Cancel every channel this node's threads can block on. Input channels
+  // are upstream nodes' outputs, so a graph-wide stop cancels each edge
+  // (harmlessly) from both ends.
+  for (auto& in : inputs_) in->Cancel();
+  merged_->Cancel();
+  for (auto& out : outputs_) out->Cancel();
 }
 
 void ExecNode::CloseOutputs() {
@@ -55,34 +73,34 @@ void ExecNode::Run(TraceLog* trace) {
   // with their port and send a final EOF marker when their channel closes.
   // Both hops are batched: one ReceiveAll per burst of queued partials,
   // one SendAll (single lock, single wakeup) to re-enqueue the burst.
-  auto merged = std::make_shared<Channel<Tagged>>();
   size_t ports = inputs_.size();
   forwarders_.reserve(ports);
   for (size_t p = 0; p < ports; ++p) {
-    forwarders_.emplace_back([this, merged, p] {
+    forwarders_.emplace_back([this, p] {
       std::vector<Tagged> tagged;
       for (;;) {
         auto batch = inputs_[p]->ReceiveAll();
-        if (batch.empty()) break;  // closed and drained
+        if (batch.empty()) break;  // closed/cancelled and drained
         tagged.clear();
         tagged.reserve(batch.size());
         for (auto& msg : batch) {
           tagged.push_back(Tagged{p, false, std::move(msg)});
         }
-        merged->SendAll(std::move(tagged));
+        merged_->SendAll(std::move(tagged));
       }
-      merged->Send(Tagged{p, true, Message{}});
+      merged_->Send(Tagged{p, true, Message{}});
     });
   }
 
   size_t open_ports = ports;
-  while (open_ports > 0) {
+  while (open_ports > 0 && !stopped()) {
     // Drain whatever has accumulated, buffer the emits the batch
     // produces, then flush them as one SendAll per output.
-    auto batch = merged->ReceiveAll();
-    if (batch.empty()) break;  // defensive; merged never closes early
+    auto batch = merged_->ReceiveAll();
+    if (batch.empty()) break;  // cancelled (merged never closes at EOF)
     emit_buffering_ = true;
     for (auto& tagged : batch) {
+      if (stopped()) break;  // drop the rest of the drained batch
       double t0 = trace ? trace->epoch().ElapsedSeconds() : 0.0;
       if (tagged.eof) {
         ports_closed_[tagged.port] = 1;
@@ -99,14 +117,20 @@ void ExecNode::Run(TraceLog* trace) {
     emit_buffering_ = false;
     FlushEmits();
   }
-  double t0 = trace ? trace->epoch().ElapsedSeconds() : 0.0;
-  emit_buffering_ = true;
-  Finish();
-  emit_buffering_ = false;
-  FlushEmits();
-  if (trace) {
-    trace->Record(label_ + ":finish", t0, trace->epoch().ElapsedSeconds());
+  // A stopped node produces no final state: its output stream is already
+  // cancelled, and computing a last snapshot would delay shutdown.
+  if (!stopped()) {
+    double t0 = trace ? trace->epoch().ElapsedSeconds() : 0.0;
+    emit_buffering_ = true;
+    Finish();
+    emit_buffering_ = false;
+    FlushEmits();
+    if (trace) {
+      trace->Record(label_ + ":finish", t0, trace->epoch().ElapsedSeconds());
+    }
   }
+  emit_buffering_ = false;
+  emit_buffer_.clear();
   CloseOutputs();
 }
 

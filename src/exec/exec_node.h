@@ -54,6 +54,18 @@ class ExecNode {
   /// Joins the node thread (must be called before destruction if started).
   void Join();
 
+  /// Requests cooperative shutdown: sets the stop flag and cancels this
+  /// node's input, internal, and output channels so every thread blocked
+  /// on them (forwarders, the run loop, downstream consumers) unwinds
+  /// promptly without draining pending work. The run loop re-checks the
+  /// flag between messages, so in-flight Process calls finish their
+  /// current partial and then exit; Finish() is skipped on a stopped
+  /// node (no final snapshot is computed). Thread-safe and idempotent;
+  /// cancelling a whole graph means calling this on every node. Must only
+  /// be called after the graph is fully wired (all AddInput/ClaimOutput
+  /// done), i.e. on a started query.
+  void RequestStop();
+
   /// Approximate bytes currently buffered in node state (hash tables,
   /// pending frames, aggregation state); used for the peak-memory
   /// comparison of §8.2.
@@ -94,6 +106,11 @@ class ExecNode {
   size_t num_inputs() const { return inputs_.size(); }
   bool input_closed(size_t port) const { return ports_closed_[port]; }
 
+  /// True once RequestStop() was called. Long-running operator bodies
+  /// (source partition loops, EOF replay loops) poll this between units
+  /// of work so cancellation latency stays bounded by one partial.
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+
  private:
   struct Tagged {
     size_t port = 0;
@@ -115,9 +132,13 @@ class ExecNode {
   std::vector<MessageChannelPtr> inputs_;
   std::vector<MessageChannelPtr> outputs_;  // [0] = primary
   bool primary_claimed_ = false;
+  // Input multiplexer queue; a member (created eagerly) so RequestStop can
+  // cancel it from another thread while the run loop blocks on it.
+  std::shared_ptr<Channel<Tagged>> merged_;
   std::vector<std::thread> forwarders_;
   std::thread thread_;
   std::vector<uint8_t> ports_closed_;
+  std::atomic<bool> stop_{false};
   bool emit_buffering_ = false;
   std::vector<Message> emit_buffer_;
 };

@@ -97,7 +97,8 @@ ExprPtr RebuildExpr(const Expr& e, std::vector<ExprPtr> kids) {
     case ExprKind::kLiteral:
       break;
   }
-  throw Error("RebuildExpr: leaf expression has no children");
+  throw Error("RebuildExpr: leaf expression has no children",
+              ErrorCategory::kPlan);
 }
 
 }  // namespace
@@ -617,6 +618,7 @@ struct PruneCtx {
   const Catalog* catalog;
   bool narrow_maps = false;
   bool project_scans = false;
+  bool prune_aggs = false;
   std::unordered_map<const PlanNode*, Schema> schema;
   std::unordered_map<const PlanNode*, ColumnSet> required;
   NodeMemo memo;
@@ -652,6 +654,20 @@ std::vector<size_t> SurvivingProjections(const PlanNode& node,
 
 void AddExprColumns(const ExprPtr& e, ColumnSet* out) {
   e->CollectColumns(out);
+}
+
+// The aggregates of an Aggregate node that survive pruning under `req`.
+// Group keys are part of the output schema but live in node.group_by, so
+// only agg outputs are candidates. Never empty: an Aggregate must keep at
+// least one aggregate (a parent may consume only the group keys), so the
+// first is retained — mirroring SurvivingProjections.
+std::vector<size_t> SurvivingAggs(const PlanNode& node, const ColumnSet& req) {
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < node.aggs.size(); ++i) {
+    if (req.count(node.aggs[i].output)) keep.push_back(i);
+  }
+  if (keep.empty() && !node.aggs.empty()) keep.push_back(0);
+  return keep;
 }
 
 // Propagates this node's required set into its inputs' required sets.
@@ -723,8 +739,17 @@ void PropagateRequired(const PlanNode* node, PruneCtx* ctx) {
     }
     case PlanOp::kAggregate: {
       for (const auto& g : node->group_by) input_req[0]->insert(g);
-      for (const auto& a : node->aggs) {
-        if (!a.input.empty()) input_req[0]->insert(a.input);
+      if (ctx->prune_aggs) {
+        // Only surviving aggregates pin their input columns; the columns
+        // feeding dropped aggregates become prunable below this node.
+        for (size_t i : SurvivingAggs(*node, req)) {
+          const AggSpec& a = node->aggs[i];
+          if (!a.input.empty()) input_req[0]->insert(a.input);
+        }
+      } else {
+        for (const auto& a : node->aggs) {
+          if (!a.input.empty()) input_req[0]->insert(a.input);
+        }
       }
       break;
     }
@@ -833,6 +858,25 @@ PlanNodePtr PruneRewrite(const PlanNodePtr& node, PruneCtx* ctx) {
       out = n;
       break;
     }
+    case PlanOp::kAggregate: {
+      std::vector<size_t> keep;
+      if (ctx->prune_aggs) keep = SurvivingAggs(*node, req);
+      if (!ctx->prune_aggs || keep.size() == node->aggs.size()) {
+        if (changed) {
+          auto n = CloneNode(*node);
+          n->inputs = std::move(inputs);
+          out = n;
+        }
+        break;
+      }
+      std::vector<AggSpec> aggs;
+      for (size_t i : keep) aggs.push_back(node->aggs[i]);
+      auto n = CloneNode(*node);
+      n->inputs = std::move(inputs);
+      n->aggs = std::move(aggs);
+      out = n;
+      break;
+    }
     default:
       if (changed) {
         auto n = CloneNode(*node);
@@ -846,11 +890,13 @@ PlanNodePtr PruneRewrite(const PlanNodePtr& node, PruneCtx* ctx) {
 }
 
 PlanNodePtr PruneImpl(const PlanNodePtr& plan, const Catalog& catalog,
-                      bool narrow_maps, bool project_scans) {
+                      bool narrow_maps, bool project_scans,
+                      bool prune_aggs = false) {
   PruneCtx ctx;
   ctx.catalog = &catalog;
   ctx.narrow_maps = narrow_maps;
   ctx.project_scans = project_scans;
+  ctx.prune_aggs = prune_aggs;
   CollectSchemas(plan, &ctx);
 
   // The root's output is the query result: everything is required, which
@@ -876,6 +922,12 @@ PlanNodePtr PruneProjectionsPass(const PlanNodePtr& plan,
                    /*project_scans=*/false);
 }
 
+PlanNodePtr PruneAggregatesPass(const PlanNodePtr& plan,
+                                const Catalog& catalog) {
+  return PruneImpl(plan, catalog, /*narrow_maps=*/false,
+                   /*project_scans=*/false, /*prune_aggs=*/true);
+}
+
 PlanNodePtr ProjectScansPass(const PlanNodePtr& plan, const Catalog& catalog) {
   return PruneImpl(plan, catalog, /*narrow_maps=*/false,
                    /*project_scans=*/true);
@@ -890,13 +942,14 @@ const std::vector<OptimizerPass>& DefaultPasses() {
       {"fold-constants", FoldConstantsPass},
       {"push-filters", PushDownFiltersPass},
       {"prune-projections", PruneProjectionsPass},
+      {"prune-aggregates", PruneAggregatesPass},
       {"project-scans", ProjectScansPass},
   };
   return kPasses;
 }
 
 PlanNodePtr Optimize(const PlanNodePtr& plan, const Catalog& catalog) {
-  CheckArg(plan != nullptr, "Optimize on empty plan");
+  CheckPlan(plan != nullptr, "Optimize on empty plan");
   constexpr int kMaxRounds = 8;
   PlanNodePtr current = plan;
   std::string before = PlanToString(current);

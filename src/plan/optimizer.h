@@ -16,6 +16,12 @@
 //   prune-projections   computes the required-column set top-down and
 //                       narrows every Map (a Derive whose pass-through
 //                       columns are partly unused becomes an explicit Map)
+//   prune-aggregates    drops aggregate outputs no parent consumes (SQL
+//                       derived tables routinely compute more aggregates
+//                       than the outer query reads); group keys are never
+//                       touched and at least one aggregate always
+//                       survives, so the operator's grouping semantics
+//                       are unchanged
 //   project-scans       pushes the required-column set into kScan nodes so
 //                       storage below never materializes unused columns
 //
@@ -60,6 +66,8 @@ PlanNodePtr PushDownFiltersPass(const PlanNodePtr& plan,
                                 const Catalog& catalog);
 PlanNodePtr PruneProjectionsPass(const PlanNodePtr& plan,
                                  const Catalog& catalog);
+PlanNodePtr PruneAggregatesPass(const PlanNodePtr& plan,
+                                const Catalog& catalog);
 PlanNodePtr ProjectScansPass(const PlanNodePtr& plan, const Catalog& catalog);
 
 /// Constant-folds one expression tree (returns the original pointer when

@@ -37,7 +37,7 @@ Plan Plan::Scan(std::string table, std::vector<std::string> columns) {
 }
 
 Plan Plan::Map(std::vector<NamedExpr> projections) const {
-  CheckArg(node_ != nullptr, "Map on empty plan");
+  CheckPlan(node_ != nullptr, "Map on empty plan");
   auto node = NewNode(PlanOp::kMap);
   node->inputs = {node_};
   node->projections = std::move(projections);
@@ -46,7 +46,7 @@ Plan Plan::Map(std::vector<NamedExpr> projections) const {
 }
 
 Plan Plan::Derive(std::vector<NamedExpr> projections) const {
-  CheckArg(node_ != nullptr, "Derive on empty plan");
+  CheckPlan(node_ != nullptr, "Derive on empty plan");
   auto node = NewNode(PlanOp::kMap);
   node->inputs = {node_};
   node->projections = std::move(projections);
@@ -63,7 +63,7 @@ Plan Plan::Project(const std::vector<std::string>& columns) const {
 }
 
 Plan Plan::Filter(ExprPtr predicate) const {
-  CheckArg(node_ != nullptr, "Filter on empty plan");
+  CheckPlan(node_ != nullptr, "Filter on empty plan");
   auto node = NewNode(PlanOp::kFilter);
   node->inputs = {node_};
   node->predicate = std::move(predicate);
@@ -74,10 +74,10 @@ Plan Plan::Filter(ExprPtr predicate) const {
 Plan Plan::Join(const Plan& right, JoinType type,
                 std::vector<std::string> left_keys,
                 std::vector<std::string> right_keys) const {
-  CheckArg(node_ != nullptr && right.node_ != nullptr, "Join on empty plan");
-  CheckArg(left_keys.size() == right_keys.size(),
+  CheckPlan(node_ != nullptr && right.node_ != nullptr, "Join on empty plan");
+  CheckPlan(left_keys.size() == right_keys.size(),
            "join key arity mismatch");
-  CheckArg(type == JoinType::kCross || !left_keys.empty(),
+  CheckPlan(type == JoinType::kCross || !left_keys.empty(),
            "equi-join requires keys");
   auto node = NewNode(PlanOp::kJoin);
   node->inputs = {node_, right.node_};
@@ -94,8 +94,8 @@ Plan Plan::CrossJoin(const Plan& right) const {
 
 Plan Plan::Aggregate(std::vector<std::string> group_by,
                      std::vector<AggSpec> aggs) const {
-  CheckArg(node_ != nullptr, "Aggregate on empty plan");
-  CheckArg(!aggs.empty(), "Aggregate needs at least one aggregate");
+  CheckPlan(node_ != nullptr, "Aggregate on empty plan");
+  CheckPlan(!aggs.empty(), "Aggregate needs at least one aggregate");
   auto node = NewNode(PlanOp::kAggregate);
   node->inputs = {node_};
   node->group_by = std::move(group_by);
@@ -105,7 +105,7 @@ Plan Plan::Aggregate(std::vector<std::string> group_by,
 }
 
 Plan Plan::Sort(std::vector<SortKey> keys, size_t limit) const {
-  CheckArg(node_ != nullptr, "Sort on empty plan");
+  CheckPlan(node_ != nullptr, "Sort on empty plan");
   auto node = NewNode(PlanOp::kSortLimit);
   node->inputs = {node_};
   node->sort_keys = std::move(keys);
@@ -115,7 +115,7 @@ Plan Plan::Sort(std::vector<SortKey> keys, size_t limit) const {
 }
 
 Plan Plan::WithLabel(std::string label) const {
-  CheckArg(node_ != nullptr, "WithLabel on empty plan");
+  CheckPlan(node_ != nullptr, "WithLabel on empty plan");
   auto node = std::make_shared<PlanNode>(*node_);
   node->label = std::move(label);
   return Plan(node);

@@ -35,7 +35,7 @@ Schema JoinOutputSchema(const Schema& left, const Schema& right,
         right_keys.end()) {
       continue;  // equal to the left key column; dropped
     }
-    CheckArg(!out.HasField(f.name),
+    CheckPlan(!out.HasField(f.name),
              "join output column collision: '" + f.name +
                  "' (rename one side before joining)");
     out.AddField(f);
@@ -56,11 +56,11 @@ Schema AggOutputSchema(const Schema& input,
     ValueType in_type = ValueType::kInt64;
     if (!a.input.empty()) {
       in_type = input.field(input.FieldIndex(a.input)).type;
-      CheckArg(!RequiresNumeric(a.func) || IsNumeric(in_type),
+      CheckPlan(!RequiresNumeric(a.func) || IsNumeric(in_type),
                std::string(AggFuncName(a.func)) + "(" + a.input +
                    ") over non-numeric column");
     } else {
-      CheckArg(a.func == AggFunc::kCount,
+      CheckPlan(a.func == AggFunc::kCount,
                "only count() supports a missing input column");
     }
     ValueType out_type;
@@ -81,7 +81,7 @@ Schema AggOutputSchema(const Schema& input,
         out_type = ValueType::kFloat64;
         break;
     }
-    CheckArg(!out.HasField(a.output),
+    CheckPlan(!out.HasField(a.output),
              "duplicate aggregate output name '" + a.output + "'");
     out.AddField(Field(a.output, out_type, /*mut=*/true));
   }
@@ -90,7 +90,7 @@ Schema AggOutputSchema(const Schema& input,
 }
 
 PlanProps InferProps(const PlanNodePtr& node, const Catalog& catalog) {
-  CheckArg(node != nullptr, "null plan node");
+  CheckPlan(node != nullptr, "null plan node");
   switch (node->op) {
     case PlanOp::kScan: {
       PlanProps props;
@@ -109,7 +109,7 @@ PlanProps InferProps(const PlanNodePtr& node, const Catalog& catalog) {
         for (const auto& f : in.schema.fields()) out.AddField(f);
       }
       for (const auto& p : node->projections) {
-        CheckArg(!out.HasField(p.name),
+        CheckPlan(!out.HasField(p.name),
                  "duplicate map output column '" + p.name + "'");
         Field f(p.name, p.expr->ResultType(in.schema),
                 p.expr->ReadsMutable(in.schema));
@@ -130,7 +130,7 @@ PlanProps InferProps(const PlanNodePtr& node, const Catalog& catalog) {
       // is only well-defined over refresh-mode inputs, which is guaranteed
       // by construction (mutable attributes arise only from shuffle
       // aggregations, whose outputs are refresh-mode).
-      CheckArg(!node->predicate->ReadsMutable(props.schema) ||
+      CheckPlan(!node->predicate->ReadsMutable(props.schema) ||
                    props.mode == EvolveMode::kRefresh,
                "filter on mutable attribute over an append-mode input");
       return props;
@@ -141,7 +141,6 @@ PlanProps InferProps(const PlanNodePtr& node, const Catalog& catalog) {
       PlanProps right = InferProps(node->inputs[1], catalog);
       for (const auto& k : node->left_keys) left.schema.FieldIndex(k);
       for (const auto& k : node->right_keys) right.schema.FieldIndex(k);
-      CheckArg(node->join_type != JoinType::kCross || true, "");
       PlanProps props;
       props.schema = JoinOutputSchema(left.schema, right.schema,
                                       node->right_keys, node->join_type);
@@ -192,7 +191,7 @@ PlanProps InferProps(const PlanNodePtr& node, const Catalog& catalog) {
       return props;
     }
   }
-  throw Error("unreachable plan op");
+  throw Error("unreachable plan op", ErrorCategory::kPlan);
 }
 
 }  // namespace wake

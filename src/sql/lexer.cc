@@ -81,8 +81,11 @@ std::vector<Token> Lex(const std::string& input) {
       std::string value;
       ++i;
       while (true) {
-        CheckArg(i < n, "unterminated string literal at offset " +
-                            std::to_string(start));
+        if (i >= n) {
+          throw Error("unterminated string literal at offset " +
+                          std::to_string(start),
+                      ErrorCategory::kParse, start);
+        }
         if (input[i] == '\'') {
           if (i + 1 < n && input[i + 1] == '\'') {  // '' escape
             value += '\'';
@@ -108,9 +111,11 @@ std::vector<Token> Lex(const std::string& input) {
       }
     }
     static const std::string kSingles = "(),*+-/=<>.";
-    CheckArg(kSingles.find(c) != std::string::npos,
-             std::string("unexpected character '") + c + "' at offset " +
-                 std::to_string(start));
+    if (kSingles.find(c) == std::string::npos) {
+      throw Error(std::string("unexpected character '") + c + "' at offset " +
+                      std::to_string(start),
+                  ErrorCategory::kParse, start);
+    }
     tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
     ++i;
   }

@@ -12,6 +12,13 @@ namespace sql {
 
 namespace {
 
+// Semantic SQL checks (aggregate/star/GROUP BY shape): statement-level
+// rejections of the SQL text, so they carry the parse category like the
+// token-level Fail() path (no single-token position to attach).
+void CheckSql(bool condition, const std::string& message) {
+  if (!condition) throw Error(message, ErrorCategory::kParse);
+}
+
 /// One SELECT-list item: either a scalar expression or an aggregate call.
 struct SelectItem {
   bool star = false;
@@ -58,7 +65,8 @@ class Parser {
   }
   [[noreturn]] void Fail(const std::string& message) const {
     throw Error("SQL error at offset " + std::to_string(Peek().position) +
-                " (near '" + Peek().text + "'): " + message);
+                    " (near '" + Peek().text + "'): " + message,
+                ErrorCategory::kParse, Peek().position);
   }
   void ExpectKeyword(const char* kw) {
     if (!AcceptKeyword(kw)) Fail(std::string("expected ") + kw);
@@ -161,7 +169,7 @@ class Parser {
         if (Peek().type != TokenType::kNumber) Fail("expected day count");
         int64_t days = std::stoll(Advance().text);
         ExpectKeyword("DAY");
-        CheckArg(left->kind() == ExprKind::kLiteral &&
+        CheckSql(left->kind() == ExprKind::kLiteral &&
                      left->literal().type == ValueType::kDate,
                  "INTERVAL arithmetic requires a DATE literal left side");
         int64_t base = left->literal().i;
@@ -303,7 +311,7 @@ class Parser {
         // COUNT(*): no argument.
       } else {
         if (AcceptKeyword("DISTINCT")) {
-          CheckArg(item.func == AggFunc::kCount,
+          CheckSql(item.func == AggFunc::kCount,
                    "DISTINCT only supported inside COUNT()");
           item.func = AggFunc::kCountDistinct;
         }
@@ -461,8 +469,9 @@ class Parser {
     for (const auto& [qual, position] : qualifier_refs_) {
       if (std::find(scope_.begin(), scope_.end(), qual) == scope_.end()) {
         throw Error("SQL error at offset " + std::to_string(position) +
-                    " (near '" + qual + "'): unknown table or alias '" +
-                    qual + "' (not in FROM/JOIN scope)");
+                        " (near '" + qual + "'): unknown table or alias '" +
+                        qual + "' (not in FROM/JOIN scope)",
+                    ErrorCategory::kParse, position);
       }
     }
   }
@@ -505,7 +514,7 @@ class Parser {
 
     bool has_agg = false;
     for (const auto& item : items) has_agg |= item.is_agg;
-    CheckArg(!has_group || has_agg,
+    CheckSql(!has_group || has_agg,
              "GROUP BY requires at least one aggregate in SELECT");
 
     if (has_agg) {
@@ -513,7 +522,7 @@ class Parser {
     } else if (!(items.size() == 1 && items[0].star)) {
       std::vector<NamedExpr> projections;
       for (size_t i = 0; i < items.size(); ++i) {
-        CheckArg(!items[i].star, "'*' cannot be mixed with expressions");
+        CheckSql(!items[i].star, "'*' cannot be mixed with expressions");
         projections.push_back(
             {OutputName(items[i], i), items[i].scalar});
       }
@@ -521,7 +530,7 @@ class Parser {
     }
 
     if (AcceptKeyword("HAVING")) {
-      CheckArg(has_agg, "HAVING requires aggregation");
+      CheckSql(has_agg, "HAVING requires aggregation");
       plan = plan.Filter(ParseExpr());
     }
     if (AcceptKeyword("ORDER")) {
@@ -575,7 +584,7 @@ class Parser {
     size_t temp_idx = 0;
     for (size_t i = 0; i < items.size(); ++i) {
       const SelectItem& item = items[i];
-      CheckArg(!item.star, "'*' cannot be mixed with aggregates");
+      CheckSql(!item.star, "'*' cannot be mixed with aggregates");
       std::string out = OutputName(item, i);
       if (item.is_agg) {
         AggSpec spec;
@@ -598,7 +607,7 @@ class Parser {
         bool aliased_group_expr =
             std::find(group_by.begin(), group_by.end(), out) !=
             group_by.end();
-        CheckArg(is_group_column || aliased_group_expr,
+        CheckSql(is_group_column || aliased_group_expr,
                  "non-aggregate SELECT item '" + out +
                      "' must be a GROUP BY column");
         // `GROUP BY <alias>` over an expression: derive the expression as

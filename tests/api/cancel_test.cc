@@ -1,0 +1,130 @@
+// Cooperative cancellation through the wake::Db session API: bounded
+// shutdown with every node thread joined (the TSAN CI config runs this
+// binary, so leaked or racing threads fail loudly), plus the cancel
+// semantics of each engine and of handle destruction.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "api/db.h"
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "engine/tpch_fixture.h"
+#include "tpch/queries_sql.h"
+
+namespace wake {
+namespace {
+
+class CancelTest : public ::testing::Test {
+ protected:
+  const Catalog& cat_ = testing::SharedTpch();
+
+  // Asserts the terminal contract after a cancel: Wait() returns, the
+  // stream ends, and Final() either produced the exact answer (the
+  // cancel raced completion) or throws kCancelled — never hangs, never
+  // returns a truncated frame.
+  static void ExpectCleanOutcome(QueryHandle& handle) {
+    Stopwatch clock;
+    handle.Wait();
+    // Bounded shutdown: one partial of work, not the rest of the query.
+    // Generous bound so sanitizer builds on loaded CI hosts stay green.
+    EXPECT_LT(clock.ElapsedSeconds(), 30.0);
+    EXPECT_TRUE(handle.done());
+    try {
+      handle.Final();
+    } catch (const Error& e) {
+      EXPECT_EQ(e.category(), ErrorCategory::kCancelled);
+    }
+  }
+};
+
+TEST_F(CancelTest, CancelMidOlaQueryShutsDownPromptly) {
+  Db db(&cat_);
+  // Q9: the heaviest multi-join query — plenty of in-flight partials.
+  QueryHandle handle = db.Prepare(tpch::QuerySql(9)).Run();
+  // Let it actually start streaming before cancelling.
+  (void)handle.Next(std::chrono::milliseconds(2000));
+  handle.Cancel();
+  EXPECT_TRUE(handle.cancelled());
+  ExpectCleanOutcome(handle);
+  // The pull stream ends instead of blocking forever.
+  while (handle.Next()) {
+  }
+}
+
+TEST_F(CancelTest, CancelBeforeFirstStateIsClean) {
+  Db db(&cat_);
+  QueryHandle handle = db.Prepare(tpch::QuerySql(9)).Run();
+  handle.Cancel();  // likely before any state was produced
+  ExpectCleanOutcome(handle);
+}
+
+TEST_F(CancelTest, CancelAfterCompletionIsANoOp) {
+  Db db(&cat_);
+  PreparedQuery q = db.Prepare(tpch::QuerySql(6));
+  QueryHandle handle = q.Run();
+  handle.Wait();
+  handle.Cancel();
+  // The final result survives a late cancel.
+  std::string diff;
+  EXPECT_TRUE(handle.Final().ApproxEquals(q.Execute(), 0.0, &diff)) << diff;
+}
+
+TEST_F(CancelTest, CancelIsIdempotentAndConcurrent) {
+  Db db(&cat_);
+  QueryHandle handle = db.Prepare(tpch::QuerySql(9)).Run();
+  std::vector<std::thread> cancellers;
+  for (int i = 0; i < 4; ++i) {
+    cancellers.emplace_back([&handle] { handle.Cancel(); });
+  }
+  for (auto& t : cancellers) t.join();
+  ExpectCleanOutcome(handle);
+}
+
+TEST_F(CancelTest, DroppingARunningHandleCancelsAndJoins) {
+  Db db(&cat_);
+  {
+    QueryHandle handle = db.Prepare(tpch::QuerySql(9)).Run();
+    (void)handle;
+  }  // destructor: cancel + join, no detached threads survive
+  // A fresh query on the same Db still works afterwards.
+  EXPECT_GT(db.Prepare(tpch::QuerySql(6)).Execute().num_rows(), 0u);
+}
+
+TEST_F(CancelTest, ExactEngineHonorsCancel) {
+  Db db(&cat_);
+  RunOptions run;
+  run.engine = QueryEngine::kExact;
+  QueryHandle handle = db.Prepare(tpch::QuerySql(9)).Run(run);
+  handle.Cancel();
+  ExpectCleanOutcome(handle);
+}
+
+TEST_F(CancelTest, ProgressiveEngineHonorsCancel) {
+  Db db(&cat_);
+  RunOptions run;
+  run.engine = QueryEngine::kProgressive;
+  QueryHandle handle =
+      db.Prepare("SELECT l_shipmode, SUM(l_quantity) AS qty FROM lineitem "
+                 "GROUP BY l_shipmode")
+          .Run(run);
+  handle.Cancel();
+  ExpectCleanOutcome(handle);
+}
+
+TEST_F(CancelTest, OtherHandlesKeepRunningWhenOneIsCancelled) {
+  Db db(&cat_);
+  PreparedQuery heavy = db.Prepare(tpch::QuerySql(9));
+  PreparedQuery light = db.Prepare(tpch::QuerySql(6));
+  QueryHandle cancelled = heavy.Run();
+  QueryHandle survivor = light.Run();
+  cancelled.Cancel();
+  std::string diff;
+  EXPECT_TRUE(survivor.Final().ApproxEquals(light.Execute(), 0.0, &diff))
+      << diff;
+  ExpectCleanOutcome(cancelled);
+}
+
+}  // namespace
+}  // namespace wake

@@ -1,0 +1,62 @@
+// Acceptance oracle for the wake::Db facade: every TPC-H query prepared
+// from SQL and run through the API must match the hand-built
+// tpch::Query(n) plan on the exact engine, and the OLA engine behind the
+// same handle must stay byte-identical across worker counts.
+#include <gtest/gtest.h>
+
+#include "api/db.h"
+#include "baseline/exact_engine.h"
+#include "engine/tpch_fixture.h"
+#include "tpch/queries.h"
+#include "tpch/queries_sql.h"
+
+namespace wake {
+namespace {
+
+class DbTpchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DbTpchTest, PreparedSqlOnExactEngineMatchesHandBuiltPlan) {
+  int q = GetParam();
+  const Catalog& catalog = testing::SharedTpch();
+  ExactEngine oracle(&catalog);
+  DataFrame expected = oracle.Execute(tpch::Query(q).node());
+
+  Db db(&catalog);
+  RunOptions run;
+  run.engine = QueryEngine::kExact;
+  DataFrame got = db.Prepare(tpch::QuerySql(q)).Execute(run);
+  std::string diff;
+  EXPECT_TRUE(got.ApproxEquals(expected, 1e-9, &diff))
+      << "Q" << q << ": " << diff;
+}
+
+TEST_P(DbTpchTest, OlaHandleIsWorkerCountInvariant) {
+  int q = GetParam();
+  const Catalog& catalog = testing::SharedTpch();
+
+  DbOptions serial;
+  serial.workers = 1;
+  Db db1(&catalog, serial);
+  DataFrame w1 = db1.Prepare(tpch::QuerySql(q)).Execute();
+
+  DbOptions parallel;
+  parallel.workers = 4;
+  Db db4(&catalog, parallel);
+  DataFrame w4 = db4.Prepare(tpch::QuerySql(q)).Execute();
+
+  // Byte-identical: zero tolerance, not approximate.
+  std::string diff;
+  EXPECT_TRUE(w1.ApproxEquals(w4, 0.0, &diff))
+      << "Q" << q << " worker-count drift: " << diff;
+
+  // And the OLA final state agrees with the hand-built exact oracle.
+  ExactEngine oracle(&catalog);
+  DataFrame expected = oracle.Execute(tpch::Query(q).node());
+  EXPECT_TRUE(w1.ApproxEquals(expected, 1e-9, &diff))
+      << "Q" << q << " api vs exact oracle: " << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, DbTpchTest, ::testing::Range(1, 23));
+
+}  // namespace
+}  // namespace wake

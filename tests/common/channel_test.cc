@@ -213,5 +213,56 @@ TEST(ChannelTest, SendAllWakesBlockedConsumer) {
   EXPECT_EQ(total.load(), 15);
 }
 
+TEST(ChannelTest, CancelDiscardsQueuedItems) {
+  // Close() keeps pending items receivable; Cancel() is the stop-token
+  // edge and drops them so receivers unwind immediately.
+  Channel<int> ch;
+  ch.Send(1);
+  ch.Send(2);
+  ch.Cancel();
+  EXPECT_EQ(ch.size(), 0u);
+  EXPECT_TRUE(ch.closed());
+  EXPECT_FALSE(ch.Receive().has_value());
+  EXPECT_TRUE(ch.ReceiveAll().empty());
+  EXPECT_FALSE(ch.Send(3));  // cancelled == closed for senders
+}
+
+TEST(ChannelTest, CancelWakesBlockedReceivers) {
+  Channel<int> ch;
+  std::thread receiver([&] { EXPECT_FALSE(ch.Receive().has_value()); });
+  std::thread drainer([&] { EXPECT_TRUE(ch.ReceiveAll().empty()); });
+  ch.Cancel();
+  receiver.join();
+  drainer.join();
+}
+
+TEST(ChannelTest, CancelReleasesBackpressuredSenders) {
+  Channel<int> ch(1);
+  ch.Send(1);
+  std::thread sender([&] { EXPECT_FALSE(ch.Send(2)); });  // blocks on full
+  ch.Cancel();
+  sender.join();
+}
+
+TEST(ChannelTest, ReceiveForReturnsQueuedItem) {
+  Channel<int> ch;
+  ch.Send(42);
+  auto got = ch.ReceiveFor(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+}
+
+TEST(ChannelTest, ReceiveForTimesOutOnEmptyOpenChannel) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.ReceiveFor(std::chrono::milliseconds(10)).has_value());
+  EXPECT_FALSE(ch.closed());  // timeout, not EOF
+}
+
+TEST(ChannelTest, ReceiveForReturnsImmediatelyWhenClosed) {
+  Channel<int> ch;
+  ch.Close();
+  EXPECT_FALSE(ch.ReceiveFor(std::chrono::milliseconds(10000)).has_value());
+}
+
 }  // namespace
 }  // namespace wake

@@ -360,6 +360,81 @@ TEST_F(OptimizerTest, RootSchemaIsPreservedExactly) {
   ExpectSameResults(plan.node(), optimized);
 }
 
+// --- aggregate-output pruning ----------------------------------------------
+
+TEST_F(OptimizerTest, PrunesUnusedAggregateOutputs) {
+  Plan plan = Plan::Scan("sales")
+                  .Aggregate({"cust"}, {Sum("amount", "total"), Count("n"),
+                                        Max("amount", "hi")})
+                  .Map({{"total", C("total")}});
+  PlanNodePtr pruned = PruneAggregatesPass(plan.node(), cat_);
+  EXPECT_EQ(Shape(pruned),
+            "Map [total]\n"
+            "  Aggregate by [cust] {sum(amount)->total}\n"
+            "    Scan sales\n");
+  ExpectSameResults(plan.node(), pruned);
+}
+
+TEST_F(OptimizerTest, GroupKeyOnlyParentKeepsOneAggregate) {
+  // A parent consuming only the group keys still needs the Aggregate (it
+  // dedups), so at least one aggregate must survive — the first, like
+  // SurvivingProjections.
+  Plan plan = Plan::Scan("sales")
+                  .Aggregate({"cust"}, {Sum("amount", "total"), Count("n")})
+                  .Map({{"cust", C("cust")}});
+  PlanNodePtr pruned = PruneAggregatesPass(plan.node(), cat_);
+  EXPECT_EQ(Shape(pruned),
+            "Map [cust]\n"
+            "  Aggregate by [cust] {sum(amount)->total}\n"
+            "    Scan sales\n");
+  ExpectSameResults(plan.node(), pruned);
+}
+
+TEST_F(OptimizerTest, RootAggregateIsNeverPruned) {
+  // The root's full schema is the query result: everything is required.
+  Plan plan = Plan::Scan("sales").Aggregate(
+      {"cust"}, {Sum("amount", "total"), Count("n"), Max("amount", "hi")});
+  PlanNodePtr pruned = PruneAggregatesPass(plan.node(), cat_);
+  EXPECT_EQ(pruned, plan.node());  // untouched subtree keeps its pointer
+}
+
+TEST_F(OptimizerTest, AggPruningFreesInputColumnsForScanProjection) {
+  // Dropping the count-distinct also drops its input column `tag`; the
+  // next optimizer round narrows the scan accordingly.
+  Plan plan = Plan::Scan("sales")
+                  .Aggregate({"cust"}, {Sum("amount", "total"),
+                                        CountDistinct("tag", "tags")})
+                  .Map({{"total", C("total")}});
+  PlanNodePtr optimized = Optimize(plan.node(), cat_);
+  EXPECT_EQ(Shape(optimized),
+            "Map [total]\n"
+            "  Aggregate by [cust] {sum(amount)->total}\n"
+            "    Scan sales [cust,amount]\n");
+  ExpectSameResults(plan.node(), optimized);
+}
+
+TEST_F(OptimizerTest, SharedAggregateKeepsUnionOfParentRequirements) {
+  // One Aggregate reachable through two parents that consume different
+  // outputs: the survivors are the union, and the node stays shared.
+  Plan agg = Plan::Scan("sales").Aggregate(
+      {"cust"}, {Sum("amount", "total"), Count("n"), Max("amount", "hi")});
+  Plan left = agg.Map({{"cust", C("cust")}, {"total", C("total")}});
+  Plan right = agg.Map({{"cust_r", C("cust")}, {"n", C("n")}});
+  Plan joined =
+      left.Join(right, JoinType::kInner, {"cust"}, {"cust_r"});
+  PlanNodePtr pruned = PruneAggregatesPass(joined.node(), cat_);
+  EXPECT_EQ(Shape(pruned),
+            "InnerJoin on [cust]=[cust_r]\n"
+            "  Map [cust, total]\n"
+            "    Aggregate by [cust] {sum(amount)->total, count()->n}\n"
+            "      Scan sales\n"
+            "  Map [cust_r, n]\n"
+            "    Aggregate by [cust] {sum(amount)->total, count()->n}\n"
+            "      Scan sales\n");
+  EXPECT_EQ(pruned->inputs[0]->inputs[0], pruned->inputs[1]->inputs[0]);
+  ExpectSameResults(joined.node(), pruned);
+}
+
 // --- the full driver -------------------------------------------------------
 
 TEST_F(OptimizerTest, OptimizeIsIdempotent) {
