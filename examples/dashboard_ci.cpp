@@ -2,6 +2,11 @@
 // TPC-H Q14's promo-revenue share rendered as a live text gauge with a 95%
 // Chebyshev interval that tightens as more partitions arrive. Runs through
 // wake::Db with a callback subscription (RunOptions::on_state).
+//
+// The run carries a memory budget: if the query's materialized partials
+// cross it, the engine degrades gracefully — the dashboard keeps the
+// last converging estimate and renders it as a budget-limited partial
+// answer instead of erroring out.
 #include <cstdio>
 #include <string>
 
@@ -46,6 +51,9 @@ int main() {
               "estimate [lo, hi]");
   RunOptions run;
   run.with_ci = true;
+  // Generous for this scale factor — raises no breach in the smoke run,
+  // but a heavier dataset degrades to a partial gauge instead of OOMing.
+  run.memory_limit_bytes = size_t{64} << 20;
   run.on_state = [&](const OlaState& s) {
     if (s.frame->num_rows() == 0) return;
     double est = s.frame->ColumnByName("promo_revenue").DoubleAt(0);
@@ -61,7 +69,15 @@ int main() {
   };
   QueryHandle handle = query.Run(run);
   try {
-    handle.Final();  // joins the run; surfaces a failed run as an error
+    // Joins the run; surfaces a failed run as an error. A budget breach
+    // is NOT an error: the gauge's last estimate stands, flagged below.
+    QueryResult result = handle.Result();
+    if (result.status == ResultStatus::kPartialBudget) {
+      std::printf(
+          "\nbudget-limited partial answer (%s; %.0f%% of data): the CI "
+          "above is the final estimate\n",
+          BreachReasonName(result.breach), 100 * result.progress);
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "%s error: %s\n", ErrorCategoryName(e.category()),
                  e.what());

@@ -4,12 +4,19 @@
 //
 //   build/examples/sql_ola [--explain] [--no-optimize]
 //                          [--mode ola|exact|progressive] [--workers N]
+//                          [--timeout-ms N] [--memory-limit-kb N]
 //                          ["SELECT ... FROM ..." | --tpch N]
 //
 // --mode selects the engine behind the same handle: ola (Wake, streaming
 // converging states), exact (blocking baseline, one final state), or
 // progressive (ProgressiveDB-style middleware; single-table queries
 // only). --workers sizes the session's shared worker pool.
+//
+// --timeout-ms / --memory-limit-kb attach a resource budget. An OLA run
+// that breaches its budget degrades instead of erroring: the query stops
+// early and the last converging estimate is printed as a partial answer
+// (with its CI), tagged with the breach reason and the fraction of data
+// processed.
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -61,6 +68,15 @@ int main(int argc, char** argv) {
           throw Error("--workers needs a non-negative count");
         }
         db_options.workers = static_cast<size_t>(n);
+      } else if (arg == "--timeout-ms") {
+        if (i + 1 >= argc) throw Error("--timeout-ms needs a count");
+        run_options.timeout_ms = std::atol(argv[++i]);
+        run_options.with_ci = true;  // a partial answer needs its CI
+      } else if (arg == "--memory-limit-kb") {
+        if (i + 1 >= argc) throw Error("--memory-limit-kb needs a count");
+        run_options.memory_limit_bytes =
+            static_cast<size_t>(std::atol(argv[++i])) * 1024;
+        run_options.with_ci = true;
       } else if (arg == "--tpch") {
         if (i + 1 >= argc) throw Error("--tpch needs a query number (1-22)");
         query = tpch::QuerySql(std::atoi(argv[++i]));
@@ -96,9 +112,7 @@ int main(int argc, char** argv) {
 
   QueryHandle handle = prepared->Run(run_options);
   while (auto s = handle.Next()) {
-    if (s->is_final) {
-      std::printf("\nfinal (exact) result:\n%s", s->frame->ToString(15).c_str());
-    } else if (s->frame->num_rows() > 0) {
+    if (!s->is_final && s->frame->num_rows() > 0) {
       std::printf("estimate at %3.0f%% progress: %zu rows, first row: ",
                   100 * s->progress, s->frame->num_rows());
       for (size_t c = 0; c < s->frame->num_columns(); ++c) {
@@ -109,7 +123,16 @@ int main(int argc, char** argv) {
     }
   }
   try {
-    handle.Final();
+    QueryResult result = handle.Result();
+    if (result.status == ResultStatus::kPartialBudget) {
+      std::printf(
+          "\npartial answer (budget stop: %s; %.0f%% of data processed):\n%s",
+          BreachReasonName(result.breach), 100 * result.progress,
+          result.frame->ToString(15).c_str());
+    } else {
+      std::printf("\nfinal (exact) result:\n%s",
+                  result.frame->ToString(15).c_str());
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "%s error: %s\n", ErrorCategoryName(e.category()),
                  e.what());

@@ -48,6 +48,7 @@
 #include <optional>
 #include <string>
 
+#include "common/resource.h"
 #include "core/engine.h"
 #include "plan/plan.h"
 #include "storage/partitioned_table.h"
@@ -74,6 +75,51 @@ struct DbOptions {
   /// Run the logical optimizer in Prepare(). Off = naive plans (mostly
   /// useful for plan-shape debugging; results are identical either way).
   bool optimize = true;
+  /// Admission control: at most this many queries execute at once; excess
+  /// runs queue FIFO. 0 = unlimited (no admission gate).
+  size_t max_concurrent_queries = 0;
+  /// Queue depth behind the admission gate. A Run() that finds the queue
+  /// at capacity throws wake::Error(kQueueFull) synchronously. Only
+  /// meaningful when max_concurrent_queries > 0; 0 = reject immediately
+  /// when every slot is busy.
+  size_t max_queued = 16;
+  /// Session-wide memory budget shared by every concurrent query's
+  /// tracker. A query whose charge tips the session over the limit
+  /// breaches with BreachReason::kSessionMemory (its own RunOptions
+  /// breach policy decides degrade vs fail). 0 = unlimited.
+  size_t total_memory_limit_bytes = 0;
+};
+
+/// What to do when a running query crosses its budget
+/// (RunOptions::on_breach).
+enum class OnBreach : uint8_t {
+  /// Stop requesting more data, drain in-flight partials, and return the
+  /// last converging snapshot as a ResultStatus::kPartialBudget result —
+  /// estimate semantics, CI included. This is what makes a budgeted OLA
+  /// query *degrade* instead of fail; the blocking exact engine cannot
+  /// degrade (there is no partial to return) and fails regardless.
+  kDegrade,
+  /// Cancel the run and surface wake::Error(kResourceExhausted).
+  kFail,
+};
+
+/// How a finished run's result should be interpreted.
+enum class ResultStatus : uint8_t {
+  kFinal,          // exact answer over the full input
+  kPartialBudget,  // budget breach: last estimate over a prefix of the data
+};
+
+/// Terminal result with provenance (QueryHandle::Result()).
+struct QueryResult {
+  DataFramePtr frame;
+  ResultStatus status = ResultStatus::kFinal;
+  /// Which limit ended the run early (kNone when status == kFinal).
+  BreachReason breach = BreachReason::kNone;
+  /// Fraction of the base-table input processed when the run ended; 1.0
+  /// for kFinal results.
+  double progress = 1.0;
+  /// Per-column variances of the snapshot (CI runs on refresh roots).
+  std::shared_ptr<const VarianceMap> variances;
 };
 
 /// Per-run configuration.
@@ -86,6 +132,33 @@ struct RunOptions {
   /// for every state (including the final one). Pull via Next() and the
   /// callback can be used together; both see every state.
   StateCallback on_state;
+
+  // -- Resource budget (zero = unlimited) --------------------------------
+  /// Cap on materialized bytes attributed to this query: queued partials,
+  /// join build tables, aggregation accumulators (approximate, see
+  /// common/resource.h).
+  size_t memory_limit_bytes = 0;
+  /// Wall-clock deadline, measured from Run() — time spent waiting in the
+  /// admission queue counts against it.
+  int64_t timeout_ms = 0;
+  /// Cap on base-table rows read across all scans of the run.
+  size_t max_rows_scanned = 0;
+  /// Breach policy. kDegrade (default) turns a breached OLA/progressive
+  /// run into a kPartialBudget result; kFail cancels and raises
+  /// kResourceExhausted. kExact runs fail on breach under either policy.
+  OnBreach on_breach = OnBreach::kDegrade;
+
+  /// Cap on snapshots buffered in the handle's pull stream. When the
+  /// consumer falls behind, the *oldest* queued snapshot is dropped —
+  /// snapshots are cumulative, so Next() skips ahead to fresher estimates
+  /// and Final()/Wait()-only consumers cost O(cap) memory instead of one
+  /// frame per emitted state. 0 = unbounded (every state delivered).
+  size_t max_buffered_states = 0;
+
+  /// How long Run() may wait in the admission queue before failing with
+  /// wake::Error(kAdmissionTimeout). 0 = wait indefinitely. Only
+  /// meaningful on a Db with max_concurrent_queries > 0.
+  int64_t admission_timeout_ms = 0;
 };
 
 /// A live, possibly still running query. Move-only RAII handle: the
@@ -115,10 +188,18 @@ class QueryHandle {
   /// failed) and every thread of the run is joined. Does not throw.
   void Wait();
 
-  /// Wait(), then return the exact final result. Throws the query's
-  /// error if it failed, or wake::Error(kCancelled) if it was cancelled
-  /// before producing a final state.
+  /// Wait(), then return the final result frame. For a budgeted run that
+  /// breached under OnBreach::kDegrade this is the last emitted snapshot
+  /// (use Result() to see the status and breach reason). Throws the
+  /// query's error if it failed, or wake::Error(kCancelled) if it was
+  /// cancelled before producing a final state.
   DataFrame Final();
+
+  /// Wait(), then return the terminal result with provenance: the frame
+  /// plus whether it is exact (kFinal) or a budget-breach estimate
+  /// (kPartialBudget, with breach reason and fraction of data processed).
+  /// Throws under exactly the same conditions as Final().
+  QueryResult Result();
 
   /// True once the run is finished and its threads are joined or
   /// joinable without blocking (final, cancelled, or failed).
@@ -192,6 +273,13 @@ class Db {
   /// The shared worker pool (null = serial operator bodies).
   WorkerPool* pool() const { return pool_; }
 
+  /// Admission gate (null when max_concurrent_queries == 0).
+  AdmissionController* admission() const { return admission_.get(); }
+
+  /// Session-wide memory meter (null when total_memory_limit_bytes == 0);
+  /// parent of every budgeted query tracker.
+  ResourceTracker* session_tracker() const { return session_tracker_.get(); }
+
  private:
   PreparedQuery Finish(std::string sql, Plan plan) const;
 
@@ -199,6 +287,8 @@ class Db {
   DbOptions options_;
   std::unique_ptr<WorkerPool> owned_pool_;
   WorkerPool* pool_ = nullptr;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<ResourceTracker> session_tracker_;
 };
 
 }  // namespace wake

@@ -17,11 +17,19 @@ DataFrame ExactEngine::Eval(const PlanNodePtr& node) const {
   if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
     throw Error("query cancelled", ErrorCategory::kCancelled);
   }
+  if (tracker_ != nullptr) {
+    tracker_->CheckBreach();
+    if (tracker_->breached()) {
+      throw Error("query exceeded its budget: " + tracker_->BreachMessage(),
+                  ErrorCategory::kResourceExhausted);
+    }
+  }
   DataFrame result;
   switch (node->op) {
     case PlanOp::kScan: {
       // Projected read: only the plan's column list is ever copied.
       result = catalog_->Get(node->table).Materialize(node->columns);
+      if (tracker_ != nullptr) tracker_->ChargeRows(result.num_rows());
       break;
     }
     case PlanOp::kMap: {
@@ -79,6 +87,14 @@ DataFrame ExactEngine::Eval(const PlanNodePtr& node) const {
     }
   }
   peak_bytes_ = std::max(peak_bytes_, result.ByteSize());
+  if (tracker_ != nullptr) {
+    // Count each materialized intermediate while it is the live result;
+    // the parent operator's own charge replaces it (blocking evaluation
+    // holds parent + children simultaneously only inside the switch
+    // above, which the per-operator breach check brackets).
+    tracker_->Charge(result.ByteSize());
+    tracker_->Credit(result.ByteSize());
+  }
   return result;
 }
 

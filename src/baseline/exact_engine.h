@@ -11,6 +11,7 @@
 
 #include <atomic>
 
+#include "common/resource.h"
 #include "plan/plan.h"
 #include "storage/partitioned_table.h"
 
@@ -30,6 +31,14 @@ class ExactEngine {
   /// pointee must outlive every Execute call.
   void set_cancel_token(const std::atomic<bool>* cancel) { cancel_ = cancel; }
 
+  /// Per-query budget enforcement. A blocking engine cannot degrade —
+  /// there is no partial result to return — so Eval charges each
+  /// materialized intermediate against the tracker and throws
+  /// wake::Error(kResourceExhausted) at the next operator entry after any
+  /// breach (memory, deadline, or rows-scanned). The pointee must outlive
+  /// every Execute call; null disables enforcement.
+  void set_tracker(ResourceTracker* tracker) { tracker_ = tracker; }
+
   /// Approximate peak intermediate size in bytes observed during the last
   /// Execute call (coarse stand-in for resident-set-size tracking, §8.2).
   size_t peak_bytes() const { return peak_bytes_; }
@@ -39,6 +48,7 @@ class ExactEngine {
 
   const Catalog* catalog_;
   const std::atomic<bool>* cancel_ = nullptr;
+  ResourceTracker* tracker_ = nullptr;
   mutable size_t peak_bytes_ = 0;
 };
 

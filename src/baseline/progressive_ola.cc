@@ -37,7 +37,8 @@ ProgressiveOla::ProgressiveOla(const Catalog* catalog) : catalog_(catalog) {
 
 void ProgressiveOla::Execute(const PlanNodePtr& plan,
                              const StateCallback& on_state,
-                             const std::atomic<bool>* cancel) {
+                             const std::atomic<bool>* cancel,
+                             ResourceTracker* tracker) {
   const PlanNode* agg_node = nullptr;
   const PlanNode* scan = FindScan(plan, &agg_node);
   CheckArg(agg_node != nullptr, "plan has no aggregation");
@@ -51,11 +52,24 @@ void ProgressiveOla::Execute(const PlanNodePtr& plan,
 
   Stopwatch clock;
   DataFrame accumulated(table.schema());
+  size_t charged = 0;  // bytes of `accumulated` already on the tracker
   for (size_t i = 0; i < table.num_partitions(); ++i) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       throw Error("query cancelled", ErrorCategory::kCancelled);
     }
+    if (tracker != nullptr) {
+      tracker->CheckBreach();
+      // Degrade at the chunk boundary: the last emitted state already is
+      // the best estimate over the data processed so far.
+      if (tracker->breached()) return;
+    }
     accumulated.Append(*table.partition(i));
+    if (tracker != nullptr) {
+      tracker->ChargeRows(table.partition(i)->num_rows());
+      size_t held = accumulated.ByteSize();
+      tracker->Charge(held > charged ? held - charged : 0);
+      charged = held > charged ? held : charged;
+    }
     double t = total == 0 ? 1.0
                           : static_cast<double>(accumulated.num_rows()) /
                                 static_cast<double>(total);

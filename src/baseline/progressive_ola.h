@@ -15,6 +15,7 @@
 
 #include <atomic>
 
+#include "common/resource.h"
 #include "core/engine.h"
 #include "plan/plan.h"
 #include "storage/partitioned_table.h"
@@ -32,8 +33,14 @@ class ProgressiveOla {
   /// to a single table", §8.1). When `cancel` is set it is polled before
   /// every chunk re-execution; once true, Execute throws
   /// wake::Error(kCancelled), bounding cancellation latency by one chunk.
+  /// When `tracker` is set its budget is enforced at the same chunk
+  /// boundaries: accumulated rows/bytes are charged per chunk, and on a
+  /// breach Execute simply returns after the last emitted state — the
+  /// chunked middleware degrades naturally (the caller inspects the
+  /// tracker to tell a degraded run from a complete one).
   void Execute(const PlanNodePtr& plan, const StateCallback& on_state,
-               const std::atomic<bool>* cancel = nullptr);
+               const std::atomic<bool>* cancel = nullptr,
+               ResourceTracker* tracker = nullptr);
 
  private:
   const Catalog* catalog_;

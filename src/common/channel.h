@@ -17,7 +17,19 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace wake {
+
+/// Approximate payload size of one queued item, used for the channel's
+/// byte accounting (`byte_size()`). The default — any T — is zero;
+/// payload types whose queued memory matters (Message, OlaState)
+/// overload this next to their definition and are picked up by
+/// argument-dependent lookup.
+template <typename T>
+inline size_t ChannelItemBytes(const T&) {
+  return 0;
+}
 
 /// Blocking MPMC queue with close semantics.
 template <typename T>
@@ -32,11 +44,13 @@ class Channel {
   /// Sends one item. Blocks while the channel is at capacity.
   /// Returns false (and drops the item) if the channel is already closed.
   bool Send(T item) {
+    WAKE_FAILPOINT("channel.send");
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [&] {
       return closed_ || capacity_ == 0 || queue_.size() < capacity_;
     });
     if (closed_) return false;
+    bytes_ += ChannelItemBytes(item);
     queue_.push_back(std::move(item));
     not_empty_.notify_one();
     return true;
@@ -50,6 +64,7 @@ class Channel {
   /// mid-send); `items` is left empty.
   size_t SendAll(std::vector<T>&& items) {
     if (items.empty()) return 0;
+    WAKE_FAILPOINT("channel.send");
     size_t accepted = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -65,6 +80,7 @@ class Channel {
           });
         }
         if (closed_) break;
+        bytes_ += ChannelItemBytes(item);
         queue_.push_back(std::move(item));
         ++accepted;
       }
@@ -84,6 +100,7 @@ class Channel {
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
+    DebitBytes(ChannelItemBytes(item));
     not_full_.notify_one();
     return item;
   }
@@ -98,6 +115,7 @@ class Channel {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
     out.swap(queue_);
+    bytes_ = 0;
     // A whole batch of slots freed at once: wake every blocked sender.
     if (!out.empty()) not_full_.notify_all();
     return out;
@@ -115,6 +133,7 @@ class Channel {
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
+    DebitBytes(ChannelItemBytes(item));
     not_full_.notify_one();
     return item;
   }
@@ -125,6 +144,7 @@ class Channel {
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
+    DebitBytes(ChannelItemBytes(item));
     not_full_.notify_one();
     return item;
   }
@@ -147,6 +167,7 @@ class Channel {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
     queue_.clear();
+    bytes_ = 0;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
@@ -161,12 +182,23 @@ class Channel {
     return queue_.size();
   }
 
+  /// Approximate bytes queued but not yet received (per ChannelItemBytes;
+  /// zero for payload types without an overload). This is what lets a
+  /// resource tracker account queued-but-undrained partials.
+  size_t byte_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+
  private:
+  void DebitBytes(size_t n) { bytes_ -= n < bytes_ ? n : bytes_; }
+
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> queue_;
   size_t capacity_;
+  size_t bytes_ = 0;
   bool closed_ = false;
 };
 

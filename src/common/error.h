@@ -12,6 +12,13 @@
 //   kPlan       plan construction / validation / optimization failure
 //   kExecution  runtime failure while evaluating a valid plan
 //   kCancelled  the query was cancelled cooperatively (QueryHandle::Cancel)
+//   kResourceExhausted  a QueryBudget limit was crossed and the run's
+//               breach policy was to fail (or the engine has no partial
+//               to degrade to, e.g. the exact baseline)
+//   kQueueFull  admission control rejected the run: the session's wait
+//               queue was already at DbOptions::max_queued
+//   kAdmissionTimeout  the run waited in the admission queue longer than
+//               the session's admission timeout
 #ifndef WAKE_COMMON_ERROR_H_
 #define WAKE_COMMON_ERROR_H_
 
@@ -28,6 +35,9 @@ enum class ErrorCategory : uint8_t {
   kPlan,
   kExecution,
   kCancelled,
+  kResourceExhausted,
+  kQueueFull,
+  kAdmissionTimeout,
 };
 
 /// Human-readable category name ("parse", "plan", ...).
@@ -37,6 +47,9 @@ inline const char* ErrorCategoryName(ErrorCategory c) {
     case ErrorCategory::kPlan: return "plan";
     case ErrorCategory::kExecution: return "execution";
     case ErrorCategory::kCancelled: return "cancelled";
+    case ErrorCategory::kResourceExhausted: return "resource-exhausted";
+    case ErrorCategory::kQueueFull: return "queue-full";
+    case ErrorCategory::kAdmissionTimeout: return "admission-timeout";
   }
   return "unknown";
 }

@@ -1,0 +1,186 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace wake {
+namespace failpoint {
+
+namespace {
+
+struct Spec {
+  enum class Kind { kOff, kError, kDelay };
+  Kind kind = Spec::Kind::kOff;
+  double probability = 1.0;
+  int64_t delay_ms = 0;
+  uint64_t max_hits = 0;  // 0 = unlimited
+  uint64_t draws = 0;     // evaluations so far (for the probability hash)
+  uint64_t hits = 0;      // times actually fired
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Spec> specs;
+  bool env_loaded = false;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+// splitmix64: a fixed, seedless mixer — deterministic per (name, draw).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(const char* name) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (const char* p = name; *p != '\0'; ++p) {
+    h = (h ^ static_cast<uint64_t>(*p)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+Spec ParseSpec(const std::string& text) {
+  Spec spec;
+  std::string s = text;
+  // Optional "*N" hit cap suffix.
+  size_t star = s.rfind('*');
+  if (star != std::string::npos && star > s.rfind(')')) {
+    spec.max_hits = std::strtoull(s.c_str() + star + 1, nullptr, 10);
+    CheckArg(spec.max_hits > 0, "failpoint spec: bad hit cap in '" + text +
+                                    "'");
+    s = s.substr(0, star);
+  }
+  if (s == "off" || s.empty()) {
+    spec.kind = Spec::Kind::kOff;
+    return spec;
+  }
+  size_t open = s.find('(');
+  size_t close = s.rfind(')');
+  std::string op = open == std::string::npos ? s : s.substr(0, open);
+  std::string arg;
+  if (open != std::string::npos) {
+    CheckArg(close != std::string::npos && close > open,
+             "failpoint spec: unbalanced parens in '" + text + "'");
+    arg = s.substr(open + 1, close - open - 1);
+  }
+  if (op == "error") {
+    spec.kind = Spec::Kind::kError;
+    spec.probability = arg.empty() ? 1.0 : std::atof(arg.c_str());
+    CheckArg(spec.probability > 0.0 && spec.probability <= 1.0,
+             "failpoint spec: error probability must be in (0,1] in '" +
+                 text + "'");
+  } else if (op == "delay") {
+    spec.kind = Spec::Kind::kDelay;
+    // Accept "10ms" or plain "10".
+    spec.delay_ms = std::strtoll(arg.c_str(), nullptr, 10);
+    CheckArg(spec.delay_ms > 0,
+             "failpoint spec: bad delay in '" + text + "'");
+  } else {
+    throw Error("failpoint spec: unknown action '" + op + "' in '" + text +
+                "'");
+  }
+  return spec;
+}
+
+void LoadEnvLocked(Registry& registry) {
+  if (registry.env_loaded) return;
+  registry.env_loaded = true;
+  const char* env = std::getenv("WAKE_FAIL");
+  if (env == nullptr || *env == '\0') return;
+  std::string activation(env);
+  size_t start = 0;
+  while (start < activation.size()) {
+    size_t end = activation.find(';', start);
+    if (end == std::string::npos) end = activation.size();
+    std::string entry = activation.substr(start, end - start);
+    size_t eq = entry.find('=');
+    CheckArg(eq != std::string::npos,
+             "WAKE_FAIL: entry without '=': '" + entry + "'");
+    registry.specs[entry.substr(0, eq)] = ParseSpec(entry.substr(eq + 1));
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+void Configure(const std::string& name, const std::string& spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  LoadEnvLocked(registry);
+  registry.specs[name] = ParseSpec(spec);
+}
+
+void ConfigureFromString(const std::string& activation) {
+  size_t start = 0;
+  while (start < activation.size()) {
+    size_t end = activation.find(';', start);
+    if (end == std::string::npos) end = activation.size();
+    std::string entry = activation.substr(start, end - start);
+    size_t eq = entry.find('=');
+    CheckArg(eq != std::string::npos,
+             "failpoint activation: entry without '=': '" + entry + "'");
+    Configure(entry.substr(0, eq), entry.substr(eq + 1));
+    start = end + 1;
+  }
+}
+
+void Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.specs.clear();
+  registry.env_loaded = true;  // an explicit Reset overrides WAKE_FAIL
+}
+
+uint64_t Hits(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.specs.find(name);
+  return it == registry.specs.end() ? 0 : it->second.hits;
+}
+
+void Evaluate(const char* name) {
+  Spec::Kind kind;
+  int64_t delay_ms = 0;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    LoadEnvLocked(registry);
+    if (registry.specs.empty()) return;
+    auto it = registry.specs.find(name);
+    if (it == registry.specs.end()) return;
+    Spec& spec = it->second;
+    if (spec.kind == Spec::Kind::kOff) return;
+    if (spec.max_hits != 0 && spec.hits >= spec.max_hits) return;
+    uint64_t draw = spec.draws++;
+    if (spec.probability < 1.0) {
+      double u = static_cast<double>(Mix(HashName(name) ^ draw) >> 11) *
+                 (1.0 / 9007199254740992.0);  // uniform [0,1)
+      if (u >= spec.probability) return;
+    }
+    ++spec.hits;
+    kind = spec.kind;
+    delay_ms = spec.delay_ms;
+  }
+  // Fire outside the registry lock.
+  if (kind == Spec::Kind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    return;
+  }
+  throw Error(std::string("failpoint '") + name + "' injected error",
+              ErrorCategory::kExecution);
+}
+
+}  // namespace failpoint
+}  // namespace wake

@@ -1,0 +1,220 @@
+#include "common/resource.h"
+
+#include "common/error.h"
+
+namespace wake {
+
+const char* BreachReasonName(BreachReason reason) {
+  switch (reason) {
+    case BreachReason::kNone: return "none";
+    case BreachReason::kMemory: return "memory";
+    case BreachReason::kDeadline: return "deadline";
+    case BreachReason::kRowsScanned: return "rows-scanned";
+    case BreachReason::kSessionMemory: return "session-memory";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// ResourceTracker
+// ---------------------------------------------------------------------------
+
+void ResourceTracker::Arm(const QueryBudget& budget, ResourceTracker* parent) {
+  memory_limit_ = budget.memory_limit_bytes;
+  max_rows_ = budget.max_rows_scanned;
+  if (budget.timeout_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(budget.timeout_ms);
+  }
+  parent_.store(parent, std::memory_order_release);
+}
+
+void ResourceTracker::ArmSessionLimit(size_t total_memory_bytes) {
+  memory_limit_ = total_memory_bytes;
+  session_meter_ = true;
+}
+
+void ResourceTracker::Charge(size_t bytes) {
+  if (bytes == 0 || released_.load(std::memory_order_acquire)) return;
+  int64_t now =
+      used_.fetch_add(static_cast<int64_t>(bytes),
+                      std::memory_order_relaxed) +
+      static_cast<int64_t>(bytes);
+  if (memory_limit_ != 0 && now > static_cast<int64_t>(memory_limit_) &&
+      !session_meter_) {
+    Trigger(BreachReason::kMemory);
+  }
+  if (ResourceTracker* parent = parent_.load(std::memory_order_acquire)) {
+    parent->Charge(bytes);
+    // The session meter never latches: it is a live gauge, and the query
+    // whose charge finds it over the line is the one that breaches. Once
+    // that query settles its balance the headroom is back for others.
+    if (parent->over_limit()) Trigger(BreachReason::kSessionMemory);
+  }
+}
+
+void ResourceTracker::Credit(size_t bytes) {
+  if (bytes == 0 || released_.load(std::memory_order_acquire)) return;
+  used_.fetch_sub(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+  if (ResourceTracker* parent = parent_.load(std::memory_order_acquire)) {
+    parent->Credit(bytes);
+  }
+}
+
+void ResourceTracker::Sync(size_t now_bytes, size_t* accounted) {
+  if (now_bytes > *accounted) {
+    Charge(now_bytes - *accounted);
+  } else if (now_bytes < *accounted) {
+    Credit(*accounted - now_bytes);
+  }
+  *accounted = now_bytes;
+}
+
+void ResourceTracker::ChargeRows(size_t rows) {
+  if (rows == 0 || released_.load(std::memory_order_acquire)) return;
+  size_t now = rows_.fetch_add(rows, std::memory_order_relaxed) + rows;
+  if (max_rows_ != 0 && now > max_rows_) Trigger(BreachReason::kRowsScanned);
+}
+
+bool ResourceTracker::CheckBreach() {
+  if (!breached() && has_deadline_ &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    Trigger(BreachReason::kDeadline);
+  }
+  return breached();
+}
+
+void ResourceTracker::Trigger(BreachReason reason) {
+  uint8_t expected = static_cast<uint8_t>(BreachReason::kNone);
+  reason_.compare_exchange_strong(expected, static_cast<uint8_t>(reason),
+                                  std::memory_order_acq_rel);
+  // The session meter (no callback) just reports; per-query trackers fire
+  // their cooperative-stop hook exactly once.
+  bool was_notified = notified_.exchange(true, std::memory_order_acq_rel);
+  if (!was_notified && on_breach_) on_breach_();
+}
+
+std::string ResourceTracker::BreachMessage() const {
+  switch (reason()) {
+    case BreachReason::kMemory:
+      return "memory limit exceeded (" + std::to_string(used_bytes()) +
+             " bytes used, limit " + std::to_string(memory_limit_) + ")";
+    case BreachReason::kDeadline:
+      return "deadline exceeded (timeout elapsed before completion)";
+    case BreachReason::kRowsScanned:
+      return "row-scan limit exceeded (" + std::to_string(rows_scanned()) +
+             " rows scanned, limit " + std::to_string(max_rows_) + ")";
+    case BreachReason::kSessionMemory:
+      return "session memory limit exceeded (query charged " +
+             std::to_string(used_bytes()) + " bytes)";
+    case BreachReason::kNone:
+      break;
+  }
+  return "no resource breach";
+}
+
+void ResourceTracker::Release() {
+  if (released_.exchange(true, std::memory_order_acq_rel)) return;
+  if (ResourceTracker* parent = parent_.load(std::memory_order_acquire)) {
+    int64_t outstanding = used_.load(std::memory_order_relaxed);
+    if (outstanding > 0) parent->Credit(static_cast<size_t>(outstanding));
+    parent_.store(nullptr, std::memory_order_release);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+// ---------------------------------------------------------------------------
+
+AdmissionController::AdmissionController(size_t max_active, size_t max_queued)
+    : max_active_(max_active), max_queued_(max_queued) {
+  CheckArg(max_active > 0, "admission controller needs max_active > 0");
+}
+
+AdmissionController::TicketPtr AdmissionController::Submit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto ticket = std::make_shared<Ticket>();
+  if (active_ < max_active_ && queue_.empty()) {
+    ticket->state_ = Ticket::State::kAdmitted;
+    ++active_;
+    return ticket;
+  }
+  if (queue_.size() >= max_queued_) {
+    throw Error("admission queue full (" + std::to_string(queue_.size()) +
+                    " queued, " + std::to_string(active_) + " active)",
+                ErrorCategory::kQueueFull);
+  }
+  queue_.push_back(ticket);
+  return ticket;
+}
+
+AdmissionController::Outcome AdmissionController::Await(
+    const TicketPtr& ticket, int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto decided = [&] { return ticket->state_ != Ticket::State::kQueued; };
+  if (timeout_ms > 0) {
+    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), decided);
+  } else {
+    cv_.wait(lock, decided);
+  }
+  if (ticket->state_ == Ticket::State::kQueued) {
+    // Timed out while still queued: leave the line.
+    ticket->state_ = Ticket::State::kTimedOut;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (*it == ticket) {
+        queue_.erase(it);
+        break;
+      }
+    }
+  }
+  switch (ticket->state_) {
+    case Ticket::State::kAdmitted: return Outcome::kAdmitted;
+    case Ticket::State::kCancelled: return Outcome::kCancelled;
+    default: return Outcome::kTimedOut;
+  }
+}
+
+void AdmissionController::Cancel(const TicketPtr& ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ticket->state_ != Ticket::State::kQueued) return;
+  ticket->state_ = Ticket::State::kCancelled;
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == ticket) {
+      queue_.erase(it);
+      break;
+    }
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::Release(const TicketPtr& ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ticket->state_ != Ticket::State::kAdmitted || ticket->released_) return;
+  ticket->released_ = true;
+  --active_;
+  AdmitNextLocked();
+}
+
+void AdmissionController::AdmitNextLocked() {
+  bool admitted_any = false;
+  while (active_ < max_active_ && !queue_.empty()) {
+    queue_.front()->state_ = Ticket::State::kAdmitted;
+    queue_.pop_front();
+    ++active_;
+    admitted_any = true;
+  }
+  if (admitted_any) cv_.notify_all();
+}
+
+size_t AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace wake

@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace wake {
 
@@ -121,6 +122,9 @@ void WorkerPool::RunLoop(LoopState* state) {
     if (begin >= state->total) break;
     size_t end = std::min(begin + state->grain, state->total);
     try {
+      // Inside the try so an injected fault rides the loop's existing
+      // first-error capture instead of unwinding a pool thread.
+      WAKE_FAILPOINT("worker_pool.dispatch");
       (*state->body)(begin, end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(state->mu);

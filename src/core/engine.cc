@@ -115,8 +115,15 @@ std::unique_ptr<EngineRun> WakeEngine::Start(const PlanNodePtr& plan) const {
   run->root_props_ = std::move(root.props);
   run->channel_ = root.node->ClaimOutput();
   run->trace_enabled_ = options_.trace;
+  run->tracker_ = options_.tracker;
   run->clock_.Restart();
+  // The run is heap-owned and joins its nodes before destruction, so the
+  // raw pointer captured by the error handler cannot dangle.
+  EngineRun* raw = run.get();
   for (auto& n : run->nodes_) {
+    n->SetResourceTracker(options_.tracker);
+    n->SetErrorHandler(
+        [raw](std::exception_ptr error) { raw->OnNodeError(std::move(error)); });
     n->Start(options_.trace ? &run->trace_ : nullptr);
   }
   return run;
@@ -134,6 +141,18 @@ void EngineRun::Cancel() {
   for (auto& n : nodes_) n->RequestStop();
 }
 
+void EngineRun::DegradeStop() {
+  for (auto& n : nodes_) n->RequestDrainStop();
+}
+
+void EngineRun::OnNodeError(std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!error_) error_ = std::move(error);
+  }
+  Cancel();
+}
+
 void EngineRun::Collect(const StateCallback& on_state) {
   CheckArg(!collected_, "EngineRun::Collect called twice");
   try {
@@ -147,6 +166,15 @@ void EngineRun::Collect(const StateCallback& on_state) {
     collected_ = true;
     throw;
   }
+  // A node thread died (injected fault, bad expression): the graph was
+  // cancelled and the collector drained empty; surface the original error
+  // to the driver now that every thread is joined.
+  std::exception_ptr node_error;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    node_error = error_;
+  }
+  if (node_error) std::rethrow_exception(node_error);
 }
 
 void EngineRun::CollectImpl(const StateCallback& on_state) {
@@ -161,6 +189,9 @@ void EngineRun::CollectImpl(const StateCallback& on_state) {
     if (batch.empty()) break;  // closed/cancelled and drained
     for (auto& msg : batch) {
       if (cancelled()) break;
+      if (tracker_ != nullptr && msg.frame != nullptr) {
+        tracker_->Credit(msg.frame->ByteSize());
+      }
       if (msg.refresh) {
         content = *msg.frame;
       } else {
@@ -180,6 +211,9 @@ void EngineRun::CollectImpl(const StateCallback& on_state) {
       }
     }
     if (cancelled()) break;
+    // Deadline poll: breaches must be observed even while the graph is
+    // computing without moving memory.
+    if (tracker_ != nullptr) tracker_->CheckBreach();
   }
   for (auto& n : nodes_) n->Join();
 
@@ -190,10 +224,14 @@ void EngineRun::CollectImpl(const StateCallback& on_state) {
 
   // A cancelled run ends without a final state: the root stream was cut
   // mid-query, so `content` is a truncated prefix, not the exact answer.
+  // A *degraded* run (budget breach, kDegrade policy) does deliver its
+  // last state — but its progress must report how far the drain actually
+  // got, not claim a complete input.
+  bool degraded = tracker_ != nullptr && tracker_->breached();
   if (on_state && !cancelled()) {
     OlaState state;
     state.frame = std::make_shared<DataFrame>(std::move(content));
-    state.progress = got_any ? 1.0 : progress;
+    state.progress = (got_any && !degraded) ? 1.0 : progress;
     state.is_final = true;
     state.elapsed_seconds = clock_.ElapsedSeconds();
     state.variances = latest_vars;

@@ -19,8 +19,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/resource.h"
 #include "common/stopwatch.h"
 #include "common/worker_pool.h"
 #include "core/nodes.h"
@@ -58,6 +60,12 @@ struct WakeOptions {
   /// of each engine spawning its own threads. Must outlive the engine and
   /// every EngineRun started from it.
   WorkerPool* pool = nullptr;
+  /// Per-query resource tracker (may be null = unbudgeted). Every node
+  /// charges/credits it as partials and operator state move through the
+  /// graph, and the collector polls it so deadline breaches are observed
+  /// even when no memory moves. Must outlive every EngineRun started with
+  /// it; breach policy lives in the tracker's on_breach callback.
+  ResourceTracker* tracker = nullptr;
 };
 
 /// One converging result state delivered to the caller (an edf state).
@@ -102,6 +110,15 @@ class EngineRun {
   /// race with Collect and with run completion.
   void Cancel();
 
+  /// Requests graceful degradation (the kDegrade budget policy): every
+  /// node is drain-stopped, so sources stop feeding the graph, EOF
+  /// propagates, and downstream operators finish over the truncated input
+  /// — Collect still delivers a genuine last estimate (is_final, with CI)
+  /// whose progress reflects how much data was actually processed.
+  /// Thread-safe, idempotent, typically invoked from the tracker's
+  /// on_breach callback on whichever thread breaches first.
+  void DegradeStop();
+
   bool cancelled() const {
     return cancelled_.load(std::memory_order_acquire);
   }
@@ -119,6 +136,10 @@ class EngineRun {
 
   void CollectImpl(const StateCallback& on_state);
 
+  /// Node-failure hook (see ExecNode::SetErrorHandler): records the first
+  /// error and cancels the graph; Collect rethrows it after joining.
+  void OnNodeError(std::exception_ptr error);
+
   std::vector<std::unique_ptr<ExecNode>> nodes_;
   PlanProps root_props_;
   MessageChannelPtr channel_;  // claimed root output
@@ -126,6 +147,9 @@ class EngineRun {
   TraceLog trace_;
   Stopwatch clock_;  // runs from Start()
   std::atomic<bool> cancelled_{false};
+  ResourceTracker* tracker_ = nullptr;
+  std::mutex error_mu_;
+  std::exception_ptr error_;
   bool collected_ = false;
   size_t buffered_bytes_ = 0;
   std::vector<TraceSpan> spans_;

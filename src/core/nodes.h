@@ -200,7 +200,11 @@ class ShuffleAggNode : public ExecNode {
   void Finish() override;
 
  private:
-  void EmitSnapshot(double progress, bool final_snapshot);
+  /// `keep_scaling` keeps growth-based scaling enabled on a final
+  /// snapshot — used when a budget drain truncated the input and the
+  /// "final" state is still an estimate at `progress` < 1.
+  void EmitSnapshot(double progress, bool final_snapshot,
+                    bool keep_scaling = false);
 
   Schema output_schema_;
   NodeOptions options_;

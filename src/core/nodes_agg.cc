@@ -60,7 +60,11 @@ void LocalAggNode::Finish() {
   if (pending_.num_rows() == 0) return;
   DataFrame complete = std::move(pending_);
   pending_ = DataFrame(input_schema_);
-  EmitComplete(complete, 1.0);
+  // A drain-stopped stream ends at the progress it reached; claiming 1.0
+  // here would launder a prefix into an exact answer downstream.
+  EmitComplete(complete, drain_stopped() && last_progress_ < 1.0
+                             ? last_progress_
+                             : 1.0);
 }
 
 void LocalAggNode::EmitComplete(const DataFrame& complete, double progress) {
@@ -106,12 +110,26 @@ void ShuffleAggNode::Process(size_t, const Message& msg) {
 }
 
 void ShuffleAggNode::Finish() {
-  if (!emitted_final_) EmitSnapshot(1.0, true);
+  if (emitted_final_) return;
+  if (drain_stopped() && last_progress_ < 1.0) {
+    // Budget drain: the input stream closed early, so this snapshot is an
+    // estimate over a prefix — keep the growth scaling pinned at the last
+    // observed progress instead of reporting raw prefix sums as exact.
+    // With no input at all there is no estimate to publish (an empty
+    // aggregate claiming progress 1.0 would read as the exact answer);
+    // the API layer synthesizes the zero-progress terminal instead.
+    if (last_progress_ > 0.0) {
+      EmitSnapshot(last_progress_, true, /*keep_scaling=*/true);
+    }
+    return;
+  }
+  EmitSnapshot(1.0, true);
 }
 
-void ShuffleAggNode::EmitSnapshot(double progress, bool final_snapshot) {
+void ShuffleAggNode::EmitSnapshot(double progress, bool final_snapshot,
+                                  bool keep_scaling) {
   AggScaling scaling;
-  scaling.enabled = !final_snapshot;
+  scaling.enabled = !final_snapshot || keep_scaling;
   scaling.t = progress;
   scaling.w = options_.fixed_growth_w >= 0.0 ? options_.fixed_growth_w
                                              : growth_.w();

@@ -1,6 +1,11 @@
 // ReaderNode, MapNode, FilterNode (Case 1 operators).
 #include "core/nodes.h"
 
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+#include "common/failpoint.h"
 #include "common/worker_pool.h"
 
 namespace wake {
@@ -11,6 +16,11 @@ namespace {
 // row-local, so per-morsel evaluation over slices stitched in morsel
 // order reproduces the serial output exactly.
 constexpr size_t kEvalMorselRows = 32 * 1024;
+
+// Transient read faults (I/O hiccups; injected via the reader.read_batch
+// failpoint) are absorbed by a short bounded retry before the error is
+// allowed to kill the query.
+constexpr int kReadAttempts = 3;
 
 }  // namespace
 
@@ -34,9 +44,20 @@ void ReaderNode::RunSource() {
   size_t total = table_->total_rows();
   size_t seen = 0;
   for (size_t i = 0; i < table_->num_partitions(); ++i) {
-    if (stopped()) return;  // cooperative cancel between partitions
+    if (stopped() || drain_stopped()) return;  // cancel / budget drain
+    if (tracker() != nullptr && tracker()->CheckBreach()) return;
+    for (int attempt = 1;; ++attempt) {
+      try {
+        WAKE_FAILPOINT("reader.read_batch");
+        break;
+      } catch (const Error&) {
+        if (attempt >= kReadAttempts) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+      }
+    }
     const DataFramePtr& part = table_->partition(i);
     seen += part->num_rows();
+    if (tracker() != nullptr) tracker()->ChargeRows(part->num_rows());
     Message msg;
     if (columns_.empty()) {
       msg.frame = part;

@@ -2,6 +2,7 @@
 #include "core/nodes.h"
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace wake {
 
@@ -34,6 +35,7 @@ void HashJoinNode::Process(size_t port, const Message& msg) {
     // realizes the paper's rule that joins on mutable attributes block
     // until the attribute values are final (§3.3).
     if (msg.refresh) table_.Reset();
+    WAKE_FAILPOINT("join.build");
     table_.Insert(*msg.frame, msg.variances.get());
     return;
   }

@@ -59,13 +59,41 @@ void ExecNode::CloseOutputs() {
 }
 
 void ExecNode::Run(TraceLog* trace) {
+  try {
+    RunBody(trace);
+  } catch (...) {
+    // A failing operator must not take the process down (node threads have
+    // no caller to unwind into) and must not let downstream nodes Finish()
+    // over silently truncated input as if it were complete. Latch the stop
+    // flag, unblock everyone touching this node's channels, and hand the
+    // error to the graph owner, who stops the rest of the graph and
+    // rethrows it to the driver.
+    stop_.store(true, std::memory_order_relaxed);
+    std::exception_ptr error = std::current_exception();
+    for (auto& in : inputs_) in->Cancel();
+    merged_->Cancel();
+    for (auto& out : outputs_) out->Cancel();
+    emit_buffering_ = false;
+    emit_buffer_.clear();
+    if (error_handler_) error_handler_(error);
+  }
+  CloseOutputs();
+}
+
+void ExecNode::SyncStateAccounting() {
+  if (tracker_ != nullptr) {
+    tracker_->Sync(BufferedBytes(), &accounted_state_bytes_);
+    tracker_->CheckBreach();
+  }
+}
+
+void ExecNode::RunBody(TraceLog* trace) {
   if (inputs_.empty()) {
     double t0 = trace ? trace->epoch().ElapsedSeconds() : 0.0;
     RunSource();
     if (trace) {
       trace->Record(label_, t0, trace->epoch().ElapsedSeconds());
     }
-    CloseOutputs();
     return;
   }
 
@@ -77,18 +105,27 @@ void ExecNode::Run(TraceLog* trace) {
   forwarders_.reserve(ports);
   for (size_t p = 0; p < ports; ++p) {
     forwarders_.emplace_back([this, p] {
-      std::vector<Tagged> tagged;
-      for (;;) {
-        auto batch = inputs_[p]->ReceiveAll();
-        if (batch.empty()) break;  // closed/cancelled and drained
-        tagged.clear();
-        tagged.reserve(batch.size());
-        for (auto& msg : batch) {
-          tagged.push_back(Tagged{p, false, std::move(msg)});
+      try {
+        std::vector<Tagged> tagged;
+        for (;;) {
+          auto batch = inputs_[p]->ReceiveAll();
+          if (batch.empty()) break;  // closed/cancelled and drained
+          tagged.clear();
+          tagged.reserve(batch.size());
+          for (auto& msg : batch) {
+            tagged.push_back(Tagged{p, false, std::move(msg)});
+          }
+          merged_->SendAll(std::move(tagged));
         }
-        merged_->SendAll(std::move(tagged));
+        merged_->Send(Tagged{p, true, Message{}});
+      } catch (...) {
+        // Same containment as Run(): without the EOF marker the run loop
+        // would wait on this port forever, so cancel the edge and report.
+        std::exception_ptr error = std::current_exception();
+        merged_->Cancel();
+        inputs_[p]->Cancel();
+        if (error_handler_) error_handler_(error);
       }
-      merged_->Send(Tagged{p, true, Message{}});
     });
   }
 
@@ -107,6 +144,11 @@ void ExecNode::Run(TraceLog* trace) {
         --open_ports;
         OnInputClosed(tagged.port);
       } else {
+        if (tracker_ != nullptr && tagged.msg.frame != nullptr) {
+          // The partial left its queue; anything Process retains
+          // reappears in the BufferedBytes sync below.
+          tracker_->Credit(tagged.msg.frame->ByteSize());
+        }
         Process(tagged.port, tagged.msg);
       }
       if (trace) {
@@ -116,6 +158,7 @@ void ExecNode::Run(TraceLog* trace) {
     }
     emit_buffering_ = false;
     FlushEmits();
+    SyncStateAccounting();
   }
   // A stopped node produces no final state: its output stream is already
   // cancelled, and computing a last snapshot would delay shutdown.
@@ -125,13 +168,13 @@ void ExecNode::Run(TraceLog* trace) {
     Finish();
     emit_buffering_ = false;
     FlushEmits();
+    SyncStateAccounting();
     if (trace) {
       trace->Record(label_ + ":finish", t0, trace->epoch().ElapsedSeconds());
     }
   }
   emit_buffering_ = false;
   emit_buffer_.clear();
-  CloseOutputs();
 }
 
 void ExecNode::FlushEmits() {

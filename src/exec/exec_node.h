@@ -11,12 +11,14 @@
 #define WAKE_EXEC_EXEC_NODE_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/channel.h"
+#include "common/resource.h"
 #include "exec/message.h"
 #include "exec/trace.h"
 
@@ -48,6 +50,24 @@ class ExecNode {
 
   const std::string& label() const { return label_; }
 
+  /// Attaches the per-query resource tracker (may be null). The node
+  /// charges emitted partials (per destination channel) and its own
+  /// operator state (BufferedBytes, re-measured per drained batch), and
+  /// credits messages as it consumes them — so the tracker sees
+  /// queued-but-undrained partials plus live operator state. Must be
+  /// called before Start().
+  void SetResourceTracker(ResourceTracker* tracker) { tracker_ = tracker; }
+
+  /// Installs the graph-owner's node-failure hook. A node thread (or one
+  /// of its input forwarders) that exits via exception cancels its own
+  /// channels and reports here instead of terminating the process; the
+  /// owner stops the rest of the graph and surfaces the error. May be
+  /// invoked concurrently from several threads. Must be called before
+  /// Start().
+  void SetErrorHandler(std::function<void(std::exception_ptr)> handler) {
+    error_handler_ = std::move(handler);
+  }
+
   /// Spawns the node thread. `trace` may be null.
   void Start(TraceLog* trace);
 
@@ -65,6 +85,17 @@ class ExecNode {
   /// be called after the graph is fully wired (all AddInput/ClaimOutput
   /// done), i.e. on a started query.
   void RequestStop();
+
+  /// Requests a *drain* stop — the graceful half of budget enforcement.
+  /// Unlike RequestStop() nothing is cancelled: only source loops react
+  /// (they stop feeding the graph and close their outputs), EOF
+  /// propagates, and every downstream node finishes normally over the
+  /// truncated input — so the engine's last snapshot is a genuine
+  /// best-estimate over the data processed so far, CI included.
+  /// Thread-safe and idempotent.
+  void RequestDrainStop() {
+    drain_stop_.store(true, std::memory_order_relaxed);
+  }
 
   /// Approximate bytes currently buffered in node state (hash tables,
   /// pending frames, aggregation state); used for the peak-memory
@@ -91,6 +122,10 @@ class ExecNode {
   /// consumer wakeup per burst instead of one per message. Source nodes
   /// (RunSource) emit immediately so readers keep streaming partials.
   void Emit(Message msg) {
+    if (tracker_ != nullptr && msg.frame != nullptr) {
+      // One charge per destination queue; the consumer credits on drain.
+      tracker_->Charge(msg.frame->ByteSize() * outputs_.size());
+    }
     if (emit_buffering_) {
       emit_buffer_.push_back(std::move(msg));
       // Cap the buffer so a long drained batch (e.g. a join replaying
@@ -111,6 +146,17 @@ class ExecNode {
   /// of work so cancellation latency stays bounded by one partial.
   bool stopped() const { return stop_.load(std::memory_order_relaxed); }
 
+  /// True once RequestDrainStop() was called. Source loops poll it to
+  /// stop feeding the graph; estimate-producing Finish() paths use it to
+  /// keep their scaling at the observed progress instead of claiming a
+  /// complete input.
+  bool drain_stopped() const {
+    return drain_stop_.load(std::memory_order_relaxed);
+  }
+
+  /// The per-query tracker (null when the run is unbudgeted).
+  ResourceTracker* tracker() const { return tracker_; }
+
  private:
   struct Tagged {
     size_t port = 0;
@@ -119,8 +165,12 @@ class ExecNode {
   };
 
   void Run(TraceLog* trace);
+  void RunBody(TraceLog* trace);
 
   void CloseOutputs();
+
+  /// Re-measures operator state and settles the delta with the tracker.
+  void SyncStateAccounting();
 
   /// Max messages buffered before Emit flushes mid-batch.
   static constexpr size_t kEmitFlushBatch = 64;
@@ -139,6 +189,10 @@ class ExecNode {
   std::thread thread_;
   std::vector<uint8_t> ports_closed_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_stop_{false};
+  ResourceTracker* tracker_ = nullptr;
+  std::function<void(std::exception_ptr)> error_handler_;
+  size_t accounted_state_bytes_ = 0;  // node-thread only
   bool emit_buffering_ = false;
   std::vector<Message> emit_buffer_;
 };

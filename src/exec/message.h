@@ -32,6 +32,13 @@ struct Message {
   std::shared_ptr<const VarianceMap> variances;
 };
 
+/// Channel byte accounting: a queued message costs its frame (frames are
+/// shared immutable pointers, so broadcast edges each count the same
+/// frame — a deliberate overcount on the rare shared-subplan fan-outs).
+inline size_t ChannelItemBytes(const Message& msg) {
+  return msg.frame != nullptr ? msg.frame->ByteSize() : 0;
+}
+
 }  // namespace wake
 
 #endif  // WAKE_EXEC_MESSAGE_H_

@@ -1,0 +1,212 @@
+// Per-query resource budgets through the wake::Db session API: graceful
+// OLA degradation (kPartialBudget snapshots with CI), the kFail policy
+// (kResourceExhausted), budget behaviour of each engine, and the
+// idempotency of handle operations after a breach-driven stop. The TSAN
+// CI config runs this binary, so racing charge/credit paths fail loudly.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <utility>
+
+#include "api/db.h"
+#include "common/error.h"
+#include "engine/tpch_fixture.h"
+#include "tpch/queries_sql.h"
+
+namespace wake {
+namespace {
+
+class BudgetTest : public ::testing::Test {
+ protected:
+  const Catalog& cat_ = testing::SharedTpch();
+};
+
+TEST_F(BudgetTest, TinyMemoryBudgetDegradesOlaToPartialSnapshot) {
+  Db db(&cat_);
+  RunOptions run;
+  run.with_ci = true;
+  run.memory_limit_bytes = 16 * 1024;  // far below Q3's working set
+  QueryHandle handle = db.Prepare(tpch::QuerySql(3)).Run(run);
+  QueryResult result = handle.Result();  // must not throw, hang, or crash
+  EXPECT_EQ(result.status, ResultStatus::kPartialBudget);
+  EXPECT_EQ(result.breach, BreachReason::kMemory);
+  EXPECT_LT(result.progress, 1.0);
+  ASSERT_NE(result.frame, nullptr);
+  // The snapshot keeps the query's schema even when the breach outran
+  // every state.
+  EXPECT_EQ(result.frame->num_columns(),
+            db.Prepare(tpch::QuerySql(3)).schema().num_fields());
+  // Final() returns the same degraded snapshot instead of throwing.
+  EXPECT_EQ(handle.Final().num_rows(), result.frame->num_rows());
+}
+
+TEST_F(BudgetTest, FailPolicyRaisesResourceExhausted) {
+  Db db(&cat_);
+  RunOptions run;
+  run.memory_limit_bytes = 16 * 1024;
+  run.on_breach = OnBreach::kFail;
+  QueryHandle handle = db.Prepare(tpch::QuerySql(3)).Run(run);
+  try {
+    handle.Final();
+    FAIL() << "expected kResourceExhausted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kResourceExhausted);
+  }
+  EXPECT_TRUE(handle.done());
+}
+
+TEST_F(BudgetTest, DeadlineDegradesWithPartialStatus) {
+  Db db(&cat_);
+  RunOptions run;
+  run.timeout_ms = 1;  // expires long before Q9 finishes
+  QueryHandle handle = db.Prepare(tpch::QuerySql(9)).Run(run);
+  QueryResult result = handle.Result();
+  if (result.status == ResultStatus::kFinal) {
+    GTEST_SKIP() << "query finished inside the deadline on this machine";
+  }
+  EXPECT_EQ(result.breach, BreachReason::kDeadline);
+  EXPECT_LT(result.progress, 1.0);
+  ASSERT_NE(result.frame, nullptr);
+}
+
+TEST_F(BudgetTest, RowsScannedCapDegrades) {
+  Db db(&cat_);
+  RunOptions run;
+  run.max_rows_scanned = 64;  // smaller than one lineitem partition
+  QueryHandle handle = db.Prepare(tpch::QuerySql(6)).Run(run);
+  QueryResult result = handle.Result();
+  EXPECT_EQ(result.status, ResultStatus::kPartialBudget);
+  EXPECT_EQ(result.breach, BreachReason::kRowsScanned);
+  EXPECT_LT(result.progress, 1.0);
+}
+
+TEST_F(BudgetTest, UnbudgetedRunsAreUnaffected) {
+  Db db(&cat_);
+  PreparedQuery q = db.Prepare(tpch::QuerySql(6));
+  QueryHandle handle = q.Run();
+  QueryResult result = handle.Result();
+  EXPECT_EQ(result.status, ResultStatus::kFinal);
+  EXPECT_EQ(result.breach, BreachReason::kNone);
+  EXPECT_DOUBLE_EQ(result.progress, 1.0);
+}
+
+TEST_F(BudgetTest, GenerousBudgetStillProducesExactFinal) {
+  Db db(&cat_);
+  PreparedQuery q = db.Prepare(tpch::QuerySql(6));
+  RunOptions run;
+  run.memory_limit_bytes = size_t{4} << 30;
+  run.timeout_ms = 600000;
+  run.max_rows_scanned = size_t{1} << 40;
+  QueryHandle budgeted = q.Run(run);
+  QueryResult result = budgeted.Result();
+  EXPECT_EQ(result.status, ResultStatus::kFinal);
+  std::string diff;
+  EXPECT_TRUE(result.frame->ApproxEquals(q.Execute(), 0.0, &diff)) << diff;
+}
+
+TEST_F(BudgetTest, ExactEngineSurfacesResourceExhausted) {
+  Db db(&cat_);
+  RunOptions run;
+  run.engine = QueryEngine::kExact;
+  run.memory_limit_bytes = 16 * 1024;
+  // Policy is irrelevant for a blocking engine: no partial exists, so
+  // kDegrade fails too.
+  QueryHandle handle = db.Prepare(tpch::QuerySql(3)).Run(run);
+  try {
+    handle.Final();
+    FAIL() << "expected kResourceExhausted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kResourceExhausted);
+  }
+}
+
+TEST_F(BudgetTest, ProgressiveEngineDegradesAtChunkBoundaries) {
+  Db db(&cat_);
+  RunOptions run;
+  run.engine = QueryEngine::kProgressive;
+  run.max_rows_scanned = 64;
+  QueryHandle handle =
+      db.Prepare("SELECT l_shipmode, SUM(l_quantity) AS qty FROM lineitem "
+                 "GROUP BY l_shipmode")
+          .Run(run);
+  QueryResult result = handle.Result();
+  EXPECT_EQ(result.status, ResultStatus::kPartialBudget);
+  EXPECT_EQ(result.breach, BreachReason::kRowsScanned);
+  EXPECT_LT(result.progress, 1.0);
+  EXPECT_GT(result.frame->num_rows(), 0u);  // at least one chunk's estimate
+}
+
+TEST_F(BudgetTest, HandleOperationsAreIdempotentAfterBreach) {
+  Db db(&cat_);
+  RunOptions run;
+  run.memory_limit_bytes = 16 * 1024;
+  QueryHandle handle = db.Prepare(tpch::QuerySql(3)).Run(run);
+  // Wait / Final / Result / Cancel in any order and multiplicity.
+  handle.Wait();
+  handle.Wait();
+  DataFrame a = handle.Final();
+  DataFrame b = handle.Final();
+  EXPECT_EQ(a.num_rows(), b.num_rows());
+  handle.Cancel();
+  handle.Cancel();  // double-cancel after the run already stopped
+  QueryResult result = handle.Result();
+  EXPECT_EQ(result.status, ResultStatus::kPartialBudget);
+  // The pull stream still terminates.
+  while (handle.Next(std::chrono::milliseconds(100))) {
+  }
+  EXPECT_TRUE(handle.done());
+}
+
+TEST_F(BudgetTest, MovedFromHandleIsInert) {
+  Db db(&cat_);
+  QueryHandle handle = db.Prepare(tpch::QuerySql(6)).Run();
+  QueryHandle moved = std::move(handle);
+  // The moved-from shell: every operation is safe, none crashes.
+  EXPECT_TRUE(handle.done());
+  EXPECT_FALSE(handle.cancelled());
+  EXPECT_EQ(handle.Next(), std::nullopt);
+  handle.Cancel();
+  handle.Wait();
+  EXPECT_THROW(handle.Final(), Error);
+  EXPECT_THROW(handle.Result(), Error);
+  // The moved-to handle owns the query.
+  EXPECT_EQ(moved.Result().status, ResultStatus::kFinal);
+}
+
+TEST_F(BudgetTest, BoundedStateStreamDropsOldestSnapshots) {
+  Db db(&cat_);
+  RunOptions run;
+  run.max_buffered_states = 2;
+  QueryHandle handle = db.Prepare(tpch::QuerySql(1)).Run(run);
+  handle.Wait();  // never pulled while running: buffer must stay capped
+  // Drain what survived: at most the cap plus the state being delivered
+  // concurrently with a drop.
+  size_t drained = 0;
+  double last_progress = -1.0;
+  bool saw_final = false;
+  while (auto s = handle.Next()) {
+    ++drained;
+    EXPECT_GE(s->progress, last_progress);  // still in order
+    last_progress = s->progress;
+    saw_final = s->is_final;
+  }
+  EXPECT_LE(drained, 3u);
+  // The final state is never the one dropped.
+  EXPECT_TRUE(saw_final);
+  EXPECT_EQ(handle.Final().num_rows(),
+            db.Prepare(tpch::QuerySql(1)).Execute().num_rows());
+}
+
+TEST_F(BudgetTest, BudgetedRunMatchesUnbudgetedResults) {
+  // Charging/crediting must be observation-only: byte-identical results.
+  Db db(&cat_);
+  PreparedQuery q = db.Prepare(tpch::QuerySql(3));
+  RunOptions run;
+  run.memory_limit_bytes = size_t{4} << 30;
+  std::string diff;
+  EXPECT_TRUE(q.Run(run).Final().ApproxEquals(q.Execute(), 0.0, &diff))
+      << diff;
+}
+
+}  // namespace
+}  // namespace wake

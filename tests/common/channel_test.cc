@@ -264,5 +264,60 @@ TEST(ChannelTest, ReceiveForReturnsImmediatelyWhenClosed) {
   EXPECT_FALSE(ch.ReceiveFor(std::chrono::milliseconds(10000)).has_value());
 }
 
+// ---------------------------------------------------------------------------
+// Byte accounting (size() / byte_size()), the hooks the resource layer
+// uses to meter queued-but-undrained partials.
+// ---------------------------------------------------------------------------
+
+// Payload whose queued memory matters; the overload is found by ADL,
+// exactly like Message's.
+struct Sized {
+  size_t bytes = 0;
+};
+size_t ChannelItemBytes(const Sized& s) { return s.bytes; }
+
+TEST(ChannelTest, ByteSizeTracksSendsAndReceives) {
+  Channel<Sized> ch;
+  EXPECT_EQ(ch.size(), 0u);
+  EXPECT_EQ(ch.byte_size(), 0u);
+  ch.Send(Sized{100});
+  ch.Send(Sized{250});
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.byte_size(), 350u);
+  EXPECT_EQ(ch.Receive()->bytes, 100u);
+  EXPECT_EQ(ch.size(), 1u);
+  EXPECT_EQ(ch.byte_size(), 250u);
+  EXPECT_EQ(ch.TryReceive()->bytes, 250u);
+  EXPECT_EQ(ch.byte_size(), 0u);
+}
+
+TEST(ChannelTest, SendAllAccumulatesBytesReceiveAllZeroes) {
+  Channel<Sized> ch;
+  std::vector<Sized> batch;
+  for (size_t i = 1; i <= 4; ++i) batch.push_back(Sized{i * 10});
+  EXPECT_EQ(ch.SendAll(std::move(batch)), 4u);
+  EXPECT_EQ(ch.byte_size(), 100u);
+  EXPECT_EQ(ch.ReceiveAll().size(), 4u);
+  EXPECT_EQ(ch.byte_size(), 0u);
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(ChannelTest, CancelZeroesByteAccounting) {
+  Channel<Sized> ch;
+  ch.Send(Sized{512});
+  ch.Send(Sized{512});
+  ch.Cancel();
+  EXPECT_EQ(ch.size(), 0u);
+  EXPECT_EQ(ch.byte_size(), 0u);
+}
+
+TEST(ChannelTest, PayloadsWithoutAnOverloadCountZeroBytes) {
+  Channel<int> ch;
+  ch.Send(1);
+  ch.Send(2);
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.byte_size(), 0u);  // default ChannelItemBytes
+}
+
 }  // namespace
 }  // namespace wake

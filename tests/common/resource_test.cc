@@ -1,0 +1,267 @@
+// ResourceTracker and AdmissionController unit tests: breach latching,
+// parent (session) accounting, release semantics, FIFO admission.
+#include "common/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace wake {
+namespace {
+
+TEST(ResourceTrackerTest, UnarmedTrackerNeverBreaches) {
+  ResourceTracker t;
+  t.Charge(1u << 30);
+  t.ChargeRows(1u << 30);
+  EXPECT_FALSE(t.CheckBreach());
+  EXPECT_FALSE(t.breached());
+  EXPECT_EQ(t.reason(), BreachReason::kNone);
+}
+
+TEST(ResourceTrackerTest, MemoryBreachLatchesAndFiresCallbackOnce) {
+  ResourceTracker t;
+  QueryBudget budget;
+  budget.memory_limit_bytes = 1000;
+  t.Arm(budget);
+  std::atomic<int> fired{0};
+  t.set_on_breach([&] { ++fired; });
+
+  t.Charge(600);
+  EXPECT_FALSE(t.breached());
+  EXPECT_EQ(t.used_bytes(), 600u);
+
+  t.Charge(500);  // 1100 > 1000
+  EXPECT_TRUE(t.breached());
+  EXPECT_EQ(t.reason(), BreachReason::kMemory);
+  EXPECT_EQ(fired.load(), 1);
+
+  // Latched: more charges change nothing, the callback stays one-shot.
+  t.Charge(10000);
+  EXPECT_EQ(t.reason(), BreachReason::kMemory);
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_TRUE(t.CheckBreach());
+  EXPECT_FALSE(t.BreachMessage().empty());
+}
+
+TEST(ResourceTrackerTest, CreditBalancesAndClampsAtZero) {
+  ResourceTracker t;
+  QueryBudget budget;
+  budget.memory_limit_bytes = 1000;
+  t.Arm(budget);
+  t.Charge(400);
+  t.Credit(300);
+  EXPECT_EQ(t.used_bytes(), 100u);
+  // Crediting more than charged clamps the readable value at zero.
+  t.Credit(500);
+  EXPECT_EQ(t.used_bytes(), 0u);
+  // Balanced traffic below the limit never breaches.
+  for (int i = 0; i < 100; ++i) {
+    t.Charge(900);
+    t.Credit(900);
+  }
+  EXPECT_FALSE(t.breached());
+}
+
+TEST(ResourceTrackerTest, SyncTracksRemeasuredState) {
+  ResourceTracker t;
+  QueryBudget budget;
+  budget.memory_limit_bytes = 1000;
+  t.Arm(budget);
+  size_t accounted = 0;
+  t.Sync(300, &accounted);
+  EXPECT_EQ(accounted, 300u);
+  EXPECT_EQ(t.used_bytes(), 300u);
+  t.Sync(200, &accounted);  // state shrank
+  EXPECT_EQ(accounted, 200u);
+  EXPECT_EQ(t.used_bytes(), 200u);
+  t.Sync(1500, &accounted);  // state grew past the limit
+  EXPECT_TRUE(t.breached());
+  EXPECT_EQ(t.reason(), BreachReason::kMemory);
+}
+
+TEST(ResourceTrackerTest, DeadlineBreachesOnPoll) {
+  ResourceTracker t;
+  QueryBudget budget;
+  budget.timeout_ms = 1;
+  t.Arm(budget);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(t.CheckBreach());
+  EXPECT_EQ(t.reason(), BreachReason::kDeadline);
+}
+
+TEST(ResourceTrackerTest, RowsScannedBreach) {
+  ResourceTracker t;
+  QueryBudget budget;
+  budget.max_rows_scanned = 100;
+  t.Arm(budget);
+  t.ChargeRows(60);
+  EXPECT_FALSE(t.breached());
+  t.ChargeRows(60);
+  EXPECT_TRUE(t.breached());
+  EXPECT_EQ(t.reason(), BreachReason::kRowsScanned);
+  EXPECT_EQ(t.rows_scanned(), 120u);
+}
+
+TEST(ResourceTrackerTest, SessionParentBreachesTheChargingChild) {
+  ResourceTracker session;
+  session.ArmSessionLimit(1000);
+  ResourceTracker a;
+  ResourceTracker b;
+  a.Arm(QueryBudget{}, &session);
+  b.Arm(QueryBudget{}, &session);
+
+  a.Charge(800);
+  EXPECT_FALSE(a.breached());
+  EXPECT_FALSE(session.breached());
+
+  b.Charge(300);  // session total 1100 > 1000
+  EXPECT_TRUE(b.breached());
+  EXPECT_EQ(b.reason(), BreachReason::kSessionMemory);
+  // The well-behaved neighbour keeps running unbreached.
+  EXPECT_FALSE(a.breached());
+
+  // Releasing a child settles its outstanding balance with the session.
+  a.Release();
+  EXPECT_EQ(session.used_bytes(), 300u);
+  b.Release();
+  EXPECT_EQ(session.used_bytes(), 0u);
+}
+
+TEST(ResourceTrackerTest, ReleaseMakesMutatorsNoOps) {
+  ResourceTracker session;
+  session.ArmSessionLimit(1 << 20);
+  ResourceTracker t;
+  t.Arm(QueryBudget{}, &session);
+  t.Charge(500);
+  t.Release();
+  EXPECT_EQ(session.used_bytes(), 0u);
+  // Late traffic (a consumer still draining a state stream) is harmless.
+  t.Charge(400);
+  t.Credit(100);
+  t.ChargeRows(50);
+  EXPECT_EQ(session.used_bytes(), 0u);
+  t.Release();  // idempotent
+}
+
+TEST(ResourceTrackerTest, ConcurrentChargesBreachExactlyOnce) {
+  ResourceTracker t;
+  QueryBudget budget;
+  budget.memory_limit_bytes = 1000;
+  t.Arm(budget);
+  std::atomic<int> fired{0};
+  t.set_on_breach([&] { ++fired; });
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&t] {
+      for (int j = 0; j < 1000; ++j) t.Charge(10);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(t.breached());
+  EXPECT_EQ(fired.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionControllerTest, AdmitsUpToMaxActiveThenQueues) {
+  AdmissionController adm(2, 4);
+  auto t1 = adm.Submit();
+  auto t2 = adm.Submit();
+  EXPECT_EQ(adm.Await(t1, 0), AdmissionController::Outcome::kAdmitted);
+  EXPECT_EQ(adm.Await(t2, 0), AdmissionController::Outcome::kAdmitted);
+  EXPECT_EQ(adm.active(), 2u);
+  auto t3 = adm.Submit();
+  EXPECT_EQ(adm.queued(), 1u);
+  adm.Release(t1);
+  EXPECT_EQ(adm.Await(t3, 0), AdmissionController::Outcome::kAdmitted);
+  EXPECT_EQ(adm.queued(), 0u);
+  adm.Release(t2);
+  adm.Release(t3);
+  EXPECT_EQ(adm.active(), 0u);
+}
+
+TEST(AdmissionControllerTest, FullQueueRejectsSynchronously) {
+  AdmissionController adm(1, 1);
+  auto running = adm.Submit();
+  auto queued = adm.Submit();
+  try {
+    adm.Submit();
+    FAIL() << "expected kQueueFull";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kQueueFull);
+  }
+  adm.Cancel(queued);
+  adm.Release(running);
+}
+
+TEST(AdmissionControllerTest, ZeroQueueDepthMeansImmediateRejection) {
+  AdmissionController adm(1, 0);
+  auto running = adm.Submit();
+  EXPECT_THROW(adm.Submit(), Error);
+  adm.Release(running);
+  // Slot free again: next submit admits.
+  auto next = adm.Submit();
+  EXPECT_EQ(adm.Await(next, 0), AdmissionController::Outcome::kAdmitted);
+  adm.Release(next);
+}
+
+TEST(AdmissionControllerTest, AwaitTimesOutAndLeavesTheQueue) {
+  AdmissionController adm(1, 4);
+  auto running = adm.Submit();
+  auto waiting = adm.Submit();
+  EXPECT_EQ(adm.Await(waiting, 20),
+            AdmissionController::Outcome::kTimedOut);
+  EXPECT_EQ(adm.queued(), 0u);  // timed-out entries do not linger
+  adm.Release(running);
+}
+
+TEST(AdmissionControllerTest, CancelWhileQueuedDequeuesImmediately) {
+  AdmissionController adm(1, 4);
+  auto running = adm.Submit();
+  auto queued = adm.Submit();
+  adm.Cancel(queued);
+  EXPECT_EQ(adm.Await(queued, 0), AdmissionController::Outcome::kCancelled);
+  EXPECT_EQ(adm.queued(), 0u);
+  // A cancelled entry must not absorb the freed slot.
+  auto next = adm.Submit();
+  adm.Release(running);
+  EXPECT_EQ(adm.Await(next, 1000), AdmissionController::Outcome::kAdmitted);
+  adm.Release(next);
+}
+
+TEST(AdmissionControllerTest, AdmissionIsFifo) {
+  AdmissionController adm(1, 8);
+  auto running = adm.Submit();
+  std::vector<AdmissionController::TicketPtr> waiters;
+  for (int i = 0; i < 3; ++i) waiters.push_back(adm.Submit());
+
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&, i] {
+      if (adm.Await(waiters[i], 0) ==
+          AdmissionController::Outcome::kAdmitted) {
+        {
+          std::lock_guard<std::mutex> lock(order_mu);
+          order.push_back(i);
+        }
+        adm.Release(waiters[i]);
+      }
+    });
+  }
+  adm.Release(running);  // start the cascade
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));  // Submit order
+}
+
+}  // namespace
+}  // namespace wake
