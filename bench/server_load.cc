@@ -1,0 +1,166 @@
+// Server load generator: N client threads hammer one in-process
+// wake::Server with a mixed TPC-H workload over real loopback sockets,
+// reporting throughput, latency percentiles, streaming overhead, and
+// robustness counters as one JSON object (the BENCH_server.json format).
+//
+//   build/bench/server_load [--clients N] [--queries-per-client M]
+//                           [--workers N] [--max-concurrent N] [--sf F]
+//
+// Every result is checked byte-identical against the in-process answer,
+// so the number reported is the throughput of *correct* remote serving,
+// not of a path that quietly drops frames under load.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/db.h"
+#include "client/client.h"
+#include "common/error.h"
+#include "server/server.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries_sql.h"
+
+using namespace wake;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t clients = 8;
+  size_t per_client = 6;
+  double sf = 0.02;
+  DbOptions db_options;
+  db_options.max_concurrent_queries = 8;
+  db_options.max_queued = 128;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--clients") {
+      clients = static_cast<size_t>(std::atol(value()));
+    } else if (arg == "--queries-per-client") {
+      per_client = static_cast<size_t>(std::atol(value()));
+    } else if (arg == "--workers") {
+      db_options.workers = static_cast<size_t>(std::atol(value()));
+    } else if (arg == "--max-concurrent") {
+      db_options.max_concurrent_queries =
+          static_cast<size_t>(std::atol(value()));
+    } else if (arg == "--sf") {
+      sf = std::atof(value());
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  tpch::DbgenConfig cfg;
+  cfg.scale_factor = sf;
+  cfg.partitions = 8;
+  Catalog catalog = tpch::Generate(cfg);
+  Db db(&catalog, db_options);
+  Server server(&db);
+  server.Start();
+
+  // The mixed workload: cheap scans, joins, and a grouped aggregate.
+  const std::vector<int> mix = {1, 3, 6, 12, 14, 19};
+  std::vector<DataFrame> truth;
+  truth.reserve(mix.size());
+  for (int q : mix) truth.push_back(db.Prepare(tpch::QuerySql(q)).Execute());
+
+  std::atomic<uint64_t> ok{0}, mismatched{0}, failed{0};
+  std::atomic<uint64_t> snapshots{0}, retries{0};
+  std::vector<double> latencies_ms(clients * per_client, 0.0);
+  auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientOptions copts;
+      copts.port = server.port();
+      copts.client_name = "load-" + std::to_string(c);
+      copts.jitter_seed = 0xB0B0ULL + c;
+      Client client(copts);
+      for (size_t j = 0; j < per_client; ++j) {
+        size_t pick = (c + j) % mix.size();
+        auto q0 = Clock::now();
+        try {
+          QueryResult result = client.Execute(tpch::QuerySql(mix[pick]));
+          latencies_ms[c * per_client + j] = MsSince(q0);
+          std::string diff;
+          if (result.frame != nullptr &&
+              result.frame->ApproxEquals(truth[pick], 0.0, &diff)) {
+            ok.fetch_add(1);
+          } else {
+            mismatched.fetch_add(1);
+            std::fprintf(stderr, "client %zu q%d diverged: %s\n", c,
+                         mix[pick], diff.c_str());
+          }
+        } catch (const Error& e) {
+          failed.fetch_add(1);
+          std::fprintf(stderr, "client %zu q%d failed (%s): %s\n", c,
+                       mix[pick], ErrorCategoryName(e.category()), e.what());
+        }
+      }
+      ClientStats stats = client.stats();
+      snapshots.fetch_add(stats.snapshots_received);
+      retries.fetch_add(stats.execute_retries + stats.reconnects);
+      client.Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  double wall_ms = MsSince(t0);
+  ServerStats sstats = server.stats();
+  server.Shutdown(5000);
+
+  std::vector<double> sorted(latencies_ms);
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t total = ok.load() + mismatched.load() + failed.load();
+  std::printf(
+      "{\"bench\":\"server_load\",\"clients\":%zu,"
+      "\"queries_per_client\":%zu,\"scale_factor\":%.3f,"
+      "\"host_cores\":%u,\"queries_total\":%llu,\"queries_ok\":%llu,"
+      "\"queries_mismatched\":%llu,\"queries_failed\":%llu,"
+      "\"wall_ms\":%.1f,\"queries_per_s\":%.2f,"
+      "\"latency_p50_ms\":%.1f,\"latency_p90_ms\":%.1f,"
+      "\"latency_p99_ms\":%.1f,\"snapshots_streamed\":%llu,"
+      "\"client_retries\":%llu,\"server_snapshots_sent\":%llu,"
+      "\"server_protocol_errors\":%llu,\"server_heartbeat_kills\":%llu}\n",
+      clients, per_client, sf, std::thread::hardware_concurrency(),
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(ok.load()),
+      static_cast<unsigned long long>(mismatched.load()),
+      static_cast<unsigned long long>(failed.load()), wall_ms,
+      1000.0 * static_cast<double>(total) / wall_ms,
+      Percentile(sorted, 0.50), Percentile(sorted, 0.90),
+      Percentile(sorted, 0.99),
+      static_cast<unsigned long long>(snapshots.load()),
+      static_cast<unsigned long long>(retries.load()),
+      static_cast<unsigned long long>(sstats.snapshots_sent),
+      static_cast<unsigned long long>(sstats.protocol_errors),
+      static_cast<unsigned long long>(sstats.heartbeat_kills));
+  return (mismatched.load() + failed.load()) == 0 ? 0 : 1;
+}

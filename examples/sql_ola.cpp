@@ -5,6 +5,7 @@
 //   build/examples/sql_ola [--explain] [--no-optimize]
 //                          [--mode ola|exact|progressive] [--workers N]
 //                          [--timeout-ms N] [--memory-limit-kb N]
+//                          [--connect HOST:PORT]
 //                          ["SELECT ... FROM ..." | --tpch N]
 //
 // --mode selects the engine behind the same handle: ola (Wake, streaming
@@ -17,12 +18,17 @@
 // early and the last converging estimate is printed as a partial answer
 // (with its CI), tagged with the breach reason and the fraction of data
 // processed.
+//
+// --connect HOST:PORT runs the same query against a remote wake_server
+// instead of generating data locally: identical streaming loop, identical
+// final bytes — the handle just happens to be a wake::RemoteQuery.
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
 
 #include "api/db.h"
+#include "client/client.h"
 #include "common/error.h"
 #include "example_env.h"
 #include "tpch/dbgen.h"
@@ -35,6 +41,7 @@ int main(int argc, char** argv) {
   DbOptions db_options;
   RunOptions run_options;
   std::string mode = "ola";
+  std::string connect;
   std::string query =
       "SELECT l_shipmode, SUM(l_extendedprice * (1 - l_discount)) "
       "AS revenue, COUNT(*) AS items FROM lineitem "
@@ -77,6 +84,12 @@ int main(int argc, char** argv) {
         run_options.memory_limit_bytes =
             static_cast<size_t>(std::atol(argv[++i])) * 1024;
         run_options.with_ci = true;
+      } else if (arg == "--connect") {
+        if (i + 1 >= argc) throw Error("--connect needs HOST:PORT");
+        connect = argv[++i];
+        if (connect.rfind(':') == std::string::npos) {
+          throw Error("--connect needs HOST:PORT");
+        }
       } else if (arg == "--tpch") {
         if (i + 1 >= argc) throw Error("--tpch needs a query number (1-22)");
         query = tpch::QuerySql(std::atoi(argv[++i]));
@@ -87,6 +100,67 @@ int main(int argc, char** argv) {
   } catch (const Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
+  }
+
+  // Streaming loop + terminal report, shared by the local QueryHandle and
+  // the remote wake::RemoteQuery — both speak Next()/Result().
+  auto stream_and_report = [](auto& handle) -> int {
+    while (auto s = handle.Next()) {
+      if (!s->is_final && s->frame->num_rows() > 0) {
+        std::printf("estimate at %3.0f%% progress: %zu rows, first row: ",
+                    100 * s->progress, s->frame->num_rows());
+        for (size_t c = 0; c < s->frame->num_columns(); ++c) {
+          std::printf("%s%s", c ? " | " : "",
+                      s->frame->column(c).GetValue(0).ToString().c_str());
+        }
+        std::printf("\n");
+      }
+    }
+    try {
+      QueryResult result = handle.Result();
+      if (result.status == ResultStatus::kPartialBudget) {
+        std::printf(
+            "\npartial answer (budget stop: %s; %.0f%% of data "
+            "processed):\n%s",
+            BreachReasonName(result.breach), 100 * result.progress,
+            result.frame->ToString(15).c_str());
+      } else {
+        std::printf("\nfinal (exact) result:\n%s",
+                    result.frame->ToString(15).c_str());
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s error: %s\n", ErrorCategoryName(e.category()),
+                   e.what());
+      return 1;
+    }
+    return 0;
+  };
+
+  if (!connect.empty()) {
+    size_t colon = connect.rfind(':');
+    ClientOptions client_options;
+    client_options.host = connect.substr(0, colon);
+    client_options.port =
+        static_cast<uint16_t>(std::atoi(connect.c_str() + colon + 1));
+    client_options.client_name = "sql_ola";
+    RemoteRunOptions remote;
+    remote.engine = run_options.engine;
+    remote.with_ci = run_options.with_ci;
+    remote.on_breach = run_options.on_breach;
+    remote.memory_limit_bytes = run_options.memory_limit_bytes;
+    remote.timeout_ms = run_options.timeout_ms;
+    std::printf("query (%s engine, remote %s):\n  %s\n\n", mode.c_str(),
+                connect.c_str(), query.c_str());
+    try {
+      Client client(client_options);
+      RemoteQuery handle = client.Submit(query, remote);
+      return stream_and_report(handle);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s error%s: %s\n",
+                   ErrorCategoryName(e.category()),
+                   e.retryable() ? " (retryable)" : "", e.what());
+      return 1;
+    }
   }
 
   tpch::DbgenConfig cfg;
@@ -111,32 +185,5 @@ int main(int argc, char** argv) {
   }
 
   QueryHandle handle = prepared->Run(run_options);
-  while (auto s = handle.Next()) {
-    if (!s->is_final && s->frame->num_rows() > 0) {
-      std::printf("estimate at %3.0f%% progress: %zu rows, first row: ",
-                  100 * s->progress, s->frame->num_rows());
-      for (size_t c = 0; c < s->frame->num_columns(); ++c) {
-        std::printf("%s%s", c ? " | " : "",
-                    s->frame->column(c).GetValue(0).ToString().c_str());
-      }
-      std::printf("\n");
-    }
-  }
-  try {
-    QueryResult result = handle.Result();
-    if (result.status == ResultStatus::kPartialBudget) {
-      std::printf(
-          "\npartial answer (budget stop: %s; %.0f%% of data processed):\n%s",
-          BreachReasonName(result.breach), 100 * result.progress,
-          result.frame->ToString(15).c_str());
-    } else {
-      std::printf("\nfinal (exact) result:\n%s",
-                  result.frame->ToString(15).c_str());
-    }
-  } catch (const Error& e) {
-    std::fprintf(stderr, "%s error: %s\n", ErrorCategoryName(e.category()),
-                 e.what());
-    return 1;
-  }
-  return 0;
+  return stream_and_report(handle);
 }

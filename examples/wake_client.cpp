@@ -1,0 +1,109 @@
+// Streaming remote client for a running wake_server.
+//
+//   build/examples/wake_client [--connect HOST:PORT] [--tpch N] [--ci]
+//                              [--repeat N] ["SELECT ..."]
+//
+// Connects with exponential backoff (the server may still be starting),
+// submits the query, and renders the stream of converging OLA estimates
+// exactly as an in-process QueryHandle would deliver them — the final
+// frame is byte-identical to local execution. --repeat hammers the same
+// query through Execute(), the retry loop that transparently survives
+// queue-full rejections, reconnects, and drain windows; the run report
+// includes the client's reconnect/resubmission/retry counters.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "client/client.h"
+#include "common/error.h"
+#include "tpch/queries_sql.h"
+
+using namespace wake;
+
+int main(int argc, char** argv) {
+  ClientOptions client_options;
+  client_options.port = 14641;
+  client_options.client_name = "wake_client example";
+  RemoteRunOptions run_options;
+  int repeat = 1;
+  std::string query =
+      "SELECT l_shipmode, SUM(l_extendedprice * (1 - l_discount)) "
+      "AS revenue, COUNT(*) AS items FROM lineitem "
+      "JOIN orders ON l_orderkey = o_orderkey "
+      "WHERE o_orderdate >= DATE '1995-01-01' "
+      "GROUP BY l_shipmode ORDER BY revenue DESC";
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--connect") {
+        if (i + 1 >= argc) throw Error("--connect needs HOST:PORT");
+        std::string target = argv[++i];
+        size_t colon = target.rfind(':');
+        if (colon == std::string::npos) throw Error("--connect needs HOST:PORT");
+        client_options.host = target.substr(0, colon);
+        client_options.port =
+            static_cast<uint16_t>(std::atoi(target.c_str() + colon + 1));
+      } else if (arg == "--tpch") {
+        if (i + 1 >= argc) throw Error("--tpch needs a query number (1-22)");
+        query = tpch::QuerySql(std::atoi(argv[++i]));
+      } else if (arg == "--ci") {
+        run_options.with_ci = true;
+      } else if (arg == "--repeat") {
+        if (i + 1 >= argc) throw Error("--repeat needs a count");
+        repeat = std::atoi(argv[++i]);
+      } else {
+        query = arg;
+      }
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  try {
+    Client client(client_options);
+    client.Connect();
+    std::printf("connected to %s:%u (session %llu)\nquery:\n  %s\n\n",
+                client_options.host.c_str(), client_options.port,
+                static_cast<unsigned long long>(client.session_id()),
+                query.c_str());
+
+    for (int round = 1; round < repeat; ++round) {
+      QueryResult result = client.Execute(query, run_options);
+      std::printf("round %d/%d: %zu rows (%s)\n", round, repeat,
+                  result.frame ? result.frame->num_rows() : 0,
+                  result.status == ResultStatus::kFinal ? "final" : "partial");
+    }
+
+    // Last round streams, so the converging estimates are visible.
+    RemoteQuery handle = client.Submit(query, run_options);
+    while (auto s = handle.Next()) {
+      if (!s->is_final && s->frame->num_rows() > 0) {
+        std::printf("estimate at %3.0f%% progress: %zu rows, first row: ",
+                    100 * s->progress, s->frame->num_rows());
+        for (size_t c = 0; c < s->frame->num_columns(); ++c) {
+          std::printf("%s%s", c ? " | " : "",
+                      s->frame->column(c).GetValue(0).ToString().c_str());
+        }
+        std::printf("\n");
+      }
+    }
+    QueryResult result = handle.Result();
+    std::printf("\nfinal result:\n%s", result.frame->ToString(15).c_str());
+
+    ClientStats stats = client.stats();
+    std::printf(
+        "\nclient: %llu snapshots, %llu reconnects, %llu resubmissions, "
+        "%llu retries\n",
+        static_cast<unsigned long long>(stats.snapshots_received),
+        static_cast<unsigned long long>(stats.reconnects),
+        static_cast<unsigned long long>(stats.resubmissions),
+        static_cast<unsigned long long>(stats.execute_retries));
+    client.Close();
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s error%s: %s\n", ErrorCategoryName(e.category()),
+                 e.retryable() ? " (retryable)" : "", e.what());
+    return 1;
+  }
+}

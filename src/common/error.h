@@ -19,6 +19,18 @@
 //               queue was already at DbOptions::max_queued
 //   kAdmissionTimeout  the run waited in the admission queue longer than
 //               the session's admission timeout
+//   kNetwork    a socket-level failure (connect refused, read/write
+//               timeout, connection reset) — the peer may be fine, retry
+//               is reasonable
+//   kProtocol   the byte stream violated the wire protocol (bad magic,
+//               CRC mismatch, truncated or oversized frame, malformed
+//               message) — retrying the same bytes cannot succeed
+//   kUnavailable  the server is draining for shutdown (or otherwise
+//               refusing new work); retry against a fresh connection
+//
+// Transient categories additionally answer retryable() == true and may
+// carry a retry_after_ms() hint, which wake::Client's backoff loop
+// honors in place of its own schedule.
 #ifndef WAKE_COMMON_ERROR_H_
 #define WAKE_COMMON_ERROR_H_
 
@@ -38,6 +50,9 @@ enum class ErrorCategory : uint8_t {
   kResourceExhausted,
   kQueueFull,
   kAdmissionTimeout,
+  kNetwork,
+  kProtocol,
+  kUnavailable,
 };
 
 /// Human-readable category name ("parse", "plan", ...).
@@ -50,8 +65,27 @@ inline const char* ErrorCategoryName(ErrorCategory c) {
     case ErrorCategory::kResourceExhausted: return "resource-exhausted";
     case ErrorCategory::kQueueFull: return "queue-full";
     case ErrorCategory::kAdmissionTimeout: return "admission-timeout";
+    case ErrorCategory::kNetwork: return "network";
+    case ErrorCategory::kProtocol: return "protocol";
+    case ErrorCategory::kUnavailable: return "unavailable";
   }
   return "unknown";
+}
+
+/// True for categories a client may retry (possibly after a backoff):
+/// transient contention (kQueueFull, kAdmissionTimeout), socket-level
+/// failures (kNetwork), and server drain (kUnavailable). Parse/plan/
+/// execution/protocol errors are deterministic — retrying cannot help.
+inline bool ErrorCategoryRetryable(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kQueueFull:
+    case ErrorCategory::kAdmissionTimeout:
+    case ErrorCategory::kNetwork:
+    case ErrorCategory::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
 }
 
 /// Exception thrown for invalid usage of the wake API (unknown column,
@@ -73,9 +107,22 @@ class Error : public std::runtime_error {
   bool has_position() const { return position_ != kNoPosition; }
   size_t position() const { return position_; }
 
+  /// True if retrying the operation may succeed (category-derived, see
+  /// ErrorCategoryRetryable). wake::Client's backoff loop keys off this.
+  bool retryable() const { return ErrorCategoryRetryable(category_); }
+
+  /// Server-suggested wait before retrying, in milliseconds; 0 = no hint
+  /// (use your own backoff schedule). Only meaningful when retryable().
+  int64_t retry_after_ms() const { return retry_after_ms_; }
+  Error& set_retry_after_ms(int64_t ms) {
+    retry_after_ms_ = ms;
+    return *this;
+  }
+
  private:
   ErrorCategory category_;
   size_t position_;
+  int64_t retry_after_ms_ = 0;
 };
 
 /// Throws wake::Error with `message` if `condition` is false.

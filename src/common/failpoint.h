@@ -34,6 +34,10 @@
 //   channel.send         Channel<T>::Send / SendAll
 //   worker_pool.dispatch WorkerPool loop-runner, once per claimed morsel
 //   join.build           HashJoinNode build-side insert
+//   net.accept           Server accept loop, once per inbound connection
+//   net.read             net::RecvAll, once per socket read
+//   net.write            net::SendAll, once per socket write
+//   net.serialize        Server snapshot encode, once per snapshot
 #ifndef WAKE_COMMON_FAILPOINT_H_
 #define WAKE_COMMON_FAILPOINT_H_
 

@@ -1,0 +1,256 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/error.h"
+#include "common/failpoint.h"
+#include "common/strings.h"
+
+namespace wake {
+namespace net {
+
+namespace {
+
+std::atomic<size_t> g_io_chunk{0};
+
+[[noreturn]] void ThrowNet(const std::string& what) {
+  throw Error(what, ErrorCategory::kNetwork);
+}
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  ThrowNet(what + ": " + strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ThrowErrno("fcntl(O_NONBLOCK)");
+  }
+}
+
+/// Remaining budget of a deadline started `elapsed` ago; <0 = infinite.
+int PollTimeout(int64_t total_ms,
+                std::chrono::steady_clock::time_point start) {
+  if (total_ms < 0) return -1;
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  int64_t left = total_ms - elapsed;
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// poll() one fd for `events`, tolerating EINTR. Returns true when ready.
+bool PollOne(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    int rc = poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) ThrowErrno("poll");
+  }
+}
+
+sockaddr_in ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* node = host.empty() ? "0.0.0.0" : host.c_str();
+  if (inet_pton(AF_INET, node, &addr.sin_addr) != 1) {
+    ThrowNet("cannot parse IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket Listen(const std::string& host, uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket");
+  Socket sock(fd);
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = ResolveV4(host, port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ThrowErrno(StrFormat("bind %s:%u", host.c_str(), port));
+  }
+  if (::listen(fd, backlog) < 0) ThrowErrno("listen");
+  SetNonBlocking(fd);
+  return sock;
+}
+
+uint16_t LocalPort(const Socket& listener) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    ThrowErrno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket Accept(const Socket& listener, int64_t timeout_ms) {
+  if (!PollOne(listener.fd(), POLLIN,
+               timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms))) {
+    return Socket();  // timeout
+  }
+  int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return Socket();  // transient; caller loops
+    }
+    ThrowErrno("accept");
+  }
+  Socket sock(fd);
+  SetNonBlocking(fd);
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Socket Connect(const std::string& host, uint16_t port, int64_t timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket");
+  Socket sock(fd);
+  SetNonBlocking(fd);
+  sockaddr_in addr = ResolveV4(host, port);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    ThrowErrno(StrFormat("connect %s:%u", host.c_str(), port));
+  }
+  if (rc < 0) {
+    if (!PollOne(fd, POLLOUT,
+                 timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms))) {
+      ThrowNet(StrFormat("connect %s:%u: timed out after %lld ms",
+                         host.c_str(), port,
+                         static_cast<long long>(timeout_ms)));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ThrowNet(StrFormat("connect %s:%u: %s", host.c_str(), port,
+                         strerror(err != 0 ? err : errno)));
+    }
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+void SendAll(const Socket& sock, const void* data, size_t n,
+             int64_t timeout_ms) {
+  WAKE_FAILPOINT("net.write");
+  if (!sock.valid()) ThrowNet("send on closed socket");
+  const char* p = static_cast<const char*>(data);
+  auto start = std::chrono::steady_clock::now();
+  size_t sent = 0;
+  while (sent < n) {
+    size_t chunk = n - sent;
+    size_t cap = g_io_chunk.load(std::memory_order_relaxed);
+    if (cap != 0 && chunk > cap) chunk = cap;
+    ssize_t rc = ::send(sock.fd(), p + sent, chunk, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int left = PollTimeout(timeout_ms, start);
+      if (timeout_ms >= 0 && left == 0) {
+        ThrowNet(StrFormat("write stalled: %zu/%zu bytes after %lld ms "
+                           "(slow or dead peer)",
+                           sent, n, static_cast<long long>(timeout_ms)));
+      }
+      PollOne(sock.fd(), POLLOUT, left);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    ThrowErrno("send");
+  }
+}
+
+RecvStatus RecvAll(const Socket& sock, void* data, size_t n,
+                   int64_t idle_timeout_ms, int64_t io_timeout_ms) {
+  WAKE_FAILPOINT("net.read");
+  if (!sock.valid()) ThrowNet("recv on closed socket");
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  auto start = std::chrono::steady_clock::now();
+  bool first_byte = true;
+  while (got < n) {
+    size_t chunk = n - got;
+    size_t cap = g_io_chunk.load(std::memory_order_relaxed);
+    if (cap != 0 && chunk > cap) chunk = cap;
+    ssize_t rc = ::recv(sock.fd(), p + got, chunk, 0);
+    if (rc > 0) {
+      if (first_byte) {
+        // The idle wait ended; the rest of the buffer runs on the I/O
+        // budget, measured from the first byte.
+        first_byte = false;
+        start = std::chrono::steady_clock::now();
+      }
+      got += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (got == 0) return RecvStatus::kEof;
+      ThrowNet(StrFormat("torn read: peer closed after %zu/%zu bytes", got,
+                         n));
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      int64_t budget = first_byte ? idle_timeout_ms : io_timeout_ms;
+      int left = PollTimeout(budget, start);
+      if (budget >= 0 && left == 0) {
+        if (first_byte) return RecvStatus::kIdle;
+        ThrowNet(StrFormat("torn read: %zu/%zu bytes after %lld ms", got, n,
+                           static_cast<long long>(budget)));
+      }
+      PollOne(sock.fd(), POLLIN, left);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    ThrowErrno("recv");
+  }
+  return RecvStatus::kOk;
+}
+
+void TestSetIoChunk(size_t max_bytes) {
+  g_io_chunk.store(max_bytes, std::memory_order_relaxed);
+}
+
+}  // namespace net
+}  // namespace wake

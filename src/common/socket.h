@@ -1,0 +1,100 @@
+// Minimal POSIX TCP layer for the query server and client.
+//
+// Everything here is deadline-driven: reads and writes go through
+// poll(2) with a millisecond budget so a dead or stalled peer surfaces
+// as wake::Error(kNetwork) in bounded time instead of wedging a thread
+// forever. Sockets are non-blocking; SIGPIPE is suppressed per-send
+// (MSG_NOSIGNAL) so a peer that vanished mid-write is an error return,
+// never a process signal.
+//
+// Failure injection for the chaos suite:
+//  - WAKE_FAILPOINT sites "net.read" / "net.write" fire once per
+//    Recv/Send call (see common/failpoint.h; "net.accept" and
+//    "net.serialize" live in the server).
+//  - TestSetIoChunk(n) caps every send/recv syscall at n bytes,
+//    deterministically exercising partial reads/writes and frame
+//    reassembly across syscall boundaries. 0 (default) disables.
+#ifndef WAKE_COMMON_SOCKET_H_
+#define WAKE_COMMON_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wake {
+namespace net {
+
+/// RAII file-descriptor wrapper; move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Closes the descriptor (idempotent).
+  void Close();
+
+  /// shutdown(SHUT_RDWR): unblocks any thread sleeping in poll on this
+  /// socket (reads see EOF, writes fail) without racing the fd's reuse
+  /// the way Close() would. Safe to call from another thread.
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (port 0 = ephemeral). Throws
+/// wake::Error(kNetwork) on failure.
+Socket Listen(const std::string& host, uint16_t port, int backlog = 64);
+
+/// Port the listening socket is bound to (resolves ephemeral binds).
+uint16_t LocalPort(const Socket& listener);
+
+/// Accepts one connection, waiting at most `timeout_ms` (<0 = forever).
+/// Returns an invalid Socket on timeout or on a transient accept error
+/// (EINTR, ECONNABORTED); throws wake::Error(kNetwork) when the listener
+/// itself is dead (closed / shut down).
+Socket Accept(const Socket& listener, int64_t timeout_ms);
+
+/// Connects to host:port within `timeout_ms`. Throws
+/// wake::Error(kNetwork) — a retryable category — on refusal or timeout.
+Socket Connect(const std::string& host, uint16_t port, int64_t timeout_ms);
+
+/// Writes all `n` bytes within `timeout_ms` (<0 = forever; the budget
+/// spans the whole write, not each syscall). Throws wake::Error(kNetwork)
+/// on timeout, reset, or a closed socket.
+void SendAll(const Socket& sock, const void* data, size_t n,
+             int64_t timeout_ms);
+
+/// Result of RecvAll's first byte.
+enum class RecvStatus : uint8_t {
+  kOk,    // all n bytes read
+  kEof,   // orderly shutdown before the FIRST byte (clean close)
+  kIdle,  // idle_timeout_ms elapsed before the FIRST byte
+};
+
+/// Reads exactly `n` bytes. The first byte may wait `idle_timeout_ms`
+/// (<0 = forever) and its absence is reported as kIdle/kEof rather than
+/// an error — that is the server's heartbeat poll. Once the first byte
+/// arrives the remaining bytes must land within `io_timeout_ms`; EOF or
+/// timeout mid-buffer throws wake::Error(kNetwork) ("torn read").
+RecvStatus RecvAll(const Socket& sock, void* data, size_t n,
+                   int64_t idle_timeout_ms, int64_t io_timeout_ms);
+
+/// Test hook: cap each send/recv syscall at `max_bytes` (0 = off).
+/// Process-wide; the partial-write chaos tests use this to force frame
+/// fragmentation on both ends of a loopback connection.
+void TestSetIoChunk(size_t max_bytes);
+
+}  // namespace net
+}  // namespace wake
+
+#endif  // WAKE_COMMON_SOCKET_H_

@@ -1,0 +1,91 @@
+#include "common/wire.h"
+
+#include "common/strings.h"
+
+namespace wake {
+namespace wire {
+
+namespace {
+
+struct CrcTable {
+  uint32_t entries[256];
+  CrcTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const CrcTable& Table() {
+  static const CrcTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const CrcTable& table = Table();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void EncodeFrameHeader(const FrameHeader& header, uint8_t* out) {
+  auto le32 = [](uint8_t* p, uint32_t v) {
+    p[0] = v & 0xff;
+    p[1] = (v >> 8) & 0xff;
+    p[2] = (v >> 16) & 0xff;
+    p[3] = (v >> 24) & 0xff;
+  };
+  le32(out, kMagic);
+  out[4] = header.version;
+  out[5] = header.type;
+  out[6] = 0;
+  out[7] = 0;
+  le32(out + 8, header.payload_len);
+  le32(out + 12, header.crc);
+}
+
+FrameHeader DecodeFrameHeader(const uint8_t* data, size_t max_payload) {
+  auto le32 = [](const uint8_t* p) {
+    return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+  };
+  uint32_t magic = le32(data);
+  if (magic != kMagic) {
+    throw Error(StrFormat("bad frame magic 0x%08x (stream out of sync?)",
+                          magic),
+                ErrorCategory::kProtocol);
+  }
+  FrameHeader header;
+  header.version = data[4];
+  if (header.version != kProtocolVersion) {
+    throw Error(StrFormat("unsupported protocol version %u (want %u)",
+                          header.version, kProtocolVersion),
+                ErrorCategory::kProtocol);
+  }
+  if (data[6] != 0 || data[7] != 0) {
+    throw Error("nonzero reserved bytes in frame header",
+                ErrorCategory::kProtocol);
+  }
+  header.type = data[5];
+  header.payload_len = le32(data + 8);
+  header.crc = le32(data + 12);
+  if (header.payload_len > max_payload) {
+    throw Error(StrFormat("oversized frame: %u bytes (limit %zu)",
+                          header.payload_len, max_payload),
+                ErrorCategory::kProtocol);
+  }
+  return header;
+}
+
+}  // namespace wire
+}  // namespace wake

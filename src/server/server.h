@@ -1,0 +1,187 @@
+// wake::Server — the TCP front end over a wake::Db session.
+//
+// Each accepted connection gets a reader thread speaking the frame
+// protocol (server/protocol.h); each submitted query maps onto one
+// wake::QueryHandle whose snapshots a dedicated pump thread streams back
+// over the socket. Robustness invariants, all chaos-tested
+// (tests/chaos/net_chaos_test.cc):
+//
+//  - A killed connection (EOF, reset, heartbeat timeout) cancels every
+//    in-flight handle of that connection — a vanished dashboard never
+//    leaks a running query.
+//  - A slow consumer stalls only its own socket writes; the query keeps
+//    refining under a bounded snapshot backlog (RunOptions::
+//    max_buffered_states, drop-oldest), so intermediate snapshots are
+//    skipped but the FINAL snapshot is always delivered. A write stalled
+//    past write_timeout_ms declares the connection dead.
+//  - Graceful drain (Shutdown): stop accepting, tell every client
+//    (kDrain), let in-flight queries finish until the deadline, then
+//    cooperatively cancel the stragglers. Every query terminates; no
+//    thread is left behind.
+//  - Failpoint sites net.accept / net.read / net.write / net.serialize
+//    let the chaos suite inject faults at every stage of the path.
+//
+// Connection lifecycle state machine (one reader thread per connection):
+//
+//   ACCEPTED --hello/welcome--> SERVING --kDrain--> DRAINING
+//       |                         |  |                 |
+//       |  handshake timeout      |  +--EOF/timeout/protocol error--+
+//       v                         v                                 v
+//    CLOSED <----------------- CLOSING  (cancel handles, join pumps)
+//
+// wake::Serve(db, options) is the blocking convenience used by
+// examples/wake_server.cpp: Start(), wait for SIGINT/SIGTERM, then
+// Shutdown(drain) — the unit-testable pieces stay on the Server class.
+#ifndef WAKE_SERVER_SERVER_H_
+#define WAKE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/db.h"
+#include "common/socket.h"
+
+namespace wake {
+
+namespace protocol {
+enum class FrameType : uint8_t;
+}
+
+struct ServerOptions {
+  /// Bind address. Defaults to loopback; set "0.0.0.0" to serve remotely.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (read the bound port back with Server::port()).
+  uint16_t port = 0;
+  /// Connections beyond this are accepted and immediately told goodbye
+  /// (retryable kUnavailable), so a client sees a categorized rejection
+  /// instead of a silent queue.
+  size_t max_connections = 256;
+  /// A new connection must complete the hello/welcome handshake within
+  /// this budget or it is dropped (half-open connection hygiene).
+  int64_t handshake_timeout_ms = 5000;
+  /// The reader wakes at this cadence to check liveness and send pings
+  /// over idle connections.
+  int64_t heartbeat_interval_ms = 500;
+  /// A connection with no inbound traffic for this long is declared dead
+  /// and its queries cancelled. Also bounds how long a mid-frame read may
+  /// stall.
+  int64_t heartbeat_timeout_ms = 5000;
+  /// A frame write (snapshot push) stalled longer than this declares the
+  /// connection dead — the slow-consumer kill switch.
+  int64_t write_timeout_ms = 5000;
+  /// Frames larger than this are rejected (kProtocol) in either
+  /// direction.
+  size_t max_frame_bytes = 64u << 20;
+  /// Upper bound on any query's snapshot backlog (and the default when a
+  /// client asks for 0 = unbounded): remote streams always run bounded,
+  /// drop-oldest — that is what keeps a slow dashboard from buffering
+  /// the whole query history server-side.
+  size_t max_snapshot_backlog = 4;
+  /// retry_after_ms hint attached to retryable rejections (queue full,
+  /// drain) when the underlying error carries none.
+  int64_t retry_hint_ms = 100;
+  /// Drain budget used by Serve() on SIGTERM/SIGINT.
+  int64_t drain_timeout_ms = 5000;
+};
+
+/// Counters for tests, the drain loop, and ops visibility. Snapshot
+/// semantics: values are read individually (no cross-field atomicity).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  size_t active_connections = 0;
+  uint64_t queries_started = 0;
+  size_t active_queries = 0;
+  uint64_t snapshots_sent = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t heartbeat_kills = 0;
+};
+
+class Server {
+ public:
+  /// `db` must outlive the server. Options are fixed at construction.
+  Server(Db* db, ServerOptions options = {});
+  ~Server();  // Stop() if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Throws
+  /// wake::Error(kNetwork) if the address cannot be bound.
+  void Start();
+
+  /// Bound port (useful with port 0). Valid after Start().
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, announce kDrain to every client,
+  /// wait up to `drain_timeout_ms` for in-flight queries to finish, then
+  /// cooperatively cancel the rest and close every connection. Returns
+  /// true when every query finished naturally within the deadline
+  /// (false = at least one had to be cancelled). Idempotent.
+  bool Shutdown(int64_t drain_timeout_ms);
+
+  /// Immediate stop: Shutdown with a zero drain budget.
+  void Stop() { Shutdown(0); }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection;
+
+  /// Best-effort frame write; a failure condemns the connection (shuts
+  /// the socket down so its reader unwinds) and returns false.
+  static bool WriteFrame(Connection& conn, protocol::FrameType type,
+                         const std::string& payload, int64_t timeout_ms,
+                         size_t max_frame_bytes);
+
+  void AcceptLoop();
+  void ServeConnection(const std::shared_ptr<Connection>& conn);
+  void HandleSubmit(const std::shared_ptr<Connection>& conn,
+                    const std::string& payload);
+  void PumpQuery(const std::shared_ptr<Connection>& conn, uint64_t query_id);
+  void TeardownConnection(const std::shared_ptr<Connection>& conn);
+  void ReapFinishedConnections();
+
+  Db* db_;
+  ServerOptions options_;
+  net::Socket listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  // Query completion tracking for the drain loop.
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> queries_started_{0};
+  std::atomic<size_t> active_queries_{0};
+  std::atomic<uint64_t> snapshots_sent_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> heartbeat_kills_{0};
+};
+
+/// Blocking convenience for server binaries: Start(), wait for SIGTERM /
+/// SIGINT, Shutdown(options.drain_timeout_ms). Returns 0 on a clean
+/// drain, 1 when stragglers had to be cancelled. Signal disposition is
+/// process-wide: call from the main thread before spawning other signal-
+/// sensitive machinery.
+int Serve(Db& db, ServerOptions options = {});
+
+}  // namespace wake
+
+#endif  // WAKE_SERVER_SERVER_H_

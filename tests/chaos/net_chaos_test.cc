@@ -1,0 +1,331 @@
+// Network chaos suite: the full server/client path under injected
+// faults at the four net.* failpoint sites (accept, read, write,
+// serialize), plus abrupt mid-stream disconnects and drain-under-load.
+//
+// Built in every configuration; skips without -DWAKE_FAILPOINTS=ON (the
+// registry exists, the sites don't). The CI `build-failpoints` job runs
+// this binary under ASAN with WAKE_CHAOS_ITERS=100.
+//
+// Invariants under network fault injection:
+//   - no hang: every Execute()/Submit() reaches a terminal outcome;
+//   - that outcome is exactly one of {byte-identical final result,
+//     categorized retryable error, categorized fatal error} — never a
+//     crash, a torn frame accepted as valid, or a leaked server query;
+//   - transient faults (capped specs) are absorbed by the client's
+//     reconnect/backoff machinery and leave the result exact;
+//   - a vanished client cancels its server-side queries within the
+//     heartbeat window;
+//   - serialization faults drop only intermediate snapshots — a final
+//     that cannot be encoded surfaces as a terminal error.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/db.h"
+#include "client/client.h"
+#include "common/error.h"
+#include "common/failpoint.h"
+#include "common/socket.h"
+#include "engine/tpch_fixture.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "tpch/queries_sql.h"
+
+namespace wake {
+namespace {
+
+using protocol::FrameType;
+
+bool FailpointsCompiledIn() {
+#ifdef WAKE_FAILPOINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+int ChaosIterations() {
+  if (const char* env = std::getenv("WAKE_CHAOS_ITERS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 20;
+}
+
+bool EventuallyMs(int64_t budget_ms, const std::function<bool()>& pred) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(budget_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+ServerOptions ChaosServer() {
+  ServerOptions options;
+  options.heartbeat_interval_ms = 50;
+  options.heartbeat_timeout_ms = 1000;
+  options.write_timeout_ms = 2000;
+  options.retry_hint_ms = 20;
+  return options;
+}
+
+ClientOptions ChaosClient(uint16_t port) {
+  ClientOptions options;
+  options.port = port;
+  options.connect_timeout_ms = 2000;
+  options.io_timeout_ms = 5000;
+  options.heartbeat_interval_ms = 50;
+  options.heartbeat_timeout_ms = 1000;
+  options.backoff.initial_ms = 10;
+  options.backoff.max_ms = 100;
+  options.backoff.max_attempts = 8;
+  return options;
+}
+
+class NetChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!FailpointsCompiledIn()) {
+      GTEST_SKIP() << "built without WAKE_FAILPOINTS; no sites to fire";
+    }
+    failpoint::Reset();
+  }
+  void TearDown() override { failpoint::Reset(); }
+
+  const Catalog& cat_ = testing::SharedTpch();
+};
+
+/// A retryable category is an acceptable terminal outcome under chaos;
+/// anything else must be one of the explicitly fatal kinds.
+void ExpectCategorized(const Error& e) {
+  EXPECT_TRUE(e.retryable() || e.category() == ErrorCategory::kProtocol ||
+              e.category() == ErrorCategory::kExecution ||
+              e.category() == ErrorCategory::kCancelled)
+      << "uncategorized chaos outcome: " << ErrorCategoryName(e.category())
+      << ": " << e.what();
+}
+
+TEST_F(NetChaosTest, ClientBackoffRecoversDroppedAccepts) {
+  Db db(&cat_);
+  Server server(&db, ChaosServer());
+  server.Start();
+  DataFrame local = db.Prepare(tpch::QuerySql(6)).Execute();
+
+  // The first three inbound connections die server-side before the
+  // handshake; the client's backoff must ride through all of them.
+  failpoint::Configure("net.accept", "error(1.0)*3");
+  Client client(ChaosClient(server.port()));
+  QueryResult result = client.Execute(tpch::QuerySql(6));
+  EXPECT_EQ(failpoint::Hits("net.accept"), 3u);
+  std::string diff;
+  EXPECT_TRUE(result.frame->ApproxEquals(local, 0.0, &diff)) << diff;
+  server.Stop();
+}
+
+TEST_F(NetChaosTest, CappedReadFaultsAreAbsorbed) {
+  Db db(&cat_);
+  Server server(&db, ChaosServer());
+  server.Start();
+  DataFrame local = db.Prepare(tpch::QuerySql(6)).Execute();
+  Client client(ChaosClient(server.port()));
+  // Warm the connection so the fault lands mid-session, then kill the
+  // next two socket reads (whichever side issues them): both sides treat
+  // it as a disconnect and the client reconnects + resubmits.
+  client.Connect();
+  failpoint::Configure("net.read", "error(1.0)*2");
+  QueryResult result = client.Execute(tpch::QuerySql(6));
+  std::string diff;
+  EXPECT_TRUE(result.frame->ApproxEquals(local, 0.0, &diff)) << diff;
+  EXPECT_GE(failpoint::Hits("net.read"), 2u);
+  server.Stop();
+}
+
+TEST_F(NetChaosTest, CappedWriteFaultsAreAbsorbed) {
+  Db db(&cat_);
+  Server server(&db, ChaosServer());
+  server.Start();
+  DataFrame local = db.Prepare(tpch::QuerySql(6)).Execute();
+  Client client(ChaosClient(server.port()));
+  client.Connect();
+  failpoint::Configure("net.write", "error(1.0)*2");
+  QueryResult result = client.Execute(tpch::QuerySql(6));
+  std::string diff;
+  EXPECT_TRUE(result.frame->ApproxEquals(local, 0.0, &diff)) << diff;
+  server.Stop();
+}
+
+/// Probabilistic sweep over the read/write path: every query must reach
+/// a categorized terminal outcome — success and retryable failure are
+/// both acceptable; hangs, crashes, and mystery categories are not.
+TEST_F(NetChaosTest, ReadWriteFaultSweepNeverHangsOrTearsResults) {
+  Db db(&cat_);
+  Server server(&db, ChaosServer());
+  server.Start();
+  DataFrame local = db.Prepare(tpch::QuerySql(6)).Execute();
+
+  const int iters = ChaosIterations();
+  int successes = 0;
+  int failures = 0;
+  for (int i = 0; i < iters; ++i) {
+    // Alternate which site misbehaves; low probability so some streams
+    // survive end to end and prove byte-identity under partial faults.
+    failpoint::Configure("net.read", i % 2 == 0 ? "error(0.01)" : "off");
+    failpoint::Configure("net.write", i % 2 == 1 ? "error(0.01)" : "off");
+    ClientOptions copts = ChaosClient(server.port());
+    copts.backoff.max_attempts = 4;
+    copts.jitter_seed = 0xC4405ULL + static_cast<uint64_t>(i);
+    Client client(copts);
+    try {
+      QueryResult result = client.Execute(tpch::QuerySql(6));
+      ASSERT_TRUE(result.frame != nullptr);
+      std::string diff;
+      EXPECT_TRUE(result.frame->ApproxEquals(local, 0.0, &diff))
+          << "iter " << i << " survived chaos but diverged: " << diff;
+      ++successes;
+    } catch (const Error& e) {
+      ExpectCategorized(e);
+      ++failures;
+    }
+    client.Close();
+  }
+  failpoint::Reset();
+  EXPECT_EQ(successes + failures, iters);
+  // The server must not have leaked queries or connections either way.
+  EXPECT_TRUE(EventuallyMs(5000, [&] {
+    ServerStats stats = server.stats();
+    return stats.active_queries == 0 && stats.active_connections == 0;
+  }));
+  // And with chaos off, the path is immediately healthy again.
+  Client clean(ChaosClient(server.port()));
+  QueryResult result = clean.Execute(tpch::QuerySql(6));
+  std::string diff;
+  EXPECT_TRUE(result.frame->ApproxEquals(local, 0.0, &diff)) << diff;
+  server.Stop();
+}
+
+TEST_F(NetChaosTest, SerializeFaultsDropOnlyIntermediateSnapshots) {
+  Db db(&cat_);
+  Server server(&db, ChaosServer());
+  server.Start();
+  DataFrame local = db.Prepare(tpch::QuerySql(1)).Execute();
+  Client client(ChaosClient(server.port()));
+
+  // The first two snapshot encodes fail: both are intermediates (the
+  // stream has many), both are silently skipped, and the final still
+  // arrives byte-identical.
+  failpoint::Configure("net.serialize", "error(1.0)*2");
+  RemoteQuery handle = client.Submit(tpch::QuerySql(1));
+  bool saw_final = false;
+  while (auto s = handle.Next()) saw_final = s->is_final;
+  EXPECT_TRUE(saw_final);
+  QueryResult result = handle.Result();
+  EXPECT_EQ(failpoint::Hits("net.serialize"), 2u);
+  std::string diff;
+  EXPECT_TRUE(result.frame->ApproxEquals(local, 0.0, &diff)) << diff;
+  server.Stop();
+}
+
+TEST_F(NetChaosTest, UnserializableFinalSurfacesAsTerminalError) {
+  Db db(&cat_);
+  Server server(&db, ChaosServer());
+  server.Start();
+  Client client(ChaosClient(server.port()));
+  // Every snapshot encode fails, the final included: the client must
+  // see a terminal kExecution error — never a hang, never silence.
+  failpoint::Configure("net.serialize", "error(1.0)");
+  RemoteQuery handle = client.Submit(tpch::QuerySql(6));
+  try {
+    handle.Result();
+    FAIL() << "expected the unserializable final to surface as an error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kExecution);
+  }
+  server.Stop();
+}
+
+TEST_F(NetChaosTest, MidStreamKillCancelsServerQueryWithinHeartbeat) {
+  Db db(&cat_);
+  ServerOptions options = ChaosServer();
+  options.heartbeat_interval_ms = 50;
+  options.heartbeat_timeout_ms = 400;
+  Server server(&db, options);
+  server.Start();
+
+  // Stretch the query so it is reliably mid-flight when the socket dies.
+  failpoint::Configure("channel.send", "delay(2ms)");
+
+  // Raw wire session: handshake, submit, read one snapshot, then vanish
+  // without so much as a goodbye.
+  net::Socket raw = net::Connect("127.0.0.1", server.port(), 2000);
+  protocol::Hello hello;
+  hello.client_name = "rude";
+  protocol::SendFrame(raw, FrameType::kHello, protocol::Encode(hello), 2000,
+                      64u << 20);
+  protocol::RecvResult welcome =
+      protocol::RecvFrame(raw, 2000, 2000, 64u << 20);
+  ASSERT_EQ(welcome.type, FrameType::kWelcome);
+  protocol::Submit submit;
+  submit.query_id = 1;
+  submit.sql = tpch::QuerySql(9);
+  protocol::SendFrame(raw, FrameType::kSubmit, protocol::Encode(submit), 2000,
+                      64u << 20);
+  ASSERT_TRUE(EventuallyMs(5000, [&] {
+    return server.stats().active_queries == 1;
+  }));
+  raw.Close();  // abrupt: RST/EOF, no cancel, no goodbye
+
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(EventuallyMs(3000, [&] {
+    return server.stats().active_queries == 0;
+  })) << "server kept running a query for a vanished client";
+  auto detect_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  // EOF detection is bounded by the heartbeat/poll cadence plus the
+  // cooperative-cancel latency of the engine, not by the full timeout.
+  EXPECT_LT(detect_ms, 2000) << "cancel took too long after the kill";
+  server.Stop();
+}
+
+TEST_F(NetChaosTest, DrainUnderChaosTerminatesEverything) {
+  Db db(&cat_);
+  Server server(&db, ChaosServer());
+  server.Start();
+  Client client(ChaosClient(server.port()));
+
+  failpoint::Configure("channel.send", "delay(1ms)");
+  RemoteQuery slow = client.Submit(tpch::QuerySql(9));
+  ASSERT_TRUE(slow.Next().has_value());
+  failpoint::Configure("net.write", "error(0.02)");
+
+  // Either outcome of the race is legal: a write fault can condemn the
+  // connection first (query cancelled, drain trivially clean) or the
+  // stretched Q9 overruns the budget (stragglers cancelled, not clean).
+  // What must hold: Shutdown returns, and every handle terminates.
+  server.Shutdown(100);
+  try {
+    QueryResult result = slow.Result();
+    EXPECT_TRUE(result.frame != nullptr);  // won the race, fine
+  } catch (const Error& e) {
+    ExpectCategorized(e);
+  }
+  // Submitting against the drained server fails categorized, not hung.
+  try {
+    client.Execute(tpch::QuerySql(6));
+    FAIL() << "the server is gone; Execute cannot succeed";
+  } catch (const Error& e) {
+    ExpectCategorized(e);
+  }
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace wake

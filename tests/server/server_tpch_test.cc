@@ -1,0 +1,60 @@
+// Acceptance sweep: every TPC-H query executed through the server must
+// be byte-identical to the same query run in-process against the same
+// Db. This is the end-to-end guarantee that serialization, streaming,
+// and the client reassembly path add exactly nothing to the result.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "api/db.h"
+#include "client/client.h"
+#include "engine/tpch_fixture.h"
+#include "server/server.h"
+#include "tpch/queries_sql.h"
+
+namespace wake {
+namespace {
+
+class ServerTpchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Db>(&testing::SharedTpch());
+    server_ = std::make_unique<Server>(db_.get());
+    server_->Start();
+    ClientOptions copts;
+    copts.port = server_->port();
+    client_ = std::make_unique<Client>(copts);
+  }
+
+  void TearDown() override {
+    client_->Close();
+    server_->Stop();
+  }
+
+  std::unique_ptr<Db> db_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<Client> client_;
+};
+
+class ServerTpchQuery : public ServerTpchTest,
+                        public ::testing::WithParamInterface<int> {};
+
+TEST_P(ServerTpchQuery, RemoteMatchesLocalExactly) {
+  const int q = GetParam();
+  DataFrame local = db_->Prepare(tpch::QuerySql(q)).Execute();
+  QueryResult remote = client_->Execute(tpch::QuerySql(q));
+  ASSERT_TRUE(remote.frame != nullptr);
+  EXPECT_EQ(remote.status, ResultStatus::kFinal);
+  std::string diff;
+  EXPECT_TRUE(remote.frame->ApproxEquals(local, 0.0, &diff))
+      << "q" << q << " diverged over the wire: " << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, ServerTpchQuery, ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace wake
