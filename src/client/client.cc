@@ -230,10 +230,32 @@ RemoteQuery Client::Submit(const std::string& sql,
     state->id = next_query_id_++;
     queries_[state->id] = state;
   }
-  SendOnWire(static_cast<uint8_t>(FrameType::kSubmit),
-             protocol::Encode(state->ToSubmit()));
-  // A failed send already shut the socket down: the reader observes EOF,
-  // collects this still-un-acked query, and resubmits it after reconnect.
+  // A failed send must never strand the query: if the disconnect was
+  // ALREADY processed between Connect() returning and the queries_
+  // insert above, the reader has no EOF left to observe, so nothing
+  // would ever collect this query and Result() would block forever.
+  while (!SendOnWire(static_cast<uint8_t>(FrameType::kSubmit),
+                     protocol::Encode(state->ToSubmit()))) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queries_.count(state->id) == 0) break;  // failed/collected already
+      if (!connected_) {
+        // HandleDisconnect (which flips connected_ and queues un-acked
+        // queries under this same lock) either already queued it, or ran
+        // before the insert and never saw it — queue it ourselves then.
+        if (std::find(resubmit_.begin(), resubmit_.end(), state) ==
+            resubmit_.end()) {
+          resubmit_.push_back(state);
+          conn_cv_.notify_all();
+        }
+        break;
+      }
+    }
+    // Still (or again) connected: either a reconnect raced the failed
+    // send — retry on the new socket — or the reader has not yet turned
+    // our shutdown into a disconnect; it will, momentarily.
+    std::this_thread::yield();
+  }
   return RemoteQuery(this, state);
 }
 

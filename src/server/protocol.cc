@@ -151,6 +151,10 @@ DataFrame DecodeDataFrame(wire::WireReader* r) {
       r->Bytes(validity.data(), rows);
     }
     if (col->type() == ValueType::kString) {
+      // Each string costs at least its u32 length prefix; without this
+      // bound a forged row count would amplify a small frame into a
+      // sizeof(std::string)-per-row reserve before the first Str() throws.
+      r->Require(rows * 4, "string column");
       auto* strings = col->mutable_strings();
       strings->reserve(rows);
       for (uint64_t i = 0; i < rows; ++i) strings->push_back(r->Str());

@@ -18,6 +18,19 @@ namespace wake {
 using protocol::FrameType;
 using Clock = std::chrono::steady_clock;
 
+/// One in-flight query of a connection. The raw pointer handed to the
+/// pump thread stays valid for the pump's whole life: the owning
+/// unique_ptr is only destroyed after the pump is joined (lazy reap in
+/// HandleSubmit or TeardownConnection).
+struct Server::ConnQuery {
+  uint64_t id;
+  QueryHandle handle;
+  std::thread pump;
+  std::atomic<bool> finished{false};
+  ConnQuery(uint64_t id_in, QueryHandle&& handle_in)
+      : id(id_in), handle(std::move(handle_in)) {}
+};
+
 /// One accepted client connection. Owned jointly (shared_ptr) by the
 /// server's connection list, the reader thread, and every pump thread of
 /// its queries; `alive` flips false exactly once, at the start of
@@ -36,17 +49,8 @@ struct Server::Connection {
   Clock::time_point last_ping = Clock::now();
   uint64_t ping_nonce = 0;
 
-  /// One in-flight query of this connection.
-  struct Query {
-    uint64_t id;
-    QueryHandle handle;
-    std::thread pump;
-    std::atomic<bool> finished{false};
-    Query(uint64_t id_in, QueryHandle&& handle_in)
-        : id(id_in), handle(std::move(handle_in)) {}
-  };
   std::mutex q_mu;
-  std::vector<std::unique_ptr<Query>> queries;
+  std::vector<std::unique_ptr<ConnQuery>> queries;
 
   std::thread reader;
 };
@@ -100,7 +104,20 @@ void Server::AcceptLoop() {
     } catch (const Error&) {
       continue;  // injected accept fault: drop this connection
     }
-    if (draining_.load(std::memory_order_acquire)) continue;
+    if (draining_.load(std::memory_order_acquire)) {
+      connections_rejected_.fetch_add(1);
+      // Mirror the at-capacity path: a categorized goodbye lets the
+      // client surface a retryable kUnavailable instead of a bare EOF.
+      try {
+        protocol::SendFrame(sock, FrameType::kGoodbye,
+                            protocol::Encode(protocol::Goodbye{
+                                "server is draining"}),
+                            options_.write_timeout_ms,
+                            options_.max_frame_bytes);
+      } catch (const Error&) {
+      }
+      continue;
+    }
     size_t live = 0;
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
@@ -273,7 +290,7 @@ void Server::HandleSubmit(const std::shared_ptr<Connection>& conn,
     // duplicate-id scan.
     conn->queries.erase(
         std::remove_if(conn->queries.begin(), conn->queries.end(),
-                       [](const std::unique_ptr<Connection::Query>& q) {
+                       [](const std::unique_ptr<ConnQuery>& q) {
                          if (!q->finished.load(std::memory_order_acquire)) {
                            return false;
                          }
@@ -314,9 +331,9 @@ void Server::HandleSubmit(const std::shared_ptr<Connection>& conn,
     queries_started_.fetch_add(1);
     active_queries_.fetch_add(1);
     std::lock_guard<std::mutex> lock(conn->q_mu);
-    auto query = std::make_unique<Connection::Query>(submit.query_id,
-                                                     std::move(handle));
-    Connection::Query* raw = query.get();
+    auto query =
+        std::make_unique<ConnQuery>(submit.query_id, std::move(handle));
+    ConnQuery* raw = query.get();
     conn->queries.push_back(std::move(query));
     // Ack before the pump starts so kAccepted precedes every snapshot on
     // the wire; once acked, the client must NOT blindly resubmit (the
@@ -324,23 +341,18 @@ void Server::HandleSubmit(const std::shared_ptr<Connection>& conn,
     WriteFrame(*conn, FrameType::kAccepted,
                protocol::Encode(protocol::Accepted{submit.query_id}),
                options_.write_timeout_ms, options_.max_frame_bytes);
-    raw->pump = std::thread([this, conn, id = raw->id] {
-      PumpQuery(conn, id);
-    });
+    // The raw pointer (not the id) goes to the pump: a lookup by id races
+    // TeardownConnection swapping conn->queries out, whereas the pointee
+    // is guaranteed alive until the pump itself is joined.
+    raw->pump = std::thread([this, conn, raw] { PumpQuery(conn, raw); });
   } catch (const Error& e) {
     reject(e);
   }
 }
 
 void Server::PumpQuery(const std::shared_ptr<Connection>& conn,
-                       uint64_t query_id) {
-  Connection::Query* query = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(conn->q_mu);
-    for (auto& q : conn->queries) {
-      if (q->id == query_id) query = q.get();
-    }
-  }
+                       ConnQuery* query) {
+  const uint64_t query_id = query->id;
   bool conn_ok = true;
   bool sent_terminal = false;
   while (auto state = query->handle.Next()) {
@@ -415,7 +427,7 @@ void Server::PumpQuery(const std::shared_ptr<Connection>& conn,
 void Server::TeardownConnection(const std::shared_ptr<Connection>& conn) {
   conn->alive.store(false, std::memory_order_release);
   conn->sock.ShutdownBoth();  // unblock any writer stuck in poll
-  std::vector<std::unique_ptr<Connection::Query>> queries;
+  std::vector<std::unique_ptr<ConnQuery>> queries;
   {
     std::lock_guard<std::mutex> lock(conn->q_mu);
     queries.swap(conn->queries);
@@ -454,6 +466,16 @@ bool Server::Shutdown(int64_t drain_timeout_ms) {
   if (!running_.exchange(false)) return true;  // idempotent
   draining_.store(true, std::memory_order_release);
 
+  // Phase 0 — freeze the connection set: stop the accept loop BEFORE
+  // snapshotting conns_. A connection accepted after the snapshot would
+  // otherwise miss every phase below — never told goodbye, never shut
+  // down, its reader never joined — and could outlive the server.
+  // ShutdownBoth (not Close) wakes the accept poll instantly without
+  // racing fd reuse, so a zero-budget drain stays zero-budget.
+  listener_.ShutdownBoth();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
   // Phase 1 — announce: existing clients learn no new work is welcome
   // and in-flight queries have `drain_timeout_ms` to finish.
   std::vector<std::shared_ptr<Connection>> conns;
@@ -491,10 +513,8 @@ bool Server::Shutdown(int64_t drain_timeout_ms) {
                        [&] { return active_queries_.load() == 0; });
   }
 
-  // Phase 4 — close shop: stop the accept loop, say goodbye, shut every
-  // socket down (reader threads unwind on EOF), join everything.
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listener_.Close();
+  // Phase 4 — close shop: say goodbye, shut every socket down (reader
+  // threads unwind on EOF), join everything.
   for (const auto& conn : conns) {
     if (conn->done.load(std::memory_order_acquire)) continue;
     WriteFrame(*conn, FrameType::kGoodbye,

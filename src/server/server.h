@@ -135,6 +135,7 @@ class Server {
 
  private:
   struct Connection;
+  struct ConnQuery;
 
   /// Best-effort frame write; a failure condemns the connection (shuts
   /// the socket down so its reader unwinds) and returns false.
@@ -146,7 +147,7 @@ class Server {
   void ServeConnection(const std::shared_ptr<Connection>& conn);
   void HandleSubmit(const std::shared_ptr<Connection>& conn,
                     const std::string& payload);
-  void PumpQuery(const std::shared_ptr<Connection>& conn, uint64_t query_id);
+  void PumpQuery(const std::shared_ptr<Connection>& conn, ConnQuery* query);
   void TeardownConnection(const std::shared_ptr<Connection>& conn);
   void ReapFinishedConnections();
 
