@@ -5,6 +5,12 @@
 //
 //   build/bench/server_load [--clients N] [--queries-per-client M]
 //                           [--workers N] [--max-concurrent N] [--sf F]
+//                           [--data gen|tbl|wakeblock] [--data-dir DIR]
+//
+// --data selects the table source: gen (default) generates TPC-H in
+// memory at --sf; tbl reads every `<name>.meta` table from --data-dir;
+// wakeblock opens --data-dir lazily (block-at-a-time scans with synopsis
+// skipping) as written by wake_pack.
 //
 // Every result is checked byte-identical against the in-process answer,
 // so the number reported is the throughput of *correct* remote serving,
@@ -23,6 +29,8 @@
 #include "client/client.h"
 #include "common/error.h"
 #include "server/server.h"
+#include "storage/partitioned_table.h"
+#include "storage/wakeblock.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries_sql.h"
 
@@ -48,6 +56,8 @@ int main(int argc, char** argv) {
   size_t clients = 8;
   size_t per_client = 6;
   double sf = 0.02;
+  std::string data = "gen";
+  std::string data_dir;
   DbOptions db_options;
   db_options.max_concurrent_queries = 8;
   db_options.max_queued = 128;
@@ -71,16 +81,35 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atol(value()));
     } else if (arg == "--sf") {
       sf = std::atof(value());
+    } else if (arg == "--data") {
+      data = value();
+    } else if (arg == "--data-dir") {
+      data_dir = value();
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
     }
   }
+  if (data != "gen" && data_dir.empty()) {
+    std::fprintf(stderr, "--data %s needs --data-dir DIR\n", data.c_str());
+    return 2;
+  }
 
-  tpch::DbgenConfig cfg;
-  cfg.scale_factor = sf;
-  cfg.partitions = 8;
-  Catalog catalog = tpch::Generate(cfg);
+  Catalog catalog;
+  if (data == "gen") {
+    tpch::DbgenConfig cfg;
+    cfg.scale_factor = sf;
+    cfg.partitions = 8;
+    catalog = tpch::Generate(cfg);
+  } else if (data == "tbl") {
+    catalog = OpenTblCatalog(data_dir);
+  } else if (data == "wakeblock") {
+    catalog = wakeblock::OpenCatalog(data_dir);
+  } else {
+    std::fprintf(stderr, "unknown --data '%s' (gen|tbl|wakeblock)\n",
+                 data.c_str());
+    return 2;
+  }
   Db db(&catalog, db_options);
   Server server(&db);
   server.Start();

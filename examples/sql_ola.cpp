@@ -5,6 +5,7 @@
 //   build/examples/sql_ola [--explain] [--no-optimize]
 //                          [--mode ola|exact|progressive] [--workers N]
 //                          [--timeout-ms N] [--memory-limit-kb N]
+//                          [--data gen|tbl|wakeblock] [--data-dir DIR]
 //                          [--connect HOST:PORT]
 //                          ["SELECT ... FROM ..." | --tpch N]
 //
@@ -19,6 +20,11 @@
 // (with its CI), tagged with the breach reason and the fraction of data
 // processed.
 //
+// --data selects the local table source: gen (default) generates TPC-H in
+// memory; tbl reads a WriteTblDir directory; wakeblock opens a wake_pack
+// output directory lazily, so scans stream block by block and the
+// optimizer's pushed-down filters skip blocks their synopses refute.
+//
 // --connect HOST:PORT runs the same query against a remote wake_server
 // instead of generating data locally: identical streaming loop, identical
 // final bytes — the handle just happens to be a wake::RemoteQuery.
@@ -31,6 +37,8 @@
 #include "client/client.h"
 #include "common/error.h"
 #include "example_env.h"
+#include "storage/partitioned_table.h"
+#include "storage/wakeblock.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries_sql.h"
 
@@ -42,6 +50,8 @@ int main(int argc, char** argv) {
   RunOptions run_options;
   std::string mode = "ola";
   std::string connect;
+  std::string data = "gen";
+  std::string data_dir;
   std::string query =
       "SELECT l_shipmode, SUM(l_extendedprice * (1 - l_discount)) "
       "AS revenue, COUNT(*) AS items FROM lineitem "
@@ -90,12 +100,24 @@ int main(int argc, char** argv) {
         if (connect.rfind(':') == std::string::npos) {
           throw Error("--connect needs HOST:PORT");
         }
+      } else if (arg == "--data") {
+        if (i + 1 >= argc) throw Error("--data needs gen|tbl|wakeblock");
+        data = argv[++i];
+        if (data != "gen" && data != "tbl" && data != "wakeblock") {
+          throw Error("unknown --data '" + data + "'");
+        }
+      } else if (arg == "--data-dir") {
+        if (i + 1 >= argc) throw Error("--data-dir needs a directory");
+        data_dir = argv[++i];
       } else if (arg == "--tpch") {
         if (i + 1 >= argc) throw Error("--tpch needs a query number (1-22)");
         query = tpch::QuerySql(std::atoi(argv[++i]));
       } else {
         query = arg;
       }
+    }
+    if (data != "gen" && data_dir.empty()) {
+      throw Error("--data " + data + " needs --data-dir DIR");
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
@@ -163,10 +185,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  tpch::DbgenConfig cfg;
-  cfg.scale_factor = examples::ScaleFactor(0.02);
-  cfg.partitions = 10;
-  Catalog catalog = tpch::Generate(cfg);
+  Catalog catalog;
+  try {
+    if (data == "tbl") {
+      catalog = OpenTblCatalog(data_dir);
+    } else if (data == "wakeblock") {
+      catalog = wakeblock::OpenCatalog(data_dir);
+    } else {
+      tpch::DbgenConfig cfg;
+      cfg.scale_factor = examples::ScaleFactor(0.02);
+      cfg.partitions = 10;
+      catalog = tpch::Generate(cfg);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s error: %s\n", ErrorCategoryName(e.category()),
+                 e.what());
+    return 1;
+  }
 
   std::printf("query (%s engine):\n  %s\n\n", mode.c_str(), query.c_str());
   Db db(&catalog, db_options);

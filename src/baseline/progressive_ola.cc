@@ -42,18 +42,18 @@ void ProgressiveOla::Execute(const PlanNodePtr& plan,
   const PlanNode* agg_node = nullptr;
   const PlanNode* scan = FindScan(plan, &agg_node);
   CheckArg(agg_node != nullptr, "plan has no aggregation");
-  const PartitionedTable& full_table = catalog_->Get(scan->table);
-  // Projected scans re-accumulate only the plan's column list (the
-  // middleware still re-executes per chunk, but over narrowed chunks).
-  PartitionedTable table = scan->columns.empty()
-                               ? full_table
-                               : full_table.SelectColumns(scan->columns);
+  const PartitionedTable& table = catalog_->Get(scan->table);
   size_t total = table.total_rows();
 
   Stopwatch clock;
-  DataFrame accumulated(table.schema());
+  // Projected scans re-accumulate only the plan's column list (the
+  // middleware still re-executes per chunk, but over narrowed chunks).
+  DataFrame accumulated(scan->columns.empty()
+                            ? table.schema()
+                            : table.schema().Select(scan->columns));
   size_t charged = 0;  // bytes of `accumulated` already on the tracker
-  for (size_t i = 0; i < table.num_partitions(); ++i) {
+  size_t seen = 0;
+  for (size_t i = 0; i < table.num_chunks(); ++i) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       throw Error("query cancelled", ErrorCategory::kCancelled);
     }
@@ -63,15 +63,24 @@ void ProgressiveOla::Execute(const PlanNodePtr& plan,
       // the best estimate over the data processed so far.
       if (tracker->breached()) return;
     }
-    accumulated.Append(*table.partition(i));
-    if (tracker != nullptr) {
-      tracker->ChargeRows(table.partition(i)->num_rows());
-      size_t held = accumulated.ByteSize();
-      tracker->Charge(held > charged ? held - charged : 0);
-      charged = held > charged ? held : charged;
+    // Skipped chunks (block synopses refute the scan filter) still count
+    // toward t: the estimate honestly covers their rows — they just
+    // contribute none — so the 1/t scale-up stays unbiased.
+    seen += table.chunk_rows(i);
+    DataFramePtr chunk = table.ReadChunk(i, scan->columns, scan->scan_filter);
+    bool is_final = i + 1 == table.num_chunks();
+    if (chunk == nullptr && !is_final) continue;
+    if (chunk != nullptr) {
+      accumulated.Append(*chunk);
+      if (tracker != nullptr) {
+        tracker->ChargeRows(chunk->num_rows());
+        size_t held = accumulated.ByteSize();
+        tracker->Charge(held > charged ? held - charged : 0);
+        charged = held > charged ? held : charged;
+      }
     }
     double t = total == 0 ? 1.0
-                          : static_cast<double>(accumulated.num_rows()) /
+                          : static_cast<double>(seen) /
                                 static_cast<double>(total);
 
     // Middleware re-execution: run the whole query over all rows seen so
@@ -110,7 +119,7 @@ void ProgressiveOla::Execute(const PlanNodePtr& plan,
     OlaState state;
     state.frame = std::make_shared<DataFrame>(std::move(result));
     state.progress = t;
-    state.is_final = i + 1 == table.num_partitions();
+    state.is_final = is_final;
     state.elapsed_seconds = clock.ElapsedSeconds();
     on_state(state);
   }

@@ -7,15 +7,27 @@ namespace wire {
 
 namespace {
 
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time table;
+// table[k][b] extends a CRC whose input still has k more zero bytes
+// coming, so eight lookups advance the state by eight input bytes with no
+// inter-lookup dependency chain (~8x the bytewise rate — this CRC guards
+// every wire frame and every storage block, so it sits on the scan path).
 struct CrcTable {
-  uint32_t entries[256];
+  uint32_t entries[8][256];
   CrcTable() {
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
       }
-      entries[i] = c;
+      entries[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = entries[0][i];
+      for (int t = 1; t < 8; ++t) {
+        c = entries[0][c & 0xff] ^ (c >> 8);
+        entries[t][i] = c;
+      }
     }
   }
 };
@@ -31,8 +43,19 @@ uint32_t Crc32(const void* data, size_t n) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
   const CrcTable& table = Table();
   uint32_t c = 0xFFFFFFFFu;
+  while (n >= 8) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    c = table.entries[7][c & 0xff] ^ table.entries[6][(c >> 8) & 0xff] ^
+        table.entries[5][(c >> 16) & 0xff] ^ table.entries[4][c >> 24] ^
+        table.entries[3][p[4]] ^ table.entries[2][p[5]] ^
+        table.entries[1][p[6]] ^ table.entries[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
   for (size_t i = 0; i < n; ++i) {
-    c = table.entries[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    c = table.entries[0][(c ^ p[i]) & 0xff] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

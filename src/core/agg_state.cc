@@ -71,6 +71,15 @@ void GroupedAggState::AppendAccums() {
 void GroupedAggState::EnableSharding(WorkerPool* pool, size_t min_rows) {
   pool_ = pool;
   shard_min_rows_ = min_rows;
+  // Smallest power of two covering the pool's workers, clamped to
+  // [kDefaultShards, kMaxShards]. A little headroom over the worker count
+  // keeps bucket skew from serializing the routing; the result never
+  // depends on the choice (see class comment).
+  size_t want = pool != nullptr ? pool->workers() : kDefaultShards;
+  num_shards_ = kDefaultShards;
+  while (num_shards_ < want && num_shards_ < kMaxShards) num_shards_ *= 2;
+  shard_shift_ = 64;
+  for (size_t n = num_shards_; n > 1; n /= 2) --shard_shift_;
 }
 
 void GroupedAggState::ClearGroupStorage() {
@@ -204,18 +213,18 @@ bool GroupedAggState::ShardTriggered(size_t partial_rows) const {
 }
 
 void GroupedAggState::SplitIntoShards() {
-  shards_.reserve(kNumShards);
-  for (size_t s = 0; s < kNumShards; ++s) {
+  shards_.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
     shards_.emplace_back(new GroupedAggState(group_by_, aggs_, input_schema_,
                                              output_schema_));
   }
   // Re-home every accumulated group by its key hash. Ranks (first_seen)
   // move with the groups, so the final output order is unchanged.
-  std::vector<std::vector<uint32_t>> buckets(kNumShards);
+  std::vector<std::vector<uint32_t>> buckets(num_shards_);
   for (uint32_t g = 0; g < group_rows_.size(); ++g) {
     buckets[ShardOf(group_hashes_[g])].push_back(g);
   }
-  for (size_t s = 0; s < kNumShards; ++s) {
+  for (size_t s = 0; s < num_shards_; ++s) {
     if (!buckets[s].empty()) {
       shards_[s]->MergeGroupList(*this, buckets[s].data(),
                                  buckets[s].size());
@@ -230,8 +239,8 @@ void GroupedAggState::RouteToShards(const DataFrame& partial) {
   std::vector<size_t> key_cols = partial.ColumnIndices(group_by_);
   static thread_local std::vector<uint64_t> hashes;
   partial.HashRowsBatch(key_cols, &hashes);
-  std::vector<std::vector<uint32_t>> buckets(kNumShards);
-  for (auto& b : buckets) b.reserve(n / kNumShards + 16);
+  std::vector<std::vector<uint32_t>> buckets(num_shards_);
+  for (auto& b : buckets) b.reserve(n / num_shards_ + 16);
   for (size_t r = 0; r < n; ++r) {
     buckets[ShardOf(hashes[r])].push_back(static_cast<uint32_t>(r));
   }
@@ -251,9 +260,9 @@ void GroupedAggState::RouteToShards(const DataFrame& partial) {
     shards_[s]->Consume(bucket, nullptr, order.data());
   };
   if (pool_ != nullptr) {
-    pool_->ParallelShards(kNumShards, work);
+    pool_->ParallelShards(num_shards_, work);
   } else {
-    for (size_t s = 0; s < kNumShards; ++s) work(s);
+    for (size_t s = 0; s < num_shards_; ++s) work(s);
   }
   total_rows_ += n;
 }
@@ -474,11 +483,11 @@ void GroupedAggState::MergeGroups(const GroupedAggState& other) {
   }
   if (!shards_.empty()) {
     // Sharded destination: groups go to the shard owning their hash.
-    std::vector<std::vector<uint32_t>> buckets(kNumShards);
+    std::vector<std::vector<uint32_t>> buckets(num_shards_);
     for (uint32_t g = 0; g < src_groups; ++g) {
       buckets[ShardOf(other.group_hashes_[g])].push_back(g);
     }
-    for (size_t s = 0; s < kNumShards; ++s) {
+    for (size_t s = 0; s < num_shards_; ++s) {
       if (!buckets[s].empty()) {
         shards_[s]->MergeGroupList(other, buckets[s].data(),
                                    buckets[s].size());

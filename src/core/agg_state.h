@@ -19,14 +19,16 @@
 //   count_distinct   -> exact value set per key (footnote 3: no sketches)
 //
 // Parallelism: states are single-writer, but the state merge operator is
-// associative, so EnableSharding() lets a state split itself into a fixed
-// number of hash-disjoint sub-states ("shards") once the input is large
-// enough. Each incoming partial is then partitioned by group-key hash and
-// the buckets are consumed into their shards concurrently on a WorkerPool;
-// because a group's rows all land in one shard in input order, every
+// associative, so EnableSharding() lets a state split itself into
+// hash-disjoint sub-states ("shards") once the input is large enough.
+// Each incoming partial is then partitioned by group-key hash and the
+// buckets are consumed into their shards concurrently on a WorkerPool.
+// The shard count adapts to the pool size (more workers, more shards),
+// which is safe because the result never depends on the decomposition:
+// a group's rows all land in one shard in input order, so every
 // accumulator sees exactly the serial addition order, and Finalize emits
-// groups by first appearance — so results are identical at any worker
-// count (the shard decomposition depends only on the data).
+// groups by their global first-appearance rank — identical output at any
+// shard or worker count.
 #ifndef WAKE_CORE_AGG_STATE_H_
 #define WAKE_CORE_AGG_STATE_H_
 
@@ -66,11 +68,11 @@ struct AggResult {
 /// Incremental hash aggregation over (group_by, aggs).
 class GroupedAggState {
  public:
-  /// Number of hash-disjoint sub-states a sharding state splits into.
-  /// Fixed (never derived from the worker count) so the decomposition —
-  /// and therefore every accumulator's addition order — is a function of
-  /// the data alone.
-  static constexpr size_t kNumShards = 8;
+  /// Shard-count bounds: EnableSharding derives the actual count from the
+  /// pool's worker count (rounded up to a power of two, clamped to this
+  /// range). A pool-less state uses kDefaultShards.
+  static constexpr size_t kDefaultShards = 8;
+  static constexpr size_t kMaxShards = 64;
   /// Default partial size that triggers sharding.
   static constexpr size_t kDefaultShardRows = 32 * 1024;
   /// Minimum distinct groups before sharding pays for itself.
@@ -100,12 +102,14 @@ class GroupedAggState {
 
   /// Opts this state into hash-sharded parallel consumption: once a
   /// single Consume sees >= min_rows rows and the state holds enough
-  /// groups, it splits into kNumShards hash-disjoint sub-states and
-  /// subsequent partials are partitioned and consumed shard-parallel on
-  /// `pool` (serially when pool is null — the structure, and thus the
-  /// result, never depends on the pool). Only hot-accumulator aggregates
-  /// (count/sum/avg/var/stddev) without input variances shard; others
-  /// stay serial.
+  /// groups, it splits into hash-disjoint sub-states — as many as the
+  /// pool's worker count warrants (power of two in [kDefaultShards,
+  /// kMaxShards]) — and subsequent partials are partitioned and consumed
+  /// shard-parallel on `pool` (serially when pool is null). The shard
+  /// count never affects the result: groups are whole within a shard and
+  /// output order comes from global arrival ranks. Only hot-accumulator
+  /// aggregates (count/sum/avg/var/stddev) without input variances shard;
+  /// others stay serial.
   void EnableSharding(WorkerPool* pool, size_t min_rows = kDefaultShardRows);
 
   /// Drops all state (used when the input is refresh-mode and each new
@@ -123,6 +127,10 @@ class GroupedAggState {
 
   /// True once the state has split into hash-disjoint shards.
   bool sharded() const { return !shards_.empty(); }
+
+  /// Shard count EnableSharding derived from the pool size (meaningful
+  /// whether or not the split has happened yet).
+  size_t num_shards() const { return num_shards_; }
 
   /// Total input rows consumed (Σ x_i).
   size_t total_rows() const { return total_rows_; }
@@ -152,15 +160,15 @@ class GroupedAggState {
     return func == AggFunc::kMin || func == AggFunc::kMax ||
            func == AggFunc::kCountDistinct || func == AggFunc::kMedian;
   }
-  /// Shard owning key hash `h`. Deliberately a different mixer than
-  /// FlatHashIndex::HomeSlot's Fibonacci multiply: reusing that one would
-  /// make every key within a shard share its top mixed bits, cramming the
-  /// shard's own hash table into 1/kNumShards of its slots and
-  /// degenerating its linear probing into long walks.
-  static size_t ShardOf(uint64_t h) {
-    return static_cast<size_t>((h * 0xC2B2AE3D27D4EB4FULL) >> 61);
+  /// Shard owning key hash `h` (top log2(num_shards_) mixed bits).
+  /// Deliberately a different mixer than FlatHashIndex::HomeSlot's
+  /// Fibonacci multiply: reusing that one would make every key within a
+  /// shard share its top mixed bits, cramming the shard's own hash table
+  /// into 1/num_shards_ of its slots and degenerating its linear probing
+  /// into long walks.
+  size_t ShardOf(uint64_t h) const {
+    return static_cast<size_t>((h * 0xC2B2AE3D27D4EB4FULL) >> shard_shift_);
   }
-  static_assert(kNumShards == 8, "ShardOf takes the top 3 mixed bits");
 
   /// Appends one zeroed accumulator row (a new group) across all aggs.
   void AppendAccums();
@@ -197,7 +205,7 @@ class GroupedAggState {
   /// True if this partial may trigger the split into shards.
   bool ShardTriggered(size_t partial_rows) const;
 
-  /// Splits the accumulated groups into kNumShards hash-disjoint
+  /// Splits the accumulated groups into num_shards_ hash-disjoint
   /// sub-states and clears the top-level group storage.
   void SplitIntoShards();
 
@@ -240,6 +248,10 @@ class GroupedAggState {
   // Sharding (see class comment). shard_min_rows_ == 0 disables.
   WorkerPool* pool_ = nullptr;
   size_t shard_min_rows_ = 0;
+  // Set by EnableSharding from the pool size; power of two, with
+  // shard_shift_ == 64 - log2(num_shards_) so ShardOf takes the top bits.
+  size_t num_shards_ = kDefaultShards;
+  unsigned shard_shift_ = 61;
   std::vector<std::unique_ptr<GroupedAggState>> shards_;
 };
 

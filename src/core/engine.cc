@@ -41,7 +41,8 @@ WakeEngine::Compiled WakeEngine::CompileRec(
       // so downstream nodes only ever gather the columns the plan needs
       // and no full-table narrowed copy is ever held.
       nodes->push_back(std::make_unique<ReaderNode>(
-          catalog_->GetPtr(plan->table), node_options, plan->columns));
+          catalog_->GetPtr(plan->table), node_options, plan->columns,
+          plan->scan_filter));
       break;
     }
     case PlanOp::kMap: {

@@ -51,15 +51,19 @@ struct NodeOptions {
   WorkerPool* pool = nullptr;
 };
 
-/// Base-table reader (the paper's read_csv / table-reader node). A
-/// non-empty `columns` list makes the scan projected: each partition is
-/// narrowed as it is emitted (copying only the selected columns, one
-/// partition in flight at a time) rather than materializing a narrowed
-/// copy of the whole table up front.
+/// Base-table reader (the paper's read_csv / table-reader node). Streams
+/// the table chunk by chunk (partitions for eager tables, row blocks for
+/// wakeblock-backed ones). A non-empty `columns` list makes the scan
+/// projected: each chunk is narrowed as it is emitted (copying only the
+/// selected columns, one chunk in flight at a time) rather than
+/// materializing a narrowed copy of the whole table up front. A `filter`
+/// lets synopsis-carrying storage skip refuted chunks before decode;
+/// skipped rows still advance progress (they contribute no matching
+/// rows, so the partial genuinely covers them).
 class ReaderNode : public ExecNode {
  public:
   ReaderNode(TablePtr table, NodeOptions options,
-             std::vector<std::string> columns = {});
+             std::vector<std::string> columns = {}, ExprPtr filter = nullptr);
   size_t BufferedBytes() const override { return 0; }
 
  protected:
@@ -69,6 +73,7 @@ class ReaderNode : public ExecNode {
  private:
   TablePtr table_;
   std::vector<std::string> columns_;  // empty = all
+  ExprPtr filter_;                    // advisory block pruning; may be null
   Schema narrowed_schema_;            // key-aware (set iff columns_ set)
 };
 

@@ -29,10 +29,11 @@ constexpr int kReadAttempts = 3;
 // ---------------------------------------------------------------------------
 
 ReaderNode::ReaderNode(TablePtr table, NodeOptions,
-                       std::vector<std::string> columns)
+                       std::vector<std::string> columns, ExprPtr filter)
     : ExecNode("read(" + table->name() + ")"),
       table_(std::move(table)),
-      columns_(std::move(columns)) {
+      columns_(std::move(columns)),
+      filter_(std::move(filter)) {
   if (!columns_.empty()) {
     // Key-aware narrowing (keys survive only if all their columns do);
     // DataFrame::Select alone would keep stale key metadata.
@@ -43,7 +44,8 @@ ReaderNode::ReaderNode(TablePtr table, NodeOptions,
 void ReaderNode::RunSource() {
   size_t total = table_->total_rows();
   size_t seen = 0;
-  for (size_t i = 0; i < table_->num_partitions(); ++i) {
+  bool emitted_final = total == 0;
+  for (size_t i = 0; i < table_->num_chunks(); ++i) {
     if (stopped() || drain_stopped()) return;  // cancel / budget drain
     if (tracker() != nullptr && tracker()->CheckBreach()) return;
     for (int attempt = 1;; ++attempt) {
@@ -55,20 +57,29 @@ void ReaderNode::RunSource() {
         std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
       }
     }
-    const DataFramePtr& part = table_->partition(i);
-    seen += part->num_rows();
-    if (tracker() != nullptr) tracker()->ChargeRows(part->num_rows());
+    // Skipped chunks (synopses refute filter_) still advance `seen`: the
+    // partial's progress t honestly covers their rows — they just
+    // contribute none — so OLA's 1/t scaling stays unbiased. Only decoded
+    // rows are charged to the budget.
+    seen += table_->chunk_rows(i);
+    DataFramePtr chunk = table_->ReadChunk(i, columns_, filter_);
+    if (chunk == nullptr) continue;
+    if (tracker() != nullptr) tracker()->ChargeRows(chunk->num_rows());
     Message msg;
-    if (columns_.empty()) {
-      msg.frame = part;
-    } else {
-      auto narrowed = std::make_shared<DataFrame>(part->Select(columns_));
-      *narrowed->mutable_schema() = narrowed_schema_;
-      msg.frame = std::move(narrowed);
-    }
+    msg.frame = std::move(chunk);
     msg.progress =
         total == 0 ? 1.0
                    : static_cast<double>(seen) / static_cast<double>(total);
+    emitted_final = msg.progress >= 1.0;
+    Emit(std::move(msg));
+  }
+  if (!emitted_final) {
+    // Every remaining chunk was skipped; downstream still needs a t=1.0
+    // partial to finalize. Emit an empty frame carrying it.
+    Message msg;
+    msg.frame = std::make_shared<DataFrame>(
+        columns_.empty() ? table_->schema() : narrowed_schema_);
+    msg.progress = 1.0;
     Emit(std::move(msg));
   }
 }

@@ -934,6 +934,64 @@ PlanNodePtr ProjectScansPass(const PlanNodePtr& plan, const Catalog& catalog) {
 }
 
 // ---------------------------------------------------------------------------
+// Push-scan-filters pass
+// ---------------------------------------------------------------------------
+
+namespace {
+
+PlanNodePtr PushScanFiltersRewrite(
+    const PlanNodePtr& node,
+    const std::unordered_map<const PlanNode*, size_t>& parents,
+    NodeMemo* memo) {
+  auto it = memo->find(node.get());
+  if (it != memo->end()) return it->second;
+  std::vector<PlanNodePtr> inputs;
+  inputs.reserve(node->inputs.size());
+  bool changed = false;
+  for (const auto& in : node->inputs) {
+    inputs.push_back(PushScanFiltersRewrite(in, parents, memo));
+    changed |= inputs.back() != in;
+  }
+
+  PlanNodePtr out = node;
+  // Only specialize a scan this Filter exclusively owns — a shared scan
+  // (§7.3) also feeds parents without the predicate, and skipping blocks
+  // for them would drop their rows.
+  bool push = false;
+  if (node->op == PlanOp::kFilter && inputs.size() == 1 &&
+      inputs[0]->op == PlanOp::kScan) {
+    const PlanNode* scan = inputs[0].get();
+    auto pit = parents.find(scan);
+    push = pit != parents.end() && pit->second == 1 &&
+           (scan->scan_filter == nullptr ||
+            scan->scan_filter->ToString() != node->predicate->ToString());
+  }
+  if (push) {
+    auto new_scan = CloneNode(*inputs[0]);
+    new_scan->scan_filter = node->predicate;
+    auto n = CloneNode(*node);
+    n->inputs = {std::move(new_scan)};
+    out = n;
+  } else if (changed) {
+    auto n = CloneNode(*node);
+    n->inputs = std::move(inputs);
+    out = n;
+  }
+  memo->emplace(node.get(), out);
+  return out;
+}
+
+}  // namespace
+
+PlanNodePtr PushScanFiltersPass(const PlanNodePtr& plan,
+                                const Catalog& catalog) {
+  (void)catalog;
+  auto parents = CountParentEdges(plan);
+  NodeMemo memo;
+  return PushScanFiltersRewrite(plan, parents, &memo);
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -944,6 +1002,7 @@ const std::vector<OptimizerPass>& DefaultPasses() {
       {"prune-projections", PruneProjectionsPass},
       {"prune-aggregates", PruneAggregatesPass},
       {"project-scans", ProjectScansPass},
+      {"push-scan-filters", PushScanFiltersPass},
   };
   return kPasses;
 }

@@ -24,6 +24,11 @@
 //                       are unchanged
 //   project-scans       pushes the required-column set into kScan nodes so
 //                       storage below never materializes unused columns
+//   push-scan-filters   copies each Filter sitting directly above a scan
+//                       into the scan's advisory scan_filter (the Filter
+//                       stays as the residual), so synopsis-carrying
+//                       storage can skip whole blocks the predicate
+//                       refutes before decoding them
 //
 // Guarantees: the optimized plan produces results identical to the input
 // plan on every engine, the root output schema (names, order, types) is
@@ -69,6 +74,8 @@ PlanNodePtr PruneProjectionsPass(const PlanNodePtr& plan,
 PlanNodePtr PruneAggregatesPass(const PlanNodePtr& plan,
                                 const Catalog& catalog);
 PlanNodePtr ProjectScansPass(const PlanNodePtr& plan, const Catalog& catalog);
+PlanNodePtr PushScanFiltersPass(const PlanNodePtr& plan,
+                                const Catalog& catalog);
 
 /// Constant-folds one expression tree (returns the original pointer when
 /// nothing folds). Exposed for tests.

@@ -131,6 +131,9 @@ std::string PlanToString(const PlanNodePtr& node, int indent) {
       if (!node->columns.empty()) {
         out += " [" + Join(node->columns, ",") + "]";
       }
+      if (node->scan_filter != nullptr) {
+        out += " prune " + node->scan_filter->ToString();
+      }
       break;
     case PlanOp::kMap:
       out += node->append_input ? "Derive [" : "Map [";

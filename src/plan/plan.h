@@ -79,6 +79,12 @@ struct PlanNode {
   /// Set by the optimizer's scan-projection pass and lowered by every
   /// engine so unused columns are never materialized.
   std::vector<std::string> columns;
+  /// Advisory pruning predicate set by the optimizer's push-scan-filters
+  /// pass: a copy of the Filter directly above the scan (which stays in
+  /// the plan as the residual). Readers over synopsis-carrying storage
+  /// (wakeblock) use it to skip whole blocks it refutes; engines without
+  /// synopses ignore it, so results never depend on it.
+  ExprPtr scan_filter;
 
   // kMap: if append_input is true, output = input columns + projections;
   // otherwise output = projections only.

@@ -96,6 +96,15 @@ PlanProps InferProps(const PlanNodePtr& node, const Catalog& catalog) {
       PlanProps props;
       const Schema& full = catalog.Get(node->table).schema();
       props.schema = node->columns.empty() ? full : full.Select(node->columns);
+      if (node->scan_filter != nullptr) {
+        std::set<std::string> used;
+        node->scan_filter->CollectColumns(&used);
+        for (const auto& c : used) {
+          CheckPlan(props.schema.HasField(c),
+                    "scan filter reads column '" + c +
+                        "' not produced by the scan");
+        }
+      }
       props.mode = EvolveMode::kAppend;
       return props;
     }

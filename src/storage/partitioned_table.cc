@@ -54,11 +54,47 @@ PartitionedTable PartitionedTable::FromDataFrame(std::string name,
   return table;
 }
 
+PartitionedTable PartitionedTable::OpenWakeblock(const std::string& dir,
+                                                 const std::string& name) {
+  wakeblock::BlockTablePtr source = wakeblock::BlockTable::Open(dir, name);
+  PartitionedTable table(source->name(), source->schema());
+  table.total_rows_ = source->total_rows();
+  table.block_source_ = std::move(source);
+  return table;
+}
+
+const DataFramePtr& PartitionedTable::partition(size_t i) const {
+  CheckArg(!lazy(), "partition(): table '" + name_ +
+                        "' is wakeblock-backed; use the chunk API");
+  return partitions_[i];
+}
+
+const std::vector<DataFramePtr>& PartitionedTable::partitions() const {
+  CheckArg(!lazy(), "partitions(): table '" + name_ +
+                        "' is wakeblock-backed; use the chunk API");
+  return partitions_;
+}
+
 void PartitionedTable::AddPartition(DataFramePtr partition) {
+  CheckArg(!lazy(), "AddPartition on a wakeblock-backed table");
   CheckArg(partition != nullptr, "null partition");
   total_rows_ += partition->num_rows();
   if (schema_.num_fields() == 0) schema_ = partition->schema();
   partitions_.push_back(std::move(partition));
+}
+
+DataFramePtr PartitionedTable::ReadChunk(size_t i,
+                                         const std::vector<std::string>&
+                                             columns,
+                                         const ExprPtr& filter) const {
+  if (lazy()) return block_source_->ReadBlock(i, columns, filter);
+  CheckArg(i < partitions_.size(), "chunk index out of range");
+  if (columns.empty()) return partitions_[i];
+  // Key-aware narrowing (keys survive only if all their columns do);
+  // DataFrame::Select alone would keep stale key metadata.
+  auto narrowed = std::make_shared<DataFrame>(partitions_[i]->Select(columns));
+  *narrowed->mutable_schema() = schema_.Select(columns);
+  return narrowed;
 }
 
 TableMetadata PartitionedTable::metadata() const {
@@ -66,7 +102,18 @@ TableMetadata PartitionedTable::metadata() const {
   meta.name = name_;
   meta.schema = schema_;
   meta.total_rows = total_rows_;
-  for (const auto& p : partitions_) meta.partition_rows.push_back(p->num_rows());
+  if (lazy()) {
+    // One entry per stored partition: sum of its blocks' row counts.
+    meta.partition_rows.assign(block_source_->num_partitions(), 0);
+    for (size_t b = 0; b < block_source_->num_blocks(); ++b) {
+      meta.partition_rows[block_source_->block_partition(b)] +=
+          block_source_->block_rows(b);
+    }
+  } else {
+    for (const auto& p : partitions_) {
+      meta.partition_rows.push_back(p->num_rows());
+    }
+  }
   return meta;
 }
 
@@ -75,6 +122,7 @@ PartitionedTable PartitionedTable::Repartition(size_t num_partitions) const {
 }
 
 PartitionedTable PartitionedTable::ShufflePartitions(uint64_t seed) const {
+  CheckArg(!lazy(), "ShufflePartitions on a wakeblock-backed table");
   PartitionedTable out(name_, schema_);
   std::vector<DataFramePtr> parts = partitions_;
   Rng rng(seed);
@@ -84,6 +132,7 @@ PartitionedTable PartitionedTable::ShufflePartitions(uint64_t seed) const {
 }
 
 DataFrame PartitionedTable::Materialize() const {
+  if (lazy()) return Materialize({}, nullptr);
   DataFrame out(schema_);
   for (const auto& p : partitions_) out.Append(*p);
   return out;
@@ -91,6 +140,29 @@ DataFrame PartitionedTable::Materialize() const {
 
 DataFrame PartitionedTable::Materialize(
     const std::vector<std::string>& columns) const {
+  return Materialize(columns, nullptr);
+}
+
+DataFrame PartitionedTable::Materialize(const std::vector<std::string>& columns,
+                                        const ExprPtr& filter) const {
+  if (lazy()) {
+    DataFrame out(columns.empty() ? schema_ : schema_.Select(columns));
+    bool reserved = false;
+    for (size_t b = 0; b < block_source_->num_blocks(); ++b) {
+      DataFramePtr block = block_source_->ReadBlock(b, columns, filter);
+      if (block == nullptr) continue;
+      out.Append(*block);
+      if (!reserved) {
+        // The first append fixed the columns' encodings; reserving the
+        // whole table up front spares the per-block growth reallocations.
+        for (size_t c = 0; c < out.num_columns(); ++c) {
+          out.mutable_column(c)->Reserve(total_rows_);
+        }
+        reserved = true;
+      }
+    }
+    return out;
+  }
   if (columns.empty()) return Materialize();
   DataFrame out(schema_.Select(columns));
   std::vector<size_t> idx;
@@ -106,6 +178,7 @@ DataFrame PartitionedTable::Materialize(
 
 PartitionedTable PartitionedTable::SelectColumns(
     const std::vector<std::string>& columns) const {
+  CheckArg(!lazy(), "SelectColumns on a wakeblock-backed table");
   PartitionedTable out(name_, schema_.Select(columns));
   for (const auto& p : partitions_) {
     auto narrowed = std::make_shared<DataFrame>(p->Select(columns));
@@ -189,6 +262,7 @@ Schema ReadMeta(const std::string& path, std::string* name,
 }  // namespace
 
 void PartitionedTable::WriteTblDir(const std::string& dir) const {
+  CheckArg(!lazy(), "WriteTblDir on a wakeblock-backed table");
   std::filesystem::create_directories(dir);
   WriteMeta(dir + "/" + name_ + ".meta", *this);
   for (size_t i = 0; i < partitions_.size(); ++i) {
@@ -311,6 +385,7 @@ std::string ReadString(std::ifstream& in) {
 }  // namespace
 
 void PartitionedTable::WriteWpartDir(const std::string& dir) const {
+  CheckArg(!lazy(), "WriteWpartDir on a wakeblock-backed table");
   std::filesystem::create_directories(dir);
   WriteMeta(dir + "/" + name_ + ".meta", *this);
   for (size_t i = 0; i < partitions_.size(); ++i) {
@@ -458,6 +533,21 @@ std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
   for (const auto& [name, _] : tables_) names.push_back(name);
   return names;
+}
+
+Catalog OpenTblCatalog(const std::string& dir) {
+  Catalog catalog;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::filesystem::path p = entry.path();
+    if (p.extension() != ".meta") continue;
+    catalog.Add(std::make_shared<PartitionedTable>(
+        PartitionedTable::ReadTblDir(dir, p.stem().string())));
+  }
+  CheckArg(!ec, "cannot list tbl directory '" + dir + "': " + ec.message());
+  CheckArg(!catalog.TableNames().empty(),
+           "no <name>.meta tables found in '" + dir + "'");
+  return catalog;
 }
 
 }  // namespace wake

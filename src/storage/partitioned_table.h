@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "frame/data_frame.h"
+#include "frame/expr.h"
+#include "storage/wakeblock.h"
 
 namespace wake {
 
@@ -43,13 +45,44 @@ class PartitionedTable {
   static PartitionedTable FromDataFrame(std::string name, const DataFrame& df,
                                         size_t num_partitions);
 
+  /// Lazy wakeblock-backed table: holds only the open BlockTable handle
+  /// (metadata + block synopses), decoding blocks on demand through the
+  /// chunk API below. Partition-level accessors throw for lazy tables.
+  static PartitionedTable OpenWakeblock(const std::string& dir,
+                                        const std::string& name);
+
+  bool lazy() const { return block_source_ != nullptr; }
+  /// The wakeblock handle backing a lazy table (null for eager tables).
+  const wakeblock::BlockTablePtr& block_source() const {
+    return block_source_;
+  }
+
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t num_partitions() const { return partitions_.size(); }
-  const DataFramePtr& partition(size_t i) const { return partitions_[i]; }
-  const std::vector<DataFramePtr>& partitions() const { return partitions_; }
+  size_t num_partitions() const {
+    return lazy() ? block_source_->num_partitions() : partitions_.size();
+  }
+  const DataFramePtr& partition(size_t i) const;
+  const std::vector<DataFramePtr>& partitions() const;
 
   void AddPartition(DataFramePtr partition);
+
+  /// --- chunk API: the unit readers stream ---
+  /// Eager tables have one chunk per partition; lazy tables one per row
+  /// block (finer partials, and the granularity block skipping works at).
+  size_t num_chunks() const {
+    return lazy() ? block_source_->num_blocks() : partitions_.size();
+  }
+  size_t chunk_rows(size_t i) const {
+    return lazy() ? block_source_->block_rows(i) : partitions_[i]->num_rows();
+  }
+  /// Decodes chunk `i` narrowed to `columns` (empty = all). For lazy
+  /// tables a `filter` refuted by the chunk's synopses returns nullptr
+  /// without decoding (the caller still counts the chunk's rows toward
+  /// progress); eager chunks ignore `filter` — pruning is advisory, the
+  /// plan always keeps the residual Filter.
+  DataFramePtr ReadChunk(size_t i, const std::vector<std::string>& columns,
+                         const ExprPtr& filter = nullptr) const;
 
   size_t total_rows() const { return total_rows_; }
   TableMetadata metadata() const;
@@ -67,6 +100,14 @@ class PartitionedTable {
   /// Concatenation of all partitions narrowed to `columns` (in the given
   /// order); only the named columns are copied.
   DataFrame Materialize(const std::vector<std::string>& columns) const;
+
+  /// As above, additionally skipping chunks whose synopses refute
+  /// `filter` (lazy tables only; eager tables ignore the filter). Only
+  /// correct when the caller re-applies the predicate — the plan's
+  /// residual Filter does — since surviving chunks still hold
+  /// non-matching rows.
+  DataFrame Materialize(const std::vector<std::string>& columns,
+                        const ExprPtr& filter) const;
 
   /// Same rows narrowed to `columns`: each partition keeps only the named
   /// columns (dict pools stay shared, unused columns are never copied).
@@ -98,6 +139,7 @@ class PartitionedTable {
   Schema schema_;
   std::vector<DataFramePtr> partitions_;
   size_t total_rows_ = 0;
+  wakeblock::BlockTablePtr block_source_;  // non-null == lazy
 };
 
 using TablePtr = std::shared_ptr<const PartitionedTable>;
@@ -114,6 +156,11 @@ class Catalog {
  private:
   std::map<std::string, TablePtr> tables_;
 };
+
+/// Reads every `<name>.meta` table under `dir` (the WriteTblDir layout)
+/// into a catalog. Counterpart of wakeblock::OpenCatalog for the text
+/// format; throws if the directory holds no tables.
+Catalog OpenTblCatalog(const std::string& dir);
 
 }  // namespace wake
 

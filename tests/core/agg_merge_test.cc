@@ -176,6 +176,37 @@ TEST(AggMergeTest, ShardedResultIdenticalAtAnyWorkerCount) {
   EXPECT_TRUE(w1.ApproxEquals(w4, 0.0, &diff)) << diff;
 }
 
+// The shard count adapts to the pool: smallest power of two covering the
+// workers, clamped to [kDefaultShards, kMaxShards] — and since groups stay
+// whole within a shard and output order is global first-appearance rank,
+// every shard count produces bit-identical results.
+TEST(AggMergeTest, ShardCountAdaptsToPoolAndNeverChangesResults) {
+  constexpr size_t kRows = 16384;
+  DataFrame p1 = MakeInput(kRows, 500, 71, /*with_nulls=*/true);
+  DataFrame p2 = MakeInput(kRows, 500, 73, /*with_nulls=*/true);
+
+  auto run = [&](WorkerPool* pool, size_t expect_shards) {
+    auto state = MakeState({"g"}, HotAggs());
+    state.EnableSharding(pool, 1024);
+    EXPECT_EQ(state.num_shards(), expect_shards);
+    state.Consume(p1);
+    state.Consume(p2);
+    EXPECT_TRUE(state.sharded());
+    return state.Finalize(AggScaling{}).frame;
+  };
+
+  // pool->workers() counts the caller, so WorkerPool(n) serves n+1.
+  WorkerPool pool4(4), pool11(11), pool90(90);
+  DataFrame base = run(nullptr, 8);          // no pool: the default floor
+  DataFrame w5 = run(&pool4, 8);             // 5 workers -> floor of 8
+  DataFrame w12 = run(&pool11, 16);          // 12 workers -> 16
+  DataFrame w91 = run(&pool90, 64);          // capped at kMaxShards
+  std::string diff;
+  EXPECT_TRUE(w5.ApproxEquals(base, 0.0, &diff)) << diff;
+  EXPECT_TRUE(w12.ApproxEquals(base, 0.0, &diff)) << diff;
+  EXPECT_TRUE(w91.ApproxEquals(base, 0.0, &diff)) << diff;
+}
+
 TEST(AggMergeTest, ColdAggregatesNeverShard) {
   auto state = MakeState({"g"}, AllAggs());  // min/max/distinct/median
   state.EnableSharding(nullptr, 64);

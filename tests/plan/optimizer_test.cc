@@ -468,6 +468,9 @@ TEST_F(OptimizerTest, OptimizeCombinesAllPasses) {
   // Literal arithmetic folded away, the TRUE conjunct gone, the sales
   // scan projected, the region predicate on the cust scan (which needs
   // all three of its columns, so it stays unprojected — empty = all).
+  // The region Filter sits directly above its scan, so it is also copied
+  // into the scan's advisory prune predicate (the Filter remains as the
+  // residual).
   EXPECT_EQ(shape,
             "Sort\n"
             "  Aggregate by [c_name] {sum(v)->total}\n"
@@ -476,8 +479,47 @@ TEST_F(OptimizerTest, OptimizeCombinesAllPasses) {
             "        Map [cust, v]\n"
             "          Scan sales [cust,amount]\n"
             "      Filter (c_region = west)\n"
-            "        Scan cust\n");
+            "        Scan cust prune (c_region = west)\n");
   ExpectSameResults(plan.node(), optimized);
+}
+
+TEST_F(OptimizerTest, PushScanFiltersCopiesPredicateAndKeepsResidual) {
+  Plan plan = Plan::Scan("sales").Filter(Gt(C("id"), Expr::Int(5)));
+  PlanNodePtr after = PushScanFiltersPass(plan.node(), cat_);
+  ASSERT_EQ(after->op, PlanOp::kFilter);  // residual Filter survives
+  ASSERT_EQ(after->inputs[0]->op, PlanOp::kScan);
+  ASSERT_NE(after->inputs[0]->scan_filter, nullptr);
+  EXPECT_EQ(after->inputs[0]->scan_filter->ToString(),
+            after->predicate->ToString());
+  ExpectSameResults(plan.node(), after);
+}
+
+TEST_F(OptimizerTest, PushScanFiltersSkipsSharedScans) {
+  // The scan also feeds the join's build side directly; specializing it
+  // for the probe-side Filter would drop build-side rows.
+  Plan scan = Plan::Scan("sales");
+  Plan plan = scan.Filter(Gt(C("id"), Expr::Int(5)))
+                  .Join(scan, JoinType::kInner, {"id"}, {"id"});
+  PlanNodePtr after = PushScanFiltersPass(plan.node(), cat_);
+  EXPECT_EQ(after->inputs[0]->inputs[0]->scan_filter, nullptr);
+  EXPECT_EQ(after->inputs[1]->scan_filter, nullptr);
+}
+
+TEST_F(OptimizerTest, PushScanFiltersOnlyReachesAdjacentScans) {
+  // A Filter above an Aggregate has no scan to specialize.
+  Plan plan = Plan::Scan("sales")
+                  .Aggregate({"cust"}, {Sum("amount", "total")})
+                  .Filter(Gt(C("total"), Expr::Float(10.0)));
+  PlanNodePtr after = PushScanFiltersPass(plan.node(), cat_);
+  EXPECT_EQ(after, plan.node());  // untouched, not even cloned
+}
+
+TEST_F(OptimizerTest, PushScanFiltersIsIdempotent) {
+  Plan plan = Plan::Scan("sales").Filter(Gt(C("id"), Expr::Int(5)));
+  PlanNodePtr once = PushScanFiltersPass(plan.node(), cat_);
+  PlanNodePtr twice = PushScanFiltersPass(once, cat_);
+  EXPECT_EQ(twice, once);  // the already-pushed predicate is recognized
+  EXPECT_EQ(Shape(twice), Shape(once));
 }
 
 TEST_F(OptimizerTest, OptimizedPlanValidatesAgainstInferProps) {

@@ -1,0 +1,200 @@
+// Malformed-input tests for the wakeblock reader: every corruption —
+// truncation, forged lengths and row counts, flipped payload bytes,
+// out-of-range dictionary codes — must surface as wake::Error, never as a
+// crash, out-of-bounds read, or unbounded allocation (the ASAN CI job
+// runs these too).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "storage/partitioned_table.h"
+#include "storage/wakeblock.h"
+
+namespace wake {
+namespace {
+
+class WakeblockFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("wake_wbfuzz_" + std::to_string(::getpid()));
+    Schema schema({{"k", ValueType::kInt64},
+                   {"f", ValueType::kFloat64},
+                   {"s", ValueType::kString}});
+    DataFrame df(schema);
+    *df.mutable_column(2) = Column::NewDict();
+    for (int i = 0; i < 500; ++i) {
+      df.mutable_column(0)->AppendInt(i);
+      if (i % 9 == 0) {
+        df.mutable_column(1)->AppendNull();
+      } else {
+        df.mutable_column(1)->AppendDouble(i * 0.5);
+      }
+      df.mutable_column(2)->AppendString("v" + std::to_string(i % 7));
+    }
+    wakeblock::WriteOptions opts;
+    opts.block_rows = 64;
+    wakeblock::Write(PartitionedTable::FromDataFrame("t", df, 2),
+                     dir_.string(), opts);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& file) const {
+    return (dir_ / "t" / file).string();
+  }
+
+  static std::string Load(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  static void Store(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // Open + decode everything; corruptions must throw before or during.
+  void ExpectRejected() {
+    EXPECT_THROW(
+        {
+          auto bt = wakeblock::BlockTable::Open(dir_.string(), "t");
+          for (size_t b = 0; b < bt->num_blocks(); ++b) {
+            bt->ReadBlock(b, {});
+          }
+        },
+        Error);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(WakeblockFuzzTest, IntactTableDecodes) {
+  auto bt = wakeblock::BlockTable::Open(dir_.string(), "t");
+  size_t rows = 0;
+  for (size_t b = 0; b < bt->num_blocks(); ++b) {
+    rows += bt->ReadBlock(b, {})->num_rows();
+  }
+  EXPECT_EQ(rows, 500u);
+}
+
+TEST_F(WakeblockFuzzTest, TruncatedMetaRejected) {
+  std::string meta = Load(Path("table.meta"));
+  for (size_t keep : {size_t{0}, size_t{4}, size_t{8}, meta.size() / 2,
+                      meta.size() - 1}) {
+    Store(Path("table.meta"), meta.substr(0, keep));
+    ExpectRejected();
+  }
+}
+
+TEST_F(WakeblockFuzzTest, MetaMagicAndCrcRejected) {
+  std::string meta = Load(Path("table.meta"));
+  std::string bad = meta;
+  bad[0] ^= 0x5a;  // magic
+  Store(Path("table.meta"), bad);
+  ExpectRejected();
+  bad = meta;
+  bad[bad.size() / 2] ^= 0x01;  // payload byte -> CRC mismatch
+  Store(Path("table.meta"), bad);
+  ExpectRejected();
+}
+
+TEST_F(WakeblockFuzzTest, TruncatedColumnFileRejected) {
+  std::string col = Load(Path("k.col"));
+  for (size_t keep :
+       {size_t{0}, size_t{7}, col.size() / 2, col.size() - 1}) {
+    Store(Path("k.col"), col.substr(0, keep));
+    ExpectRejected();
+  }
+}
+
+TEST_F(WakeblockFuzzTest, ColumnMagicAndTypeRejected) {
+  std::string col = Load(Path("f.col"));
+  std::string bad = col;
+  bad[0] ^= 0xff;  // magic
+  Store(Path("f.col"), bad);
+  ExpectRejected();
+  bad = col;
+  bad[5] ^= 0x03;  // declared type disagrees with the meta schema
+  Store(Path("f.col"), bad);
+  ExpectRejected();
+}
+
+// Flip one byte at every offset of a column file: whatever it hits —
+// header, synopsis, validity, payload, CRC — the reader must either
+// throw or (for the synopsis bytes, which are advisory) still decode;
+// it must never crash or read out of bounds.
+TEST_F(WakeblockFuzzTest, SingleByteFlipsNeverCrash) {
+  std::string col = Load(Path("s.col"));
+  for (size_t off = 0; off < col.size(); ++off) {
+    std::string bad = col;
+    bad[off] ^= 0xa5;
+    Store(Path("s.col"), bad);
+    try {
+      auto bt = wakeblock::BlockTable::Open(dir_.string(), "t");
+      for (size_t b = 0; b < bt->num_blocks(); ++b) {
+        bt->ReadBlock(b, {});
+      }
+    } catch (const Error&) {
+      // rejected: fine
+    }
+  }
+}
+
+TEST_F(WakeblockFuzzTest, ForgedRowCountRejected) {
+  // Block headers start right after the 8-byte column file header for the
+  // first block (no dict page on int columns); rows is the first u32.
+  std::string col = Load(Path("k.col"));
+  ASSERT_GT(col.size(), 12u);
+  for (uint32_t forged : {0u, 1u, 0xFFFFFFFFu, 1u << 23}) {
+    std::string bad = col;
+    bad[8] = static_cast<char>(forged & 0xff);
+    bad[9] = static_cast<char>((forged >> 8) & 0xff);
+    bad[10] = static_cast<char>((forged >> 16) & 0xff);
+    bad[11] = static_cast<char>((forged >> 24) & 0xff);
+    Store(Path("k.col"), bad);
+    ExpectRejected();
+  }
+}
+
+TEST_F(WakeblockFuzzTest, OutOfRangeDictCodeRejected) {
+  // Corrupt the first string block's payload bytes while keeping lengths
+  // intact, then fix up nothing: the CRC rejects it. To reach the code
+  // range check itself, also recompute nothing — both layers throwing is
+  // the contract (CRC first, range check if an attacker forges both).
+  std::string col = Load(Path("s.col"));
+  // Find the dict page length to locate the first block.
+  ASSERT_GT(col.size(), 16u);
+  auto u32 = [&](size_t at) {
+    return static_cast<uint32_t>(static_cast<uint8_t>(col[at])) |
+           (static_cast<uint32_t>(static_cast<uint8_t>(col[at + 1])) << 8) |
+           (static_cast<uint32_t>(static_cast<uint8_t>(col[at + 2])) << 16) |
+           (static_cast<uint32_t>(static_cast<uint8_t>(col[at + 3])) << 24);
+  };
+  uint32_t page_len = u32(12);  // count u32 at 8, page_len u32 at 12
+  size_t block0 = 8 + 12 + page_len;
+  ASSERT_LT(block0 + 40, col.size());
+  // Flip high bits throughout the payload: codes leave the dict range.
+  std::string bad = col;
+  for (size_t i = block0 + 40; i < bad.size(); ++i) bad[i] ^= 0x7f;
+  Store(Path("s.col"), bad);
+  ExpectRejected();
+}
+
+TEST_F(WakeblockFuzzTest, MissingColumnFileRejected) {
+  std::filesystem::remove(Path("f.col"));
+  EXPECT_THROW(wakeblock::BlockTable::Open(dir_.string(), "t"), Error);
+}
+
+TEST_F(WakeblockFuzzTest, MissingTableRejected) {
+  EXPECT_THROW(wakeblock::BlockTable::Open(dir_.string(), "ghost"), Error);
+  EXPECT_THROW(wakeblock::Read(dir_.string(), "ghost"), Error);
+}
+
+}  // namespace
+}  // namespace wake

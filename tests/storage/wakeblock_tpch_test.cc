@@ -1,0 +1,151 @@
+// End-to-end equivalence: every TPC-H query must produce byte-identical
+// results whether the catalog is served from text .tbl partitions or from
+// packed wakeblock files, on every engine and worker count. This is the
+// storage engine's correctness gate: the binary format, projection
+// pushdown, and block skipping must be invisible to query results.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "baseline/exact_engine.h"
+#include "baseline/progressive_ola.h"
+#include "core/engine.h"
+#include "plan/optimizer.h"
+#include "storage/partitioned_table.h"
+#include "storage/wakeblock.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace wake {
+namespace {
+
+struct Catalogs {
+  Catalog tbl;  // text partitions read back from a WriteTblDir layout
+  Catalog wb;   // lazy wakeblock-backed tables
+};
+
+// Generated, packed, and reopened once per binary: the suite runs 22
+// queries x several engine configurations against the same two catalogs.
+const Catalogs& Shared() {
+  static const Catalogs* fixture = [] {
+    tpch::DbgenConfig cfg;
+    cfg.scale_factor = 0.01;
+    cfg.partitions = 4;
+    Catalog gen = tpch::Generate(cfg);
+
+    auto dir = std::filesystem::temp_directory_path() /
+               ("wake_wbtpch_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir / "tbl");
+    for (const std::string& name : gen.TableNames()) {
+      gen.Get(name).WriteTblDir((dir / "tbl").string());
+    }
+    auto* out = new Catalogs;
+    out->tbl = OpenTblCatalog((dir / "tbl").string());
+    // Pack from the parsed text catalog (the wake_pack --in pipeline):
+    // byte-identical results require byte-identical source values, and the
+    // text round-trip is allowed to perturb low double bits vs dbgen's
+    // in-memory output.
+    wakeblock::WriteOptions opts;
+    opts.block_rows = 1024;  // several blocks per partition, so skipping
+                             // and projection both exercise real extents
+    for (const std::string& name : out->tbl.TableNames()) {
+      wakeblock::Write(out->tbl.Get(name), (dir / "wb").string(), opts);
+    }
+    out->wb = wakeblock::OpenCatalog((dir / "wb").string());
+    return out;
+  }();
+  return *fixture;
+}
+
+class WakeblockTpch : public ::testing::TestWithParam<int> {};
+
+TEST_P(WakeblockTpch, ExactEngineMatchesTblExactly) {
+  const Catalogs& cat = Shared();
+  Plan plan = tpch::Query(GetParam());
+  DataFrame expected = ExactEngine(&cat.tbl).Execute(plan.node());
+  std::string diff;
+  EXPECT_TRUE(ExactEngine(&cat.wb).Execute(plan.node()).ApproxEquals(
+      expected, 0.0, &diff))
+      << diff;
+}
+
+TEST_P(WakeblockTpch, WakeEngineMatchesTblExactlyAtOneAndFourWorkers) {
+  const Catalogs& cat = Shared();
+  Plan plan = tpch::Query(GetParam());
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    WakeOptions options;
+    options.workers = workers;
+    WakeEngine tbl_engine(&cat.tbl, options);
+    WakeEngine wb_engine(&cat.wb, options);
+    std::string diff;
+    EXPECT_TRUE(wb_engine.ExecuteFinal(plan.node())
+                    .ApproxEquals(tbl_engine.ExecuteFinal(plan.node()), 0.0,
+                                  &diff))
+        << "workers=" << workers << ": " << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, WakeblockTpch, ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+// ProgressiveOla only serves single-table pipelines (Q1, Q6); its chunk
+// loop is the third consumer of the lazy block-sourced chunk API.
+TEST(WakeblockTpchExtra, ProgressiveOlaMatchesTblExactly) {
+  const Catalogs& cat = Shared();
+  for (int q : {1, 6}) {
+    Plan plan = tpch::Query(q);
+    DataFrame tbl_final, wb_final;
+    ProgressiveOla(&cat.tbl).Execute(plan.node(), [&](const OlaState& s) {
+      if (s.is_final) tbl_final = *s.frame;
+    });
+    ProgressiveOla(&cat.wb).Execute(plan.node(), [&](const OlaState& s) {
+      if (s.is_final) wb_final = *s.frame;
+    });
+    std::string diff;
+    EXPECT_TRUE(wb_final.ApproxEquals(tbl_final, 0.0, &diff))
+        << "Q" << q << ": " << diff;
+  }
+}
+
+// A clustered-key range predicate must actually skip blocks on the lazy
+// catalog (the scan-filter pushdown reaches the synopses through the
+// whole engine stack), while losing no matching rows.
+TEST(WakeblockTpchExtra, ClusteredPredicateSkipsBlocksThroughTheEngine) {
+  const Catalogs& cat = Shared();
+  ExprPtr pred = Lt(Expr::Col("l_orderkey"), Expr::Int(64));
+  // Optimize() copies the filter into the scan's advisory scan_filter
+  // (push-scan-filters pass); the engines only consult what's on the node.
+  Plan plan = Optimize(Plan::Scan("lineitem", {"l_orderkey", "l_quantity"})
+                           .Filter(pred)
+                           .Aggregate({}, {Count("n"), Sum("l_quantity", "qty")}),
+                       cat.wb);
+
+  DataFrame expected = ExactEngine(&cat.tbl).Execute(plan.node());
+  const auto& source = cat.wb.Get("lineitem").block_source();
+  wakeblock::ScanStats before = source->stats();
+  DataFrame got = ExactEngine(&cat.wb).Execute(plan.node());
+  wakeblock::ScanStats after = source->stats();
+
+  std::string diff;
+  EXPECT_TRUE(got.ApproxEquals(expected, 0.0, &diff)) << diff;
+  EXPECT_GT(after.blocks_skipped, before.blocks_skipped)
+      << "no blocks were skipped for a clustered range predicate";
+  EXPECT_GT(after.rows_skipped, before.rows_skipped);
+
+  WakeEngine engine(&cat.wb);
+  before = source->stats();
+  DataFrame wake_got = engine.ExecuteFinal(plan.node());
+  after = source->stats();
+  EXPECT_TRUE(wake_got.ApproxEquals(expected, 0.0, &diff)) << diff;
+  EXPECT_GT(after.blocks_skipped, before.blocks_skipped)
+      << "the streaming engine read every block despite the pushed filter";
+}
+
+}  // namespace
+}  // namespace wake
