@@ -392,6 +392,65 @@ ScanRates MeasureScan() {
   return rates;
 }
 
+// Nullable fact variant: ~1/16 of the rows in each column are null, so
+// the null-aware kernels run their mixed-word paths, not just the
+// all-valid fast path.
+DataFrame MakeFactNullable(size_t rows, int64_t groups, uint64_t seed = 11) {
+  DataFrame df = MakeFact(rows, groups, seed);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 0; i < rows; ++i) {
+    if (rng.UniformInt(0, 15) == 0) df.mutable_column(0)->SetNull(i);
+    if (rng.UniformInt(0, 15) == 0) df.mutable_column(1)->SetNull(i);
+  }
+  return df;
+}
+
+// Filter + hash kernel rates over nullable input:
+//   expr_filter_scalar  the pre-bitmap baseline — per-row IsValid byte
+//                       mask, then the byte-mask FilterBy
+//   expr_filter         the selection kernel — truth words off the
+//                       validity bitmap, popcount-sized gather
+//   null_hash_scalar    per-row HashRow over the key columns
+//   null_hash           column-at-a-time HashInto (word-wise null path)
+struct ExprFilterRates {
+  double expr_filter_scalar = 0.0;
+  double expr_filter = 0.0;
+  double null_hash_scalar = 0.0;
+  double null_hash = 0.0;
+};
+
+ExprFilterRates MeasureExprFilter(size_t rows) {
+  DataFrame df = MakeFactNullable(rows, 100, 11);
+  ExprPtr expr =
+      Expr::And(Gt(Expr::Col("v"), Expr::Float(25.0)),
+                Lt(Expr::Col("v") * Expr::Float(1.1), Expr::Float(95.0)));
+  ExprFilterRates rates;
+  rates.expr_filter_scalar = BestMrowsPerSec(rows, [&] {
+    Column mask_col = expr->Eval(df);
+    std::vector<uint8_t> mask(mask_col.size());
+    for (size_t i = 0; i < mask.size(); ++i) {
+      mask[i] = (mask_col.IsValid(i) && mask_col.ints()[i] != 0) ? 1 : 0;
+    }
+    if (df.FilterBy(mask).num_rows() == 0) std::abort();
+  });
+  rates.expr_filter = BestMrowsPerSec(rows, [&] {
+    if (df.FilterBy(expr->Eval(df)).num_rows() == 0) std::abort();
+  });
+
+  const std::vector<size_t> key_cols = {0, 1};
+  std::vector<uint64_t> hashes;
+  uint64_t sink = 0;
+  rates.null_hash_scalar = BestMrowsPerSec(rows, [&] {
+    for (size_t r = 0; r < rows; ++r) sink ^= df.HashRowKeys(key_cols, r);
+  });
+  rates.null_hash = BestMrowsPerSec(rows, [&] {
+    df.HashRowsBatch(key_cols, &hashes);
+    sink ^= hashes[rows - 1];
+  });
+  if (sink == 0xdeadbeef) std::abort();  // keep the hashing live
+  return rates;
+}
+
 int RunMicroJson() {
   constexpr size_t kRows = 1 << 18;     // 256k rows per kernel invocation
   constexpr int64_t kJoinKeys = 1 << 16;
@@ -435,6 +494,8 @@ int RunMicroJson() {
   WorkerRates w2 = MeasureWorkers(kRows, 2, wbuild, wprobe, wagg);
   WorkerRates w4 = MeasureWorkers(kRows, 4, wbuild, wprobe, wagg);
 
+  ExprFilterRates ef = MeasureExprFilter(kRows);
+
   ScanRates scan = MeasureScan();
 
   std::printf(
@@ -453,6 +514,10 @@ int RunMicroJson() {
       "\"group_by_w1_mrows_per_s\":%.2f,"
       "\"group_by_w2_mrows_per_s\":%.2f,"
       "\"group_by_w4_mrows_per_s\":%.2f,"
+      "\"expr_filter_scalar_mrows_per_s\":%.2f,"
+      "\"expr_filter_mrows_per_s\":%.2f,"
+      "\"null_hash_scalar_mrows_per_s\":%.2f,"
+      "\"null_hash_mrows_per_s\":%.2f,"
       "\"scan_full_mrows_per_s\":%.2f,"
       "\"scan_pruned_mrows_per_s\":%.2f,"
       "\"scan_columnar_mrows_per_s\":%.2f,"
@@ -461,8 +526,9 @@ int RunMicroJson() {
       ints.join_probe, ints.group_by, plain.join_build, plain.join_probe,
       plain.group_by, dict.join_build, dict.join_probe, dict.group_by,
       w1.join_probe, w2.join_probe, w4.join_probe, w1.group_by, w2.group_by,
-      w4.group_by, scan.scan_full, scan.scan_pruned, scan.scan_columnar,
-      scan.scan_columnar_skip);
+      w4.group_by, ef.expr_filter_scalar, ef.expr_filter,
+      ef.null_hash_scalar, ef.null_hash, scan.scan_full, scan.scan_pruned,
+      scan.scan_columnar, scan.scan_columnar_skip);
   return 0;
 }
 

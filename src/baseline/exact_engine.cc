@@ -55,12 +55,8 @@ DataFrame ExactEngine::Eval(const PlanNodePtr& node) const {
     }
     case PlanOp::kFilter: {
       DataFrame in = Eval(node->inputs[0]);
-      Column mask = node->predicate->Eval(in);
-      std::vector<uint8_t> m(mask.size());
-      for (size_t i = 0; i < m.size(); ++i) {
-        m[i] = (mask.IsValid(i) && mask.ints()[i] != 0) ? 1 : 0;
-      }
-      result = in.FilterBy(m);
+      // Selection-kernel filter off the evaluated predicate column.
+      result = in.FilterBy(node->predicate->Eval(in));
       break;
     }
     case PlanOp::kJoin: {

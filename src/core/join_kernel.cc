@@ -96,7 +96,7 @@ Column TranslateProbeCodes(const Column& probe, const StringDict* build_dict,
     tcodes[r] = (pc < 0 || (nulls && probe.IsNull(r))) ? Column::kNullCode
                                                        : cache.map[pc];
   }
-  std::vector<uint8_t> valid = probe.validity();  // copy; may be empty
+  ValidityBitmap valid = probe.validity();  // copy; may be empty
   return Column::DictFromCodes(build_dict_ptr, std::move(tcodes),
                                std::move(valid));
 }
@@ -122,7 +122,7 @@ void ShapeGatherDst(const Column& src, size_t n, bool may_null, Column* dst) {
       dst->mutable_ints()->resize(n);
       break;
   }
-  if (may_null) dst->set_validity(std::vector<uint8_t>(n, 1));
+  if (may_null) dst->set_validity(ValidityBitmap::AllValid(n));
 }
 
 // dst rows [begin, end) = src rows idx[begin..end); rows with
@@ -157,15 +157,15 @@ void GatherRows(const Column& src, const uint32_t* idx,
     }
   }
   if (!dst->has_nulls()) return;
-  uint8_t* dv = dst->mutable_validity()->data();
-  if (src.has_nulls()) {
-    const uint8_t* sv = src.validity().data();
-    for (size_t i = begin; i < end; ++i) dv[i] = sv[idx[i]];
-  }
-  if (pad_valid != nullptr) {
-    for (size_t i = begin; i < end; ++i) {
-      if (pad_valid[i] == 0) dv[i] = 0;
-    }
+  // Bitmap writes are clear-only into an all-valid mask. Gather ranges
+  // are kGatherGrainRows-aligned — a multiple of 64 — so parallel tasks
+  // never share a validity word.
+  uint64_t* dw = dst->mutable_validity()->mutable_words();
+  const ValidityBitmap* sv = src.has_nulls() ? &src.validity() : nullptr;
+  for (size_t i = begin; i < end; ++i) {
+    const bool row_valid = (sv == nullptr || sv->Get(idx[i])) &&
+                           (pad_valid == nullptr || pad_valid[i] != 0);
+    if (!row_valid) dw[i >> 6] &= ~(1ULL << (i & 63));
   }
 }
 

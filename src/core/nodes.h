@@ -187,6 +187,7 @@ class LocalAggNode : public ExecNode {
   Schema input_schema_;
   Schema output_schema_;
   std::vector<std::string> cluster_key_;
+  NodeOptions options_;
   DataFrame pending_;  // rows whose clustering key may continue
   double last_progress_ = 0.0;
 };
@@ -234,6 +235,7 @@ class SortLimitNode : public ExecNode {
   std::vector<SortKey> sort_keys_;
   size_t limit_;
   Schema schema_;
+  NodeOptions options_;
   DataFrame content_;  // full current content
   uint64_t version_ = 0;
 };

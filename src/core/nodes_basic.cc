@@ -196,12 +196,9 @@ void FilterNode::Process(size_t, const Message& msg) {
     std::vector<DataFrame> parts(morsels);
     pool->ParallelFor(n, kEvalMorselRows, [&](size_t b, size_t e) {
       DataFrame slice = in.Slice(b, e);
-      Column mask_col = predicate_->Eval(slice);
-      std::vector<uint8_t> mask(mask_col.size());
-      for (size_t i = 0; i < mask.size(); ++i) {
-        mask[i] = (mask_col.IsValid(i) && mask_col.ints()[i] != 0) ? 1 : 0;
-      }
-      parts[b / kEvalMorselRows] = slice.FilterBy(mask);
+      // Selection-kernel filter straight off the evaluated mask column —
+      // no per-row byte-mask copy.
+      parts[b / kEvalMorselRows] = slice.FilterBy(predicate_->Eval(slice));
     });
     DataFrame stitched(schema_);
     for (auto& part : parts) stitched.Append(part);
@@ -214,13 +211,11 @@ void FilterNode::Process(size_t, const Message& msg) {
     return;
   }
 
-  Column mask_col = predicate_->Eval(in);
-  std::vector<uint8_t> mask(mask_col.size());
-  for (size_t i = 0; i < mask.size(); ++i) {
-    mask[i] = (mask_col.IsValid(i) && mask_col.ints()[i] != 0) ? 1 : 0;
-  }
+  // Selection-kernel filter: one popcount-sized selection vector drives
+  // both the frame gather and the variance gather.
+  std::vector<uint32_t> sel = Column::SelectionFrom(predicate_->Eval(in));
   Message result;
-  result.frame = std::make_shared<DataFrame>(in.FilterBy(mask));
+  result.frame = std::make_shared<DataFrame>(in.Take(sel));
   result.progress = msg.progress;
   result.version = msg.version;
   result.refresh = msg.refresh;
@@ -228,9 +223,9 @@ void FilterNode::Process(size_t, const Message& msg) {
     auto out_vars = std::make_shared<VarianceMap>();
     for (const auto& [name, vars] : *msg.variances) {
       auto& dst = (*out_vars)[name];
-      dst.reserve(result.frame->num_rows());
-      for (size_t i = 0; i < mask.size(); ++i) {
-        if (mask[i] && i < vars.size()) dst.push_back(vars[i]);
+      dst.reserve(sel.size());
+      for (uint32_t i : sel) {
+        if (i < vars.size()) dst.push_back(vars[i]);
       }
     }
     result.variances = std::move(out_vars);

@@ -46,7 +46,7 @@ Column Column::DictFromStrings(const std::vector<std::string>& data) {
 }
 
 Column Column::DictFromCodes(StringDictPtr dict, std::vector<int32_t> codes,
-                             std::vector<uint8_t> valid) {
+                             ValidityBitmap valid) {
   Column c(ValueType::kString);
   c.dict_ = std::move(dict);
   c.codes_ = std::move(codes);
@@ -96,17 +96,14 @@ size_t Column::size() const {
 }
 
 void Column::SetNull(size_t i) {
-  if (valid_.empty()) valid_.assign(size(), 1);
-  valid_[i] = 0;
+  if (valid_.empty()) valid_.AssignAllValid(size());
+  valid_.SetNull(i);
   if (dict_ != nullptr) codes_[i] = kNullCode;
 }
 
 void Column::CompactValidity() {
-  if (valid_.empty()) return;
-  for (uint8_t v : valid_) {
-    if (v == 0) return;
-  }
-  valid_.clear();
+  // Padding bits are 1, so all-valid is a plain all-words == ~0 scan.
+  if (!valid_.empty() && valid_.AllValid()) valid_.Clear();
 }
 
 Value Column::GetValue(size_t i) const {
@@ -177,7 +174,7 @@ void Column::AppendFrom(const Column& src, size_t i) {
 }
 
 void Column::AppendNull() {
-  if (valid_.empty()) valid_.assign(size(), 1);
+  if (valid_.empty()) valid_.AssignAllValid(size());
   switch (type_) {
     case ValueType::kFloat64:
       doubles_.push_back(0.0);
@@ -193,7 +190,7 @@ void Column::AppendNull() {
       ints_.push_back(0);
       break;
   }
-  valid_.push_back(0);
+  valid_.Append(false);
 }
 
 void Column::Reserve(size_t n) {
@@ -219,7 +216,7 @@ void Column::Clear() {
   doubles_.clear();
   strings_.clear();
   codes_.clear();
-  valid_.clear();
+  valid_.Clear();
 }
 
 Column Column::Take(const std::vector<uint32_t>& indices) const {
@@ -248,8 +245,14 @@ Column Column::Take(const std::vector<uint32_t>& indices) const {
       break;
   }
   if (!valid_.empty()) {
-    out.valid_.resize(n);
-    for (size_t i = 0; i < n; ++i) out.valid_[i] = valid_[indices[i]];
+    // Bitmap gather: start all-valid, clear bits for gathered nulls
+    // (write-only per 64-row word, so morsel-parallel callers writing
+    // disjoint 64-aligned row ranges never share a word).
+    out.valid_.AssignAllValid(n);
+    uint64_t* ow = out.valid_.mutable_words();
+    for (size_t i = 0; i < n; ++i) {
+      if (!valid_.Get(indices[i])) ow[i >> 6] &= ~(1ULL << (i & 63));
+    }
     out.CompactValidity();
   }
   return out;
@@ -284,7 +287,7 @@ Column Column::FilterBy(const std::vector<uint8_t>& mask) const {
   }
   if (!valid_.empty()) {
     for (size_t i = 0; i < mask.size(); ++i) {
-      if (mask[i]) out.valid_.push_back(valid_[i]);
+      if (mask[i]) out.valid_.Append(valid_.Get(i));
     }
     out.CompactValidity();
   }
@@ -346,11 +349,11 @@ void Column::AppendColumn(const Column& other) {
       break;
   }
   if (need_mask) {
-    if (valid_.empty()) valid_.assign(old_size, 1);
+    if (valid_.empty()) valid_.AssignAllValid(old_size);
     if (other.valid_.empty()) {
-      valid_.resize(size(), 1);
+      valid_.AppendAllValid(other.size());
     } else {
-      valid_.insert(valid_.end(), other.valid_.begin(), other.valid_.end());
+      valid_.AppendBitmap(other.valid_);
     }
   }
 }
@@ -374,7 +377,7 @@ Column Column::Slice(size_t begin, size_t end) const {
       break;
   }
   if (!valid_.empty()) {
-    out.valid_.assign(valid_.begin() + begin, valid_.begin() + end);
+    out.valid_ = valid_.Slice(begin, end);
     out.CompactValidity();
   }
   return out;
@@ -422,57 +425,135 @@ uint64_t Column::HashRow(size_t i, uint64_t seed) const {
   }
 }
 
+namespace {
+// Drives `hash_one(i, h)` over [begin, end) under a validity bitmap,
+// one 64-row word at a time: all-ones words run the branch-free inner
+// loop (the overwhelmingly common case), only mixed words fall back to
+// a per-bit test. `hash_one` is never called for a null row, so dict
+// hashers can index pre-hash tables without a kNullCode guard.
+template <typename HashOne>
+inline void HashWordWise(const ValidityBitmap& valid, uint64_t* hashes,
+                         size_t begin, size_t end, HashOne&& hash_one) {
+  const uint64_t* vw = valid.words();
+  size_t i = begin;
+  while (i < end) {
+    const size_t w = i >> 6;
+    const size_t word_end = std::min(end, (w + 1) * 64);
+    const uint64_t word = vw[w];
+    if (word == ~0ULL) {
+      for (; i < word_end; ++i) {
+        hashes[i - begin] = hash_one(i, hashes[i - begin]);
+      }
+    } else {
+      for (; i < word_end; ++i) {
+        uint64_t h = hashes[i - begin];
+        hashes[i - begin] = ((word >> (i & 63)) & 1)
+                                ? hash_one(i, h)
+                                : MixHash(h, kNullHashPayload);
+      }
+    }
+  }
+}
+}  // namespace
+
 void Column::HashIntoRange(uint64_t* hashes, size_t begin, size_t end) const {
-  const bool nulls = !valid_.empty();
   switch (type_) {
     case ValueType::kString:
       if (dict_ != nullptr) {
         // One pre-hash load + mix per row; no byte loop.
         const int32_t* cp = codes_.data();
         const uint64_t* ph = dict_->hash_data();
-        for (size_t i = begin; i < end; ++i) {
-          hashes[i - begin] = (nulls && valid_[i] == 0)
-                                  ? MixHash(hashes[i - begin], kNullHashPayload)
-                                  : MixHash(hashes[i - begin], ph[cp[i]]);
+        if (valid_.empty()) {
+          for (size_t i = begin; i < end; ++i) {
+            hashes[i - begin] = MixHash(hashes[i - begin], ph[cp[i]]);
+          }
+        } else {
+          HashWordWise(valid_, hashes, begin, end, [&](size_t i, uint64_t h) {
+            return MixHash(h, ph[cp[i]]);
+          });
         }
         break;
       }
-      for (size_t i = begin; i < end; ++i) {
-        hashes[i - begin] =
-            (nulls && valid_[i] == 0)
-                ? MixHash(hashes[i - begin], kNullHashPayload)
-                : HashBytes(strings_[i].data(), strings_[i].size(),
-                            hashes[i - begin]);
+      if (valid_.empty()) {
+        for (size_t i = begin; i < end; ++i) {
+          hashes[i - begin] = HashBytes(strings_[i].data(), strings_[i].size(),
+                                        hashes[i - begin]);
+        }
+      } else {
+        HashWordWise(valid_, hashes, begin, end, [&](size_t i, uint64_t h) {
+          return HashBytes(strings_[i].data(), strings_[i].size(), h);
+        });
       }
       break;
-    case ValueType::kFloat64:
-      for (size_t i = begin; i < end; ++i) {
-        if (nulls && valid_[i] == 0) {
-          hashes[i - begin] = MixHash(hashes[i - begin], kNullHashPayload);
-          continue;
-        }
+    case ValueType::kFloat64: {
+      const auto hash_double = [&](size_t i, uint64_t h) {
         double d = doubles_[i];
         if (d == 0.0) d = 0.0;  // normalize -0.0
         uint64_t bits;
         __builtin_memcpy(&bits, &d, sizeof(bits));
-        hashes[i - begin] = MixHash(hashes[i - begin], bits);
+        return MixHash(h, bits);
+      };
+      if (valid_.empty()) {
+        for (size_t i = begin; i < end; ++i) {
+          hashes[i - begin] = hash_double(i, hashes[i - begin]);
+        }
+      } else {
+        HashWordWise(valid_, hashes, begin, end, hash_double);
       }
       break;
+    }
     default:
-      for (size_t i = begin; i < end; ++i) {
-        hashes[i - begin] =
-            (nulls && valid_[i] == 0)
-                ? MixHash(hashes[i - begin], kNullHashPayload)
-                : MixHash(hashes[i - begin], static_cast<uint64_t>(ints_[i]));
+      if (valid_.empty()) {
+        for (size_t i = begin; i < end; ++i) {
+          hashes[i - begin] =
+              MixHash(hashes[i - begin], static_cast<uint64_t>(ints_[i]));
+        }
+      } else {
+        HashWordWise(valid_, hashes, begin, end, [&](size_t i, uint64_t h) {
+          return MixHash(h, static_cast<uint64_t>(ints_[i]));
+        });
       }
       break;
   }
 }
 
+std::vector<uint32_t> Column::SelectionFrom(const Column& pred) {
+  CheckArg(IsIntPhysical(pred.type_), "selection from non-bool predicate");
+  const size_t n = pred.size();
+  const int64_t* v = pred.ints_.data();
+  const size_t nwords = ValidityBitmap::WordsFor(n);
+  // Truth words: bit i set when row i is valid AND non-zero. Values are
+  // packed first (autovectorizable compare loop), then the validity
+  // bitmap ANDs in one op per 64 rows.
+  std::vector<uint64_t> truth(nwords, 0);
+  for (size_t i = 0; i < n; ++i) {
+    truth[i >> 6] |= static_cast<uint64_t>(v[i] != 0) << (i & 63);
+  }
+  if (!pred.valid_.empty()) {
+    const uint64_t* mw = pred.valid_.words();
+    for (size_t w = 0; w < nwords; ++w) truth[w] &= mw[w];
+  }
+  size_t count = 0;
+  for (uint64_t w : truth) count += static_cast<size_t>(PopCount64(w));
+  // Popcount-sized output, ctz iteration: one branchless emit per
+  // selected row, skipping empty words entirely.
+  std::vector<uint32_t> sel(count);
+  size_t out = 0;
+  for (size_t w = 0; w < nwords; ++w) {
+    uint64_t word = truth[w];
+    const uint32_t base = static_cast<uint32_t>(w << 6);
+    while (word != 0) {
+      sel[out++] = base + static_cast<uint32_t>(CountTrailingZeros64(word));
+      word &= word - 1;
+    }
+  }
+  return sel;
+}
+
 size_t Column::ByteSize() const {
   size_t bytes = ints_.capacity() * sizeof(int64_t) +
                  doubles_.capacity() * sizeof(double) +
-                 codes_.capacity() * sizeof(int32_t) + valid_.capacity();
+                 codes_.capacity() * sizeof(int32_t) + valid_.CapacityBytes();
   if (dict_ != nullptr) bytes += dict_->ByteSize();
   // Short strings live in the SSO buffer inside sizeof(std::string);
   // only capacities beyond it allocate separately on the heap. Dict

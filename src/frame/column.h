@@ -13,8 +13,11 @@
 // (SUBSTR output, literal broadcasts) and the two encodings hash
 // identically, so they can always probe each other.
 //
-// The null mask is allocated lazily — an empty `valid_` means all rows are
-// valid, which keeps the common non-null path branch-free.
+// The null mask is a bit-packed ValidityBitmap (frame/validity.h), one
+// bit per row, allocated lazily — an empty bitmap means all rows are
+// valid, which keeps the common non-null path branch-free, and lets the
+// batch kernels (null propagation, hashing, filtering) run 64 rows per
+// word op instead of a byte per row.
 #ifndef WAKE_FRAME_COLUMN_H_
 #define WAKE_FRAME_COLUMN_H_
 
@@ -24,6 +27,7 @@
 #include <vector>
 
 #include "common/string_dict.h"
+#include "frame/validity.h"
 #include "frame/value.h"
 
 namespace wake {
@@ -73,7 +77,7 @@ class Column {
   /// probe-side dict unification of cross-dict string joins and by
   /// parallel gathers that assemble codes off-column.
   static Column DictFromCodes(StringDictPtr dict, std::vector<int32_t> codes,
-                              std::vector<uint8_t> valid = {});
+                              ValidityBitmap valid = {});
   /// Plain-encoded copy (identity copy for non-dict columns).
   Column DecodeDict() const;
   /// Dict-encoded copy with a fresh dict (identity copy for dict columns).
@@ -102,13 +106,18 @@ class Column {
 
   /// --- nulls ---
   bool has_nulls() const { return !valid_.empty(); }
-  bool IsNull(size_t i) const { return !valid_.empty() && valid_[i] == 0; }
-  bool IsValid(size_t i) const { return valid_.empty() || valid_[i] != 0; }
+  bool IsNull(size_t i) const { return !valid_.empty() && !valid_.Get(i); }
+  bool IsValid(size_t i) const { return valid_.empty() || valid_.Get(i); }
   /// Marks row i null (allocates the mask on first use).
   void SetNull(size_t i);
-  const std::vector<uint8_t>& validity() const { return valid_; }
-  std::vector<uint8_t>* mutable_validity() { return &valid_; }
-  void set_validity(std::vector<uint8_t> v) { valid_ = std::move(v); }
+  const ValidityBitmap& validity() const { return valid_; }
+  ValidityBitmap* mutable_validity() { return &valid_; }
+  void set_validity(ValidityBitmap v) { valid_ = std::move(v); }
+  /// Byte-per-row compatibility overload (wire/disk decoders).
+  void set_validity(std::vector<uint8_t> v) {
+    valid_ = ValidityBitmap::FromBoolBytes(v.data(), v.size());
+    CompactValidity();
+  }
   /// Drops the mask if every row is valid.
   void CompactValidity();
 
@@ -166,9 +175,14 @@ class Column {
   /// k columns is counted k times (upper bound).
   size_t ByteSize() const;
 
+  /// Selection-vector filter: rows where `pred` is valid and non-zero
+  /// (bool/int64 storage). One truth-word pass + popcount sizes the
+  /// output, then ctz iteration emits indices — no per-row byte mask.
+  static std::vector<uint32_t> SelectionFrom(const Column& pred);
+
  private:
   void ExtendValidity() {
-    if (!valid_.empty()) valid_.push_back(1);
+    if (!valid_.empty()) valid_.Append(true);
   }
 
   /// Dict pointer safe to intern into: clones the pool first if any other
@@ -183,7 +197,7 @@ class Column {
   std::vector<std::string> strings_;  // plain string rows
   std::vector<int32_t> codes_;        // dict string rows (when dict_ set)
   StringDictPtr dict_;
-  std::vector<uint8_t> valid_;  // empty == all valid
+  ValidityBitmap valid_;  // empty == all valid
 };
 
 }  // namespace wake

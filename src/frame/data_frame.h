@@ -16,6 +16,8 @@
 
 namespace wake {
 
+class WorkerPool;
+
 /// Sort specification for one column.
 struct SortKey {
   std::string column;
@@ -51,6 +53,11 @@ class DataFrame {
   /// --- row-set transforms (all return new frames) ---
   DataFrame Take(const std::vector<uint32_t>& indices) const;
   DataFrame FilterBy(const std::vector<uint8_t>& mask) const;
+  /// Selection-kernel filter: keeps rows where `pred` (a bool column of
+  /// matching length) is valid and non-zero. Builds a popcount-sized
+  /// selection vector word-at-a-time, then gathers — no per-row byte
+  /// mask materialization.
+  DataFrame FilterBy(const Column& pred) const;
   DataFrame Slice(size_t begin, size_t end) const;
   DataFrame Head(size_t n) const { return Slice(0, std::min(n, num_rows())); }
   /// Keeps only the named columns, in the given order.
@@ -61,6 +68,15 @@ class DataFrame {
 
   /// Stable sort by the given keys; nulls first on ascending.
   DataFrame SortBy(const std::vector<SortKey>& keys) const;
+
+  /// Row order SortBy would gather, truncated to the first `limit` rows
+  /// when limit > 0. The comparator is total (sort keys, then row index
+  /// as tie-break), so the result equals the stable sort exactly — and
+  /// per-morsel top-k sorts merged k-way on `pool` reproduce it at any
+  /// worker count (morsel decomposition is a function of n only).
+  std::vector<uint32_t> SortedIndices(const std::vector<SortKey>& keys,
+                                      size_t limit = 0,
+                                      WorkerPool* pool = nullptr) const;
 
   /// Hash of the key columns `key_cols` for row `row`.
   uint64_t HashRowKeys(const std::vector<size_t>& key_cols, size_t row) const;

@@ -197,12 +197,17 @@ Column EvalArith(ArithOp op, const Column& l, const Column& r) {
       }
     }
   }
-  if (l.has_nulls() || r.has_nulls()) {
-    std::vector<uint8_t> valid(n, 1);
-    for (size_t i = 0; i < n; ++i) {
-      if (l.IsNull(i) || r.IsNull(i)) valid[i] = 0;
-    }
+  // Word-at-a-time null propagation: result validity is the AND of the
+  // operand bitmaps — 64 rows per op, no per-row branches.
+  if (l.has_nulls() && r.has_nulls()) {
+    ValidityBitmap valid = l.validity();
+    uint64_t* w = valid.mutable_words();
+    const uint64_t* rw = r.validity().words();
+    for (size_t k = 0; k < valid.num_words(); ++k) w[k] &= rw[k];
     out.set_validity(std::move(valid));
+    out.CompactValidity();
+  } else if (l.has_nulls() || r.has_nulls()) {
+    out.set_validity(l.has_nulls() ? l.validity() : r.validity());
     out.CompactValidity();
   }
   return out;
@@ -239,9 +244,11 @@ Column EvalCompare(CompareOp op, const Column& l, const Column& r) {
   Column out(ValueType::kBool);
   auto& v = *out.mutable_ints();
   v.resize(n, 0);
-  // Fast paths: numeric, null-free columns compare in tight typed loops.
-  if (!l.has_nulls() && !r.has_nulls() && l.type() != ValueType::kString &&
-      r.type() != ValueType::kString) {
+  // Numeric columns compare in tight typed loops over every row — null
+  // slots hold defined 0/0.0 values, so computing them is safe — then
+  // null rows are zeroed word-wise (null compare -> false). All-valid
+  // words skip their 64 rows in one test.
+  if (l.type() != ValueType::kString && r.type() != ValueType::kString) {
     bool li = IsIntPhysical(l.type()), ri = IsIntPhysical(r.type());
     if (li && ri) {
       CompareLoop(op, l.ints(), r.ints(), &v);
@@ -251,6 +258,22 @@ Column EvalCompare(CompareOp op, const Column& l, const Column& r) {
       CompareLoop(op, l.ints(), r.doubles(), &v);
     } else {
       CompareLoop(op, l.doubles(), r.ints(), &v);
+    }
+    if (l.has_nulls() || r.has_nulls()) {
+      const uint64_t* lw = l.has_nulls() ? l.validity().words() : nullptr;
+      const uint64_t* rw = r.has_nulls() ? r.validity().words() : nullptr;
+      const size_t nwords = ValidityBitmap::WordsFor(n);
+      for (size_t w = 0; w < nwords; ++w) {
+        uint64_t word = ~0ULL;
+        if (lw != nullptr) word &= lw[w];
+        if (rw != nullptr) word &= rw[w];
+        if (word == ~0ULL) continue;
+        const size_t base = w << 6;
+        const size_t lim = std::min(n, base + 64);
+        for (size_t i = base; i < lim; ++i) {
+          if (((word >> (i & 63)) & 1) == 0) v[i] = 0;
+        }
+      }
     }
     return out;
   }
@@ -269,6 +292,21 @@ Column EvalCompare(CompareOp op, const Column& l, const Column& r) {
     v[i] = b ? 1 : 0;
   }
   return out;
+}
+
+// Packs "valid && non-zero" per row of a bool column into 64-row truth
+// words: one autovectorizable packing pass, then logic ops combine whole
+// words instead of branching per row.
+void TruthWords(const Column& c, size_t n, std::vector<uint64_t>* out) {
+  out->assign(ValidityBitmap::WordsFor(n), 0);
+  const int64_t* v = c.ints().data();
+  for (size_t i = 0; i < n; ++i) {
+    (*out)[i >> 6] |= static_cast<uint64_t>(v[i] != 0) << (i & 63);
+  }
+  if (c.has_nulls()) {
+    const uint64_t* mw = c.validity().words();
+    for (size_t w = 0; w < out->size(); ++w) (*out)[w] &= mw[w];
+  }
 }
 
 // Broadcasts a literal to a column of length n.
@@ -300,12 +338,17 @@ Column Expr::Eval(const DataFrame& df) const {
       Column out(ValueType::kBool);
       auto& v = *out.mutable_ints();
       v.resize(n);
-      const auto& a = l.ints();
-      const auto& b = r.ints();
+      // Truth-word combine: 64 rows per AND/OR.
+      std::vector<uint64_t> ta, tb;
+      TruthWords(l, n, &ta);
+      TruthWords(r, n, &tb);
+      if (logic_op_ == LogicOp::kAnd) {
+        for (size_t w = 0; w < ta.size(); ++w) ta[w] &= tb[w];
+      } else {
+        for (size_t w = 0; w < ta.size(); ++w) ta[w] |= tb[w];
+      }
       for (size_t i = 0; i < n; ++i) {
-        bool la = l.IsValid(i) && a[i] != 0;
-        bool rb = r.IsValid(i) && b[i] != 0;
-        v[i] = (logic_op_ == LogicOp::kAnd ? (la && rb) : (la || rb)) ? 1 : 0;
+        v[i] = static_cast<int64_t>((ta[i >> 6] >> (i & 63)) & 1);
       }
       return out;
     }
@@ -314,8 +357,10 @@ Column Expr::Eval(const DataFrame& df) const {
       Column out(ValueType::kBool);
       auto& v = *out.mutable_ints();
       v.resize(n);
+      std::vector<uint64_t> t;
+      TruthWords(c, n, &t);
       for (size_t i = 0; i < n; ++i) {
-        v[i] = (c.IsValid(i) && c.ints()[i] != 0) ? 0 : 1;
+        v[i] = static_cast<int64_t>(((t[i >> 6] >> (i & 63)) & 1) ^ 1);
       }
       return out;
     }
@@ -444,8 +489,21 @@ Column Expr::Eval(const DataFrame& df) const {
       Column c = children_[0]->Eval(df);
       Column out(ValueType::kBool);
       auto& v = *out.mutable_ints();
-      v.resize(n);
-      for (size_t i = 0; i < n; ++i) v[i] = c.IsNull(i) ? 1 : 0;
+      v.resize(n, 0);
+      if (c.has_nulls()) {
+        // Complement of the validity bitmap, expanded word-by-word;
+        // all-valid words skip their 64 rows.
+        const uint64_t* mw = c.validity().words();
+        const size_t nwords = ValidityBitmap::WordsFor(n);
+        for (size_t w = 0; w < nwords; ++w) {
+          if (mw[w] == ~0ULL) continue;
+          const size_t base = w << 6;
+          const size_t lim = std::min(n, base + 64);
+          for (size_t i = base; i < lim; ++i) {
+            v[i] = static_cast<int64_t>(((mw[w] >> (i & 63)) & 1) ^ 1);
+          }
+        }
+      }
       return out;
     }
   }

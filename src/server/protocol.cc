@@ -121,7 +121,12 @@ void EncodeDataFrame(const DataFrame& df, wire::WireWriter* w) {
     const Column& col = df.column(c);
     bool has_validity = col.has_nulls();
     w->U8(has_validity ? 1 : 0);
-    if (has_validity) w->Bytes(col.validity().data(), rows);
+    if (has_validity) {
+      // Wire format keeps one 0/1 byte per row; expand from the bitmap.
+      std::vector<uint8_t> validity(rows);
+      col.validity().ToBoolBytes(validity.data());
+      w->Bytes(validity.data(), rows);
+    }
     if (col.type() == ValueType::kString) {
       for (uint64_t i = 0; i < rows; ++i) {
         w->Str(col.IsNull(i) ? std::string() : col.StringAt(i));

@@ -401,8 +401,11 @@ void PartitionedTable::WriteWpartDir(const std::string& dir) const {
       WritePod<uint8_t>(out, static_cast<uint8_t>(col.type()));
       WritePod<uint8_t>(out, col.has_nulls() ? 1 : 0);
       if (col.has_nulls()) {
-        out.write(reinterpret_cast<const char*>(col.validity().data()),
-                  static_cast<std::streamsize>(col.validity().size()));
+        // Wpart format keeps one 0/1 byte per row; expand from the bitmap.
+        std::vector<uint8_t> bytes(df.num_rows());
+        col.validity().ToBoolBytes(bytes.data());
+        out.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
       }
       if (col.type() == ValueType::kFloat64) {
         out.write(reinterpret_cast<const char*>(col.doubles().data()),

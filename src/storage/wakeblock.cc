@@ -312,18 +312,19 @@ BuiltBlock BuildBlock(const Column& col, ValueType type, size_t begin,
                       size_t rows, const std::vector<int32_t>* codes) {
   BuiltBlock out;
   // Validity first: bit-packed, omitted entirely for all-valid blocks.
+  // The column's bitmap shares the on-disk LSB-first layout, so the
+  // slice's words serialize directly — popcount for the null count, no
+  // per-row loop.
   uint32_t null_count = 0;
-  for (size_t r = 0; r < rows; ++r) {
-    if (col.IsNull(begin + r)) ++null_count;
-  }
-  out.synopsis.null_count = null_count;
-  if (null_count > 0) {
-    out.body.assign(ValidityBytes(rows), '\0');
-    auto* bits = reinterpret_cast<uint8_t*>(out.body.data());
-    for (size_t r = 0; r < rows; ++r) {
-      if (!col.IsNull(begin + r)) bits[r / 8] |= uint8_t{1} << (r % 8);
+  if (col.has_nulls()) {
+    ValidityBitmap vslice = col.validity().Slice(begin, begin + rows);
+    null_count = static_cast<uint32_t>(vslice.CountNulls());
+    out.synopsis.null_count = null_count;
+    if (null_count > 0) {
+      out.body.assign(ValidityBytes(rows), '\0');
+      vslice.ToPackedBytes(reinterpret_cast<uint8_t*>(out.body.data()));
+      out.validity_len = static_cast<uint32_t>(out.body.size());
     }
-    out.validity_len = static_cast<uint32_t>(out.body.size());
   }
 
   // Storage values (null slots included so blocks round-trip exactly) and
@@ -743,16 +744,17 @@ Column BlockTable::DecodeColumnBlock(size_t field, size_t b) const {
   Check(wire::Crc32(body.data(), body.size()) == h.crc,
         "block CRC mismatch in " + ColumnPath(field));
 
-  std::vector<uint8_t> valid;
+  ValidityBitmap valid;
   if (h.null_count > 0) {
-    const auto* bits = reinterpret_cast<const uint8_t*>(body.data());
-    valid.resize(rows);
-    uint32_t nulls = 0;
-    for (size_t r = 0; r < rows; ++r) {
-      valid[r] = (bits[r / 8] >> (r % 8)) & 1;
-      nulls += valid[r] == 0;
-    }
-    Check(nulls == h.null_count, "validity mask disagrees with null count");
+    Check(h.validity_len == ValidityBytes(rows),
+          "validity length mismatch in " + ColumnPath(field));
+    // Packed bytes decode straight into bitmap words (same LSB-first
+    // layout); forged trailing bits are normalized away, so the popcount
+    // cross-check below sees only logical rows.
+    valid = ValidityBitmap::FromPackedBytes(
+        reinterpret_cast<const uint8_t*>(body.data()), rows);
+    Check(valid.CountNulls() == h.null_count,
+          "validity mask disagrees with null count");
   }
 
   const auto* payload =
@@ -783,12 +785,13 @@ Column BlockTable::DecodeColumnBlock(size_t field, size_t b) const {
       if (values[r] < Column::kNullCode || values[r] >= size) {
         Fail("dictionary code out of range in " + ColumnPath(field));
       }
-      if (values[r] == Column::kNullCode && (h.null_count == 0 || valid[r])) {
+      if (values[r] == Column::kNullCode &&
+          (h.null_count == 0 || valid.Get(r))) {
         Fail("null code on a valid row in " + ColumnPath(field));
       }
       codes[r] = static_cast<int32_t>(values[r]);
     }
-    out = Column::DictFromCodes(info.dict, std::move(codes), valid);
+    out = Column::DictFromCodes(info.dict, std::move(codes), std::move(valid));
     return out;
   }
   if (spec.type == ValueType::kFloat64) {
