@@ -15,6 +15,7 @@
 #include <string>
 #include <thread>
 
+#include "api/db.h"
 #include "common/channel.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -23,6 +24,7 @@
 #include "core/growth.h"
 #include "core/inference.h"
 #include "core/join_kernel.h"
+#include "ingest/live_table.h"
 #include "plan/props.h"
 #include "storage/wakeblock.h"
 #include "tpch/dbgen.h"
@@ -451,6 +453,56 @@ ExprFilterRates MeasureExprFilter(size_t rows) {
   return rates;
 }
 
+// Live-ingest write path, batched appends of the MakeFact feed:
+//   ingest_append    LiveTable::Append + seal/flush alone (durable
+//                    wakeblock tablets land on disk as rows stream in)
+//   ingest_standing  same stream with a standing grouped aggregate
+//                    refreshed after every batch — the delta over
+//                    ingest_append is the incremental fold cost per
+//                    emitted snapshot epoch
+struct IngestRates {
+  double ingest_append = 0.0;
+  double ingest_standing = 0.0;
+};
+
+IngestRates MeasureIngest(size_t rows) {
+  constexpr size_t kBatch = 4096;
+  DataFrame feed = MakeFact(rows, 1 << 10, 9);
+  auto dir = std::filesystem::temp_directory_path() /
+             ("wake_micro_ingest_" + std::to_string(::getpid()));
+  LiveTableOptions opts;
+  opts.seal_rows = 64 * 1024;
+  opts.spill_dir = dir.string();
+
+  IngestRates rates;
+  rates.ingest_append = BestMrowsPerSec(rows, [&] {
+    std::filesystem::remove_all(dir);
+    LiveTable live("feed", feed.schema(), opts);
+    for (size_t at = 0; at < rows; at += kBatch) {
+      live.Append(feed.Slice(at, std::min(at + kBatch, rows)));
+    }
+    if (live.stats().rows_appended != rows) std::abort();
+  });
+
+  Plan plan =
+      Plan::Scan("feed").Aggregate({"g"}, {Sum("v", "s"), Count("n")});
+  rates.ingest_standing = BestMrowsPerSec(rows, [&] {
+    std::filesystem::remove_all(dir);
+    auto live = std::make_shared<LiveTable>("feed", feed.schema(), opts);
+    Catalog catalog;
+    catalog.AddDynamic(live);
+    Db db(&catalog);
+    auto sub = db.Subscribe(plan);
+    for (size_t at = 0; at < rows; at += kBatch) {
+      live->Append(feed.Slice(at, std::min(at + kBatch, rows)));
+      sub->Refresh();
+    }
+    if (sub->Current().rows_covered != rows) std::abort();
+  });
+  std::filesystem::remove_all(dir);
+  return rates;
+}
+
 int RunMicroJson() {
   constexpr size_t kRows = 1 << 18;     // 256k rows per kernel invocation
   constexpr int64_t kJoinKeys = 1 << 16;
@@ -498,6 +550,8 @@ int RunMicroJson() {
 
   ScanRates scan = MeasureScan();
 
+  IngestRates ingest = MeasureIngest(kRows);
+
   std::printf(
       "{\"bench\":\"micro_ops\",\"rows\":%zu,\"host_cores\":%u,"
       "\"join_build_mrows_per_s\":%.2f,\"join_probe_mrows_per_s\":%.2f,"
@@ -521,14 +575,17 @@ int RunMicroJson() {
       "\"scan_full_mrows_per_s\":%.2f,"
       "\"scan_pruned_mrows_per_s\":%.2f,"
       "\"scan_columnar_mrows_per_s\":%.2f,"
-      "\"scan_columnar_skip_mrows_per_s\":%.2f}\n",
+      "\"scan_columnar_skip_mrows_per_s\":%.2f,"
+      "\"ingest_append_mrows_per_s\":%.2f,"
+      "\"ingest_standing_mrows_per_s\":%.2f}\n",
       kRows, std::thread::hardware_concurrency(), ints.join_build,
       ints.join_probe, ints.group_by, plain.join_build, plain.join_probe,
       plain.group_by, dict.join_build, dict.join_probe, dict.group_by,
       w1.join_probe, w2.join_probe, w4.join_probe, w1.group_by, w2.group_by,
       w4.group_by, ef.expr_filter_scalar, ef.expr_filter,
       ef.null_hash_scalar, ef.null_hash, scan.scan_full, scan.scan_pruned,
-      scan.scan_columnar, scan.scan_columnar_skip);
+      scan.scan_columnar, scan.scan_columnar_skip, ingest.ingest_append,
+      ingest.ingest_standing);
   return 0;
 }
 

@@ -44,6 +44,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -250,6 +251,69 @@ class PreparedQuery {
   Schema schema_;
 };
 
+/// One incrementally maintained snapshot of a standing query.
+struct SubscriptionState {
+  /// Live-table epoch the snapshot covers. A state at epoch E is
+  /// byte-identical to a from-scratch exact query over exactly the
+  /// tablet set of that epoch's snapshot.
+  uint64_t epoch = 0;
+  /// Global row watermark: the snapshot aggregates exactly the live
+  /// table's rows below this index (minus any pre-subscription evicted
+  /// prefix).
+  uint64_t rows_covered = 0;
+  DataFramePtr frame;
+};
+
+/// Configuration for Db::Subscribe.
+struct SubscribeOptions {
+  /// Poll interval of the subscription's background refresher thread;
+  /// 0 = no thread, the owner drives Refresh() manually.
+  int64_t poll_ms = 0;
+  /// Invoked for every emitted state, on whichever thread produced it
+  /// (the poll thread, or the caller of Refresh()).
+  std::function<void(const SubscriptionState&)> on_state;
+};
+
+/// A standing query over a live table (Db::Subscribe): a long-lived
+/// handle whose result is maintained *incrementally*. Each Refresh()
+/// takes one consistent live-table snapshot, folds only the rows
+/// appended since the previous refresh into a persistent aggregate
+/// state (the same ⊕ contract OLA partials merge through), finalizes,
+/// and emits an epoch-stamped state — old tablets are never re-scanned
+/// and per-snapshot cost is O(delta + groups), not O(data).
+///
+/// Supported plan shape: an optional Map/SortLimit chain over one
+/// aggregate whose input is a Filter/Map chain over a single scan of a
+/// live table; anything else is rejected at Subscribe with kPlan.
+///
+/// Thread safety: Refresh()/Current() are safe from any thread. The
+/// destructor stops and joins the poll thread, if any. If retention
+/// evicts rows the subscription has not folded yet, Refresh() throws
+/// kResourceExhausted (the incremental state can no longer be made
+/// consistent) — size retain_tablets to outlast the refresh cadence.
+class Subscription {
+ public:
+  ~Subscription();
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+
+  /// Folds rows appended since the last refresh and emits a new state.
+  /// Returns std::nullopt when the live table is unchanged.
+  std::optional<SubscriptionState> Refresh();
+
+  /// Latest emitted state (frame is null before the first Refresh()).
+  SubscriptionState Current() const;
+
+  /// Output schema of emitted frames.
+  const Schema& schema() const;
+
+ private:
+  friend class Db;
+  struct Impl;
+  explicit Subscription(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
 /// A database session: catalog + worker pool + prepared queries.
 class Db {
  public:
@@ -266,6 +330,14 @@ class Db {
   /// Prepares a programmatically built plan (optimized under the same
   /// DbOptions::optimize switch).
   PreparedQuery Prepare(const Plan& plan) const;
+
+  /// Registers a standing query over a live table (see Subscription).
+  /// Throws kPlan if the plan shape is unsupported or the scanned table
+  /// is not dynamic. The Db must outlive the returned handle.
+  std::unique_ptr<Subscription> Subscribe(const std::string& sql,
+                                          SubscribeOptions options = {}) const;
+  std::unique_ptr<Subscription> Subscribe(const Plan& plan,
+                                          SubscribeOptions options = {}) const;
 
   const Catalog& catalog() const { return *catalog_; }
   const DbOptions& options() const { return options_; }

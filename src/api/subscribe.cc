@@ -1,0 +1,277 @@
+// Standing queries (Db::Subscribe): incremental maintenance of an
+// aggregate over a live table.
+//
+// The invariant that makes this exact rather than approximate: a live
+// table's rows have a stable global order (append order), and
+// GroupedAggState is deterministic in consume order — folding deltas
+// [0,a), [a,b), [b,c) serially leaves byte-identical state to folding
+// [0,c) in one pass. So each Refresh() consumes only the rows between
+// its watermark and the snapshot's end, and the finalized frame equals
+// what the exact engine would produce from scratch over the same
+// snapshot.
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/db.h"
+#include "common/error.h"
+#include "core/agg_state.h"
+#include "ingest/live_table.h"
+#include "plan/props.h"
+
+namespace wake {
+
+namespace {
+
+// Applies a Filter/Map/SortLimit chain to a materialized frame, exactly
+// as the exact engine evaluates those operators.
+DataFrame ApplyOps(DataFrame in, const std::vector<PlanNodePtr>& ops) {
+  for (const auto& node : ops) {
+    switch (node->op) {
+      case PlanOp::kFilter:
+        in = in.FilterBy(node->predicate->Eval(in));
+        break;
+      case PlanOp::kMap: {
+        DataFrame out;
+        if (node->append_input) out = in;
+        for (const auto& p : node->projections) {
+          Column c = p.expr->Eval(in);
+          out.AddColumn(Field(p.name, c.type()), std::move(c));
+        }
+        in = std::move(out);
+        break;
+      }
+      case PlanOp::kSortLimit: {
+        DataFrame sorted = in.SortBy(node->sort_keys);
+        in = node->limit > 0 ? sorted.Head(node->limit) : std::move(sorted);
+        break;
+      }
+      default:
+        throw Error("unsupported operator in standing query",
+                    ErrorCategory::kPlan);
+    }
+  }
+  return in;
+}
+
+}  // namespace
+
+struct Subscription::Impl {
+  std::shared_ptr<LiveTable> live;
+  PlanNodePtr scan;
+  std::vector<PlanNodePtr> pre_ops;   // scan → aggregate input, in order
+  PlanNodePtr agg;
+  std::vector<PlanNodePtr> post_ops;  // aggregate output → root, in order
+  Schema output_schema;
+  SubscribeOptions options;
+
+  mutable std::mutex mu;
+  std::unique_ptr<GroupedAggState> state;  // persistent, serial
+  bool primed = false;     // watermark initialized from the first snapshot
+  uint64_t watermark = 0;  // rows below this global index are folded in
+  bool emitted = false;
+  SubscriptionState last;
+  std::exception_ptr poll_error;
+
+  std::thread poller;
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+  bool stop = false;
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(stop_mu);
+      stop = true;
+    }
+    stop_cv.notify_all();
+    if (poller.joinable()) poller.join();
+  }
+
+  /// An empty frame with the scan's output columns, the seed deltas
+  /// append onto.
+  DataFrame EmptyScanFrame() const {
+    const Schema& full = live->schema();
+    if (scan->columns.empty()) return DataFrame(full);
+    std::vector<Field> fields;
+    fields.reserve(scan->columns.size());
+    for (const auto& name : scan->columns) {
+      fields.push_back(full.field(full.FieldIndex(name)));
+    }
+    return DataFrame(Schema(std::move(fields)));
+  }
+
+  std::optional<SubscriptionState> RefreshLocked() {
+    const LiveSnapshot snap = live->SnapshotInfo();
+    if (!primed) {
+      watermark = snap.start_row;
+      primed = true;
+    }
+    if (snap.start_row > watermark) {
+      throw Error(
+          "subscription on '" + live->name() + "' lost rows [" +
+              std::to_string(watermark) + ", " +
+              std::to_string(snap.start_row) +
+              ") to retention before folding them; raise retain_tablets "
+              "or refresh more often",
+          ErrorCategory::kResourceExhausted);
+    }
+    if (emitted && snap.end_row == watermark) {
+      if (snap.epoch == last.epoch) return std::nullopt;
+      last.epoch = snap.epoch;  // seal/evict with no new rows: same data
+      return last;
+    }
+
+    // Assemble the delta [watermark, end_row) in global row order. Whole
+    // tablets go through the filtered materialize (block skipping); a
+    // tablet straddling the watermark is materialized unfiltered so row
+    // offsets stay addressable, then sliced. The residual Filter in
+    // pre_ops removes non-matching rows either way.
+    DataFrame delta = EmptyScanFrame();
+    for (const auto& t : snap.tablets) {
+      if (t.start_row + t.rows <= watermark) continue;
+      if (t.start_row >= watermark) {
+        delta.Append(t.table->Materialize(scan->columns, scan->scan_filter));
+      } else {
+        DataFrame full = t.table->Materialize(scan->columns, nullptr);
+        delta.Append(full.Slice(static_cast<size_t>(watermark - t.start_row),
+                                full.num_rows()));
+      }
+    }
+    watermark = snap.end_row;
+
+    if (delta.num_rows() > 0) {
+      DataFrame in = ApplyOps(std::move(delta), pre_ops);
+      if (state == nullptr) {
+        Schema agg_out = AggOutputSchema(in.schema(), agg->group_by, agg->aggs);
+        state = std::make_unique<GroupedAggState>(agg->group_by, agg->aggs,
+                                                  in.schema(),
+                                                  std::move(agg_out));
+      }
+      state->Consume(in);
+    }
+
+    DataFrame out = state != nullptr
+                        ? ApplyOps(state->Finalize(AggScaling{}).frame,
+                                   post_ops)
+                        : DataFrame(output_schema);  // nothing ingested yet
+    last.epoch = snap.epoch;
+    last.rows_covered = snap.end_row;
+    last.frame = std::make_shared<DataFrame>(std::move(out));
+    emitted = true;
+    return last;
+  }
+
+  std::optional<SubscriptionState> Refresh() {
+    std::optional<SubscriptionState> emittedState;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (poll_error != nullptr) std::rethrow_exception(poll_error);
+      emittedState = RefreshLocked();
+    }
+    if (emittedState && options.on_state) options.on_state(*emittedState);
+    return emittedState;
+  }
+
+  void PollLoop() {
+    std::unique_lock<std::mutex> lock(stop_mu);
+    while (!stop) {
+      stop_cv.wait_for(lock, std::chrono::milliseconds(options.poll_ms),
+                       [this] { return stop; });
+      if (stop) break;
+      lock.unlock();
+      try {
+        Refresh();
+      } catch (...) {
+        // Park the error for the owner's next Refresh()/Current() and
+        // stop polling: the state can no longer advance consistently.
+        std::lock_guard<std::mutex> elock(mu);
+        poll_error = std::current_exception();
+        lock.lock();
+        break;
+      }
+      lock.lock();
+    }
+  }
+};
+
+Subscription::Subscription(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+Subscription::~Subscription() = default;
+
+std::optional<SubscriptionState> Subscription::Refresh() {
+  return impl_->Refresh();
+}
+
+SubscriptionState Subscription::Current() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->poll_error != nullptr) std::rethrow_exception(impl_->poll_error);
+  return impl_->last;
+}
+
+const Schema& Subscription::schema() const { return impl_->output_schema; }
+
+std::unique_ptr<Subscription> Db::Subscribe(const std::string& sql,
+                                            SubscribeOptions options) const {
+  PreparedQuery q = Prepare(sql);
+  return Subscribe(Plan(q.plan().node()), std::move(options));
+}
+
+std::unique_ptr<Subscription> Db::Subscribe(const Plan& plan,
+                                            SubscribeOptions options) const {
+  PreparedQuery q = Prepare(plan);
+
+  auto impl = std::make_unique<Subscription::Impl>();
+  impl->output_schema = q.schema();
+  impl->options = std::move(options);
+
+  // Decompose the optimized plan: [post_ops] over one kAggregate over
+  // [pre_ops] over one kScan of a live table.
+  PlanNodePtr n = q.plan().node();
+  std::vector<PlanNodePtr> post;
+  while (n != nullptr &&
+         (n->op == PlanOp::kMap || n->op == PlanOp::kSortLimit)) {
+    post.push_back(n);
+    n = n->inputs.empty() ? nullptr : n->inputs[0];
+  }
+  CheckPlan(n != nullptr && n->op == PlanOp::kAggregate,
+            "standing queries require a single aggregate "
+            "(optionally under Map/SortLimit)");
+  impl->agg = n;
+  n = n->inputs[0];
+  std::vector<PlanNodePtr> pre;
+  while (n != nullptr && (n->op == PlanOp::kFilter || n->op == PlanOp::kMap)) {
+    pre.push_back(n);
+    n = n->inputs.empty() ? nullptr : n->inputs[0];
+  }
+  CheckPlan(n != nullptr && n->op == PlanOp::kScan,
+            "standing queries read one table: aggregate input must be a "
+            "Filter/Map chain over a single scan");
+  impl->scan = n;
+  // Chains were collected top-down; evaluation runs bottom-up.
+  std::reverse(pre.begin(), pre.end());
+  std::reverse(post.begin(), post.end());
+  impl->pre_ops = std::move(pre);
+  impl->post_ops = std::move(post);
+
+  auto dyn = catalog_->GetDynamic(impl->scan->table);
+  CheckPlan(dyn != nullptr,
+            "standing queries require a live table; '" + impl->scan->table +
+                "' is static");
+  impl->live = std::dynamic_pointer_cast<LiveTable>(dyn);
+  CheckPlan(impl->live != nullptr,
+            "dynamic table '" + impl->scan->table +
+                "' does not support subscriptions");
+
+  if (impl->options.poll_ms > 0) {
+    impl->poller = std::thread([p = impl.get()] { p->PollLoop(); });
+  }
+  return std::unique_ptr<Subscription>(new Subscription(std::move(impl)));
+}
+
+}  // namespace wake

@@ -30,8 +30,8 @@ DataFrame ExactEngine::Eval(const PlanNodePtr& node) const {
       // Projected read: only the plan's column list is ever copied. The
       // scan filter lets wakeblock tables skip refuted blocks; the plan's
       // residual Filter removes any surviving non-matching rows.
-      result = catalog_->Get(node->table)
-                   .Materialize(node->columns, node->scan_filter);
+      result = catalog_->GetPtr(node->table)
+                   ->Materialize(node->columns, node->scan_filter);
       if (tracker_ != nullptr) tracker_->ChargeRows(result.num_rows());
       break;
     }

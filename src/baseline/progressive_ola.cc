@@ -42,7 +42,10 @@ void ProgressiveOla::Execute(const PlanNodePtr& plan,
   const PlanNode* agg_node = nullptr;
   const PlanNode* scan = FindScan(plan, &agg_node);
   CheckArg(agg_node != nullptr, "plan has no aggregation");
-  const PartitionedTable& table = catalog_->Get(scan->table);
+  // GetPtr: a dynamic (live) table resolves to one immutable snapshot
+  // held for the whole run.
+  TablePtr table_ptr = catalog_->GetPtr(scan->table);
+  const PartitionedTable& table = *table_ptr;
   size_t total = table.total_rows();
 
   Stopwatch clock;

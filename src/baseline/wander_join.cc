@@ -35,7 +35,7 @@ WanderJoin::WanderJoin(const Catalog* catalog, WanderJoinSpec spec,
 void WanderJoin::BuildIndexes() {
   if (built_) return;
   Stopwatch clock;
-  root_ = catalog_->Get(spec_.root_table).Materialize();
+  root_ = catalog_->GetPtr(spec_.root_table)->Materialize();
   root_mask_ = EvalMask(root_, spec_.root_filter);
   Column values = spec_.value->Eval(root_);
   root_values_.resize(values.size());
@@ -46,7 +46,7 @@ void WanderJoin::BuildIndexes() {
   const Schema* prev_schema = &root_.schema();
   for (const auto& hop : spec_.hops) {
     HopState state;
-    state.table = catalog_->Get(hop.table).Materialize();
+    state.table = catalog_->GetPtr(hop.table)->Materialize();
     state.mask = EvalMask(state.table, hop.filter);
     state.from_col = prev_schema->FieldIndex(hop.from_key);
     state.to_col = state.table.schema().FieldIndex(hop.to_key);

@@ -151,6 +151,25 @@ Client::Client(ClientOptions options)
   reader_ = std::thread([this] { ReaderLoop(); });
 }
 
+struct Client::PendingIngest {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  protocol::IngestAck ack;
+  std::optional<Error> error;
+
+  void Finish(std::optional<Error> e, protocol::IngestAck a = {}) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (done) return;
+      done = true;
+      error = std::move(e);
+      ack = std::move(a);
+    }
+    cv.notify_all();
+  }
+};
+
 Client::~Client() { Close(); }
 
 void Client::Connect() {
@@ -190,10 +209,12 @@ void Client::Close() {
   if (reader_.joinable()) reader_.join();
   std::unordered_map<uint64_t, std::shared_ptr<State>> leftover;
   std::vector<std::shared_ptr<State>> orphans;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingIngest>> waiting;
   {
     std::lock_guard<std::mutex> lock(mu_);
     leftover.swap(queries_);
     orphans.swap(resubmit_);
+    waiting.swap(ingests_);
     std::lock_guard<std::mutex> wlock(write_mu_);
     sock_.Close();
     connected_ = false;
@@ -201,6 +222,7 @@ void Client::Close() {
   Error closed("client closed", ErrorCategory::kCancelled);
   for (auto& entry : leftover) FailQuery(entry.second, closed);
   for (auto& state : orphans) FailQuery(state, closed);
+  for (auto& entry : waiting) entry.second->Finish(closed);
 }
 
 bool Client::connected() const {
@@ -259,6 +281,40 @@ RemoteQuery Client::Submit(const std::string& sql,
   return RemoteQuery(this, state);
 }
 
+IngestResult Client::Ingest(const std::string& table, const DataFrame& rows) {
+  Connect();
+  auto pending = std::make_shared<PendingIngest>();
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) throw Error("client is closed", ErrorCategory::kCancelled);
+    id = next_ingest_id_++;
+    ingests_[id] = pending;
+  }
+  protocol::Ingest msg;
+  msg.ingest_id = id;
+  msg.table = table;
+  msg.rows = std::make_shared<DataFrame>(rows);
+  // Once any byte of the frame may have reached the server, the append
+  // is ambiguous on failure — the whole frame could have been applied
+  // even though our write errored. No silent retry, ever.
+  Error ambiguous(
+      "ingest outcome unknown: connection lost before acknowledgment "
+      "(the rows may or may not have been appended)",
+      ErrorCategory::kNetwork);
+  if (!SendOnWire(static_cast<uint8_t>(FrameType::kIngest),
+                  protocol::Encode(msg))) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ingests_.erase(id);
+    throw ambiguous;
+  }
+  std::unique_lock<std::mutex> plock(pending->mu);
+  pending->cv.wait(plock, [&] { return pending->done; });
+  if (pending->error) throw *pending->error;
+  ingests_acked_.fetch_add(1);
+  return IngestResult{pending->ack.epoch, pending->ack.total_rows};
+}
+
 QueryResult Client::Execute(const std::string& sql,
                             const RemoteRunOptions& options) {
   int attempts = std::max(1, options_.backoff.max_attempts);
@@ -286,6 +342,7 @@ ClientStats Client::stats() const {
   stats.resubmissions = resubmissions_.load();
   stats.execute_retries = execute_retries_.load();
   stats.snapshots_received = snapshots_received_.load();
+  stats.ingests_acked = ingests_acked_.load();
   return stats;
 }
 
@@ -544,6 +601,23 @@ void Client::RouteFrame(uint8_t raw_type, const std::string& payload) {
       FailQuery(state, protocol::ToError(err));
       return;
     }
+    case FrameType::kIngestAck: {
+      protocol::IngestAck ack = protocol::DecodeIngestAck(payload);
+      std::shared_ptr<PendingIngest> pending;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = ingests_.find(ack.ingest_id);
+        if (it == ingests_.end()) return;  // abandoned waiter; drop
+        pending = it->second;
+        ingests_.erase(it);
+      }
+      if (ack.ok) {
+        pending->Finish(std::nullopt, std::move(ack));
+      } else {
+        pending->Finish(Error(ack.message, ack.category));
+      }
+      return;
+    }
     default:
       throw Error(StrFormat("unexpected %s frame from server",
                             protocol::FrameTypeName(
@@ -554,11 +628,16 @@ void Client::RouteFrame(uint8_t raw_type, const std::string& payload) {
 
 void Client::HandleDisconnect(const Error& cause) {
   std::vector<std::shared_ptr<State>> acked;
+  std::vector<std::shared_ptr<PendingIngest>> lost_ingests;
   bool have_resubmits = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     std::lock_guard<std::mutex> wlock(write_mu_);
     sock_.Close();
+    // Every in-flight append is now ambiguous: the frame may have been
+    // applied before the connection died. Never auto-resent.
+    for (auto& entry : ingests_) lost_ingests.push_back(entry.second);
+    ingests_.clear();
     connected_ = false;
     session_id_ = 0;
     for (auto it = queries_.begin(); it != queries_.end();) {
@@ -588,6 +667,14 @@ void Client::HandleDisconnect(const Error& cause) {
     error.set_retry_after_ms(options_.backoff.initial_ms);
   }
   for (const auto& state : acked) FailQuery(state, error);
+  for (const auto& pending : lost_ingests) {
+    pending->Finish(
+        Error("ingest outcome unknown: connection lost before "
+              "acknowledgment (the rows may or may not have been "
+              "appended): " +
+                  std::string(cause.what()),
+              ErrorCategory::kNetwork));
+  }
   if (have_resubmits) conn_cv_.notify_all();
 }
 

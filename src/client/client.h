@@ -103,6 +103,15 @@ struct ClientStats {
   uint64_t resubmissions = 0;   // un-acked queries resent after reconnect
   uint64_t execute_retries = 0; // full-query re-runs by Execute()
   uint64_t snapshots_received = 0;
+  uint64_t ingests_acked = 0;   // successful remote appends
+};
+
+/// Server acknowledgment of one Ingest() append.
+struct IngestResult {
+  /// Live-table epoch that first contains the appended rows.
+  uint64_t epoch = 0;
+  /// The table's lifetime appended-row count after this append.
+  uint64_t total_rows = 0;
 };
 
 /// A live remote query. Same consumer contract as QueryHandle; remains
@@ -179,12 +188,25 @@ class Client {
   QueryResult Execute(const std::string& sql,
                       const RemoteRunOptions& options = {});
 
+  /// Appends `rows` to live table `table` on the server, blocking until
+  /// the server acknowledges. Unlike Execute(), an append is NOT
+  /// idempotent, so the client never auto-retries: if the connection is
+  /// lost between send and ack the outcome is ambiguous — the rows may
+  /// or may not have landed — and Ingest throws a retryable
+  /// wake::Error(kNetwork) saying so; re-sending is the caller's call
+  /// (it risks duplicate rows). Server-side rejections (unknown table,
+  /// schema mismatch, drain) arrive as their original error category.
+  IngestResult Ingest(const std::string& table, const DataFrame& rows);
+
   ClientStats stats() const;
 
  private:
   friend class RemoteQuery;
 
   using State = RemoteQuery::State;
+
+  /// One in-flight Ingest() waiting for its kIngestAck.
+  struct PendingIngest;
 
   void ReaderLoop();
   bool TryConnectCycle();
@@ -211,6 +233,8 @@ class Client {
   std::optional<Error> connect_error_;
   std::unordered_map<uint64_t, std::shared_ptr<State>> queries_;
   std::vector<std::shared_ptr<State>> resubmit_;  // un-acked, awaiting retry
+  uint64_t next_ingest_id_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingIngest>> ingests_;
   std::condition_variable conn_cv_;   // wakes the reader
   std::condition_variable state_cv_;  // wakes Connect() waiters
   std::thread reader_;
@@ -225,6 +249,7 @@ class Client {
   std::atomic<uint64_t> resubmissions_{0};
   std::atomic<uint64_t> execute_retries_{0};
   std::atomic<uint64_t> snapshots_received_{0};
+  std::atomic<uint64_t> ingests_acked_{0};
   std::atomic<uint64_t> connections_made_{0};
 };
 

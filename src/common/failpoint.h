@@ -38,6 +38,8 @@
 //   net.read             net::RecvAll, once per socket read
 //   net.write            net::SendAll, once per socket write
 //   net.serialize        Server snapshot encode, once per snapshot
+//   ingest.flush         LiveTable tablet flush, once per seal (a failed
+//                        flush keeps the tablet queryable in memory)
 #ifndef WAKE_COMMON_FAILPOINT_H_
 #define WAKE_COMMON_FAILPOINT_H_
 

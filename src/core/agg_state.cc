@@ -72,11 +72,13 @@ void GroupedAggState::EnableSharding(WorkerPool* pool, size_t min_rows) {
   pool_ = pool;
   shard_min_rows_ = min_rows;
   // Smallest power of two covering the pool's workers, clamped to
-  // [kDefaultShards, kMaxShards]. A little headroom over the worker count
-  // keeps bucket skew from serializing the routing; the result never
-  // depends on the choice (see class comment).
+  // [kMinShards, kMaxShards]; a pool-less state keeps kDefaultShards. A
+  // little headroom over the worker count keeps bucket skew from
+  // serializing the routing, while a small pool no longer pays the
+  // fixed-8 floor's routing overhead; the result never depends on the
+  // choice (see class comment).
   size_t want = pool != nullptr ? pool->workers() : kDefaultShards;
-  num_shards_ = kDefaultShards;
+  num_shards_ = kMinShards;
   while (num_shards_ < want && num_shards_ < kMaxShards) num_shards_ *= 2;
   shard_shift_ = 64;
   for (size_t n = num_shards_; n > 1; n /= 2) --shard_shift_;
@@ -98,7 +100,8 @@ void GroupedAggState::ClearGroupStorage() {
 void GroupedAggState::Reset() {
   ClearGroupStorage();
   total_rows_ = 0;
-  shards_.clear();  // re-shards when the trigger fires again
+  InvalidateView();  // before the refs' shards are destroyed
+  shards_.clear();   // re-shards when the trigger fires again
 }
 
 size_t GroupedAggState::num_groups() const {
@@ -232,6 +235,7 @@ void GroupedAggState::SplitIntoShards() {
   }
   // Group state now lives in the shards; totals stay top-level.
   ClearGroupStorage();
+  InvalidateView();  // the view (if any) predates this shard set
 }
 
 void GroupedAggState::RouteToShards(const DataFrame& partial) {
@@ -482,7 +486,10 @@ void GroupedAggState::MergeGroups(const GroupedAggState& other) {
     return;
   }
   if (!shards_.empty()) {
-    // Sharded destination: groups go to the shard owning their hash.
+    // Sharded destination: groups go to the shard owning their hash. The
+    // adopted groups may carry ranks below (or lower the rank of) groups
+    // already in the snapshot view, so the cached ordering is stale.
+    InvalidateView();
     std::vector<std::vector<uint32_t>> buckets(num_shards_);
     for (uint32_t g = 0; g < src_groups; ++g) {
       buckets[ShardOf(other.group_hashes_[g])].push_back(g);
@@ -514,41 +521,125 @@ double GroupedAggState::MeanGroupCardinality() const {
   return static_cast<double>(total_rows_) / static_cast<double>(groups);
 }
 
+void GroupedAggState::InvalidateView() const {
+  view_valid_ = false;
+  view_refs_.clear();  // refs may point at shards about to be destroyed
+  view_keys_ = DataFrame();
+  view_seen_.clear();
+  view_max_rank_ = 0;
+}
+
+void GroupedAggState::RefreshView() const {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!view_valid_) {
+      view_refs_.clear();
+      view_keys_ = DataFrame(group_keys_.schema());
+      view_seen_.assign(shards_.size(), 0);
+      view_max_rank_ = 0;
+      view_valid_ = true;
+    }
+    // Collect the groups each shard created since the last refresh.
+    // Within a shard, groups append in creation order, so view_seen_[s]
+    // is a high-water mark; ranks are globally unique (the global index
+    // of the group's first input row).
+    struct Fresh {
+      uint64_t rank;
+      uint32_t shard;
+      uint32_t g;
+    };
+    std::vector<Fresh> fresh;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const GroupedAggState& sh = *shards_[s];
+      for (size_t g = view_seen_[s]; g < sh.group_rows_.size(); ++g) {
+        fresh.push_back({sh.group_first_seen_[g], static_cast<uint32_t>(s),
+                         static_cast<uint32_t>(g)});
+      }
+      view_seen_[s] = sh.group_rows_.size();
+    }
+    if (fresh.empty()) return;
+    std::sort(fresh.begin(), fresh.end(), [](const Fresh& a, const Fresh& b) {
+      return a.rank != b.rank ? a.rank < b.rank
+                              : (a.shard != b.shard ? a.shard < b.shard
+                                                    : a.g < b.g);
+    });
+    if (!view_refs_.empty() && fresh.front().rank < view_max_rank_) {
+      // A group appeared below the view's frontier (a Merge adopted
+      // earlier-ranked groups): the cached ordering is wrong — rebuild
+      // the view from scratch on the next pass.
+      view_valid_ = false;
+      continue;
+    }
+    // Append the fresh groups in rank order. Adopting the shards' key
+    // dicts first keeps the cached key columns code-encoded (mirrors
+    // MergeGroupList).
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      for (size_t k = 0; k < view_keys_.num_columns(); ++k) {
+        const Column& src = shards_[s]->group_keys_.column(k);
+        if (src.is_dict()) view_keys_.mutable_column(k)->AdoptDict(src.dict());
+      }
+    }
+    for (const Fresh& f : fresh) {
+      const GroupedAggState& sh = *shards_[f.shard];
+      view_refs_.push_back({&sh, f.g});
+      for (size_t k = 0; k < view_keys_.num_columns(); ++k) {
+        view_keys_.mutable_column(k)->AppendFrom(sh.group_keys_.column(k),
+                                                 f.g);
+      }
+    }
+    view_max_rank_ = fresh.back().rank;
+    view_merge_ops_ += fresh.size();
+    return;
+  }
+}
+
 AggResult GroupedAggState::Finalize(const AggScaling& scaling) const {
   if (!shards_.empty()) {
-    // Fold the hash-disjoint shards back into one state (pure group
-    // adoption — no key can live in two shards), then finalize; the
-    // first-appearance ordering below restores the serial output order.
-    GroupedAggState merged(group_by_, aggs_, input_schema_, output_schema_);
-    for (const auto& s : shards_) merged.MergeGroups(*s);
-    merged.total_rows_ = total_rows_;
-    return merged.Finalize(scaling);
+    // Incremental snapshot view: fold in only the groups that appeared
+    // since the previous Finalize (no key can live in two shards, and
+    // accumulators are read in place, so existing refs stay current).
+    // The view holds the global first-appearance order, reproducing the
+    // serial output byte for byte.
+    RefreshView();
+    return FinalizeRefs(scaling, view_refs_, view_keys_);
   }
 
-  AggResult out;
-  out.frame = DataFrame(output_schema_);
   size_t num_groups = group_rows_.size();
-  size_t num_keys = group_by_.size();
 
   // Output rows appear in group first-appearance order. The serial path
-  // creates groups in that order already (order == identity); sharded and
-  // merged states need the permutation.
+  // creates groups in that order already (order == identity); merged
+  // states need the permutation.
   bool identity = std::is_sorted(group_first_seen_.begin(),
                                  group_first_seen_.end());
-  std::vector<uint32_t> order;
-  if (!identity) {
-    order.resize(num_groups);
-    std::iota(order.begin(), order.end(), 0u);
-    std::stable_sort(order.begin(), order.end(),
-                     [this](uint32_t a, uint32_t b) {
-                       return group_first_seen_[a] < group_first_seen_[b];
-                     });
+  std::vector<GroupRef> refs(num_groups);
+  if (identity) {
+    for (uint32_t g = 0; g < num_groups; ++g) refs[g] = {this, g};
+    return FinalizeRefs(scaling, refs, group_keys_);
   }
+  std::vector<uint32_t> order(num_groups);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](uint32_t a, uint32_t b) {
+                     return group_first_seen_[a] < group_first_seen_[b];
+                   });
+  for (size_t oi = 0; oi < num_groups; ++oi) refs[oi] = {this, order[oi]};
+  DataFrame keys(group_keys_.schema());
+  for (size_t k = 0; k < keys.num_columns(); ++k) {
+    *keys.mutable_column(k) = group_keys_.column(k).Take(order);
+  }
+  return FinalizeRefs(scaling, refs, keys);
+}
 
-  // Group key columns come straight from the stored key frame.
+AggResult GroupedAggState::FinalizeRefs(const AggScaling& scaling,
+                                        const std::vector<GroupRef>& refs,
+                                        const DataFrame& keys) const {
+  AggResult out;
+  out.frame = DataFrame(output_schema_);
+  size_t num_groups = refs.size();
+  size_t num_keys = group_by_.size();
+
+  // Group key columns come straight from the (view or stored) key frame.
   for (size_t k = 0; k < num_keys; ++k) {
-    *out.frame.mutable_column(k) =
-        identity ? group_keys_.column(k) : group_keys_.column(k).Take(order);
+    *out.frame.mutable_column(k) = keys.column(k);
   }
 
   bool scale = scaling.enabled && scaling.t > 0.0 && scaling.t < 1.0;
@@ -566,10 +657,12 @@ AggResult GroupedAggState::Finalize(const AggScaling& scaling) const {
     col->Reserve(num_groups);
     static const ColdAccum kNoCold;
     for (size_t oi = 0; oi < num_groups; ++oi) {
-      size_t g = identity ? oi : order[oi];
-      const HotAccum& acc = hot_[a][g];
-      const ColdAccum& cold = cold_[a].empty() ? kNoCold : cold_[a][g];
-      double x = static_cast<double>(group_rows_[g]);
+      const GroupedAggState& src = *refs[oi].src;
+      const uint32_t g = refs[oi].g;
+      const HotAccum& acc = src.hot_[a][g];
+      const ColdAccum& cold =
+          src.cold_[a].empty() ? kNoCold : src.cold_[a][g];
+      double x = static_cast<double>(src.group_rows_[g]);
       double xhat = scale ? EstimateCardinality(x, scaling.t, scaling.w) : x;
       double var_xhat = 0.0;
       if (scaling.with_ci && scale) {

@@ -69,8 +69,9 @@ struct AggResult {
 class GroupedAggState {
  public:
   /// Shard-count bounds: EnableSharding derives the actual count from the
-  /// pool's worker count (rounded up to a power of two, clamped to this
-  /// range). A pool-less state uses kDefaultShards.
+  /// pool's worker count (rounded up to a power of two, clamped to
+  /// [kMinShards, kMaxShards]). A pool-less state uses kDefaultShards.
+  static constexpr size_t kMinShards = 2;
   static constexpr size_t kDefaultShards = 8;
   static constexpr size_t kMaxShards = 64;
   /// Default partial size that triggers sharding.
@@ -103,7 +104,7 @@ class GroupedAggState {
   /// Opts this state into hash-sharded parallel consumption: once a
   /// single Consume sees >= min_rows rows and the state holds enough
   /// groups, it splits into hash-disjoint sub-states — as many as the
-  /// pool's worker count warrants (power of two in [kDefaultShards,
+  /// pool's worker count warrants (power of two in [kMinShards,
   /// kMaxShards]) — and subsequent partials are partitioned and consumed
   /// shard-parallel on `pool` (serially when pool is null). The shard
   /// count never affects the result: groups are whole within a shard and
@@ -137,6 +138,14 @@ class GroupedAggState {
 
   /// Mean group cardinality x̄ (0 if no groups) — the growth-model input.
   double MeanGroupCardinality() const;
+
+  /// Merge-count probe: total per-group fold operations spent building or
+  /// refreshing the snapshot view across all Finalize calls on this
+  /// state. With the incremental view this stays O(total distinct
+  /// groups) no matter how many snapshots are emitted — the old path
+  /// re-merged every shard's every group per snapshot, i.e.
+  /// O(groups × snapshots).
+  size_t snapshot_merge_ops() const { return view_merge_ops_; }
 
  private:
   // Accumulators are split hot/cold: the numeric merge loops touch only
@@ -213,6 +222,32 @@ class GroupedAggState {
   /// into its shard (parallel across shards when a pool is set).
   void RouteToShards(const DataFrame& partial);
 
+  /// A (state, group) pair the finalize emission loop reads through.
+  /// Accumulators are read in place at Finalize time, so a ref stays
+  /// current across further Consumes into the state it points at.
+  struct GroupRef {
+    const GroupedAggState* src;
+    uint32_t g;
+  };
+
+  /// Brings the incremental snapshot view up to date with the shards:
+  /// groups created since the last refresh are appended in global
+  /// first-appearance order (Consume only ever creates groups with ranks
+  /// above everything already seen); a Merge that adopted earlier-ranked
+  /// groups forces a full rebuild. Mutable state under the class's
+  /// single-writer contract.
+  void RefreshView() const;
+
+  /// Drops the cached view (shard pointers are about to dangle or ranks
+  /// of existing groups may change).
+  void InvalidateView() const;
+
+  /// Shared emission body: extrinsic conversion over `refs` (output
+  /// order), with group-key columns copied from `keys`.
+  AggResult FinalizeRefs(const AggScaling& scaling,
+                         const std::vector<GroupRef>& refs,
+                         const DataFrame& keys) const;
+
   std::vector<std::string> group_by_;
   std::vector<AggSpec> aggs_;
   Schema input_schema_;
@@ -253,6 +288,18 @@ class GroupedAggState {
   size_t num_shards_ = kDefaultShards;
   unsigned shard_shift_ = 61;
   std::vector<std::unique_ptr<GroupedAggState>> shards_;
+
+  // Incremental snapshot view (sharded states only): output-ordered refs
+  // into the shards plus the cached key frame, maintained lazily by
+  // Finalize so emitting snapshot N+1 folds only the groups that appeared
+  // since snapshot N. view_seen_[s] is the shard-s group count already in
+  // the view; view_max_rank_ guards against out-of-order adoption.
+  mutable bool view_valid_ = false;
+  mutable std::vector<GroupRef> view_refs_;
+  mutable DataFrame view_keys_;
+  mutable std::vector<size_t> view_seen_;
+  mutable uint64_t view_max_rank_ = 0;
+  mutable size_t view_merge_ops_ = 0;  // probe; survives InvalidateView
 };
 
 }  // namespace wake

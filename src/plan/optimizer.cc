@@ -778,7 +778,7 @@ PlanNodePtr PruneRewrite(const PlanNodePtr& node, PruneCtx* ctx) {
     case PlanOp::kScan: {
       if (!ctx->project_scans) break;
       const Schema& current = ctx->schema[node.get()];
-      const Schema& full = ctx->catalog->Get(node->table).schema();
+      const Schema& full = ctx->catalog->GetSchema(node->table);
       std::vector<std::string> want;
       for (const auto& f : full.fields()) {
         if (current.HasField(f.name) && req.count(f.name)) {

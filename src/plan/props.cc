@@ -94,7 +94,7 @@ PlanProps InferProps(const PlanNodePtr& node, const Catalog& catalog) {
   switch (node->op) {
     case PlanOp::kScan: {
       PlanProps props;
-      const Schema& full = catalog.Get(node->table).schema();
+      const Schema& full = catalog.GetSchema(node->table);
       props.schema = node->columns.empty() ? full : full.Select(node->columns);
       if (node->scan_filter != nullptr) {
         std::set<std::string> used;

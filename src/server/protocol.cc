@@ -65,6 +65,8 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kPong: return "pong";
     case FrameType::kDrain: return "drain";
     case FrameType::kGoodbye: return "goodbye";
+    case FrameType::kIngest: return "ingest";
+    case FrameType::kIngestAck: return "ingest-ack";
   }
   return "unknown";
 }
@@ -390,6 +392,51 @@ Goodbye DecodeGoodbye(const std::string& payload) {
   return msg;
 }
 
+std::string Encode(const Ingest& msg) {
+  wire::WireWriter w;
+  w.U64(msg.ingest_id);
+  w.Str(msg.table);
+  EncodeDataFrame(msg.rows != nullptr ? *msg.rows : DataFrame(), &w);
+  return w.Take();
+}
+
+Ingest DecodeIngest(const std::string& payload) {
+  wire::WireReader r(payload);
+  Ingest msg;
+  msg.ingest_id = r.U64();
+  msg.table = r.Str();
+  msg.rows = std::make_shared<DataFrame>(DecodeDataFrame(&r));
+  return msg;
+}
+
+std::string Encode(const IngestAck& msg) {
+  wire::WireWriter w;
+  w.U64(msg.ingest_id);
+  w.U8(msg.ok ? 1 : 0);
+  w.U64(msg.epoch);
+  w.U64(msg.total_rows);
+  w.U8(static_cast<uint8_t>(msg.category));
+  w.Str(msg.message);
+  return w.Take();
+}
+
+IngestAck DecodeIngestAck(const std::string& payload) {
+  wire::WireReader r(payload);
+  IngestAck msg;
+  msg.ingest_id = r.U64();
+  msg.ok = r.U8() != 0;
+  msg.epoch = r.U64();
+  msg.total_rows = r.U64();
+  // Same policy as QueryError: unknown category bytes mean a newer
+  // peer; classify as fatal.
+  uint8_t raw = r.U8();
+  msg.category = raw > static_cast<uint8_t>(ErrorCategory::kUnavailable)
+                     ? ErrorCategory::kExecution
+                     : static_cast<ErrorCategory>(raw);
+  msg.message = r.Str();
+  return msg;
+}
+
 // --- frame I/O -----------------------------------------------------------
 
 void SendFrame(const net::Socket& sock, FrameType type,
@@ -456,7 +503,7 @@ RecvResult RecvFrame(const net::Socket& sock, int64_t idle_timeout_ms,
                 ErrorCategory::kProtocol);
   }
   if (header.type < static_cast<uint8_t>(FrameType::kHello) ||
-      header.type > static_cast<uint8_t>(FrameType::kGoodbye)) {
+      header.type > static_cast<uint8_t>(FrameType::kIngestAck)) {
     throw Error(StrFormat("unknown frame type %u", header.type),
                 ErrorCategory::kProtocol);
   }

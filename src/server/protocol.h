@@ -12,6 +12,8 @@
 //                     <-             kSnapshot(id, final)
 //                     <-             kQueryDone(id) | kQueryError(id)
 //   kCancel(id)       ->                                  (any time)
+//   kIngest(id, rows) ->                                  live-table append
+//                     <-             kIngestAck(id)
 //   kPing/kPong       <->                                 liveness
 //                     <-             kDrain               server shutdown
 //   kGoodbye          <->                                 orderly close
@@ -55,6 +57,8 @@ enum class FrameType : uint8_t {
   kPong = 10,
   kDrain = 11,
   kGoodbye = 12,
+  kIngest = 13,
+  kIngestAck = 14,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -138,6 +142,31 @@ struct Goodbye {
   std::string reason;
 };
 
+/// Appends rows to a live (dynamic) table. `ingest_id` is
+/// client-assigned and scoped to the connection, like submit ids; the
+/// server answers every Ingest with exactly one IngestAck carrying the
+/// same id.
+struct Ingest {
+  uint64_t ingest_id = 0;
+  std::string table;
+  DataFramePtr rows;
+};
+
+/// Outcome of one Ingest. Appends are not idempotent, so a client whose
+/// connection dies between Ingest and IngestAck must treat the append
+/// as *ambiguous* — the client surfaces that instead of retrying.
+struct IngestAck {
+  uint64_t ingest_id = 0;
+  bool ok = false;
+  /// On success: the live-table epoch that first contains the rows, and
+  /// the table's lifetime appended-row count after this append.
+  uint64_t epoch = 0;
+  uint64_t total_rows = 0;
+  /// On failure: the server-side error.
+  ErrorCategory category = ErrorCategory::kExecution;
+  std::string message;
+};
+
 // --- payload codecs ------------------------------------------------------
 
 std::string Encode(const Hello& msg);
@@ -151,6 +180,8 @@ std::string Encode(const Cancel& msg);
 std::string Encode(const Ping& msg);  // payload shared by kPing and kPong
 std::string Encode(const Drain& msg);
 std::string Encode(const Goodbye& msg);
+std::string Encode(const Ingest& msg);
+std::string Encode(const IngestAck& msg);
 
 Hello DecodeHello(const std::string& payload);
 Welcome DecodeWelcome(const std::string& payload);
@@ -163,6 +194,8 @@ Cancel DecodeCancel(const std::string& payload);
 Ping DecodePing(const std::string& payload);
 Drain DecodeDrain(const std::string& payload);
 Goodbye DecodeGoodbye(const std::string& payload);
+Ingest DecodeIngest(const std::string& payload);
+IngestAck DecodeIngestAck(const std::string& payload);
 
 /// Rebuilds the wake::Error a QueryError frame describes (category,
 /// retry-after hint preserved; unknown category bytes decode as

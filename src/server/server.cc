@@ -11,6 +11,7 @@
 
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "ingest/live_table.h"
 #include "server/protocol.h"
 
 namespace wake {
@@ -231,6 +232,9 @@ void Server::ServeConnection(const std::shared_ptr<Connection>& conn) {
         case FrameType::kSubmit:
           HandleSubmit(conn, r.payload);
           break;
+        case FrameType::kIngest:
+          HandleIngest(conn, r.payload);
+          break;
         case FrameType::kCancel: {
           protocol::Cancel cancel = protocol::DecodeCancel(r.payload);
           std::lock_guard<std::mutex> lock(conn->q_mu);
@@ -348,6 +352,38 @@ void Server::HandleSubmit(const std::shared_ptr<Connection>& conn,
   } catch (const Error& e) {
     reject(e);
   }
+}
+
+void Server::HandleIngest(const std::shared_ptr<Connection>& conn,
+                          const std::string& payload) {
+  protocol::Ingest ingest = protocol::DecodeIngest(payload);
+  protocol::IngestAck ack;
+  ack.ingest_id = ingest.ingest_id;
+  try {
+    if (draining_.load(std::memory_order_acquire)) {
+      throw Error("server is draining for shutdown",
+                  ErrorCategory::kUnavailable);
+    }
+    auto dyn = db_->catalog().GetDynamic(ingest.table);
+    if (dyn == nullptr) {
+      throw Error("table '" + ingest.table + "' is not a live table",
+                  ErrorCategory::kPlan);
+    }
+    auto live = std::dynamic_pointer_cast<LiveTable>(dyn);
+    if (live == nullptr) {
+      throw Error("table '" + ingest.table + "' does not accept appends",
+                  ErrorCategory::kPlan);
+    }
+    ack.epoch = live->Append(*ingest.rows);
+    ack.total_rows = live->stats().rows_appended;
+    ack.ok = true;
+  } catch (const Error& e) {
+    ack.ok = false;
+    ack.category = e.category();
+    ack.message = e.what();
+  }
+  WriteFrame(*conn, FrameType::kIngestAck, protocol::Encode(ack),
+             options_.write_timeout_ms, options_.max_frame_bytes);
 }
 
 void Server::PumpQuery(const std::shared_ptr<Connection>& conn,

@@ -147,6 +147,8 @@ class Server {
   void ServeConnection(const std::shared_ptr<Connection>& conn);
   void HandleSubmit(const std::shared_ptr<Connection>& conn,
                     const std::string& payload);
+  void HandleIngest(const std::shared_ptr<Connection>& conn,
+                    const std::string& payload);
   void PumpQuery(const std::shared_ptr<Connection>& conn, ConnQuery* query);
   void TeardownConnection(const std::shared_ptr<Connection>& conn);
   void ReapFinishedConnections();

@@ -1,5 +1,6 @@
 #include "storage/partitioned_table.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -63,20 +64,63 @@ PartitionedTable PartitionedTable::OpenWakeblock(const std::string& dir,
   return table;
 }
 
+PartitionedTable PartitionedTable::FromSegments(std::string name,
+                                                Schema schema,
+                                                std::vector<TablePtr>
+                                                    segments) {
+  PartitionedTable table(std::move(name), std::move(schema));
+  table.seg_chunk_base_.push_back(0);
+  for (auto& seg : segments) {
+    CheckArg(seg != nullptr, "null segment");
+    CheckArg(!seg->composite(), "nested composite segment");
+    table.total_rows_ += seg->total_rows();
+    table.seg_chunk_base_.push_back(table.seg_chunk_base_.back() +
+                                    seg->num_chunks());
+    table.segments_.push_back(std::move(seg));
+  }
+  return table;
+}
+
+size_t PartitionedTable::num_chunks() const {
+  if (composite()) return seg_chunk_base_.back();
+  return lazy() ? block_source_->num_blocks() : partitions_.size();
+}
+
+size_t PartitionedTable::chunk_rows(size_t i) const {
+  if (composite()) {
+    size_t local = 0;
+    return segments_[SegmentOfChunk(i, &local)]->chunk_rows(local);
+  }
+  return lazy() ? block_source_->block_rows(i) : partitions_[i]->num_rows();
+}
+
+size_t PartitionedTable::SegmentOfChunk(size_t i, size_t* local) const {
+  CheckArg(i < seg_chunk_base_.back(), "chunk index out of range");
+  // upper_bound over the prefix sums: first base strictly above i.
+  size_t s = static_cast<size_t>(
+      std::upper_bound(seg_chunk_base_.begin(), seg_chunk_base_.end(), i) -
+      seg_chunk_base_.begin()) - 1;
+  *local = i - seg_chunk_base_[s];
+  return s;
+}
+
 const DataFramePtr& PartitionedTable::partition(size_t i) const {
-  CheckArg(!lazy(), "partition(): table '" + name_ +
-                        "' is wakeblock-backed; use the chunk API");
+  CheckArg(!lazy() && !composite(),
+           "partition(): table '" + name_ +
+               "' is wakeblock-backed or composite; use the chunk API");
   return partitions_[i];
 }
 
 const std::vector<DataFramePtr>& PartitionedTable::partitions() const {
-  CheckArg(!lazy(), "partitions(): table '" + name_ +
-                        "' is wakeblock-backed; use the chunk API");
+  CheckArg(!lazy() && !composite(),
+           "partitions(): table '" + name_ +
+               "' is wakeblock-backed or composite; use the chunk API");
   return partitions_;
 }
 
 void PartitionedTable::AddPartition(DataFramePtr partition) {
-  CheckArg(!lazy(), "AddPartition on a wakeblock-backed table");
+  CheckArg(!lazy() && !composite(),
+           "AddPartition on a wakeblock-backed or composite table");
   CheckArg(partition != nullptr, "null partition");
   total_rows_ += partition->num_rows();
   if (schema_.num_fields() == 0) schema_ = partition->schema();
@@ -87,6 +131,11 @@ DataFramePtr PartitionedTable::ReadChunk(size_t i,
                                          const std::vector<std::string>&
                                              columns,
                                          const ExprPtr& filter) const {
+  if (composite()) {
+    size_t local = 0;
+    size_t s = SegmentOfChunk(i, &local);
+    return segments_[s]->ReadChunk(local, columns, filter);
+  }
   if (lazy()) return block_source_->ReadBlock(i, columns, filter);
   CheckArg(i < partitions_.size(), "chunk index out of range");
   if (columns.empty()) return partitions_[i];
@@ -102,7 +151,12 @@ TableMetadata PartitionedTable::metadata() const {
   meta.name = name_;
   meta.schema = schema_;
   meta.total_rows = total_rows_;
-  if (lazy()) {
+  if (composite()) {
+    // One entry per segment.
+    for (const auto& seg : segments_) {
+      meta.partition_rows.push_back(seg->total_rows());
+    }
+  } else if (lazy()) {
     // One entry per stored partition: sum of its blocks' row counts.
     meta.partition_rows.assign(block_source_->num_partitions(), 0);
     for (size_t b = 0; b < block_source_->num_blocks(); ++b) {
@@ -122,7 +176,8 @@ PartitionedTable PartitionedTable::Repartition(size_t num_partitions) const {
 }
 
 PartitionedTable PartitionedTable::ShufflePartitions(uint64_t seed) const {
-  CheckArg(!lazy(), "ShufflePartitions on a wakeblock-backed table");
+  CheckArg(!lazy() && !composite(),
+           "ShufflePartitions on a wakeblock-backed or composite table");
   PartitionedTable out(name_, schema_);
   std::vector<DataFramePtr> parts = partitions_;
   Rng rng(seed);
@@ -132,7 +187,7 @@ PartitionedTable PartitionedTable::ShufflePartitions(uint64_t seed) const {
 }
 
 DataFrame PartitionedTable::Materialize() const {
-  if (lazy()) return Materialize({}, nullptr);
+  if (lazy() || composite()) return Materialize({}, nullptr);
   DataFrame out(schema_);
   for (const auto& p : partitions_) out.Append(*p);
   return out;
@@ -145,6 +200,13 @@ DataFrame PartitionedTable::Materialize(
 
 DataFrame PartitionedTable::Materialize(const std::vector<std::string>& columns,
                                         const ExprPtr& filter) const {
+  if (composite()) {
+    DataFrame out(columns.empty() ? schema_ : schema_.Select(columns));
+    for (const auto& seg : segments_) {
+      out.Append(seg->Materialize(columns, filter));
+    }
+    return out;
+  }
   if (lazy()) {
     DataFrame out(columns.empty() ? schema_ : schema_.Select(columns));
     bool reserved = false;
@@ -178,7 +240,8 @@ DataFrame PartitionedTable::Materialize(const std::vector<std::string>& columns,
 
 PartitionedTable PartitionedTable::SelectColumns(
     const std::vector<std::string>& columns) const {
-  CheckArg(!lazy(), "SelectColumns on a wakeblock-backed table");
+  CheckArg(!lazy() && !composite(),
+           "SelectColumns on a wakeblock-backed or composite table");
   PartitionedTable out(name_, schema_.Select(columns));
   for (const auto& p : partitions_) {
     auto narrowed = std::make_shared<DataFrame>(p->Select(columns));
@@ -262,7 +325,8 @@ Schema ReadMeta(const std::string& path, std::string* name,
 }  // namespace
 
 void PartitionedTable::WriteTblDir(const std::string& dir) const {
-  CheckArg(!lazy(), "WriteTblDir on a wakeblock-backed table");
+  CheckArg(!lazy() && !composite(),
+           "WriteTblDir on a wakeblock-backed or composite table");
   std::filesystem::create_directories(dir);
   WriteMeta(dir + "/" + name_ + ".meta", *this);
   for (size_t i = 0; i < partitions_.size(); ++i) {
@@ -385,7 +449,8 @@ std::string ReadString(std::ifstream& in) {
 }  // namespace
 
 void PartitionedTable::WriteWpartDir(const std::string& dir) const {
-  CheckArg(!lazy(), "WriteWpartDir on a wakeblock-backed table");
+  CheckArg(!lazy() && !composite(),
+           "WriteWpartDir on a wakeblock-backed or composite table");
   std::filesystem::create_directories(dir);
   WriteMeta(dir + "/" + name_ + ".meta", *this);
   for (size_t i = 0; i < partitions_.size(); ++i) {
@@ -513,28 +578,60 @@ PartitionedTable PartitionedTable::ReadWpartDir(
 
 void Catalog::Add(TablePtr table) {
   CheckArg(table != nullptr, "null table");
+  CheckArg(dynamic_.count(table->name()) == 0,
+           "table '" + table->name() + "' is already registered as dynamic");
   tables_[table->name()] = std::move(table);
+}
+
+void Catalog::AddDynamic(std::shared_ptr<DynamicTable> table) {
+  CheckArg(table != nullptr, "null table");
+  CheckArg(tables_.count(table->name()) == 0,
+           "table '" + table->name() + "' is already registered as static");
+  dynamic_[table->name()] = std::move(table);
 }
 
 const PartitionedTable& Catalog::Get(const std::string& name) const {
   auto it = tables_.find(name);
-  CheckArg(it != tables_.end(), "unknown table '" + name + "'");
+  if (it == tables_.end()) {
+    CheckArg(dynamic_.count(name) == 0,
+             "table '" + name +
+                 "' is dynamic; hold a GetPtr() snapshot instead");
+    CheckArg(false, "unknown table '" + name + "'");
+  }
   return *it->second;
 }
 
 TablePtr Catalog::GetPtr(const std::string& name) const {
   auto it = tables_.find(name);
-  CheckArg(it != tables_.end(), "unknown table '" + name + "'");
-  return it->second;
+  if (it != tables_.end()) return it->second;
+  auto dyn = dynamic_.find(name);
+  CheckArg(dyn != dynamic_.end(), "unknown table '" + name + "'");
+  return dyn->second->Snapshot();
+}
+
+const Schema& Catalog::GetSchema(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it != tables_.end()) return it->second->schema();
+  auto dyn = dynamic_.find(name);
+  CheckArg(dyn != dynamic_.end(), "unknown table '" + name + "'");
+  return dyn->second->schema();
+}
+
+std::shared_ptr<DynamicTable> Catalog::GetDynamic(
+    const std::string& name) const {
+  auto it = dynamic_.find(name);
+  return it == dynamic_.end() ? nullptr : it->second;
 }
 
 bool Catalog::Has(const std::string& name) const {
-  return tables_.count(name) > 0;
+  return tables_.count(name) > 0 || dynamic_.count(name) > 0;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
   for (const auto& [name, _] : tables_) names.push_back(name);
+  for (const auto& [name, _] : dynamic_) names.push_back(name);
+  std::sort(names.begin(), names.end());
   return names;
 }
 

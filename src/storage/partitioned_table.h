@@ -32,6 +32,9 @@ struct TableMetadata {
   size_t total_rows = 0;
 };
 
+class PartitionedTable;
+using TablePtr = std::shared_ptr<const PartitionedTable>;
+
 /// An ordered collection of partitions with shared schema.
 class PartitionedTable {
  public:
@@ -51,6 +54,19 @@ class PartitionedTable {
   static PartitionedTable OpenWakeblock(const std::string& dir,
                                         const std::string& name);
 
+  /// Composite table over an ordered list of immutable segment tables
+  /// sharing `schema` (a live table's hot + cold tablets): the chunk API
+  /// concatenates the segments' chunks in order, so readers stream hot
+  /// rows and block-skipped cold blocks through one table handle. The
+  /// segments keep their own representation (eager or lazy); partition-
+  /// level accessors and serializers throw. Zero segments is a valid
+  /// empty table.
+  static PartitionedTable FromSegments(std::string name, Schema schema,
+                                       std::vector<TablePtr> segments);
+
+  bool composite() const { return !segments_.empty(); }
+  const std::vector<TablePtr>& segments() const { return segments_; }
+
   bool lazy() const { return block_source_ != nullptr; }
   /// The wakeblock handle backing a lazy table (null for eager tables).
   const wakeblock::BlockTablePtr& block_source() const {
@@ -69,13 +85,10 @@ class PartitionedTable {
 
   /// --- chunk API: the unit readers stream ---
   /// Eager tables have one chunk per partition; lazy tables one per row
-  /// block (finer partials, and the granularity block skipping works at).
-  size_t num_chunks() const {
-    return lazy() ? block_source_->num_blocks() : partitions_.size();
-  }
-  size_t chunk_rows(size_t i) const {
-    return lazy() ? block_source_->block_rows(i) : partitions_[i]->num_rows();
-  }
+  /// block (finer partials, and the granularity block skipping works at);
+  /// composite tables concatenate their segments' chunks in order.
+  size_t num_chunks() const;
+  size_t chunk_rows(size_t i) const;
   /// Decodes chunk `i` narrowed to `columns` (empty = all). For lazy
   /// tables a `filter` refuted by the chunk's synopses returns nullptr
   /// without decoding (the caller still counts the chunk's rows toward
@@ -135,26 +148,58 @@ class PartitionedTable {
                                            columns = {});
 
  private:
+  /// Maps a composite table's global chunk index to (segment, local
+  /// chunk index within that segment).
+  size_t SegmentOfChunk(size_t i, size_t* local) const;
+
   std::string name_;
   Schema schema_;
   std::vector<DataFramePtr> partitions_;
   size_t total_rows_ = 0;
   wakeblock::BlockTablePtr block_source_;  // non-null == lazy
+  // Composite mode: ordered segments plus the chunk-count prefix sums
+  // (seg_chunk_base_[i] = total chunks before segment i; back() = total).
+  std::vector<std::shared_ptr<const PartitionedTable>> segments_;
+  std::vector<size_t> seg_chunk_base_;
 };
 
-using TablePtr = std::shared_ptr<const PartitionedTable>;
+/// A table whose contents change over time (live ingestion). The catalog
+/// resolves a dynamic table to an immutable snapshot per lookup, so a
+/// query plans and scans one consistent tablet set no matter how many
+/// appends land while it runs. Implementations must be thread-safe.
+class DynamicTable {
+ public:
+  virtual ~DynamicTable() = default;
+  virtual const std::string& name() const = 0;
+  /// Fixed at registration; snapshots always carry this schema.
+  virtual const Schema& schema() const = 0;
+  /// An immutable snapshot of the current contents.
+  virtual TablePtr Snapshot() const = 0;
+};
 
-/// Named table registry handed to query engines.
+/// Named table registry handed to query engines. Static tables resolve
+/// to their one immutable object; dynamic tables resolve to a fresh
+/// snapshot per GetPtr (engines take exactly one snapshot per scan, at
+/// compile/execute time, which pins the query's tablet set).
 class Catalog {
  public:
   void Add(TablePtr table);
+  void AddDynamic(std::shared_ptr<DynamicTable> table);
+  /// Stable reference to a static table; throws for dynamic tables
+  /// (their contents move — callers must hold a GetPtr snapshot).
   const PartitionedTable& Get(const std::string& name) const;
   TablePtr GetPtr(const std::string& name) const;
+  /// Schema of either kind of table (stable for both: static tables are
+  /// immutable, dynamic tables fix their schema at registration).
+  const Schema& GetSchema(const std::string& name) const;
+  /// The registered dynamic table, or null if `name` is static/unknown.
+  std::shared_ptr<DynamicTable> GetDynamic(const std::string& name) const;
   bool Has(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
  private:
   std::map<std::string, TablePtr> tables_;
+  std::map<std::string, std::shared_ptr<DynamicTable>> dynamic_;
 };
 
 /// Reads every `<name>.meta` table under `dir` (the WriteTblDir layout)

@@ -2,6 +2,8 @@
 // for every aggregate kind, including null keys and dict-encoded keys.
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "common/rng.h"
 #include "common/worker_pool.h"
 #include "core/agg_state.h"
@@ -177,9 +179,10 @@ TEST(AggMergeTest, ShardedResultIdenticalAtAnyWorkerCount) {
 }
 
 // The shard count adapts to the pool: smallest power of two covering the
-// workers, clamped to [kDefaultShards, kMaxShards] — and since groups stay
-// whole within a shard and output order is global first-appearance rank,
-// every shard count produces bit-identical results.
+// workers, clamped to [kMinShards, kMaxShards] (a small pool no longer
+// pays a fixed floor of 8) — and since groups stay whole within a shard
+// and output order is global first-appearance rank, every shard count
+// produces bit-identical results.
 TEST(AggMergeTest, ShardCountAdaptsToPoolAndNeverChangesResults) {
   constexpr size_t kRows = 16384;
   DataFrame p1 = MakeInput(kRows, 500, 71, /*with_nulls=*/true);
@@ -195,16 +198,17 @@ TEST(AggMergeTest, ShardCountAdaptsToPoolAndNeverChangesResults) {
     return state.Finalize(AggScaling{}).frame;
   };
 
-  // pool->workers() counts the caller, so WorkerPool(n) serves n+1.
-  WorkerPool pool4(4), pool11(11), pool90(90);
-  DataFrame base = run(nullptr, 8);          // no pool: the default floor
-  DataFrame w5 = run(&pool4, 8);             // 5 workers -> floor of 8
-  DataFrame w12 = run(&pool11, 16);          // 12 workers -> 16
-  DataFrame w91 = run(&pool90, 64);          // capped at kMaxShards
+  WorkerPool pool1(1), pool4(4), pool11(11), pool90(90);
+  DataFrame base = run(nullptr, 8);          // no pool: the default
+  DataFrame w1 = run(&pool1, 2);             // 1 worker -> kMinShards
+  DataFrame w4 = run(&pool4, 4);             // 4 workers -> 4 (no 8-floor)
+  DataFrame w11 = run(&pool11, 16);          // 11 workers -> 16
+  DataFrame w90 = run(&pool90, 64);          // capped at kMaxShards
   std::string diff;
-  EXPECT_TRUE(w5.ApproxEquals(base, 0.0, &diff)) << diff;
-  EXPECT_TRUE(w12.ApproxEquals(base, 0.0, &diff)) << diff;
-  EXPECT_TRUE(w91.ApproxEquals(base, 0.0, &diff)) << diff;
+  EXPECT_TRUE(w1.ApproxEquals(base, 0.0, &diff)) << diff;
+  EXPECT_TRUE(w4.ApproxEquals(base, 0.0, &diff)) << diff;
+  EXPECT_TRUE(w11.ApproxEquals(base, 0.0, &diff)) << diff;
+  EXPECT_TRUE(w90.ApproxEquals(base, 0.0, &diff)) << diff;
 }
 
 TEST(AggMergeTest, ColdAggregatesNeverShard) {
@@ -229,6 +233,85 @@ TEST(AggMergeTest, ResetDropsShardsAndStateStaysUsable) {
   std::string diff;
   EXPECT_TRUE(state.Finalize(AggScaling{}).frame.ApproxEquals(
       serial.Finalize(AggScaling{}).frame, 0.0, &diff))
+      << diff;
+}
+
+// The snapshot path is incremental: emitting snapshot N+1 folds only the
+// groups that appeared since snapshot N into the cached view, instead of
+// re-merging every shard's every group per Finalize. The probe counts
+// per-group fold operations — repeated Finalize calls over a stable
+// group set must not grow it.
+TEST(AggMergeTest, IncrementalSnapshotViewDoesNotRemergePerFinalize) {
+  constexpr size_t kRows = 8192;
+  DataFrame p1 = MakeInput(kRows, 300, 91);
+  DataFrame p2 = MakeInput(kRows, 300, 93);
+
+  auto state = MakeState({"g"}, HotAggs());
+  state.EnableSharding(nullptr, 1024);
+  state.Consume(p1);
+  ASSERT_TRUE(state.sharded());
+  DataFrame snap1 = state.Finalize(AggScaling{}).frame;
+  size_t ops_after_first = state.snapshot_merge_ops();
+  EXPECT_EQ(ops_after_first, state.num_groups());
+
+  // Ten snapshots over an unchanged group set: zero additional folds.
+  for (int i = 0; i < 10; ++i) {
+    DataFrame again = state.Finalize(AggScaling{}).frame;
+    std::string diff;
+    EXPECT_TRUE(again.ApproxEquals(snap1, 0.0, &diff)) << diff;
+  }
+  EXPECT_EQ(state.snapshot_merge_ops(), ops_after_first);
+
+  // New data folds only the newly appeared groups, and the refreshed
+  // snapshot still equals a from-scratch serial state over everything.
+  state.Consume(p2);
+  DataFrame snap2 = state.Finalize(AggScaling{}).frame;
+  size_t ops_after_second = state.snapshot_merge_ops();
+  EXPECT_EQ(ops_after_second, state.num_groups());
+  state.Finalize(AggScaling{});
+  EXPECT_EQ(state.snapshot_merge_ops(), ops_after_second);
+
+  auto serial = MakeState({"g"}, HotAggs());
+  serial.Consume(p1);
+  serial.Consume(p2);
+  std::string diff;
+  EXPECT_TRUE(snap2.ApproxEquals(serial.Finalize(AggScaling{}).frame, 0.0,
+                                 &diff))
+      << diff;
+}
+
+// A Merge into a sharded state can adopt groups ranked below the view's
+// frontier (and lower the ranks of groups already in it); the view must
+// rebuild, not serve a stale order. One global rank space: the sharded
+// state consumes the second half of a stream first (explicit ranks),
+// snapshots, then merges a state holding the first half.
+TEST(AggMergeTest, SnapshotViewRebuildsAfterOutOfOrderMerge) {
+  constexpr size_t kRows = 8192;
+  DataFrame whole = MakeInput(kRows, 400, 97);
+  DataFrame first = whole.Slice(0, kRows / 2);
+  DataFrame second = whole.Slice(kRows / 2, kRows);
+
+  auto sharded = MakeState({"g"}, HotAggs());
+  sharded.EnableSharding(nullptr, 1024);
+  std::vector<uint64_t> ids(kRows / 2);
+  std::iota(ids.begin(), ids.end(), static_cast<uint64_t>(kRows / 2));
+  sharded.Consume(second, nullptr, ids.data());
+  ASSERT_TRUE(sharded.sharded());
+  sharded.Finalize(AggScaling{});  // view now caches second-half order
+
+  auto other = MakeState({"g"}, HotAggs());
+  other.Consume(first);  // ranks 0 .. kRows/2-1, below the view frontier
+  sharded.Merge(other);
+
+  // Every group's first-appearance rank is now its first occurrence in
+  // `whole`, so the rebuilt view must emit the same order (and, within
+  // tolerance, the same values — addition order differs) as a serial
+  // state over the unsplit stream.
+  auto serial = MakeState({"g"}, HotAggs());
+  serial.Consume(whole);
+  std::string diff;
+  EXPECT_TRUE(sharded.Finalize(AggScaling{}).frame.ApproxEquals(
+      serial.Finalize(AggScaling{}).frame, 1e-9, &diff))
       << diff;
 }
 
